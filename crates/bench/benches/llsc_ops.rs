@@ -1,0 +1,66 @@
+//! Algorithm 6 primitive costs: LL / VL / SC / RL / Load / Store on the
+//! packed `AtomicU64` R-LLSC, solo and under contention.
+//!
+//! Shape to reproduce: Load/VL/Store are single atomic ops; LL/SC/RL are a
+//! read + CAS when uncontended; under contention LL/SC retry (lock-free, not
+//! wait-free) — the reason Algorithm 5 layers helping on top.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hi_llsc::{LlscLayout, PackedRLlsc};
+
+fn bench_solo_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("llsc_solo");
+    let x = PackedRLlsc::new(LlscLayout::new(32, 8), 0);
+    group.bench_function("load", |b| b.iter(|| x.load()));
+    group.bench_function("vl", |b| b.iter(|| x.vl(0)));
+    group.bench_function("store", |b| b.iter(|| x.store(7)));
+    group.bench_function("ll_rl", |b| {
+        b.iter(|| {
+            x.ll(0);
+            x.rl(0)
+        })
+    });
+    group.bench_function("ll_sc", |b| {
+        b.iter(|| {
+            x.ll(0);
+            x.sc(0, 9)
+        })
+    });
+    group.finish();
+}
+
+fn bench_contended_sc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("llsc_contended");
+    group.sample_size(15);
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("ll_sc_interference", threads),
+            &threads,
+            |b, &threads| {
+                let x = PackedRLlsc::new(LlscLayout::new(32, 8), 0);
+                let stop = std::sync::atomic::AtomicBool::new(false);
+                std::thread::scope(|s| {
+                    for pid in 1..threads {
+                        let x = &x;
+                        let stop = &stop;
+                        s.spawn(move || {
+                            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                                x.ll(pid);
+                                x.sc(pid, pid as u64);
+                            }
+                        });
+                    }
+                    b.iter(|| {
+                        x.ll(0);
+                        x.sc(0, 42)
+                    });
+                    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solo_ops, bench_contended_sc);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Ablation: the price of history independence in the register algorithms,
+//! as a function of K.
+//!
+//! Shape to reproduce: Algorithm 1's `Write(v)` costs `O(v)` primitives
+//! (clear below only); Algorithms 2/4 cost `O(K)` (the upward clearing that
+//! buys state-quiescent canonicity); Algorithm 4 adds a constant B/flag
+//! overhead on top. Reads are `O(K)` for all three when uncontended.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hi_registers::threaded::{AtomicLockFreeHi, AtomicVidyasankar, AtomicWaitFreeHi};
+
+fn bench_write_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("register_write_cost");
+    for k in [4u64, 8, 16, 32, 64] {
+        group.throughput(Throughput::Elements(k));
+        group.bench_with_input(BenchmarkId::new("alg1_write_low", k), &k, |b, &k| {
+            let mut reg = AtomicVidyasankar::new(k, 1);
+            let (mut w, _r) = reg.split();
+            // Writing a low value: Algorithm 1 clears almost nothing.
+            b.iter(|| w.write(2));
+        });
+        group.bench_with_input(BenchmarkId::new("alg2_write_low", k), &k, |b, &k| {
+            let mut reg = AtomicLockFreeHi::new(k, 1);
+            let (mut w, _r) = reg.split();
+            // Algorithm 2 must clear all the way up to K: O(K) regardless.
+            b.iter(|| w.write(2));
+        });
+        group.bench_with_input(BenchmarkId::new("alg4_write_low", k), &k, |b, &k| {
+            let mut reg = AtomicWaitFreeHi::new(k, 1);
+            let (mut w, _r) = reg.split(1);
+            b.iter(|| w.write(2));
+        });
+    }
+    group.finish();
+}
+
+fn bench_read_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("register_read_cost");
+    for k in [4u64, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("alg1_read", k), &k, |b, &k| {
+            let mut reg = AtomicVidyasankar::new(k, k);
+            let (_w, mut r) = reg.split();
+            b.iter(|| r.read());
+        });
+        group.bench_with_input(BenchmarkId::new("alg2_read", k), &k, |b, &k| {
+            let mut reg = AtomicLockFreeHi::new(k, k);
+            let (_w, mut r) = reg.split();
+            b.iter(|| r.read());
+        });
+        group.bench_with_input(BenchmarkId::new("alg4_read", k), &k, |b, &k| {
+            let mut reg = AtomicWaitFreeHi::new(k, k);
+            let (_w, mut r) = reg.split(k);
+            b.iter(|| r.read());
+        });
+    }
+    group.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    // Reader latency while a writer thread cycles values: Algorithm 2's
+    // reader retries, Algorithm 4's reader is helped — the wait-free read
+    // has bounded cost even under maximal write pressure.
+    let mut group = c.benchmark_group("register_contended_read");
+    group.sample_size(20);
+    for k in [8u64, 32] {
+        group.bench_with_input(BenchmarkId::new("alg4_read_vs_writer", k), &k, |b, &k| {
+            let mut reg = AtomicWaitFreeHi::new(k, 1);
+            let (mut w, mut r) = reg.split(1);
+            let stop = std::sync::atomic::AtomicBool::new(false);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let mut v = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        v = v % k + 1;
+                        w.write(v);
+                    }
+                });
+                b.iter(|| r.read());
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_write_cost, bench_read_cost, bench_contended);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Table 1: the cost of each feasible cell of the possibility matrix for
+//! SWSR multi-valued registers from binary registers.
+//!
+//! | HI strength | wait-free | lock-free |
+//! |---|---|---|
+//! | perfect | impossible | impossible |
+//! | state-quiescent | impossible | Algorithm 2 |
+//! | quiescent | Algorithm 4 | Algorithm 2/4 |
+//!
+//! For the possible cells we measure solo and contended operation cost; the
+//! impossible cells are covered by `adversary_growth` (starvation rounds)
+//! and the `repro_table1` example (verdicts). The *shape* to reproduce:
+//! Algorithm 4's writes cost a constant factor more than Algorithm 2's
+//! (the B/flag helping protocol), and both scale linearly in K, while the
+//! non-HI baseline (Algorithm 1) writes in O(v) only.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hi_bench::run_to_completion;
+use hi_core::objects::{MultiRegisterSpec, RegisterOp};
+use hi_registers::{LockFreeHiRegister, VidyasankarRegister, WaitFreeHiRegister};
+use hi_sim::{RoundRobin, Workload};
+
+fn write_read_workload(k: u64, pairs: usize) -> Workload<MultiRegisterSpec> {
+    let mut w = Workload::new(2);
+    for i in 0..pairs {
+        w.push(0, RegisterOp::Write((i as u64 % k) + 1));
+        w.push(1, RegisterOp::Read);
+    }
+    w
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let k = 8;
+    let pairs = 32;
+    let mut group = c.benchmark_group("table1");
+    group.bench_function(BenchmarkId::new("alg1_waitfree_not_hi", k), |b| {
+        let imp = VidyasankarRegister::new(k, 1);
+        b.iter(|| {
+            run_to_completion(&imp, write_read_workload(k, pairs), &mut RoundRobin::new(), 1 << 20)
+        })
+    });
+    group.bench_function(BenchmarkId::new("alg2_lockfree_state_quiescent_hi", k), |b| {
+        let imp = LockFreeHiRegister::new(k, 1);
+        b.iter(|| {
+            run_to_completion(&imp, write_read_workload(k, pairs), &mut RoundRobin::new(), 1 << 20)
+        })
+    });
+    group.bench_function(BenchmarkId::new("alg4_waitfree_quiescent_hi", k), |b| {
+        let imp = WaitFreeHiRegister::new(k, 1);
+        b.iter(|| {
+            run_to_completion(&imp, write_read_workload(k, pairs), &mut RoundRobin::new(), 1 << 20)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

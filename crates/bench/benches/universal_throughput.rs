@@ -1,0 +1,92 @@
+//! The universal construction: cost of wait-freedom + HI (§6).
+//!
+//! Shape to reproduce: the single-cell CAS baseline is cheapest (no
+//! announce/helping); Algorithm 5 pays a constant factor for the three-stage
+//! protocol and its clearing; the leaky variant sits between (helping-free
+//! but with an extra ledger write). Under multi-thread contention Algorithm
+//! 5's throughput degrades gracefully (helping), while the CAS loop's
+//! retries burn cycles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hi_bench::run_to_completion;
+use hi_core::objects::{CounterOp, CounterSpec};
+use hi_sim::{RoundRobin, Workload};
+use hi_universal::{AtomicUniversal, CasUniversal, LeakyUniversal, SimUniversal};
+
+fn counter_workload(n: usize, ops: usize) -> Workload<CounterSpec> {
+    let mut w = Workload::new(n);
+    for pid in 0..n {
+        for i in 0..ops {
+            w.push(pid, if i % 2 == 0 { CounterOp::Inc } else { CounterOp::Dec });
+        }
+    }
+    w
+}
+
+fn spec() -> CounterSpec {
+    CounterSpec::new(-64, 64, 0)
+}
+
+fn bench_sim_universal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("universal_sim_steps");
+    for n in [2usize, 4, 8] {
+        let ops = 16;
+        group.throughput(Throughput::Elements((n * ops) as u64));
+        group.bench_with_input(BenchmarkId::new("algorithm5", n), &n, |b, &n| {
+            let imp = SimUniversal::new(spec(), n);
+            b.iter(|| {
+                run_to_completion(&imp, counter_workload(n, ops), &mut RoundRobin::new(), 1 << 22)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cas_baseline", n), &n, |b, &n| {
+            let imp = CasUniversal::new(spec(), n);
+            b.iter(|| {
+                run_to_completion(&imp, counter_workload(n, ops), &mut RoundRobin::new(), 1 << 22)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("leaky", n), &n, |b, &n| {
+            let imp = LeakyUniversal::new(spec(), n);
+            b.iter(|| {
+                run_to_completion(&imp, counter_workload(n, ops), &mut RoundRobin::new(), 1 << 22)
+            })
+        });
+        // Ablation: Algorithm 5 without the RL clearing lines — measures the
+        // price of the §6.1 context hygiene (it should be small; the point
+        // of the paper's design is that HI costs little here).
+        group.bench_with_input(BenchmarkId::new("algorithm5_no_release", n), &n, |b, &n| {
+            let imp = SimUniversal::without_release(spec(), n);
+            b.iter(|| {
+                run_to_completion(&imp, counter_workload(n, ops), &mut RoundRobin::new(), 1 << 22)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_threaded_universal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("universal_threaded");
+    group.sample_size(15);
+    for n in [1usize, 2, 4] {
+        group.throughput(Throughput::Elements(2_000));
+        group.bench_with_input(BenchmarkId::new("algorithm5_threads", n), &n, |b, &n| {
+            b.iter(|| {
+                let u = AtomicUniversal::new(CounterSpec::new(-2_000, 2_000, 0), n);
+                std::thread::scope(|s| {
+                    for pid in 0..n {
+                        let mut h = u.handle(pid);
+                        s.spawn(move || {
+                            for i in 0..(2_000 / n) {
+                                h.apply(if i % 2 == 0 { CounterOp::Inc } else { CounterOp::Dec });
+                            }
+                        });
+                    }
+                });
+                u.abstract_state()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_universal, bench_threaded_universal);
+criterion_main!(benches);

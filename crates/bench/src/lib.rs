@@ -1,0 +1,31 @@
+#![forbid(unsafe_code)]
+//! Shared helpers for the Criterion benchmarks that regenerate the paper's
+//! Table 1 and Figures 1–5. See `benches/` for the individual harnesses and
+//! `EXPERIMENTS.md` at the workspace root for the paper-vs-measured record.
+
+use hi_core::ObjectSpec;
+use hi_sim::{run_workload, Executor, Implementation, Scheduler, Workload};
+
+/// Runs a workload to completion and returns the number of steps taken —
+/// the benchmarks' unit of simulated work.
+///
+/// # Panics
+///
+/// Panics if the run exceeds `max_steps` (benchmarks size their workloads to
+/// terminate).
+pub fn run_to_completion<S, I, Sch>(
+    imp: &I,
+    workload: Workload<S>,
+    sched: &mut Sch,
+    max_steps: u64,
+) -> u64
+where
+    S: ObjectSpec,
+    I: Implementation<S>,
+    Sch: Scheduler,
+{
+    let mut exec = Executor::new(imp.clone());
+    run_workload(&mut exec, workload, sched, &mut (), max_steps)
+        .expect("benchmark workload exceeded its step budget");
+    exec.steps()
+}

@@ -1,0 +1,166 @@
+//! Canonical-representation bookkeeping.
+//!
+//! A deterministic implementation is history independent iff every abstract
+//! state has a unique canonical memory representation fixed at
+//! initialization (Proposition 3, following Hartline et al.). The checkers
+//! observe `(state, memory)` pairs at allowed observation points and use a
+//! [`CanonicalMap`] to detect two different memories for the same state —
+//! an [`HiViolation`].
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::hash::Hash;
+
+/// A learned mapping from abstract states to their canonical memory
+/// representations.
+///
+/// # Example
+///
+/// ```
+/// use hi_core::CanonicalMap;
+///
+/// let mut canon: CanonicalMap<u64, Vec<u64>> = CanonicalMap::new();
+/// canon.observe(3, vec![0, 0, 1]).unwrap();
+/// canon.observe(3, vec![0, 0, 1]).unwrap();
+/// assert!(canon.observe(3, vec![1, 0, 1]).is_err(), "second representation for state 3");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CanonicalMap<Q, M> {
+    map: HashMap<Q, M>,
+    observations: u64,
+}
+
+impl<Q, M> CanonicalMap<Q, M>
+where
+    Q: Clone + Eq + Hash + fmt::Debug,
+    M: Clone + Eq + fmt::Debug,
+{
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        CanonicalMap { map: HashMap::new(), observations: 0 }
+    }
+
+    /// Records that `state` was observed with memory representation `mem`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`HiViolation`] if `state` was previously observed with a
+    /// different representation.
+    pub fn observe(&mut self, state: Q, mem: M) -> Result<(), HiViolation<Q, M>> {
+        self.observations += 1;
+        match self.map.get(&state) {
+            Some(prev) if *prev != mem => Err(HiViolation {
+                state,
+                first: prev.clone(),
+                second: mem,
+            }),
+            Some(_) => Ok(()),
+            None => {
+                self.map.insert(state, mem);
+                Ok(())
+            }
+        }
+    }
+
+    /// The canonical representation learned for `state`, if observed.
+    pub fn canonical(&self, state: &Q) -> Option<&M> {
+        self.map.get(state)
+    }
+
+    /// Number of distinct states observed.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no state has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total number of observations recorded (including repeats).
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Iterates over `(state, canonical representation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Q, &M)> {
+        self.map.iter()
+    }
+
+    /// Checks that distinct states map to distinct representations.
+    ///
+    /// Injectivity is not required by history independence itself, but it
+    /// holds for every construction in the paper and failing it usually
+    /// indicates a decoding bug, so the test suites assert it.
+    pub fn check_injective(&self) -> Result<(), (Q, Q)> {
+        let mut seen: Vec<(&M, &Q)> = Vec::with_capacity(self.map.len());
+        for (q, m) in &self.map {
+            if let Some((_, q0)) = seen.iter().find(|(m0, _)| *m0 == m) {
+                return Err(((*q0).clone(), q.clone()));
+            }
+            seen.push((m, q));
+        }
+        Ok(())
+    }
+}
+
+/// Evidence that an implementation is not history independent: one abstract
+/// state was observed with two different memory representations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HiViolation<Q, M> {
+    /// The abstract state observed twice.
+    pub state: Q,
+    /// The first memory representation recorded for it.
+    pub first: M,
+    /// The conflicting representation.
+    pub second: M,
+}
+
+impl<Q: fmt::Debug, M: fmt::Debug> fmt::Display for HiViolation<Q, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "state {:?} observed with two memory representations: {:?} and {:?}",
+            self.state, self.first, self.second
+        )
+    }
+}
+
+impl<Q: fmt::Debug, M: fmt::Debug> Error for HiViolation<Q, M> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistent_observations_accumulate() {
+        let mut canon: CanonicalMap<u32, Vec<u64>> = CanonicalMap::new();
+        for v in 0..10u32 {
+            canon.observe(v, vec![u64::from(v)]).unwrap();
+            canon.observe(v, vec![u64::from(v)]).unwrap();
+        }
+        assert_eq!(canon.len(), 10);
+        assert_eq!(canon.observations(), 20);
+        assert!(canon.check_injective().is_ok());
+    }
+
+    #[test]
+    fn violation_reports_both_representations() {
+        let mut canon: CanonicalMap<u32, Vec<u64>> = CanonicalMap::new();
+        canon.observe(1, vec![7]).unwrap();
+        let err = canon.observe(1, vec![8]).unwrap_err();
+        assert_eq!(err.first, vec![7]);
+        assert_eq!(err.second, vec![8]);
+        assert!(err.to_string().contains("two memory representations"));
+    }
+
+    #[test]
+    fn injectivity_check() {
+        let mut canon: CanonicalMap<u32, Vec<u64>> = CanonicalMap::new();
+        canon.observe(1, vec![7]).unwrap();
+        canon.observe(2, vec![7]).unwrap();
+        let (a, b) = canon.check_injective().unwrap_err();
+        assert_ne!(a, b);
+    }
+}

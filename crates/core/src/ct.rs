@@ -1,0 +1,142 @@
+//! The class `C_t` of Definition 13, which the paper's impossibility results
+//! (Theorem 17, Corollary 18) apply to.
+//!
+//! An object is in `C_t` if its state space can be partitioned into `t`
+//! nonempty classes `X_1 … X_t` such that
+//!
+//! 1. a read-only operation `o_read` returns distinct responses from states
+//!    in distinct classes, and
+//! 2. any state is reachable from any other state by a single operation
+//!    `o_change(q, q')`.
+//!
+//! The executable adversary in `hi-lowerbound` consumes this trait.
+
+use crate::object::ObjectSpec;
+use crate::objects::{CasOp, CasSpec, MultiRegisterSpec, RegisterOp};
+
+/// An object in the class `C_t` (Definition 13).
+///
+/// Implementors must guarantee the two properties above; the
+/// [`check_ct`](CtObject::check_ct) method verifies them over the
+/// representatives.
+pub trait CtObject: ObjectSpec {
+    /// The number of classes `t` (at least 2; the impossibility results need
+    /// `t >= 3`).
+    fn t(&self) -> usize;
+
+    /// The class index (in `0..t`) of a state.
+    fn class_of(&self, state: &Self::State) -> usize;
+
+    /// The distinguished read-only operation `o_read`.
+    fn read_op(&self) -> Self::Op;
+
+    /// An operation `o_change(from, to)` that moves the object from state
+    /// `from` to state `to`.
+    fn change_op(&self, from: &Self::State, to: &Self::State) -> Self::Op;
+
+    /// A representative state `q_i ∈ X_i` for class `i`.
+    fn representative(&self, class: usize) -> Self::State;
+
+    /// Verifies the `C_t` properties over the class representatives:
+    /// distinct `o_read` responses across classes, and `o_change`
+    /// correctness between every ordered representative pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a property fails.
+    fn check_ct(&self) {
+        let t = self.t();
+        assert!(t >= 2, "C_t requires t >= 2");
+        let read = self.read_op();
+        assert!(self.is_read_only(&read), "o_read must be read-only");
+        let reps: Vec<_> = (0..t).map(|i| self.representative(i)).collect();
+        let mut responses = Vec::new();
+        for (i, q) in reps.iter().enumerate() {
+            assert_eq!(self.class_of(q), i, "representative of class {i} is misclassified");
+            let (_, r) = self.apply(q, &read);
+            assert!(
+                !responses.contains(&r),
+                "o_read response {r:?} repeats across classes"
+            );
+            responses.push(r);
+        }
+        for from in &reps {
+            for to in &reps {
+                if from == to {
+                    continue;
+                }
+                let op = self.change_op(from, to);
+                let (q2, _) = self.apply(from, &op);
+                assert_eq!(&q2, to, "o_change({from:?}, {to:?}) missed its target");
+            }
+        }
+    }
+}
+
+impl CtObject for MultiRegisterSpec {
+    fn t(&self) -> usize {
+        self.k() as usize
+    }
+
+    fn class_of(&self, state: &u64) -> usize {
+        (*state - 1) as usize
+    }
+
+    fn read_op(&self) -> RegisterOp {
+        RegisterOp::Read
+    }
+
+    fn change_op(&self, _from: &u64, to: &u64) -> RegisterOp {
+        RegisterOp::Write(*to)
+    }
+
+    fn representative(&self, class: usize) -> u64 {
+        class as u64 + 1
+    }
+}
+
+impl CtObject for CasSpec {
+    fn t(&self) -> usize {
+        CasSpec::t(self) as usize
+    }
+
+    fn class_of(&self, state: &u64) -> usize {
+        (*state - 1) as usize
+    }
+
+    fn read_op(&self) -> CasOp {
+        CasOp::Read
+    }
+
+    fn change_op(&self, from: &u64, to: &u64) -> CasOp {
+        CasOp::Cas(*from, *to)
+    }
+
+    fn representative(&self, class: usize) -> u64 {
+        class as u64 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_in_ct() {
+        MultiRegisterSpec::new(5, 1).check_ct();
+    }
+
+    #[test]
+    fn cas_is_in_ct() {
+        CasSpec::new(4, 2).check_ct();
+    }
+
+    #[test]
+    fn register_classes_are_singleton_values() {
+        let reg = MultiRegisterSpec::new(3, 1);
+        for v in 1..=3 {
+            assert_eq!(reg.class_of(&v), (v - 1) as usize);
+            assert_eq!(reg.representative((v - 1) as usize), v);
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Invocation/response histories of concurrent executions.
+//!
+//! An execution `α` induces a history `H(α)` consisting only of the
+//! invocations and responses of high-level operations (paper §2). The
+//! linearizability checker in `hi-spec` consumes these histories.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::object::ObjectSpec;
+
+/// A process identifier, `p_1 … p_n` in the paper (0-based here).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Pid(pub usize);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A unique identifier for one high-level operation instance, used to match
+/// an invocation with its response.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct OpId(pub u64);
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// One event of a history: an invocation or a matching response.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Event<O, R> {
+    /// Process `pid` invokes operation `op`; `id` names this instance.
+    Invoke {
+        /// The invoking process.
+        pid: Pid,
+        /// The operation instance.
+        id: OpId,
+        /// The invoked operation.
+        op: O,
+    },
+    /// Operation `id` by process `pid` returns `resp`.
+    Return {
+        /// The responding process.
+        pid: Pid,
+        /// The operation instance.
+        id: OpId,
+        /// The response.
+        resp: R,
+    },
+}
+
+impl<O, R> Event<O, R> {
+    /// The process this event belongs to.
+    pub fn pid(&self) -> Pid {
+        match self {
+            Event::Invoke { pid, .. } | Event::Return { pid, .. } => *pid,
+        }
+    }
+
+    /// The operation instance this event belongs to.
+    pub fn id(&self) -> OpId {
+        match self {
+            Event::Invoke { id, .. } | Event::Return { id, .. } => *id,
+        }
+    }
+}
+
+/// A complete record of one operation extracted from a [`History`]:
+/// its interval in the history plus its response, if it completed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OpRecord<O, R> {
+    /// Operation instance id.
+    pub id: OpId,
+    /// Invoking process.
+    pub pid: Pid,
+    /// The invoked operation.
+    pub op: O,
+    /// Index of the invocation event in the history.
+    pub invoked_at: usize,
+    /// Index of the response event, if the operation completed.
+    pub returned_at: Option<usize>,
+    /// The response, if the operation completed.
+    pub resp: Option<R>,
+}
+
+impl<O, R> OpRecord<O, R> {
+    /// Whether the operation completed in the history.
+    pub fn is_complete(&self) -> bool {
+        self.returned_at.is_some()
+    }
+
+    /// Whether this operation returned strictly before `other` was invoked
+    /// (the real-time order that linearizations must respect).
+    pub fn precedes(&self, other: &Self) -> bool {
+        match self.returned_at {
+            Some(r) => r < other.invoked_at,
+            None => false,
+        }
+    }
+}
+
+/// A history: an alternating record of invocations and responses, in the
+/// order they occurred in the execution.
+///
+/// # Example
+///
+/// ```
+/// use hi_core::{History, Pid};
+///
+/// let mut h: History<&str, u64> = History::new();
+/// let id = h.invoke(Pid(0), "read");
+/// assert!(!h.is_quiescent());
+/// h.ret(id, 7);
+/// assert!(h.is_quiescent());
+/// assert_eq!(h.records().len(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct History<O, R> {
+    events: Vec<Event<O, R>>,
+    next_id: u64,
+    /// `pid -> currently pending op id`, for matching returns.
+    pending: HashMap<Pid, OpId>,
+}
+
+impl<O: Clone, R: Clone> History<O, R> {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History { events: Vec::new(), next_id: 0, pending: HashMap::new() }
+    }
+
+    /// Records an invocation by `pid` and returns the fresh operation id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` already has a pending operation: processes are
+    /// sequential threads of control (paper §2).
+    pub fn invoke(&mut self, pid: Pid, op: O) -> OpId {
+        assert!(
+            !self.pending.contains_key(&pid),
+            "{pid} invoked an operation while one is pending"
+        );
+        let id = OpId(self.next_id);
+        self.next_id += 1;
+        self.pending.insert(pid, id);
+        self.events.push(Event::Invoke { pid, id, op });
+        id
+    }
+
+    /// Records the response of the pending operation `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not the pending operation of its process.
+    pub fn ret(&mut self, id: OpId, resp: R) {
+        let pid = self
+            .events
+            .iter()
+            .find_map(|e| match e {
+                Event::Invoke { pid, id: i, .. } if *i == id => Some(*pid),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("return for unknown operation {id}"));
+        assert_eq!(self.pending.get(&pid), Some(&id), "return does not match pending op");
+        self.pending.remove(&pid);
+        self.events.push(Event::Return { pid, id, resp });
+    }
+
+    /// The events in occurrence order.
+    pub fn events(&self) -> &[Event<O, R>] {
+        &self.events
+    }
+
+    /// Number of events (invocations plus responses).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the history contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Whether no operation is pending. A configuration at the end of such a
+    /// history is *quiescent* (paper §2).
+    pub fn is_quiescent(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// The ids of pending operations, in invocation order.
+    pub fn pending_ids(&self) -> Vec<OpId> {
+        let mut ids: Vec<_> = self.pending.values().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Extracts one [`OpRecord`] per invocation, in invocation order.
+    pub fn records(&self) -> Vec<OpRecord<O, R>> {
+        let mut records: Vec<OpRecord<O, R>> = Vec::new();
+        let mut index: HashMap<OpId, usize> = HashMap::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            match ev {
+                Event::Invoke { pid, id, op } => {
+                    index.insert(*id, records.len());
+                    records.push(OpRecord {
+                        id: *id,
+                        pid: *pid,
+                        op: op.clone(),
+                        invoked_at: i,
+                        returned_at: None,
+                        resp: None,
+                    });
+                }
+                Event::Return { id, resp, .. } => {
+                    let at = index[id];
+                    records[at].returned_at = Some(i);
+                    records[at].resp = Some(resp.clone());
+                }
+            }
+        }
+        records
+    }
+
+    /// Whether the history is sequential: every invocation is immediately
+    /// followed by its matching response.
+    pub fn is_sequential(&self) -> bool {
+        let mut i = 0;
+        while i < self.events.len() {
+            match &self.events[i] {
+                Event::Invoke { id, .. } => match self.events.get(i + 1) {
+                    Some(Event::Return { id: rid, .. }) if rid == id => i += 2,
+                    _ => return false,
+                },
+                Event::Return { .. } => return false,
+            }
+        }
+        true
+    }
+}
+
+/// A sequential history: a list of `(op, resp)` pairs.
+///
+/// For a sequential history `H`, [`SequentialHistory::state`] computes
+/// `state(H)`: the state reached by applying the operations from the initial
+/// state (paper §2). [`SequentialHistory::matches_spec`] checks membership in
+/// the sequential specification.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SequentialHistory<O, R> {
+    /// The `(operation, response)` pairs in order.
+    pub steps: Vec<(O, R)>,
+}
+
+impl<O: Clone + Eq, R: Clone + Eq> SequentialHistory<O, R> {
+    /// Creates a sequential history from `(op, resp)` pairs.
+    pub fn new(steps: Vec<(O, R)>) -> Self {
+        SequentialHistory { steps }
+    }
+
+    /// `state(H)`: the state reached from `q0` by this operation sequence.
+    pub fn state<S>(&self, spec: &S) -> S::State
+    where
+        S: ObjectSpec<Op = O, Resp = R>,
+    {
+        spec.run(self.steps.iter().map(|(op, _)| op))
+    }
+
+    /// Whether every response matches the sequential specification.
+    pub fn matches_spec<S>(&self, spec: &S) -> bool
+    where
+        S: ObjectSpec<Op = O, Resp = R>,
+    {
+        let mut q = spec.initial_state();
+        for (op, resp) in &self.steps {
+            let (q2, r) = spec.apply(&q, op);
+            if r != *resp {
+                return false;
+            }
+            q = q2;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::{MultiRegisterSpec, RegisterOp, RegisterResp};
+
+    #[test]
+    fn history_matching() {
+        let mut h: History<RegisterOp, RegisterResp> = History::new();
+        let a = h.invoke(Pid(0), RegisterOp::Write(2));
+        let b = h.invoke(Pid(1), RegisterOp::Read);
+        assert_eq!(h.pending_ids(), vec![a, b]);
+        h.ret(a, RegisterResp::Ack);
+        h.ret(b, RegisterResp::Value(2));
+        assert!(h.is_quiescent());
+        let recs = h.records();
+        assert_eq!(recs.len(), 2);
+        assert!(!recs[0].precedes(&recs[1]), "overlapping ops are unordered");
+    }
+
+    #[test]
+    #[should_panic(expected = "pending")]
+    fn double_invoke_panics() {
+        let mut h: History<RegisterOp, RegisterResp> = History::new();
+        h.invoke(Pid(0), RegisterOp::Read);
+        h.invoke(Pid(0), RegisterOp::Read);
+    }
+
+    #[test]
+    fn sequential_history_state() {
+        let spec = MultiRegisterSpec::new(5, 1);
+        let h = SequentialHistory::new(vec![
+            (RegisterOp::Write(4), RegisterResp::Ack),
+            (RegisterOp::Read, RegisterResp::Value(4)),
+            (RegisterOp::Write(2), RegisterResp::Ack),
+        ]);
+        assert!(h.matches_spec(&spec));
+        assert_eq!(h.state(&spec), 2);
+        let bad = SequentialHistory::new(vec![(RegisterOp::Read, RegisterResp::Value(3))]);
+        assert!(!bad.matches_spec(&spec));
+    }
+
+    #[test]
+    fn sequential_detection() {
+        let mut h: History<RegisterOp, RegisterResp> = History::new();
+        let a = h.invoke(Pid(0), RegisterOp::Write(2));
+        h.ret(a, RegisterResp::Ack);
+        let b = h.invoke(Pid(1), RegisterOp::Read);
+        h.ret(b, RegisterResp::Value(2));
+        assert!(h.is_sequential());
+        let mut h2: History<RegisterOp, RegisterResp> = History::new();
+        h2.invoke(Pid(0), RegisterOp::Write(2));
+        h2.invoke(Pid(1), RegisterOp::Read);
+        assert!(!h2.is_sequential());
+    }
+}

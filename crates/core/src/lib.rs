@@ -1,0 +1,51 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Abstract object model for history-independent concurrent objects.
+//!
+//! This crate provides the *sequential* side of the reproduction of
+//! "History-Independent Concurrent Objects" (Attiya, Bender, Farach-Colton,
+//! Oshman, Schiller; PODC 2024):
+//!
+//! * [`ObjectSpec`] — an abstract object `(Q, q0, O, R, Δ)` in the paper's
+//!   notation: a set of states with a designated initial state, a set of
+//!   operations, a set of responses, and a deterministic transition function.
+//! * [`EnumerableSpec`] — objects whose state/operation/response spaces can be
+//!   enumerated, which is what lets implementations fix a *canonical memory
+//!   representation* for every state at initialization time (Proposition 3 of
+//!   the paper) and what the model checkers iterate over.
+//! * Concrete specifications used throughout the reproduction: multi-valued
+//!   registers, counters, sets, bounded queues with `Peek`, stacks, max
+//!   registers and CAS objects (module [`objects`]).
+//! * [`History`] — invocation/response histories of concurrent executions,
+//!   the raw material of linearizability (module [`history`]).
+//! * [`CtObject`] — the class `C_t` of Definition 13, which the paper's
+//!   impossibility results (§5) apply to (module [`ct`]).
+//! * [`CanonicalMap`] — the `state → memory representation` bookkeeping used
+//!   by every history-independence checker (module [`canonical`]).
+//!
+//! # Example
+//!
+//! ```
+//! use hi_core::objects::{MultiRegisterSpec, RegisterOp, RegisterResp};
+//! use hi_core::ObjectSpec;
+//!
+//! let spec = MultiRegisterSpec::new(4, 1);
+//! let q0 = spec.initial_state();
+//! let (q1, r) = spec.apply(&q0, &RegisterOp::Write(3));
+//! assert_eq!(q1, 3);
+//! assert_eq!(r, RegisterResp::Ack);
+//! let (q2, r) = spec.apply(&q1, &RegisterOp::Read);
+//! assert_eq!(q2, q1, "reads are read-only");
+//! assert_eq!(r, RegisterResp::Value(3));
+//! ```
+
+pub mod canonical;
+pub mod ct;
+pub mod history;
+pub mod object;
+pub mod objects;
+
+pub use canonical::{CanonicalMap, HiViolation};
+pub use ct::CtObject;
+pub use history::{Event, History, OpId, OpRecord, Pid, SequentialHistory};
+pub use object::{EnumerableSpec, ObjectSpec};

@@ -1,0 +1,125 @@
+//! The abstract object model: `(Q, q0, O, R, Δ)`.
+
+use std::fmt;
+use std::hash::Hash;
+
+/// An abstract object in the sense of the paper's §2: a deterministic state
+/// machine `(Q, q0, O, R, Δ)`.
+///
+/// `State`, `Op` and `Resp` correspond to `Q`, `O` and `R`;
+/// [`initial_state`](ObjectSpec::initial_state) is `q0` and
+/// [`apply`](ObjectSpec::apply) is `Δ : Q × O → Q × R`.
+///
+/// All states are assumed reachable from the initial state (the paper makes
+/// the same assumption); the model checkers in `hi-spec` verify this for the
+/// concrete specs in this crate.
+///
+/// # Example
+///
+/// ```
+/// use hi_core::ObjectSpec;
+/// use hi_core::objects::{CounterSpec, CounterOp, CounterResp};
+///
+/// let spec = CounterSpec::new(0, 3, 0);
+/// let (q, r) = spec.apply(&spec.initial_state(), &CounterOp::Inc);
+/// assert_eq!((q, r), (1, CounterResp::Ack));
+/// ```
+pub trait ObjectSpec: Clone + fmt::Debug {
+    /// The state space `Q`.
+    type State: Clone + Eq + Hash + fmt::Debug;
+    /// The operation set `O`.
+    type Op: Clone + Eq + Hash + fmt::Debug;
+    /// The response set `R`.
+    type Resp: Clone + Eq + Hash + fmt::Debug;
+
+    /// The designated initial state `q0`.
+    fn initial_state(&self) -> Self::State;
+
+    /// The sequential specification `Δ(q, o) = (q', r)`.
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Resp);
+
+    /// Whether `op` is *read-only*: it never changes the state of the object,
+    /// from any state.
+    ///
+    /// The paper calls an operation *state-changing* if there exist states
+    /// `q ≠ q'` such that the operation moves the object from `q` to `q'`;
+    /// read-only is the negation. This distinction defines *state-quiescent*
+    /// configurations (Definition 7): no state-changing operation pending.
+    fn is_read_only(&self, op: &Self::Op) -> bool;
+
+    /// Applies a sequence of operations from the initial state and returns
+    /// the resulting state, discarding responses.
+    fn run<'a, I>(&self, ops: I) -> Self::State
+    where
+        I: IntoIterator<Item = &'a Self::Op>,
+        Self::Op: 'a,
+    {
+        let mut q = self.initial_state();
+        for op in ops {
+            q = self.apply(&q, op).0;
+        }
+        q
+    }
+}
+
+/// An [`ObjectSpec`] whose state, operation and response spaces are finite
+/// and enumerable.
+///
+/// Enumerability is what allows an implementation to fix a canonical
+/// representation for every state *at initialization* (the requirement that
+/// Proposition 3 of the paper places on deterministic history-independent
+/// implementations), and what lets the exhaustive checkers in `hi-spec`
+/// cover the whole state space.
+///
+/// Implementations must enumerate deterministically: two calls return the
+/// same ordering. The universal construction's codec relies on this to
+/// assign the same bit pattern to the same state in every execution.
+pub trait EnumerableSpec: ObjectSpec {
+    /// All states of the object, in a deterministic order. The initial state
+    /// must be included.
+    fn states(&self) -> Vec<Self::State>;
+
+    /// All operations of the object, in a deterministic order.
+    fn ops(&self) -> Vec<Self::Op>;
+
+    /// All responses of the object, in a deterministic order. Every response
+    /// reachable via `apply` from an enumerated state must be included.
+    fn responses(&self) -> Vec<Self::Resp>;
+
+    /// Sanity-check the enumeration: every `apply` on an enumerated state
+    /// stays within the enumerated state/response sets.
+    ///
+    /// Returns the number of `(state, op)` pairs checked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the enumeration is not closed under `apply`, if the initial
+    /// state is missing, or if the enumeration contains duplicates.
+    fn check_closed(&self) -> usize {
+        use std::collections::HashSet;
+        let states = self.states();
+        let ops = self.ops();
+        let resps = self.responses();
+        let state_set: HashSet<_> = states.iter().cloned().collect();
+        let resp_set: HashSet<_> = resps.iter().cloned().collect();
+        assert_eq!(state_set.len(), states.len(), "duplicate states in enumeration");
+        assert_eq!(resp_set.len(), resps.len(), "duplicate responses in enumeration");
+        assert!(
+            state_set.contains(&self.initial_state()),
+            "initial state missing from enumeration"
+        );
+        let mut checked = 0;
+        for q in &states {
+            for op in &ops {
+                let (q2, r) = self.apply(q, op);
+                assert!(state_set.contains(&q2), "apply({q:?}, {op:?}) leaves state space");
+                assert!(resp_set.contains(&r), "apply({q:?}, {op:?}) response {r:?} not enumerated");
+                if self.is_read_only(op) {
+                    assert_eq!(q2, *q, "read-only op {op:?} changed state {q:?}");
+                }
+                checked += 1;
+            }
+        }
+        checked
+    }
+}

@@ -1,0 +1,152 @@
+//! The `t`-valued CAS object with a read operation (paper §5.1).
+//!
+//! The paper lists this as the second example of a `C_t` member: `Read`
+//! distinguishes all `t` values, and `CAS(q, q')` moves from any state `q`
+//! to any state `q'` in one operation.
+
+use crate::object::{EnumerableSpec, ObjectSpec};
+
+/// Operations of the CAS object.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CasOp {
+    /// Return the current value; read-only.
+    Read,
+    /// `CAS(old, new)`: if the value is `old`, replace it with `new` and
+    /// respond `true`, else leave it and respond `false`.
+    Cas(u64, u64),
+    /// Unconditional write (the paper's CAS objects support read and write).
+    Write(u64),
+}
+
+/// Responses of the CAS object.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CasResp {
+    /// Response of [`CasOp::Read`].
+    Value(u64),
+    /// Response of [`CasOp::Cas`].
+    Bool(bool),
+    /// Response of [`CasOp::Write`].
+    Ack,
+}
+
+/// A `t`-valued CAS object over values `1..=t` supporting read, write and
+/// compare-and-swap.
+///
+/// # Example
+///
+/// ```
+/// use hi_core::ObjectSpec;
+/// use hi_core::objects::{CasSpec, CasOp, CasResp};
+///
+/// let c = CasSpec::new(3, 1);
+/// let (q, r) = c.apply(&1, &CasOp::Cas(1, 3));
+/// assert_eq!((q, r), (3, CasResp::Bool(true)));
+/// let (q, r) = c.apply(&q, &CasOp::Cas(1, 2));
+/// assert_eq!((q, r), (3, CasResp::Bool(false)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CasSpec {
+    t: u64,
+    initial: u64,
+}
+
+impl CasSpec {
+    /// Creates a `t`-valued CAS object with the given initial value.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= initial <= t` and `t >= 2`.
+    pub fn new(t: u64, initial: u64) -> Self {
+        assert!(t >= 2, "a CAS object needs at least two values");
+        assert!((1..=t).contains(&initial), "initial value out of range");
+        CasSpec { t, initial }
+    }
+
+    /// The number of values, `t`.
+    pub fn t(&self) -> u64 {
+        self.t
+    }
+}
+
+impl ObjectSpec for CasSpec {
+    type State = u64;
+    type Op = CasOp;
+    type Resp = CasResp;
+
+    fn initial_state(&self) -> u64 {
+        self.initial
+    }
+
+    fn apply(&self, state: &u64, op: &CasOp) -> (u64, CasResp) {
+        match op {
+            CasOp::Read => (*state, CasResp::Value(*state)),
+            CasOp::Cas(old, new) => {
+                assert!((1..=self.t).contains(new), "CAS to out-of-range value {new}");
+                if state == old {
+                    (*new, CasResp::Bool(true))
+                } else {
+                    (*state, CasResp::Bool(false))
+                }
+            }
+            CasOp::Write(v) => {
+                assert!((1..=self.t).contains(v), "write of out-of-range value {v}");
+                (*v, CasResp::Ack)
+            }
+        }
+    }
+
+    fn is_read_only(&self, op: &CasOp) -> bool {
+        match op {
+            CasOp::Read => true,
+            CasOp::Cas(old, new) => old == new,
+            CasOp::Write(_) => self.t == 1,
+        }
+    }
+}
+
+impl EnumerableSpec for CasSpec {
+    fn states(&self) -> Vec<u64> {
+        (1..=self.t).collect()
+    }
+
+    fn ops(&self) -> Vec<CasOp> {
+        let mut ops = vec![CasOp::Read];
+        for old in 1..=self.t {
+            for new in 1..=self.t {
+                ops.push(CasOp::Cas(old, new));
+            }
+        }
+        ops.extend((1..=self.t).map(CasOp::Write));
+        ops
+    }
+
+    fn responses(&self) -> Vec<CasResp> {
+        let mut rs = vec![CasResp::Ack, CasResp::Bool(false), CasResp::Bool(true)];
+        rs.extend((1..=self.t).map(CasResp::Value));
+        rs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_is_closed() {
+        CasSpec::new(3, 1).check_closed();
+    }
+
+    #[test]
+    fn cas_failure_preserves_state() {
+        let c = CasSpec::new(4, 2);
+        let (q, r) = c.apply(&2, &CasOp::Cas(3, 4));
+        assert_eq!((q, r), (2, CasResp::Bool(false)));
+    }
+
+    #[test]
+    fn identity_cas_is_read_only() {
+        let c = CasSpec::new(4, 1);
+        assert!(c.is_read_only(&CasOp::Cas(2, 2)));
+        assert!(!c.is_read_only(&CasOp::Cas(2, 3)));
+    }
+}

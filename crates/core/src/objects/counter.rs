@@ -1,0 +1,134 @@
+//! A bounded counter supporting increment, decrement and read.
+//!
+//! The paper's §6.1 uses a counter with fetch-and-increment and
+//! fetch-and-decrement as the example of an object whose *history* (was it
+//! ever non-zero?) must not leak from the memory representation. The bounds
+//! keep the state space finite so the universal construction's codec and the
+//! model checkers can enumerate it; increments and decrements saturate.
+
+use crate::object::{EnumerableSpec, ObjectSpec};
+
+/// Operations of a bounded counter.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CounterOp {
+    /// Add one (saturating at the upper bound); returns the previous value.
+    Inc,
+    /// Subtract one (saturating at the lower bound); returns the previous value.
+    Dec,
+    /// Return the current value; read-only.
+    Read,
+}
+
+/// Responses of a bounded counter.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CounterResp {
+    /// The value observed by `Read`, or the previous value for `Inc`/`Dec`.
+    Value(i64),
+    /// Unused placeholder kept for spec completeness of write-like ops.
+    Ack,
+}
+
+/// A counter over `lo..=hi` supporting fetch-and-increment,
+/// fetch-and-decrement and read.
+///
+/// # Example
+///
+/// ```
+/// use hi_core::ObjectSpec;
+/// use hi_core::objects::{CounterSpec, CounterOp, CounterResp};
+///
+/// let c = CounterSpec::new(-2, 2, 0);
+/// let (q, r) = c.apply(&0, &CounterOp::Inc);
+/// assert_eq!((q, r), (1, CounterResp::Ack));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CounterSpec {
+    lo: i64,
+    hi: i64,
+    initial: i64,
+}
+
+impl CounterSpec {
+    /// Creates a counter over `lo..=hi` starting at `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo <= initial <= hi` and `lo < hi`.
+    pub fn new(lo: i64, hi: i64, initial: i64) -> Self {
+        assert!(lo < hi, "counter range must contain at least two values");
+        assert!((lo..=hi).contains(&initial), "initial value out of range");
+        CounterSpec { lo, hi, initial }
+    }
+
+    /// The lower bound.
+    pub fn lo(&self) -> i64 {
+        self.lo
+    }
+
+    /// The upper bound.
+    pub fn hi(&self) -> i64 {
+        self.hi
+    }
+}
+
+impl ObjectSpec for CounterSpec {
+    type State = i64;
+    type Op = CounterOp;
+    type Resp = CounterResp;
+
+    fn initial_state(&self) -> i64 {
+        self.initial
+    }
+
+    fn apply(&self, state: &i64, op: &CounterOp) -> (i64, CounterResp) {
+        match op {
+            CounterOp::Inc => ((*state + 1).min(self.hi), CounterResp::Ack),
+            CounterOp::Dec => ((*state - 1).max(self.lo), CounterResp::Ack),
+            CounterOp::Read => (*state, CounterResp::Value(*state)),
+        }
+    }
+
+    fn is_read_only(&self, op: &CounterOp) -> bool {
+        matches!(op, CounterOp::Read)
+    }
+}
+
+impl EnumerableSpec for CounterSpec {
+    fn states(&self) -> Vec<i64> {
+        (self.lo..=self.hi).collect()
+    }
+
+    fn ops(&self) -> Vec<CounterOp> {
+        vec![CounterOp::Inc, CounterOp::Dec, CounterOp::Read]
+    }
+
+    fn responses(&self) -> Vec<CounterResp> {
+        let mut rs = vec![CounterResp::Ack];
+        rs.extend((self.lo..=self.hi).map(CounterResp::Value));
+        rs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_is_closed() {
+        CounterSpec::new(-1, 3, 0).check_closed();
+    }
+
+    #[test]
+    fn saturation() {
+        let c = CounterSpec::new(0, 1, 0);
+        assert_eq!(c.apply(&1, &CounterOp::Inc).0, 1);
+        assert_eq!(c.apply(&0, &CounterOp::Dec).0, 0);
+    }
+
+    #[test]
+    fn inc_dec_round_trip() {
+        let c = CounterSpec::new(-5, 5, 0);
+        let q = c.run([CounterOp::Inc, CounterOp::Inc, CounterOp::Dec].iter());
+        assert_eq!(q, 1);
+    }
+}

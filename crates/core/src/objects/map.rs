@@ -1,0 +1,189 @@
+//! A small key-value map (dictionary), an additional object for the
+//! universal construction (§6 applies to arbitrary objects).
+
+use crate::object::{EnumerableSpec, ObjectSpec};
+
+/// Operations of the map.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MapOp {
+    /// Bind key `k` to value `v` (overwriting).
+    Put(u32, u32),
+    /// Unbind key `k`.
+    Delete(u32),
+    /// Look up key `k`; read-only.
+    Get(u32),
+}
+
+/// Responses of the map.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MapResp {
+    /// The value bound to the key.
+    Value(u32),
+    /// The key is unbound.
+    Missing,
+    /// Response of the updates.
+    Ack,
+}
+
+/// A map from keys `{1..=keys}` to values `{1..=vals}`.
+///
+/// The state is a vector indexed by key (0 = unbound), so the state space
+/// has `(vals + 1)^keys` elements — keep both parameters small when feeding
+/// it to the universal construction's codec.
+///
+/// # Example
+///
+/// ```
+/// use hi_core::ObjectSpec;
+/// use hi_core::objects::{MapSpec, MapOp, MapResp};
+///
+/// let m = MapSpec::new(2, 3);
+/// let s = m.run([MapOp::Put(1, 3), MapOp::Put(2, 1), MapOp::Delete(2)].iter());
+/// assert_eq!(m.apply(&s, &MapOp::Get(1)).1, MapResp::Value(3));
+/// assert_eq!(m.apply(&s, &MapOp::Get(2)).1, MapResp::Missing);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MapSpec {
+    keys: u32,
+    vals: u32,
+}
+
+impl MapSpec {
+    /// Creates a map over keys `{1..=keys}` and values `{1..=vals}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are at least 1 and the state space
+    /// stays below `2^20` (the enumeration guard).
+    pub fn new(keys: u32, vals: u32) -> Self {
+        assert!(keys >= 1 && vals >= 1);
+        let states = (u64::from(vals) + 1).checked_pow(keys).expect("state space overflow");
+        assert!(states < (1 << 20), "state space too large to enumerate ({states})");
+        MapSpec { keys, vals }
+    }
+
+    /// The number of keys.
+    pub fn keys(&self) -> u32 {
+        self.keys
+    }
+
+    /// The number of values.
+    pub fn vals(&self) -> u32 {
+        self.vals
+    }
+
+    fn check_key(&self, k: u32) {
+        assert!((1..=self.keys).contains(&k), "key {k} out of domain");
+    }
+}
+
+impl ObjectSpec for MapSpec {
+    /// `state[k - 1]` is the value bound to key `k`, or 0.
+    type State = Vec<u32>;
+    type Op = MapOp;
+    type Resp = MapResp;
+
+    fn initial_state(&self) -> Vec<u32> {
+        vec![0; self.keys as usize]
+    }
+
+    fn apply(&self, state: &Vec<u32>, op: &MapOp) -> (Vec<u32>, MapResp) {
+        match op {
+            MapOp::Put(k, v) => {
+                self.check_key(*k);
+                assert!((1..=self.vals).contains(v), "value {v} out of domain");
+                let mut s = state.clone();
+                s[(*k - 1) as usize] = *v;
+                (s, MapResp::Ack)
+            }
+            MapOp::Delete(k) => {
+                self.check_key(*k);
+                let mut s = state.clone();
+                s[(*k - 1) as usize] = 0;
+                (s, MapResp::Ack)
+            }
+            MapOp::Get(k) => {
+                self.check_key(*k);
+                let v = state[(*k - 1) as usize];
+                let resp = if v == 0 { MapResp::Missing } else { MapResp::Value(v) };
+                (state.clone(), resp)
+            }
+        }
+    }
+
+    fn is_read_only(&self, op: &MapOp) -> bool {
+        matches!(op, MapOp::Get(_))
+    }
+}
+
+impl EnumerableSpec for MapSpec {
+    fn states(&self) -> Vec<Vec<u32>> {
+        let mut states = vec![Vec::new()];
+        for _ in 0..self.keys {
+            let mut next = Vec::new();
+            for s in &states {
+                for v in 0..=self.vals {
+                    let mut s2 = s.clone();
+                    s2.push(v);
+                    next.push(s2);
+                }
+            }
+            states = next;
+        }
+        states
+    }
+
+    fn ops(&self) -> Vec<MapOp> {
+        let mut ops = Vec::new();
+        for k in 1..=self.keys {
+            ops.push(MapOp::Get(k));
+            ops.push(MapOp::Delete(k));
+            for v in 1..=self.vals {
+                ops.push(MapOp::Put(k, v));
+            }
+        }
+        ops
+    }
+
+    fn responses(&self) -> Vec<MapResp> {
+        let mut rs = vec![MapResp::Ack, MapResp::Missing];
+        rs.extend((1..=self.vals).map(MapResp::Value));
+        rs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_is_closed() {
+        MapSpec::new(2, 2).check_closed();
+    }
+
+    #[test]
+    fn state_count() {
+        assert_eq!(MapSpec::new(2, 2).states().len(), 9); // (2+1)^2
+    }
+
+    #[test]
+    fn put_overwrites() {
+        let m = MapSpec::new(2, 3);
+        let s = m.run([MapOp::Put(1, 2), MapOp::Put(1, 3)].iter());
+        assert_eq!(m.apply(&s, &MapOp::Get(1)).1, MapResp::Value(3));
+    }
+
+    #[test]
+    fn delete_is_idempotent() {
+        let m = MapSpec::new(2, 2);
+        let s1 = m.run([MapOp::Put(1, 1), MapOp::Delete(1)].iter());
+        let s2 = m.run([MapOp::Delete(1)].iter());
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_map_rejected() {
+        MapSpec::new(10, 3); // 4^10 = 2^20 states: over the guard
+    }
+}

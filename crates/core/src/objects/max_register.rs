@@ -1,0 +1,138 @@
+//! The max register (paper §5.1).
+//!
+//! A max register returns the maximum value ever written to it. The paper
+//! uses it as the example of an object *not* in `C_t`: once the object
+//! reaches state `m` it can never return to a smaller state, so the
+//! state-connectivity requirement of Definition 13 fails — and indeed a
+//! wait-free state-quiescent HI implementation from binary registers exists
+//! (`hi-registers::max_register`), circumventing Theorem 17.
+
+use crate::object::{EnumerableSpec, ObjectSpec};
+use crate::objects::register::{RegisterOp, RegisterResp};
+
+/// Operations of the max register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MaxRegisterOp {
+    /// Raise the register to `max(current, v)`.
+    WriteMax(u64),
+    /// Return the maximum value written so far; read-only.
+    ReadMax,
+}
+
+/// A max register over values `1..=K` with initial value 1 (the minimum).
+///
+/// Responses reuse [`RegisterResp`].
+///
+/// # Example
+///
+/// ```
+/// use hi_core::ObjectSpec;
+/// use hi_core::objects::{MaxRegisterSpec, MaxRegisterOp, RegisterResp};
+///
+/// let m = MaxRegisterSpec::new(5);
+/// let q = m.run([MaxRegisterOp::WriteMax(4), MaxRegisterOp::WriteMax(2)].iter());
+/// assert_eq!(m.apply(&q, &MaxRegisterOp::ReadMax).1, RegisterResp::Value(4));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MaxRegisterSpec {
+    k: u64,
+}
+
+impl MaxRegisterSpec {
+    /// Creates a max register over `1..=k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k >= 2`.
+    pub fn new(k: u64) -> Self {
+        assert!(k >= 2, "a max register needs at least two values");
+        MaxRegisterSpec { k }
+    }
+
+    /// The number of values, `K`.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// Converts a max-register op to the plain-register op vocabulary, for
+    /// implementations that share machinery with Algorithm 1.
+    pub fn as_register_op(op: &MaxRegisterOp) -> RegisterOp {
+        match op {
+            MaxRegisterOp::WriteMax(v) => RegisterOp::Write(*v),
+            MaxRegisterOp::ReadMax => RegisterOp::Read,
+        }
+    }
+}
+
+impl ObjectSpec for MaxRegisterSpec {
+    type State = u64;
+    type Op = MaxRegisterOp;
+    type Resp = RegisterResp;
+
+    fn initial_state(&self) -> u64 {
+        1
+    }
+
+    fn apply(&self, state: &u64, op: &MaxRegisterOp) -> (u64, RegisterResp) {
+        match op {
+            MaxRegisterOp::WriteMax(v) => {
+                assert!((1..=self.k).contains(v), "write of out-of-range value {v}");
+                ((*state).max(*v), RegisterResp::Ack)
+            }
+            MaxRegisterOp::ReadMax => (*state, RegisterResp::Value(*state)),
+        }
+    }
+
+    fn is_read_only(&self, op: &MaxRegisterOp) -> bool {
+        // WriteMax(1) can never raise the state above the minimum, so it is
+        // read-only in the paper's sense; larger writes are state-changing.
+        matches!(op, MaxRegisterOp::ReadMax | MaxRegisterOp::WriteMax(1))
+    }
+}
+
+impl EnumerableSpec for MaxRegisterSpec {
+    fn states(&self) -> Vec<u64> {
+        (1..=self.k).collect()
+    }
+
+    fn ops(&self) -> Vec<MaxRegisterOp> {
+        let mut ops = vec![MaxRegisterOp::ReadMax];
+        ops.extend((1..=self.k).map(MaxRegisterOp::WriteMax));
+        ops
+    }
+
+    fn responses(&self) -> Vec<RegisterResp> {
+        let mut rs = vec![RegisterResp::Ack];
+        rs.extend((1..=self.k).map(RegisterResp::Value));
+        rs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_is_closed() {
+        MaxRegisterSpec::new(4).check_closed();
+    }
+
+    #[test]
+    fn monotone() {
+        let m = MaxRegisterSpec::new(6);
+        let mut q = m.initial_state();
+        for v in [3, 1, 5, 2] {
+            let prev = q;
+            q = m.apply(&q, &MaxRegisterOp::WriteMax(v)).0;
+            assert!(q >= prev, "max register never decreases");
+        }
+        assert_eq!(q, 5);
+    }
+
+    #[test]
+    fn write_min_is_read_only() {
+        let m = MaxRegisterSpec::new(3);
+        assert!(m.is_read_only(&MaxRegisterOp::WriteMax(1)));
+        assert!(!m.is_read_only(&MaxRegisterOp::WriteMax(2)));
+    }
+}

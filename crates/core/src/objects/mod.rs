@@ -1,0 +1,38 @@
+//! Concrete object specifications used throughout the reproduction.
+//!
+//! Each specification implements [`ObjectSpec`](crate::ObjectSpec) and, where
+//! the state space is finite, [`EnumerableSpec`](crate::EnumerableSpec).
+//! The paper's examples map onto these as follows:
+//!
+//! * [`MultiRegisterSpec`] — the SWSR `K`-valued register of §4 and §5.3
+//!   (a member of `C_t` with `t = K`).
+//! * [`CasSpec`] — the `t`-valued CAS object with a read operation (§5.1's
+//!   second `C_t` example).
+//! * [`MaxRegisterSpec`] — the max register of §5.1, *not* in `C_t`.
+//! * [`SetSpec`] — the set over `{1..t}` of §5.1, *not* in `C_t`, with a
+//!   trivially perfect-HI implementation.
+//! * [`BoundedQueueSpec`] — the queue with `Peek` of §5.4.
+//! * [`CounterSpec`], [`StackSpec`], [`MapSpec`] — additional objects
+//!   exercised by the universal construction (§6).
+
+mod cas;
+mod counter;
+mod map;
+mod max_register;
+mod pqueue;
+mod queue;
+mod register;
+mod set;
+mod snapshot;
+mod stack;
+
+pub use cas::{CasOp, CasResp, CasSpec};
+pub use counter::{CounterOp, CounterResp, CounterSpec};
+pub use map::{MapOp, MapResp, MapSpec};
+pub use max_register::{MaxRegisterOp, MaxRegisterSpec};
+pub use pqueue::{PQueueOp, PQueueResp, PQueueSpec};
+pub use queue::{BoundedQueueSpec, QueueOp, QueueResp, QueueState};
+pub use register::{MultiRegisterSpec, RegisterOp, RegisterResp};
+pub use set::{SetOp, SetResp, SetSpec};
+pub use snapshot::{SnapshotOp, SnapshotResp, SnapshotSpec};
+pub use stack::{StackOp, StackResp, StackSpec};

@@ -1,0 +1,190 @@
+//! A bounded min-priority queue — the paper's related work cites
+//! history-independent priority queues (Buchbinder & Petrank [16]); here it
+//! serves as another object wrapped by the universal construction.
+
+use crate::object::{EnumerableSpec, ObjectSpec};
+
+/// Operations of the priority queue.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PQueueOp {
+    /// Add `v` to the multiset; a no-op when full (responds
+    /// [`PQueueResp::Full`]).
+    Insert(u32),
+    /// Remove and return the minimum.
+    ExtractMin,
+    /// Return the minimum without removing it; read-only.
+    FindMin,
+}
+
+/// Responses of the priority queue.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PQueueResp {
+    /// The (extracted or found) minimum.
+    Value(u32),
+    /// The queue is empty, or the default insert response.
+    Empty,
+    /// Insert on a full queue.
+    Full,
+}
+
+/// A bounded min-priority queue over priorities `{1..=t}` with capacity
+/// `cap`. The state is the sorted multiset of stored priorities — itself a
+/// canonical form, so two histories reaching the same multiset share a
+/// state (and the universal construction then shares their memory).
+///
+/// # Example
+///
+/// ```
+/// use hi_core::ObjectSpec;
+/// use hi_core::objects::{PQueueSpec, PQueueOp, PQueueResp};
+///
+/// let pq = PQueueSpec::new(5, 4);
+/// let s = pq.run([PQueueOp::Insert(4), PQueueOp::Insert(2), PQueueOp::Insert(4)].iter());
+/// assert_eq!(pq.apply(&s, &PQueueOp::FindMin).1, PQueueResp::Value(2));
+/// let (s, r) = pq.apply(&s, &PQueueOp::ExtractMin);
+/// assert_eq!(r, PQueueResp::Value(2));
+/// assert_eq!(pq.apply(&s, &PQueueOp::FindMin).1, PQueueResp::Value(4));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PQueueSpec {
+    t: u32,
+    cap: usize,
+}
+
+impl PQueueSpec {
+    /// Creates a priority queue over `{1..=t}` with capacity `cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t >= 2` and `cap >= 1`.
+    pub fn new(t: u32, cap: usize) -> Self {
+        assert!(t >= 2, "priority domain must have at least two values");
+        assert!(cap >= 1, "capacity must be positive");
+        PQueueSpec { t, cap }
+    }
+
+    /// The priority domain size.
+    pub fn t(&self) -> u32 {
+        self.t
+    }
+
+    /// The capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+impl ObjectSpec for PQueueSpec {
+    /// The stored priorities, sorted ascending (a canonical multiset form).
+    type State = Vec<u32>;
+    type Op = PQueueOp;
+    type Resp = PQueueResp;
+
+    fn initial_state(&self) -> Vec<u32> {
+        Vec::new()
+    }
+
+    fn apply(&self, state: &Vec<u32>, op: &PQueueOp) -> (Vec<u32>, PQueueResp) {
+        match op {
+            PQueueOp::Insert(v) => {
+                assert!((1..=self.t).contains(v), "priority {v} out of domain");
+                if state.len() >= self.cap {
+                    (state.clone(), PQueueResp::Full)
+                } else {
+                    let mut s = state.clone();
+                    let pos = s.partition_point(|&x| x <= *v);
+                    s.insert(pos, *v);
+                    (s, PQueueResp::Empty)
+                }
+            }
+            PQueueOp::ExtractMin => {
+                if state.is_empty() {
+                    (state.clone(), PQueueResp::Empty)
+                } else {
+                    let mut s = state.clone();
+                    let min = s.remove(0);
+                    (s, PQueueResp::Value(min))
+                }
+            }
+            PQueueOp::FindMin => match state.first() {
+                Some(&min) => (state.clone(), PQueueResp::Value(min)),
+                None => (state.clone(), PQueueResp::Empty),
+            },
+        }
+    }
+
+    fn is_read_only(&self, op: &PQueueOp) -> bool {
+        matches!(op, PQueueOp::FindMin)
+    }
+}
+
+impl EnumerableSpec for PQueueSpec {
+    fn states(&self) -> Vec<Vec<u32>> {
+        // All sorted multisets of size 0..=cap over {1..=t}.
+        let mut states = vec![Vec::new()];
+        let mut frontier = vec![Vec::new()];
+        for _ in 0..self.cap {
+            let mut next = Vec::new();
+            for s in &frontier {
+                let lo = s.last().copied().unwrap_or(1);
+                for v in lo..=self.t {
+                    let mut s2: Vec<u32> = s.clone();
+                    s2.push(v);
+                    next.push(s2);
+                }
+            }
+            states.extend(next.iter().cloned());
+            frontier = next;
+        }
+        states
+    }
+
+    fn ops(&self) -> Vec<PQueueOp> {
+        let mut ops = vec![PQueueOp::ExtractMin, PQueueOp::FindMin];
+        ops.extend((1..=self.t).map(PQueueOp::Insert));
+        ops
+    }
+
+    fn responses(&self) -> Vec<PQueueResp> {
+        let mut rs = vec![PQueueResp::Empty, PQueueResp::Full];
+        rs.extend((1..=self.t).map(PQueueResp::Value));
+        rs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_is_closed() {
+        PQueueSpec::new(3, 2).check_closed();
+    }
+
+    #[test]
+    fn state_count_is_multisets() {
+        // Multisets of size <= 2 over 3 priorities: 1 + 3 + 6 = 10.
+        assert_eq!(PQueueSpec::new(3, 2).states().len(), 10);
+    }
+
+    #[test]
+    fn extract_orders_by_priority() {
+        let pq = PQueueSpec::new(5, 5);
+        let s = pq.run([PQueueOp::Insert(3), PQueueOp::Insert(1), PQueueOp::Insert(5)].iter());
+        let (s, r1) = pq.apply(&s, &PQueueOp::ExtractMin);
+        let (s, r2) = pq.apply(&s, &PQueueOp::ExtractMin);
+        let (_, r3) = pq.apply(&s, &PQueueOp::ExtractMin);
+        assert_eq!(
+            (r1, r2, r3),
+            (PQueueResp::Value(1), PQueueResp::Value(3), PQueueResp::Value(5))
+        );
+    }
+
+    #[test]
+    fn multiset_state_is_insertion_order_independent() {
+        let pq = PQueueSpec::new(4, 4);
+        let a = pq.run([PQueueOp::Insert(2), PQueueOp::Insert(4), PQueueOp::Insert(2)].iter());
+        let b = pq.run([PQueueOp::Insert(4), PQueueOp::Insert(2), PQueueOp::Insert(2)].iter());
+        assert_eq!(a, b);
+    }
+}

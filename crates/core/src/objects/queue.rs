@@ -1,0 +1,206 @@
+//! The bounded queue with `Peek` (paper §5.4).
+//!
+//! The paper extends its impossibility result to a queue with elements from
+//! `{1..t}` and a read-only `Peek` operation. The queue is bounded here so
+//! the state space stays finite for enumeration; the paper's lower-bound
+//! executions only ever hold at most two elements, so a small capacity
+//! suffices to reproduce them.
+
+use crate::object::{EnumerableSpec, ObjectSpec};
+
+/// The state of a bounded queue: the elements in order, front first.
+pub type QueueState = Vec<u32>;
+
+/// Operations of the queue.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum QueueOp {
+    /// Append `v` at the back. A no-op on a full queue (responds
+    /// [`QueueResp::Full`]).
+    Enqueue(u32),
+    /// Remove and return the front element.
+    Dequeue,
+    /// Return the front element without removing it; read-only.
+    Peek,
+}
+
+/// Responses of the queue. The paper's response space is
+/// `{r_0, …, r_t}` with `r_0 = ∅` for the empty queue; [`QueueResp::Empty`]
+/// plays the role of `r_0` and also serves as the default enqueue response.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum QueueResp {
+    /// The front element (`r_i` for element `i`).
+    Value(u32),
+    /// The queue is empty (`r_0`), or the default response of `Enqueue`.
+    Empty,
+    /// Enqueue on a full (bounded) queue.
+    Full,
+}
+
+/// A bounded FIFO queue over elements `{1..=t}` with capacity `cap`,
+/// supporting `Enqueue`, `Dequeue` and a read-only `Peek`.
+///
+/// # Example
+///
+/// ```
+/// use hi_core::ObjectSpec;
+/// use hi_core::objects::{BoundedQueueSpec, QueueOp, QueueResp};
+///
+/// let q = BoundedQueueSpec::new(3, 4);
+/// let s = q.run([QueueOp::Enqueue(2), QueueOp::Enqueue(3)].iter());
+/// assert_eq!(q.apply(&s, &QueueOp::Peek).1, QueueResp::Value(2));
+/// let (s2, r) = q.apply(&s, &QueueOp::Dequeue);
+/// assert_eq!(r, QueueResp::Value(2));
+/// assert_eq!(q.apply(&s2, &QueueOp::Peek).1, QueueResp::Value(3));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BoundedQueueSpec {
+    t: u32,
+    cap: usize,
+}
+
+impl BoundedQueueSpec {
+    /// Creates a queue over `{1..=t}` with capacity `cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t >= 2` and `cap >= 1` (the paper's §5.4 needs at
+    /// least domain size 2 and room for two elements; capacity 1 is allowed
+    /// for degenerate tests).
+    pub fn new(t: u32, cap: usize) -> Self {
+        assert!(t >= 2, "element domain must have at least two values");
+        assert!(cap >= 1, "capacity must be positive");
+        BoundedQueueSpec { t, cap }
+    }
+
+    /// The element domain size `t`.
+    pub fn t(&self) -> u32 {
+        self.t
+    }
+
+    /// The capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+impl ObjectSpec for BoundedQueueSpec {
+    type State = QueueState;
+    type Op = QueueOp;
+    type Resp = QueueResp;
+
+    fn initial_state(&self) -> QueueState {
+        Vec::new()
+    }
+
+    fn apply(&self, state: &QueueState, op: &QueueOp) -> (QueueState, QueueResp) {
+        match op {
+            QueueOp::Enqueue(v) => {
+                assert!((1..=self.t).contains(v), "enqueue of out-of-domain element {v}");
+                if state.len() >= self.cap {
+                    (state.clone(), QueueResp::Full)
+                } else {
+                    let mut s = state.clone();
+                    s.push(*v);
+                    (s, QueueResp::Empty)
+                }
+            }
+            QueueOp::Dequeue => {
+                if state.is_empty() {
+                    (state.clone(), QueueResp::Empty)
+                } else {
+                    let mut s = state.clone();
+                    let front = s.remove(0);
+                    (s, QueueResp::Value(front))
+                }
+            }
+            QueueOp::Peek => match state.first() {
+                Some(front) => (state.clone(), QueueResp::Value(*front)),
+                None => (state.clone(), QueueResp::Empty),
+            },
+        }
+    }
+
+    fn is_read_only(&self, op: &QueueOp) -> bool {
+        matches!(op, QueueOp::Peek)
+    }
+}
+
+impl EnumerableSpec for BoundedQueueSpec {
+    fn states(&self) -> Vec<QueueState> {
+        // All element sequences of length 0..=cap, in length-lexicographic order.
+        let mut states = vec![Vec::new()];
+        let mut frontier = vec![Vec::new()];
+        for _ in 0..self.cap {
+            let mut next = Vec::new();
+            for s in &frontier {
+                for v in 1..=self.t {
+                    let mut s2: Vec<u32> = s.clone();
+                    s2.push(v);
+                    next.push(s2);
+                }
+            }
+            states.extend(next.iter().cloned());
+            frontier = next;
+        }
+        states
+    }
+
+    fn ops(&self) -> Vec<QueueOp> {
+        let mut ops = vec![QueueOp::Dequeue, QueueOp::Peek];
+        ops.extend((1..=self.t).map(QueueOp::Enqueue));
+        ops
+    }
+
+    fn responses(&self) -> Vec<QueueResp> {
+        let mut rs = vec![QueueResp::Empty, QueueResp::Full];
+        rs.extend((1..=self.t).map(QueueResp::Value));
+        rs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_is_closed() {
+        BoundedQueueSpec::new(2, 2).check_closed();
+    }
+
+    #[test]
+    fn state_count() {
+        // 1 + t + t^2 for cap=2.
+        assert_eq!(BoundedQueueSpec::new(3, 2).states().len(), 1 + 3 + 9);
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = BoundedQueueSpec::new(4, 4);
+        let s = q.run([QueueOp::Enqueue(1), QueueOp::Enqueue(2), QueueOp::Enqueue(3)].iter());
+        let (s, r1) = q.apply(&s, &QueueOp::Dequeue);
+        let (_, r2) = q.apply(&s, &QueueOp::Dequeue);
+        assert_eq!((r1, r2), (QueueResp::Value(1), QueueResp::Value(2)));
+    }
+
+    #[test]
+    fn paper_s_sequence() {
+        // §5.4: S(i1, i2) = Enqueue(i2), Dequeue moves {i1} to {i2} while Peek
+        // only ever observes r_{i1} or r_{i2}.
+        let q = BoundedQueueSpec::new(3, 2);
+        let s1 = vec![1u32];
+        let (mid, _) = q.apply(&s1, &QueueOp::Enqueue(2));
+        assert_eq!(q.apply(&mid, &QueueOp::Peek).1, QueueResp::Value(1));
+        let (s2, _) = q.apply(&mid, &QueueOp::Dequeue);
+        assert_eq!(s2, vec![2]);
+        assert_eq!(q.apply(&s2, &QueueOp::Peek).1, QueueResp::Value(2));
+    }
+
+    #[test]
+    fn full_queue() {
+        let q = BoundedQueueSpec::new(2, 1);
+        let s = q.run([QueueOp::Enqueue(1)].iter());
+        let (s2, r) = q.apply(&s, &QueueOp::Enqueue(2));
+        assert_eq!(r, QueueResp::Full);
+        assert_eq!(s2, s);
+    }
+}

@@ -1,0 +1,137 @@
+//! The multi-valued read/write register (paper §4).
+
+use crate::object::{EnumerableSpec, ObjectSpec};
+
+/// Operations of a multi-valued register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RegisterOp {
+    /// Return the current value; read-only.
+    Read,
+    /// Set the value; the paper's `o_change` for this object.
+    Write(u64),
+}
+
+/// Responses of a multi-valued register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RegisterResp {
+    /// Response of [`RegisterOp::Read`].
+    Value(u64),
+    /// Response of [`RegisterOp::Write`].
+    Ack,
+}
+
+/// A `K`-valued register over values `1..=K`, the motivating object of the
+/// paper's §4. It is a member of the class `C_t` with `t = K`: `Read`
+/// distinguishes all `K` states and `Write` moves between any two states in
+/// one operation.
+///
+/// # Example
+///
+/// ```
+/// use hi_core::ObjectSpec;
+/// use hi_core::objects::{MultiRegisterSpec, RegisterOp, RegisterResp};
+///
+/// let reg = MultiRegisterSpec::new(3, 2);
+/// assert_eq!(reg.apply(&reg.initial_state(), &RegisterOp::Read).1,
+///            RegisterResp::Value(2));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MultiRegisterSpec {
+    k: u64,
+    initial: u64,
+}
+
+impl MultiRegisterSpec {
+    /// Creates a `K`-valued register with the given initial value.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= initial <= k` and `k >= 2`.
+    pub fn new(k: u64, initial: u64) -> Self {
+        assert!(k >= 2, "a register needs at least two values");
+        assert!((1..=k).contains(&initial), "initial value out of range");
+        MultiRegisterSpec { k, initial }
+    }
+
+    /// The number of values, `K`.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// The initial value `v0`.
+    pub fn initial_value(&self) -> u64 {
+        self.initial
+    }
+}
+
+impl ObjectSpec for MultiRegisterSpec {
+    type State = u64;
+    type Op = RegisterOp;
+    type Resp = RegisterResp;
+
+    fn initial_state(&self) -> u64 {
+        self.initial
+    }
+
+    fn apply(&self, state: &u64, op: &RegisterOp) -> (u64, RegisterResp) {
+        match op {
+            RegisterOp::Read => (*state, RegisterResp::Value(*state)),
+            RegisterOp::Write(v) => {
+                assert!((1..=self.k).contains(v), "write of out-of-range value {v}");
+                (*v, RegisterResp::Ack)
+            }
+        }
+    }
+
+    fn is_read_only(&self, op: &RegisterOp) -> bool {
+        matches!(op, RegisterOp::Read)
+    }
+}
+
+impl EnumerableSpec for MultiRegisterSpec {
+    fn states(&self) -> Vec<u64> {
+        (1..=self.k).collect()
+    }
+
+    fn ops(&self) -> Vec<RegisterOp> {
+        let mut ops = vec![RegisterOp::Read];
+        ops.extend((1..=self.k).map(RegisterOp::Write));
+        ops
+    }
+
+    fn responses(&self) -> Vec<RegisterResp> {
+        let mut rs = vec![RegisterResp::Ack];
+        rs.extend((1..=self.k).map(RegisterResp::Value));
+        rs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_is_closed() {
+        assert_eq!(MultiRegisterSpec::new(4, 1).check_closed(), 4 * 5);
+    }
+
+    #[test]
+    fn read_is_read_only() {
+        let reg = MultiRegisterSpec::new(3, 1);
+        assert!(reg.is_read_only(&RegisterOp::Read));
+        assert!(!reg.is_read_only(&RegisterOp::Write(2)));
+    }
+
+    #[test]
+    fn write_then_read() {
+        let reg = MultiRegisterSpec::new(5, 1);
+        let q = reg.run([RegisterOp::Write(3), RegisterOp::Write(5)].iter());
+        assert_eq!(q, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_initial() {
+        MultiRegisterSpec::new(3, 0);
+    }
+}

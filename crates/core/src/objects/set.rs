@@ -1,0 +1,149 @@
+//! The set over `{1..t}` (paper §5.1).
+//!
+//! The paper notes the set is *not* in `C_t` — its operations return only
+//! success/failure, so no single operation distinguishes its `2^t` states —
+//! and that it has a trivially perfect-HI implementation from `t` binary
+//! registers. Insert and remove here are *blind* (they return `Ack` rather
+//! than reporting whether the element was present); this is what makes the
+//! one-bit-write implementation in `hi-registers` possible with a single
+//! primitive step per update.
+
+use crate::object::{EnumerableSpec, ObjectSpec};
+
+/// Operations of the set over `{1..t}`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SetOp {
+    /// Add element `e`; blind (no membership report).
+    Insert(u32),
+    /// Remove element `e`; blind.
+    Remove(u32),
+    /// Membership test; read-only.
+    Contains(u32),
+}
+
+/// Responses of the set.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SetResp {
+    /// Response of [`SetOp::Contains`].
+    Bool(bool),
+    /// Response of the blind updates.
+    Ack,
+}
+
+/// A set over the domain `{1..=t}`, `t <= 63`, with the state represented as
+/// a bitmask (bit `e` set iff `e` is in the set).
+///
+/// # Example
+///
+/// ```
+/// use hi_core::ObjectSpec;
+/// use hi_core::objects::{SetSpec, SetOp, SetResp};
+///
+/// let s = SetSpec::new(4);
+/// let q = s.run([SetOp::Insert(2), SetOp::Insert(4), SetOp::Remove(2)].iter());
+/// assert_eq!(s.apply(&q, &SetOp::Contains(4)).1, SetResp::Bool(true));
+/// assert_eq!(s.apply(&q, &SetOp::Contains(2)).1, SetResp::Bool(false));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SetSpec {
+    t: u32,
+}
+
+impl SetSpec {
+    /// Creates a set over `{1..=t}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= t <= 63`.
+    pub fn new(t: u32) -> Self {
+        assert!((1..=63).contains(&t), "domain size must be in 1..=63");
+        SetSpec { t }
+    }
+
+    /// The domain size `t`.
+    pub fn t(&self) -> u32 {
+        self.t
+    }
+
+    fn check_elem(&self, e: u32) {
+        assert!((1..=self.t).contains(&e), "element {e} out of domain");
+    }
+}
+
+impl ObjectSpec for SetSpec {
+    /// Bit `e` set iff element `e` is a member.
+    type State = u64;
+    type Op = SetOp;
+    type Resp = SetResp;
+
+    fn initial_state(&self) -> u64 {
+        0
+    }
+
+    fn apply(&self, state: &u64, op: &SetOp) -> (u64, SetResp) {
+        match op {
+            SetOp::Insert(e) => {
+                self.check_elem(*e);
+                (state | (1 << e), SetResp::Ack)
+            }
+            SetOp::Remove(e) => {
+                self.check_elem(*e);
+                (state & !(1 << e), SetResp::Ack)
+            }
+            SetOp::Contains(e) => {
+                self.check_elem(*e);
+                (*state, SetResp::Bool(state & (1 << e) != 0))
+            }
+        }
+    }
+
+    fn is_read_only(&self, op: &SetOp) -> bool {
+        matches!(op, SetOp::Contains(_))
+    }
+}
+
+impl EnumerableSpec for SetSpec {
+    fn states(&self) -> Vec<u64> {
+        // All subsets of {1..t}, as bitmasks over bits 1..=t.
+        (0..(1u64 << self.t)).map(|m| m << 1).collect()
+    }
+
+    fn ops(&self) -> Vec<SetOp> {
+        let mut ops = Vec::new();
+        for e in 1..=self.t {
+            ops.push(SetOp::Insert(e));
+            ops.push(SetOp::Remove(e));
+            ops.push(SetOp::Contains(e));
+        }
+        ops
+    }
+
+    fn responses(&self) -> Vec<SetResp> {
+        vec![SetResp::Ack, SetResp::Bool(false), SetResp::Bool(true)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_is_closed() {
+        SetSpec::new(3).check_closed();
+    }
+
+    #[test]
+    fn insert_remove_idempotent() {
+        let s = SetSpec::new(5);
+        let q1 = s.apply(&0, &SetOp::Insert(3)).0;
+        let q2 = s.apply(&q1, &SetOp::Insert(3)).0;
+        assert_eq!(q1, q2, "insert is idempotent");
+        let q3 = s.apply(&q2, &SetOp::Remove(3)).0;
+        assert_eq!(q3, 0);
+    }
+
+    #[test]
+    fn state_count() {
+        assert_eq!(SetSpec::new(4).states().len(), 16);
+    }
+}

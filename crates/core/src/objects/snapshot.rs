@@ -1,0 +1,147 @@
+//! An atomic snapshot object: `m` single-writer components with a `Scan`
+//! that returns all of them at once. A classic shared-memory object, here
+//! as another instance for the universal construction (§6) — Algorithm 5
+//! gives it wait-freedom and history independence for free.
+
+use crate::object::{EnumerableSpec, ObjectSpec};
+
+/// Operations of the snapshot object.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SnapshotOp {
+    /// Set component `i` (0-based) to `v`.
+    Update(usize, u32),
+    /// Return all components atomically; read-only.
+    Scan,
+}
+
+/// Responses of the snapshot object.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SnapshotResp {
+    /// Response of [`SnapshotOp::Update`].
+    Ack,
+    /// The component vector returned by [`SnapshotOp::Scan`].
+    View(Vec<u32>),
+}
+
+/// An `m`-component snapshot object over values `0..=vals`.
+///
+/// # Example
+///
+/// ```
+/// use hi_core::ObjectSpec;
+/// use hi_core::objects::{SnapshotSpec, SnapshotOp, SnapshotResp};
+///
+/// let s = SnapshotSpec::new(3, 2);
+/// let q = s.run([SnapshotOp::Update(0, 2), SnapshotOp::Update(2, 1)].iter());
+/// assert_eq!(s.apply(&q, &SnapshotOp::Scan).1, SnapshotResp::View(vec![2, 0, 1]));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SnapshotSpec {
+    m: usize,
+    vals: u32,
+}
+
+impl SnapshotSpec {
+    /// Creates an `m`-component snapshot over values `0..=vals`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `m >= 1`, `vals >= 1`, and the state space
+    /// `(vals+1)^m` stays below `2^20`.
+    pub fn new(m: usize, vals: u32) -> Self {
+        assert!(m >= 1 && vals >= 1);
+        let states = (u64::from(vals) + 1).checked_pow(m as u32).expect("state space overflow");
+        assert!(states < (1 << 20), "state space too large to enumerate ({states})");
+        SnapshotSpec { m, vals }
+    }
+
+    /// The number of components.
+    pub fn components(&self) -> usize {
+        self.m
+    }
+}
+
+impl ObjectSpec for SnapshotSpec {
+    type State = Vec<u32>;
+    type Op = SnapshotOp;
+    type Resp = SnapshotResp;
+
+    fn initial_state(&self) -> Vec<u32> {
+        vec![0; self.m]
+    }
+
+    fn apply(&self, state: &Vec<u32>, op: &SnapshotOp) -> (Vec<u32>, SnapshotResp) {
+        match op {
+            SnapshotOp::Update(i, v) => {
+                assert!(*i < self.m, "component {i} out of range");
+                assert!(*v <= self.vals, "value {v} out of range");
+                let mut s = state.clone();
+                s[*i] = *v;
+                (s, SnapshotResp::Ack)
+            }
+            SnapshotOp::Scan => (state.clone(), SnapshotResp::View(state.clone())),
+        }
+    }
+
+    fn is_read_only(&self, op: &SnapshotOp) -> bool {
+        matches!(op, SnapshotOp::Scan)
+    }
+}
+
+impl EnumerableSpec for SnapshotSpec {
+    fn states(&self) -> Vec<Vec<u32>> {
+        let mut states = vec![Vec::new()];
+        for _ in 0..self.m {
+            let mut next = Vec::new();
+            for s in &states {
+                for v in 0..=self.vals {
+                    let mut s2 = s.clone();
+                    s2.push(v);
+                    next.push(s2);
+                }
+            }
+            states = next;
+        }
+        states
+    }
+
+    fn ops(&self) -> Vec<SnapshotOp> {
+        let mut ops = vec![SnapshotOp::Scan];
+        for i in 0..self.m {
+            for v in 0..=self.vals {
+                ops.push(SnapshotOp::Update(i, v));
+            }
+        }
+        ops
+    }
+
+    fn responses(&self) -> Vec<SnapshotResp> {
+        let mut rs = vec![SnapshotResp::Ack];
+        rs.extend(self.states().into_iter().map(SnapshotResp::View));
+        rs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_is_closed() {
+        SnapshotSpec::new(2, 2).check_closed();
+    }
+
+    #[test]
+    fn scan_sees_all_updates() {
+        let s = SnapshotSpec::new(3, 3);
+        let q = s.run(
+            [SnapshotOp::Update(1, 3), SnapshotOp::Update(0, 1), SnapshotOp::Update(1, 2)].iter(),
+        );
+        assert_eq!(s.apply(&q, &SnapshotOp::Scan).1, SnapshotResp::View(vec![1, 2, 0]));
+    }
+
+    #[test]
+    fn state_count() {
+        assert_eq!(SnapshotSpec::new(2, 2).states().len(), 9);
+    }
+}

@@ -1,0 +1,165 @@
+//! A bounded stack, an additional object for exercising the universal
+//! construction (paper §6 applies to arbitrary objects).
+
+use crate::object::{EnumerableSpec, ObjectSpec};
+
+/// Operations of the stack.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StackOp {
+    /// Push `v`; a no-op on a full stack (responds [`StackResp::Full`]).
+    Push(u32),
+    /// Pop the top element.
+    Pop,
+    /// Return the top element without removing it; read-only.
+    Top,
+}
+
+/// Responses of the stack.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StackResp {
+    /// The top element.
+    Value(u32),
+    /// The stack is empty, or the default push response.
+    Empty,
+    /// Push on a full stack.
+    Full,
+}
+
+/// A bounded LIFO stack over `{1..=t}` with capacity `cap`.
+///
+/// # Example
+///
+/// ```
+/// use hi_core::ObjectSpec;
+/// use hi_core::objects::{StackSpec, StackOp, StackResp};
+///
+/// let st = StackSpec::new(3, 4);
+/// let s = st.run([StackOp::Push(1), StackOp::Push(3)].iter());
+/// assert_eq!(st.apply(&s, &StackOp::Top).1, StackResp::Value(3));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StackSpec {
+    t: u32,
+    cap: usize,
+}
+
+impl StackSpec {
+    /// Creates a stack over `{1..=t}` with capacity `cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t >= 2` and `cap >= 1`.
+    pub fn new(t: u32, cap: usize) -> Self {
+        assert!(t >= 2, "element domain must have at least two values");
+        assert!(cap >= 1, "capacity must be positive");
+        StackSpec { t, cap }
+    }
+
+    /// The element domain size `t`.
+    pub fn t(&self) -> u32 {
+        self.t
+    }
+
+    /// The capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+impl ObjectSpec for StackSpec {
+    /// Elements bottom-first; the top is the last element.
+    type State = Vec<u32>;
+    type Op = StackOp;
+    type Resp = StackResp;
+
+    fn initial_state(&self) -> Vec<u32> {
+        Vec::new()
+    }
+
+    fn apply(&self, state: &Vec<u32>, op: &StackOp) -> (Vec<u32>, StackResp) {
+        match op {
+            StackOp::Push(v) => {
+                assert!((1..=self.t).contains(v), "push of out-of-domain element {v}");
+                if state.len() >= self.cap {
+                    (state.clone(), StackResp::Full)
+                } else {
+                    let mut s = state.clone();
+                    s.push(*v);
+                    (s, StackResp::Empty)
+                }
+            }
+            StackOp::Pop => {
+                let mut s = state.clone();
+                match s.pop() {
+                    Some(v) => (s, StackResp::Value(v)),
+                    None => (s, StackResp::Empty),
+                }
+            }
+            StackOp::Top => match state.last() {
+                Some(v) => (state.clone(), StackResp::Value(*v)),
+                None => (state.clone(), StackResp::Empty),
+            },
+        }
+    }
+
+    fn is_read_only(&self, op: &StackOp) -> bool {
+        matches!(op, StackOp::Top)
+    }
+}
+
+impl EnumerableSpec for StackSpec {
+    fn states(&self) -> Vec<Vec<u32>> {
+        let mut states = vec![Vec::new()];
+        let mut frontier = vec![Vec::new()];
+        for _ in 0..self.cap {
+            let mut next = Vec::new();
+            for s in &frontier {
+                for v in 1..=self.t {
+                    let mut s2: Vec<u32> = s.clone();
+                    s2.push(v);
+                    next.push(s2);
+                }
+            }
+            states.extend(next.iter().cloned());
+            frontier = next;
+        }
+        states
+    }
+
+    fn ops(&self) -> Vec<StackOp> {
+        let mut ops = vec![StackOp::Pop, StackOp::Top];
+        ops.extend((1..=self.t).map(StackOp::Push));
+        ops
+    }
+
+    fn responses(&self) -> Vec<StackResp> {
+        let mut rs = vec![StackResp::Empty, StackResp::Full];
+        rs.extend((1..=self.t).map(StackResp::Value));
+        rs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_is_closed() {
+        StackSpec::new(2, 2).check_closed();
+    }
+
+    #[test]
+    fn lifo_order() {
+        let st = StackSpec::new(4, 4);
+        let s = st.run([StackOp::Push(1), StackOp::Push(2)].iter());
+        let (s, r1) = st.apply(&s, &StackOp::Pop);
+        let (_, r2) = st.apply(&s, &StackOp::Pop);
+        assert_eq!((r1, r2), (StackResp::Value(2), StackResp::Value(1)));
+    }
+
+    #[test]
+    fn pop_empty() {
+        let st = StackSpec::new(2, 2);
+        assert_eq!(st.apply(&vec![], &StackOp::Pop).1, StackResp::Empty);
+    }
+}

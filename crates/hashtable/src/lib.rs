@@ -1,0 +1,90 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! A phase-concurrent history-independent hash table, after Shun and
+//! Blelloch — the only prior work on concurrent history independence the
+//! paper identifies (§1, related work, reference [42]).
+//!
+//! The table stores keys by linear probing with the **Robin Hood** rule and
+//! a deterministic tie-break, which makes the layout a *function of the key
+//! set*: whatever the insertion order, and whatever interleaving a
+//! concurrent insert phase takes, the memory converges to the same canonical
+//! array — history independence by unique representability (the
+//! Hartline et al. characterization the paper builds on).
+//!
+//! *Phase-concurrent* means only operations of the same type run
+//! concurrently (the restriction the paper points out in [42]): the
+//! [`phase::AtomicHashTable`] allows a concurrent **insert phase** and a
+//! concurrent **lookup phase**; deletions are a sequential phase
+//! (backward-shift deletion, canonical again afterwards). The paper's own
+//! universal construction (Algorithm 5) is exactly what removes this
+//! same-type restriction — at the cost of serializing through `head`.
+//!
+//! [`seq::TombstoneHashTable`] is the contrast: classic tombstone deletion
+//! leaks deleted keys' past presence — the table equivalent of the §4
+//! register leak.
+
+pub mod phase;
+pub mod seq;
+
+pub use phase::AtomicHashTable;
+pub use seq::{HiHashTable, TombstoneHashTable};
+
+/// The hash function shared by all tables: a fixed multiplicative hash.
+/// Fixed (not randomized) so the canonical layout is determined at
+/// initialization, as Proposition 3 requires of deterministic HI structures.
+pub fn slot_of(key: u32, capacity: usize) -> usize {
+    debug_assert!(key != 0, "key 0 is reserved for empty slots");
+    let h = (u64::from(key)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 32) as usize) % capacity
+}
+
+/// The probe distance of `key` if stored at `slot` (wrapping).
+pub fn displacement(key: u32, slot: usize, capacity: usize) -> usize {
+    let home = slot_of(key, capacity);
+    (slot + capacity - home) % capacity
+}
+
+/// The Robin Hood priority rule with deterministic tie-break: does `incumbent`
+/// keep its slot against `candidate` probing at this slot?
+///
+/// An incumbent keeps the slot if its displacement is strictly larger, or on
+/// equal displacement if its key is larger. (Any fixed total order works;
+/// what matters for unique representability is that ties never depend on
+/// arrival order.)
+pub fn incumbent_wins(incumbent: u32, candidate: u32, slot: usize, capacity: usize) -> bool {
+    let di = displacement(incumbent, slot, capacity);
+    let dc = displacement(candidate, slot, capacity);
+    di > dc || (di == dc && incumbent >= candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displacement_wraps() {
+        let cap = 8;
+        for key in 1..100u32 {
+            let home = slot_of(key, cap);
+            assert_eq!(displacement(key, home, cap), 0);
+            assert_eq!(displacement(key, (home + 3) % cap, cap), 3);
+        }
+    }
+
+    #[test]
+    fn priority_is_total_and_antisymmetric() {
+        let cap = 16;
+        for a in 1..40u32 {
+            for b in 1..40u32 {
+                if a == b {
+                    continue;
+                }
+                for slot in 0..cap {
+                    let ab = incumbent_wins(a, b, slot, cap);
+                    let ba = incumbent_wins(b, a, slot, cap);
+                    assert!(ab != ba, "exactly one of {a},{b} wins slot {slot}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Sequential canonical Robin Hood table and the leaky tombstone contrast.
+
+use crate::{displacement, incumbent_wins, slot_of};
+
+/// A sequential history-independent hash set over nonzero `u32` keys:
+/// linear probing with the Robin Hood rule and deterministic tie-break,
+/// backward-shift deletion. The array is a function of the key set alone —
+/// a canonical representation in the sense of Proposition 3.
+///
+/// # Example
+///
+/// ```
+/// use hi_hashtable::HiHashTable;
+///
+/// let mut a = HiHashTable::new(16);
+/// let mut b = HiHashTable::new(16);
+/// for k in [3, 9, 14] { a.insert(k); }
+/// for k in [14, 3, 9] { b.insert(k); }
+/// b.insert(77);
+/// b.remove(77);
+/// assert_eq!(a.memory(), b.memory(), "same set, same memory");
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HiHashTable {
+    slots: Vec<u32>, // 0 = empty
+    len: usize,
+}
+
+impl HiHashTable {
+    /// Creates an empty table with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        HiHashTable { slots: vec![0; capacity], len: 0 }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The memory representation: the slot array itself.
+    pub fn memory(&self) -> &[u32] {
+        &self.slots
+    }
+
+    /// Inserts `key`; returns `false` if it was already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == 0` or the table is full.
+    pub fn insert(&mut self, key: u32) -> bool {
+        assert!(key != 0, "key 0 is reserved");
+        assert!(self.len < self.slots.len(), "table full");
+        let cap = self.slots.len();
+        let mut cur = key;
+        let mut i = slot_of(cur, cap);
+        loop {
+            let occupant = self.slots[i];
+            if occupant == 0 {
+                self.slots[i] = cur;
+                self.len += 1;
+                return true;
+            }
+            if occupant == cur {
+                return false; // duplicate (only possible for the original key)
+            }
+            if !incumbent_wins(occupant, cur, i, cap) {
+                // Robin Hood: the candidate evicts the incumbent and the
+                // incumbent continues probing.
+                self.slots[i] = cur;
+                cur = occupant;
+            }
+            i = (i + 1) % cap;
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: u32) -> bool {
+        assert!(key != 0);
+        let cap = self.slots.len();
+        let mut i = slot_of(key, cap);
+        loop {
+            let occupant = self.slots[i];
+            if occupant == key {
+                return true;
+            }
+            // Robin Hood search cutoff: once we meet an empty slot or an
+            // occupant that would have lost to `key`, the key cannot be
+            // further along.
+            if occupant == 0 || !incumbent_wins(occupant, key, i, cap) {
+                return false;
+            }
+            i = (i + 1) % cap;
+        }
+    }
+
+    /// Removes `key`; returns `false` if absent. Backward-shift deletion
+    /// restores the canonical layout (no tombstones).
+    pub fn remove(&mut self, key: u32) -> bool {
+        assert!(key != 0);
+        let cap = self.slots.len();
+        let mut i = slot_of(key, cap);
+        loop {
+            let occupant = self.slots[i];
+            if occupant == key {
+                break;
+            }
+            if occupant == 0 || !incumbent_wins(occupant, key, i, cap) {
+                return false;
+            }
+            i = (i + 1) % cap;
+        }
+        // Backward shift: pull each displaced successor one slot back until
+        // an empty slot or a zero-displacement entry.
+        self.slots[i] = 0;
+        let mut hole = i;
+        let mut j = (i + 1) % cap;
+        loop {
+            let occupant = self.slots[j];
+            if occupant == 0 || displacement(occupant, j, cap) == 0 {
+                break;
+            }
+            self.slots[hole] = occupant;
+            self.slots[j] = 0;
+            hole = j;
+            j = (j + 1) % cap;
+        }
+        self.len -= 1;
+        true
+    }
+
+    /// The keys currently stored, sorted (the abstract state).
+    pub fn keys(&self) -> Vec<u32> {
+        let mut keys: Vec<u32> = self.slots.iter().copied().filter(|&k| k != 0).collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+/// The non-HI contrast: linear probing with **tombstones**. A deleted key
+/// leaves a marker so probe chains stay intact — and so the memory betrays
+/// that something was deleted, and where.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TombstoneHashTable {
+    slots: Vec<u32>,
+    len: usize,
+}
+
+/// The tombstone marker (`u32::MAX` cannot be a key).
+pub const TOMBSTONE: u32 = u32::MAX;
+
+impl TombstoneHashTable {
+    /// Creates an empty table with `capacity` slots.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        TombstoneHashTable { slots: vec![0; capacity], len: 0 }
+    }
+
+    /// The memory representation, tombstones and all.
+    pub fn memory(&self) -> &[u32] {
+        &self.slots
+    }
+
+    /// Inserts `key` by first-fit linear probing (reusing tombstones).
+    pub fn insert(&mut self, key: u32) -> bool {
+        assert!(key != 0 && key != TOMBSTONE);
+        assert!(self.len < self.slots.len(), "table full");
+        let cap = self.slots.len();
+        let mut i = slot_of(key, cap);
+        let mut target = None;
+        loop {
+            let occupant = self.slots[i];
+            if occupant == 0 {
+                let t = target.unwrap_or(i);
+                self.slots[t] = key;
+                self.len += 1;
+                return true;
+            }
+            if occupant == TOMBSTONE {
+                target.get_or_insert(i);
+            } else if occupant == key {
+                return false;
+            }
+            i = (i + 1) % cap;
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: u32) -> bool {
+        let cap = self.slots.len();
+        let mut i = slot_of(key, cap);
+        loop {
+            match self.slots[i] {
+                0 => return false,
+                k if k == key => return true,
+                _ => i = (i + 1) % cap,
+            }
+        }
+    }
+
+    /// Removes `key`, leaving a tombstone.
+    pub fn remove(&mut self, key: u32) -> bool {
+        let cap = self.slots.len();
+        let mut i = slot_of(key, cap);
+        loop {
+            match self.slots[i] {
+                0 => return false,
+                k if k == key => {
+                    self.slots[i] = TOMBSTONE;
+                    self.len -= 1;
+                    return true;
+                }
+                _ => i = (i + 1) % cap,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_lookup_remove_round_trip() {
+        let mut t = HiHashTable::new(16);
+        assert!(t.insert(5));
+        assert!(t.insert(21)); // likely colliding with 5 (same mod class)
+        assert!(!t.insert(5));
+        assert!(t.contains(5) && t.contains(21));
+        assert!(!t.contains(99));
+        assert!(t.remove(5));
+        assert!(!t.remove(5));
+        assert!(t.contains(21));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn layout_is_insertion_order_independent() {
+        let keys = [7u32, 15, 23, 31, 2, 18];
+        let mut a = HiHashTable::new(8);
+        for &k in &keys {
+            a.insert(k);
+        }
+        let mut b = HiHashTable::new(8);
+        for &k in keys.iter().rev() {
+            b.insert(k);
+        }
+        assert_eq!(a.memory(), b.memory());
+    }
+
+    #[test]
+    fn deletion_restores_canonical_layout() {
+        let mut with_detour = HiHashTable::new(8);
+        for k in [7u32, 15, 23] {
+            with_detour.insert(k);
+        }
+        with_detour.insert(31);
+        with_detour.remove(31);
+        let mut direct = HiHashTable::new(8);
+        for k in [7u32, 15, 23] {
+            direct.insert(k);
+        }
+        assert_eq!(with_detour.memory(), direct.memory());
+    }
+
+    #[test]
+    fn tombstone_table_leaks_deletions() {
+        let mut with_detour = TombstoneHashTable::new(8);
+        for k in [7u32, 15, 23] {
+            with_detour.insert(k);
+        }
+        with_detour.insert(31);
+        with_detour.remove(31);
+        let mut direct = TombstoneHashTable::new(8);
+        for k in [7u32, 15, 23] {
+            direct.insert(k);
+        }
+        assert_ne!(
+            with_detour.memory(),
+            direct.memory(),
+            "the tombstone betrays the deleted key"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Canonicity: any permutation of inserts yields the same memory.
+        #[test]
+        fn canonical_under_permutation(mut keys in prop::collection::hash_set(1u32..200, 0..12)) {
+            let keys: Vec<u32> = keys.drain().collect();
+            let mut a = HiHashTable::new(16);
+            for &k in &keys {
+                a.insert(k);
+            }
+            let mut rev = HiHashTable::new(16);
+            for &k in keys.iter().rev() {
+                rev.insert(k);
+            }
+            prop_assert_eq!(a.memory(), rev.memory());
+        }
+
+        /// History independence: interleaving extra insert+remove pairs never
+        /// changes the final memory.
+        #[test]
+        fn canonical_under_detours(
+            keys in prop::collection::hash_set(1u32..200, 0..10),
+            detours in prop::collection::vec(200u32..400, 0..5),
+        ) {
+            let keys: Vec<u32> = keys.into_iter().collect();
+            let mut direct = HiHashTable::new(32);
+            for &k in &keys {
+                direct.insert(k);
+            }
+            let mut with_detours = HiHashTable::new(32);
+            for (i, &k) in keys.iter().enumerate() {
+                if let Some(&d) = detours.get(i % detours.len().max(1)) {
+                    with_detours.insert(d);
+                    with_detours.remove(d);
+                }
+                with_detours.insert(k);
+            }
+            for &d in &detours {
+                with_detours.insert(d);
+            }
+            for &d in &detours {
+                with_detours.remove(d);
+            }
+            prop_assert_eq!(direct.memory(), with_detours.memory());
+        }
+
+        /// The table agrees with a reference set on membership.
+        #[test]
+        fn matches_reference_set(ops in prop::collection::vec((0u8..3, 1u32..60), 0..60)) {
+            let mut t = HiHashTable::new(64);
+            let mut model = std::collections::BTreeSet::new();
+            for (kind, k) in ops {
+                match kind {
+                    0 => {
+                        prop_assert_eq!(t.insert(k), model.insert(k));
+                    }
+                    1 => {
+                        prop_assert_eq!(t.remove(k), model.remove(&k));
+                    }
+                    _ => {
+                        prop_assert_eq!(t.contains(k), model.contains(&k));
+                    }
+                }
+            }
+            prop_assert_eq!(t.keys(), model.into_iter().collect::<Vec<_>>());
+        }
+    }
+}

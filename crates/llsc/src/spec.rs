@@ -1,0 +1,221 @@
+//! The abstract R-LLSC object `(Q, q0, O, R, Δ)` (paper §6.1), for checking
+//! implementations against.
+
+use hi_core::{EnumerableSpec, ObjectSpec};
+
+/// Operations of the R-LLSC object. Operations carry the invoking process
+/// because their semantics are process-relative (`LL` adds *the caller* to
+/// the context).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RLlscOp {
+    /// `LL`: add `pid` to the context, return the value.
+    Ll {
+        /// The invoking process.
+        pid: usize,
+    },
+    /// `VL`: is `pid` in the context?
+    Vl {
+        /// The invoking process.
+        pid: usize,
+    },
+    /// `SC`: if `pid` is in the context, install `new` and clear the
+    /// context, returning `true`; else return `false`.
+    Sc {
+        /// The invoking process.
+        pid: usize,
+        /// The value to install.
+        new: u64,
+    },
+    /// `RL`: remove `pid` from the context; always returns `true`.
+    Rl {
+        /// The invoking process.
+        pid: usize,
+    },
+    /// `Load`: return the value without touching the context.
+    Load,
+    /// `Store`: install `new` and clear the context unconditionally.
+    Store {
+        /// The value to install.
+        new: u64,
+    },
+}
+
+impl RLlscOp {
+    /// The invoking process, if the operation is process-relative.
+    pub fn pid(&self) -> Option<usize> {
+        match self {
+            RLlscOp::Ll { pid } | RLlscOp::Vl { pid } | RLlscOp::Sc { pid, .. } | RLlscOp::Rl { pid } => {
+                Some(*pid)
+            }
+            RLlscOp::Load | RLlscOp::Store { .. } => None,
+        }
+    }
+}
+
+/// Responses of the R-LLSC object.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RLlscResp {
+    /// Value returned by `LL`/`Load`.
+    Val(u64),
+    /// Boolean returned by `VL`/`SC`/`RL`/`Store`.
+    Bool(bool),
+}
+
+/// The abstract R-LLSC object over values `0..v` shared by `n` processes.
+/// State = `(val, context bitmask)`.
+///
+/// # Example
+///
+/// ```
+/// use hi_core::ObjectSpec;
+/// use hi_llsc::{RLlscSpec, RLlscOp, RLlscResp};
+///
+/// let spec = RLlscSpec::new(4, 0, 2);
+/// let (q, r) = spec.apply(&(0, 0), &RLlscOp::Ll { pid: 1 });
+/// assert_eq!((q, r), ((0, 0b10), RLlscResp::Val(0)));
+/// let (q, r) = spec.apply(&q, &RLlscOp::Sc { pid: 1, new: 3 });
+/// assert_eq!((q, r), ((3, 0), RLlscResp::Bool(true)));
+/// let (_, r) = spec.apply(&q, &RLlscOp::Sc { pid: 1, new: 2 });
+/// assert_eq!(r, RLlscResp::Bool(false), "context was cleared by the SC");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RLlscSpec {
+    v: u64,
+    v0: u64,
+    n: usize,
+}
+
+impl RLlscSpec {
+    /// Creates the spec: values `0..v`, initial value `v0`, `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `v >= 2`, `v0 < v`, `1 <= n <= 16` (the enumeration is
+    /// `v · 2^n` states; 16 keeps it tractable).
+    pub fn new(v: u64, v0: u64, n: usize) -> Self {
+        assert!(v >= 2, "at least two values required");
+        assert!(v0 < v, "initial value out of range");
+        assert!((1..=16).contains(&n), "1..=16 processes supported");
+        RLlscSpec { v, v0, n }
+    }
+
+    /// The number of values.
+    pub fn v(&self) -> u64 {
+        self.v
+    }
+
+    /// The number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+impl ObjectSpec for RLlscSpec {
+    /// `(val, context bitmask)`.
+    type State = (u64, u64);
+    type Op = RLlscOp;
+    type Resp = RLlscResp;
+
+    fn initial_state(&self) -> (u64, u64) {
+        (self.v0, 0)
+    }
+
+    fn apply(&self, state: &(u64, u64), op: &RLlscOp) -> ((u64, u64), RLlscResp) {
+        let (val, ctx) = *state;
+        if let Some(pid) = op.pid() {
+            assert!(pid < self.n, "pid {pid} out of range");
+        }
+        match op {
+            RLlscOp::Ll { pid } => ((val, ctx | (1 << pid)), RLlscResp::Val(val)),
+            RLlscOp::Vl { pid } => ((val, ctx), RLlscResp::Bool(ctx & (1 << pid) != 0)),
+            RLlscOp::Sc { pid, new } => {
+                assert!(*new < self.v, "SC of out-of-range value {new}");
+                if ctx & (1 << pid) != 0 {
+                    ((*new, 0), RLlscResp::Bool(true))
+                } else {
+                    ((val, ctx), RLlscResp::Bool(false))
+                }
+            }
+            RLlscOp::Rl { pid } => ((val, ctx & !(1 << pid)), RLlscResp::Bool(true)),
+            RLlscOp::Load => ((val, ctx), RLlscResp::Val(val)),
+            RLlscOp::Store { new } => {
+                assert!(*new < self.v, "store of out-of-range value {new}");
+                ((*new, 0), RLlscResp::Bool(true))
+            }
+        }
+    }
+
+    fn is_read_only(&self, op: &RLlscOp) -> bool {
+        matches!(op, RLlscOp::Vl { .. } | RLlscOp::Load)
+    }
+}
+
+impl EnumerableSpec for RLlscSpec {
+    fn states(&self) -> Vec<(u64, u64)> {
+        let mut states = Vec::new();
+        for val in 0..self.v {
+            for ctx in 0..(1u64 << self.n) {
+                states.push((val, ctx));
+            }
+        }
+        states
+    }
+
+    fn ops(&self) -> Vec<RLlscOp> {
+        let mut ops = vec![RLlscOp::Load];
+        ops.extend((0..self.v).map(|new| RLlscOp::Store { new }));
+        for pid in 0..self.n {
+            ops.push(RLlscOp::Ll { pid });
+            ops.push(RLlscOp::Vl { pid });
+            ops.push(RLlscOp::Rl { pid });
+            ops.extend((0..self.v).map(|new| RLlscOp::Sc { pid, new }));
+        }
+        ops
+    }
+
+    fn responses(&self) -> Vec<RLlscResp> {
+        let mut rs = vec![RLlscResp::Bool(false), RLlscResp::Bool(true)];
+        rs.extend((0..self.v).map(RLlscResp::Val));
+        rs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_is_closed() {
+        RLlscSpec::new(2, 0, 2).check_closed();
+    }
+
+    #[test]
+    fn ll_then_sc_succeeds_once() {
+        let spec = RLlscSpec::new(3, 0, 2);
+        let q = spec.apply(&spec.initial_state(), &RLlscOp::Ll { pid: 0 }).0;
+        let (q, r) = spec.apply(&q, &RLlscOp::Sc { pid: 0, new: 2 });
+        assert_eq!(r, RLlscResp::Bool(true));
+        let (_, r) = spec.apply(&q, &RLlscOp::Sc { pid: 0, new: 1 });
+        assert_eq!(r, RLlscResp::Bool(false));
+    }
+
+    #[test]
+    fn interfering_store_invalidates_link() {
+        let spec = RLlscSpec::new(3, 0, 2);
+        let q = spec.apply(&spec.initial_state(), &RLlscOp::Ll { pid: 0 }).0;
+        let q = spec.apply(&q, &RLlscOp::Store { new: 1 }).0;
+        let (_, r) = spec.apply(&q, &RLlscOp::Sc { pid: 0, new: 2 });
+        assert_eq!(r, RLlscResp::Bool(false));
+    }
+
+    #[test]
+    fn rl_clears_only_caller() {
+        let spec = RLlscSpec::new(2, 0, 3);
+        let mut q = spec.initial_state();
+        for pid in 0..3 {
+            q = spec.apply(&q, &RLlscOp::Ll { pid }).0;
+        }
+        q = spec.apply(&q, &RLlscOp::Rl { pid: 1 }).0;
+        assert_eq!(q.1, 0b101);
+    }
+}

@@ -1,0 +1,202 @@
+//! Threaded backend of Algorithm 6 on one `AtomicU64`.
+//!
+//! Blocking operations follow Algorithm 6's CAS retry loops (lock-free);
+//! the `*_attempt` variants perform exactly one read(+CAS) round and are
+//! the building blocks for Algorithm 5's `||` interleavings, where a process
+//! must alternate between trying an `LL` and checking whether another
+//! process already finished its work.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::pack::LlscLayout;
+
+const ORD: Ordering = Ordering::SeqCst;
+
+/// An R-LLSC object packed into one atomic word.
+///
+/// # Example
+///
+/// ```
+/// use hi_llsc::{LlscLayout, PackedRLlsc};
+///
+/// let x = PackedRLlsc::new(LlscLayout::new(8, 4), 7);
+/// assert_eq!(x.ll(2), 7);
+/// assert!(x.vl(2));
+/// assert!(x.sc(2, 9));
+/// assert_eq!(x.load(), 9);
+/// assert!(!x.vl(2), "SC cleared the context");
+/// ```
+#[derive(Debug)]
+pub struct PackedRLlsc {
+    cell: AtomicU64,
+    layout: LlscLayout,
+}
+
+impl PackedRLlsc {
+    /// Creates the object holding `v0` with an empty context.
+    pub fn new(layout: LlscLayout, v0: u64) -> Self {
+        PackedRLlsc { cell: AtomicU64::new(layout.reset(v0)), layout }
+    }
+
+    /// The packing layout.
+    pub fn layout(&self) -> LlscLayout {
+        self.layout
+    }
+
+    /// The raw cell contents: `pack(val, context)`. This *is* the memory
+    /// representation of the object (perfect HI).
+    pub fn raw(&self) -> u64 {
+        self.cell.load(ORD)
+    }
+
+    /// One `LL` attempt: one read plus one CAS. `Some(val)` on success.
+    pub fn ll_attempt(&self, pid: usize) -> Option<u64> {
+        let cur = self.cell.load(ORD);
+        let new = self.layout.with_pid(cur, pid);
+        self.cell
+            .compare_exchange(cur, new, ORD, ORD)
+            .ok()
+            .map(|_| self.layout.val(cur))
+    }
+
+    /// `LL`: adds `pid` to the context and returns the value. Lock-free.
+    pub fn ll(&self, pid: usize) -> u64 {
+        loop {
+            if let Some(v) = self.ll_attempt(pid) {
+                return v;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// `VL`: whether `pid` is still in the context. Wait-free (one read).
+    pub fn vl(&self, pid: usize) -> bool {
+        self.layout.has(self.cell.load(ORD), pid)
+    }
+
+    /// One `SC` attempt. `Some(true)`: installed; `Some(false)`: the link is
+    /// gone, the SC has failed definitively; `None`: CAS interference, retry.
+    pub fn sc_attempt(&self, pid: usize, new_val: u64) -> Option<bool> {
+        let cur = self.cell.load(ORD);
+        if !self.layout.has(cur, pid) {
+            return Some(false);
+        }
+        match self.cell.compare_exchange(cur, self.layout.reset(new_val), ORD, ORD) {
+            Ok(_) => Some(true),
+            Err(_) => None,
+        }
+    }
+
+    /// `SC`: if `pid` is linked, installs `new_val` with an empty context.
+    /// Lock-free.
+    pub fn sc(&self, pid: usize, new_val: u64) -> bool {
+        loop {
+            if let Some(outcome) = self.sc_attempt(pid, new_val) {
+                return outcome;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// One `RL` attempt. `Some(())`: released (or was never linked);
+    /// `None`: CAS interference, retry.
+    pub fn rl_attempt(&self, pid: usize) -> Option<()> {
+        let cur = self.cell.load(ORD);
+        if !self.layout.has(cur, pid) {
+            return Some(());
+        }
+        self.cell
+            .compare_exchange(cur, self.layout.without_pid(cur, pid), ORD, ORD)
+            .ok()
+            .map(|_| ())
+    }
+
+    /// `RL`: removes `pid` from the context. Lock-free; always returns
+    /// `true` (kept for interface parity with the paper).
+    pub fn rl(&self, pid: usize) -> bool {
+        loop {
+            if self.rl_attempt(pid).is_some() {
+                return true;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// `Load`: the current value. Wait-free.
+    pub fn load(&self) -> u64 {
+        self.layout.val(self.cell.load(ORD))
+    }
+
+    /// `Store`: installs `new_val` with an empty context. Wait-free.
+    pub fn store(&self, new_val: u64) {
+        self.cell.store(self.layout.reset(new_val), ORD);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(n: usize) -> PackedRLlsc {
+        PackedRLlsc::new(LlscLayout::new(16, n), 0)
+    }
+
+    #[test]
+    fn sc_fails_after_interfering_store() {
+        let x = obj(2);
+        assert_eq!(x.ll(0), 0);
+        x.store(5);
+        assert!(!x.sc(0, 9));
+        assert_eq!(x.load(), 5);
+    }
+
+    #[test]
+    fn rl_erases_context_bit() {
+        let x = obj(3);
+        x.ll(1);
+        assert!(x.vl(1));
+        x.rl(1);
+        assert!(!x.vl(1));
+        assert_eq!(x.raw(), x.layout().reset(0), "no trace of the released link");
+    }
+
+    #[test]
+    fn attempt_variants_report_interference() {
+        let x = obj(2);
+        x.ll(0);
+        // SC attempt by an unlinked process fails definitively.
+        assert_eq!(x.sc_attempt(1, 3), Some(false));
+        // Linked process succeeds.
+        assert_eq!(x.sc_attempt(0, 3), Some(true));
+        assert_eq!(x.load(), 3);
+    }
+
+    #[test]
+    fn concurrent_sc_at_most_one_winner() {
+        // n threads all LL then SC; exactly one SC per round may win.
+        let n = 4;
+        let x = obj(n);
+        let wins: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|pid| {
+                    let x = &x;
+                    s.spawn(move || {
+                        let mut wins = 0u64;
+                        for round in 0..1_000u64 {
+                            x.ll(pid);
+                            if x.sc(pid, round % 7) {
+                                wins += 1;
+                            }
+                        }
+                        wins
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let total: u64 = wins.iter().sum();
+        assert!(total >= 1, "lock-freedom: someone must win");
+        assert!(total <= 4_000);
+        assert_eq!(x.layout().context(x.raw()), 0, "all contexts eventually cleared or consumed");
+    }
+}

@@ -1,0 +1,214 @@
+//! The Lemma 16 / Lemma 38 reader-starvation adversary, executable.
+
+use std::error::Error;
+use std::fmt;
+
+use hi_core::ObjectSpec;
+use hi_sim::{Executor, Implementation, MemSnapshot, ProcessHandle};
+
+use crate::distance::{canonical_map, CHANGER, READER};
+use crate::script::ChangeScript;
+
+/// How an adversary run ended.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// All forked executions stayed indistinguishable to the reader and it
+    /// never returned within the round budget — the impossibility argument
+    /// in action (expected for Algorithm 2 and the positional queue).
+    Starved,
+    /// The reader returned a response in round `round`, in all executions
+    /// simultaneously — the implementation defeats the adversary (would
+    /// contradict Theorem 17 if the implementation actually were
+    /// state-quiescent HI from small bases).
+    ReaderReturned {
+        /// The round at which the read completed.
+        round: u64,
+        /// Debug rendering of the response.
+        response: String,
+    },
+    /// The executions stopped being indistinguishable in round `round` —
+    /// the implementation escapes the theorem's assumptions (e.g. Algorithm
+    /// 4's reader *writes*, so the canonical-memory assumption the pair
+    /// selection relies on breaks). `solo_outcomes[i]` is the response of
+    /// execution `i`'s reader when finished solo afterwards.
+    Diverged {
+        /// The round at which reader states first differed.
+        round: u64,
+        /// Per-execution solo completion results (`None` = still starved).
+        solo_outcomes: Vec<Option<String>>,
+    },
+}
+
+/// Statistics of an adversary run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AdversaryReport {
+    /// The outcome.
+    pub verdict: Verdict,
+    /// Rounds executed (= reader steps taken in lockstep).
+    pub rounds: u64,
+    /// Number of forked executions (`t`, or `t + 1` for the queue).
+    pub executions: usize,
+    /// Whether every base object has fewer states than there are response
+    /// classes — the hypothesis of Theorems 17 and 20. When `false`,
+    /// starvation is not guaranteed by the theory.
+    pub bases_smaller_than_classes: bool,
+}
+
+/// Why the adversary could not run at all.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AdversaryError {
+    /// The reader's step machine cannot predict its next cell.
+    NoPeek,
+    /// The readers disagree on the next cell while in identical states —
+    /// indicates a broken `ProcessHandle` implementation.
+    PeekMismatch,
+    /// No two representative states agree on the peeked cell; happens when
+    /// a base object has at least as many states as there are classes.
+    NoCollidingPair {
+        /// The cell index in question.
+        cell: usize,
+    },
+}
+
+impl fmt::Display for AdversaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdversaryError::NoPeek => write!(f, "reader does not expose its next cell"),
+            AdversaryError::PeekMismatch => {
+                write!(f, "identical readers peek different cells")
+            }
+            AdversaryError::NoCollidingPair { cell } => write!(
+                f,
+                "no two representatives share a canonical value at cell {cell}; base objects too large"
+            ),
+        }
+    }
+}
+
+impl Error for AdversaryError {}
+
+/// Runs the adversary for up to `max_rounds` rounds.
+///
+/// `solo_budget` bounds every solo changer operation and the post-divergence
+/// reader completion runs.
+///
+/// # Errors
+///
+/// See [`AdversaryError`]; these indicate the implementation (or its
+/// step-machine plumbing) is outside the construction's scope, not a bug in
+/// the target.
+pub fn run_adversary<S, I, C>(
+    imp: &I,
+    script: &C,
+    max_rounds: u64,
+    solo_budget: u64,
+) -> Result<AdversaryReport, AdversaryError>
+where
+    S: ObjectSpec,
+    I: Implementation<S>,
+    C: ChangeScript<S>,
+{
+    let reps = script.representatives();
+    let t = reps.len();
+    assert!(t >= 2, "need at least two response classes");
+    let canon: Vec<MemSnapshot> = canonical_map(imp, script, &reps, solo_budget);
+
+    let bases_smaller_than_classes = imp
+        .init_memory()
+        .iter()
+        .all(|(_, info, _)| info.domain.states().is_some_and(|s| s < t as u64));
+
+    // Fork one execution per class; execution i must avoid class i, so it
+    // starts at the next class's representative.
+    let mut execs: Vec<Executor<S, I>> = Vec::with_capacity(t);
+    let mut current: Vec<usize> = Vec::with_capacity(t);
+    for i in 0..t {
+        let start = (i + 1) % t;
+        let mut exec = Executor::new(imp.clone());
+        let q0 = imp.spec().initial_state();
+        for op in script.ops_between(&q0, &reps[start]) {
+            exec.run_op_solo(CHANGER, op, solo_budget)
+                .expect("changer operation exceeded its solo budget");
+        }
+        exec.invoke(READER, script.read_op());
+        execs.push(exec);
+        current.push(start);
+    }
+
+    let mut report = AdversaryReport {
+        verdict: Verdict::Starved,
+        rounds: 0,
+        executions: t,
+        bases_smaller_than_classes,
+    };
+
+    for round in 0..max_rounds {
+        // All readers are in identical local states; they peek one cell.
+        let cell = execs[0].process(READER).peeked_cell().ok_or(AdversaryError::NoPeek)?;
+        for exec in &execs[1..] {
+            if exec.process(READER).peeked_cell() != Some(cell) {
+                return Err(AdversaryError::PeekMismatch);
+            }
+        }
+        // Find two classes whose canonical representations agree at `cell`
+        // (pigeonhole over the cell's state space).
+        let (jx, jy) = {
+            let mut found = None;
+            'search: for a in 0..t {
+                for b in (a + 1)..t {
+                    if canon[a][cell.0] == canon[b][cell.0] {
+                        found = Some((a, b));
+                        break 'search;
+                    }
+                }
+            }
+            found.ok_or(AdversaryError::NoCollidingPair { cell: cell.0 })?
+        };
+        // Drive each execution to a state avoiding its own class.
+        for (i, exec) in execs.iter_mut().enumerate() {
+            let next = if i == jx { jy } else { jx };
+            for op in script.ops_between(&reps[current[i]], &reps[next]) {
+                exec.run_op_solo(CHANGER, op, solo_budget)
+                    .expect("changer operation exceeded its solo budget");
+            }
+            current[i] = next;
+        }
+        // One lockstep reader step.
+        report.rounds = round + 1;
+        let results: Vec<Option<String>> = execs
+            .iter_mut()
+            .map(|exec| exec.step(READER).map(|(_, resp)| format!("{resp:?}")))
+            .collect();
+        let returned = results.iter().flatten().count();
+        if returned == t {
+            // Indistinguishable readers return together.
+            report.verdict = Verdict::ReaderReturned {
+                round: round + 1,
+                response: results[0].clone().expect("all returned"),
+            };
+            return Ok(report);
+        }
+        // Indistinguishability check (the heart of Lemma 16). A partial
+        // return is divergence too.
+        let diverged = returned > 0
+            || execs[1..]
+                .iter()
+                .any(|exec| exec.process(READER) != execs[0].process(READER));
+        if diverged {
+            let solo_outcomes = execs
+                .iter_mut()
+                .zip(&results)
+                .map(|(exec, already)| match already {
+                    Some(resp) => Some(resp.clone()),
+                    None => exec
+                        .run_solo(READER, solo_budget)
+                        .ok()
+                        .map(|(_, resp)| format!("{resp:?}")),
+                })
+                .collect();
+            report.verdict = Verdict::Diverged { round: round + 1, solo_outcomes };
+            return Ok(report);
+        }
+    }
+    Ok(report)
+}

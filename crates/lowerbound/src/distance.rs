@@ -1,0 +1,132 @@
+//! Canonical-map computation and the distance audits of Propositions 6
+//! and 14.
+//!
+//! Proposition 6: in an obstruction-free *perfect* HI implementation, any
+//! two states adjacent under a single operation must have canonical
+//! representations at Hamming distance ≤ 1. Proposition 14: a `C_t` object
+//! (`t ≥ 3`) built from base objects with fewer than `t` states cannot
+//! satisfy that — so auditing the distances of a concrete implementation
+//! shows *where* perfect HI fails.
+
+use hi_core::{ObjectSpec, Pid};
+use hi_sim::{Executor, Implementation, MemSnapshot, SharedMem};
+
+use crate::script::ChangeScript;
+
+/// The changer/mutator process (role convention shared by all single-mutator
+/// implementations in this workspace).
+pub const CHANGER: Pid = Pid(0);
+/// The reader/observer process.
+pub const READER: Pid = Pid(1);
+
+/// Computes `can(q)` for each given state by running the change script's
+/// operations solo from a fresh initial configuration and snapshotting the
+/// quiescent memory.
+///
+/// Valid for implementations that are (at least) state-quiescent HI for
+/// solo changer executions — which is exactly what the §5 adversary assumes.
+///
+/// # Panics
+///
+/// Panics if a changer operation fails to complete within `max_steps` solo
+/// steps.
+pub fn canonical_map<S, I, C>(
+    imp: &I,
+    script: &C,
+    states: &[S::State],
+    max_steps: u64,
+) -> Vec<MemSnapshot>
+where
+    S: ObjectSpec,
+    I: Implementation<S>,
+    C: ChangeScript<S>,
+{
+    states
+        .iter()
+        .map(|q| {
+            let mut exec = Executor::new(imp.clone());
+            let q0 = imp.spec().initial_state();
+            for op in script.ops_between(&q0, q) {
+                exec.run_op_solo(CHANGER, op, max_steps)
+                    .expect("changer operation exceeded its solo step budget");
+            }
+            exec.snapshot()
+        })
+        .collect()
+}
+
+/// The result of a Proposition 6/14 distance audit.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DistanceAudit {
+    /// Hamming distance between each pair of representative canonical
+    /// representations (`dist[i][j]`).
+    pub dist: Vec<Vec<usize>>,
+    /// The largest pairwise distance.
+    pub max_distance: usize,
+    /// Whether all pairs are at distance ≤ 1 — necessary for a perfect HI
+    /// implementation of an object whose states are mutually reachable in
+    /// one operation (Proposition 6).
+    pub perfect_hi_possible: bool,
+    /// Number of base objects in the implementation.
+    pub cells: usize,
+    /// The largest declared base-object state space, if all are bounded.
+    pub max_cell_states: Option<u64>,
+}
+
+/// Audits the pairwise canonical distances of representative states.
+///
+/// For a `C_t` object implemented from binary registers this reports
+/// `perfect_hi_possible = false` for `t ≥ 3`, exhibiting Proposition 14
+/// concretely.
+pub fn audit_distances(mem_layout: &SharedMem, canon: &[MemSnapshot]) -> DistanceAudit {
+    let k = canon.len();
+    let mut dist = vec![vec![0usize; k]; k];
+    let mut max_distance = 0;
+    for i in 0..k {
+        for j in 0..k {
+            let d = SharedMem::distance(&canon[i], &canon[j]);
+            dist[i][j] = d;
+            max_distance = max_distance.max(d);
+        }
+    }
+    let max_cell_states = mem_layout
+        .iter()
+        .map(|(_, info, _)| info.domain.states())
+        .collect::<Option<Vec<_>>>()
+        .map(|sizes| sizes.into_iter().max().unwrap_or(0));
+    DistanceAudit {
+        dist,
+        max_distance,
+        perfect_hi_possible: max_distance <= 1,
+        cells: mem_layout.len(),
+        max_cell_states,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audit_distance_matrix() {
+        let mut mem = SharedMem::new();
+        mem.alloc_array("A", 3, hi_sim::CellDomain::Binary, 0);
+        let canon = vec![vec![1, 0, 0], vec![0, 1, 0], vec![0, 0, 1]];
+        let audit = audit_distances(&mem, &canon);
+        assert_eq!(audit.max_distance, 2);
+        assert!(!audit.perfect_hi_possible);
+        assert_eq!(audit.max_cell_states, Some(2));
+        assert_eq!(audit.dist[0][0], 0);
+        assert_eq!(audit.dist[0][1], 2);
+    }
+
+    #[test]
+    fn distance_one_passes() {
+        let mut mem = SharedMem::new();
+        mem.alloc("x", hi_sim::CellDomain::Bounded(4), 0);
+        let canon = vec![vec![0], vec![1], vec![2]];
+        let audit = audit_distances(&mem, &canon);
+        assert_eq!(audit.max_distance, 1);
+        assert!(audit.perfect_hi_possible);
+    }
+}

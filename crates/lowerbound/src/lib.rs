@@ -1,0 +1,38 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Executable impossibility results (paper §5).
+//!
+//! The paper's Theorem 17 (no wait-free state-quiescent HI implementation of
+//! a `C_t` object from base objects with fewer than `t` states) and Theorem
+//! 20 (the queue-with-`Peek` analogue) are proved by an explicit adversary
+//! construction — Lemma 16 / Lemma 38 — that this crate makes runnable:
+//!
+//! 1. Compute the canonical representation `can(q)` of each representative
+//!    state by solo executions ([`canonical_map`]).
+//! 2. Maintain one forked execution per response class, each avoiding its
+//!    class, with the reader's local state identical across all of them.
+//! 3. Each round: ask the reader which cell `ℓ` it will access next
+//!    ([`ProcessHandle::peeked_cell`]), find two representative states whose
+//!    canonical representations agree on `ℓ` (they exist because the base
+//!    objects have fewer states than there are classes), drive each
+//!    execution to a next state avoiding its class, and let the reader take
+//!    one step.
+//!
+//! The reader observes the same value in every execution, so it can never
+//! return — in each of them, some response class is forbidden by the
+//! linearization. Running the adversary against Algorithm 2 starves its
+//! reader forever ([`Verdict::Starved`]); against Algorithm 4 — which
+//! escapes the theorem by being only *quiescent* HI, with a reader that
+//! writes — the executions diverge and the reads complete
+//! ([`Verdict::Diverged`]): exactly the possibility/impossibility boundary
+//! of Table 1.
+//!
+//! [`ProcessHandle::peeked_cell`]: hi_sim::ProcessHandle::peeked_cell
+
+pub mod adversary;
+pub mod distance;
+pub mod script;
+
+pub use adversary::{run_adversary, AdversaryError, AdversaryReport, Verdict};
+pub use distance::{audit_distances, canonical_map, DistanceAudit};
+pub use script::{ChangeScript, CtScript, QueuePeekScript};

@@ -1,0 +1,143 @@
+//! Change scripts: how the adversary's "changer" process moves the object
+//! between representative states.
+//!
+//! For `C_t` objects (Definition 13) a single `o_change` operation suffices;
+//! for the queue (§5.4) the representatives `∅, {1}, …, {t}` are connected
+//! by the one-or-two-operation sequences `S(i1, i2)`, chosen so that `Peek`'s
+//! response never passes through a third value.
+
+use hi_core::objects::{BoundedQueueSpec, QueueOp, QueueState};
+use hi_core::{CtObject, ObjectSpec};
+
+/// The adversary's view of an object: representative states (one per
+/// response class of the distinguished read), the read operation, and the
+/// operation sequences moving between representatives.
+pub trait ChangeScript<S: ObjectSpec> {
+    /// One representative state per response class. The paper's `q_1 … q_t`
+    /// (or `q_0 … q_t` for the queue).
+    fn representatives(&self) -> Vec<S::State>;
+
+    /// The distinguished read-only operation (`o_read` / `Peek`).
+    fn read_op(&self) -> S::Op;
+
+    /// The operations taking the object from `from` to `to`, each to be run
+    /// solo to completion by the changer.
+    fn ops_between(&self, from: &S::State, to: &S::State) -> Vec<S::Op>;
+}
+
+/// The script of a `C_t` object: representatives are the classes'
+/// representatives, transitions are single `o_change` operations.
+#[derive(Clone, Debug)]
+pub struct CtScript<S> {
+    spec: S,
+}
+
+impl<S: CtObject> CtScript<S> {
+    /// Builds the script, verifying the `C_t` properties.
+    pub fn new(spec: S) -> Self {
+        spec.check_ct();
+        CtScript { spec }
+    }
+}
+
+impl<S: CtObject> ChangeScript<S> for CtScript<S> {
+    fn representatives(&self) -> Vec<S::State> {
+        (0..self.spec.t()).map(|i| self.spec.representative(i)).collect()
+    }
+
+    fn read_op(&self) -> S::Op {
+        self.spec.read_op()
+    }
+
+    fn ops_between(&self, from: &S::State, to: &S::State) -> Vec<S::Op> {
+        vec![self.spec.change_op(from, to)]
+    }
+}
+
+/// The §5.4 queue script: representatives `∅, {1}, …, {t}`; transitions are
+/// the sequences `S(i1, i2)`:
+///
+/// * `S(0, i)  = Enqueue(i)`
+/// * `S(i, 0)  = Dequeue`
+/// * `S(i, j)  = Enqueue(j), Dequeue` — passing through `{i, j}`, from which
+///   `Peek` still answers `r_i`, never a third response.
+#[derive(Clone, Debug)]
+pub struct QueuePeekScript {
+    spec: BoundedQueueSpec,
+}
+
+impl QueuePeekScript {
+    /// Builds the script for a queue over `{1..=t}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue's capacity is below 2 — `S(i, j)` holds two
+    /// elements mid-sequence.
+    pub fn new(spec: BoundedQueueSpec) -> Self {
+        assert!(spec.cap() >= 2, "S(i, j) sequences need capacity >= 2");
+        QueuePeekScript { spec }
+    }
+}
+
+impl ChangeScript<BoundedQueueSpec> for QueuePeekScript {
+    fn representatives(&self) -> Vec<QueueState> {
+        let mut reps = vec![Vec::new()];
+        reps.extend((1..=self.spec.t()).map(|i| vec![i]));
+        reps
+    }
+
+    fn read_op(&self) -> QueueOp {
+        QueueOp::Peek
+    }
+
+    fn ops_between(&self, from: &QueueState, to: &QueueState) -> Vec<QueueOp> {
+        match (from.first(), to.first()) {
+            (None, None) => vec![],
+            (None, Some(&j)) => vec![QueueOp::Enqueue(j)],
+            (Some(_), None) => vec![QueueOp::Dequeue],
+            (Some(&i), Some(&j)) if i == j => vec![],
+            (Some(_), Some(&j)) => vec![QueueOp::Enqueue(j), QueueOp::Dequeue],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hi_core::objects::MultiRegisterSpec;
+
+    #[test]
+    fn ct_script_for_register() {
+        let script = CtScript::new(MultiRegisterSpec::new(4, 1));
+        assert_eq!(script.representatives(), vec![1, 2, 3, 4]);
+        let ops = script.ops_between(&2, &4);
+        assert_eq!(ops.len(), 1);
+    }
+
+    #[test]
+    fn queue_script_s_sequences_stay_within_two_responses() {
+        use hi_core::objects::QueueResp;
+        let spec = BoundedQueueSpec::new(3, 2);
+        let script = QueuePeekScript::new(spec);
+        let reps = script.representatives();
+        assert_eq!(reps.len(), 4);
+        for from in &reps {
+            for to in &reps {
+                let mut q = from.clone();
+                let ok_resps: Vec<QueueResp> = [from, to]
+                    .iter()
+                    .map(|s| spec.apply(s, &QueueOp::Peek).1)
+                    .collect();
+                for op in script.ops_between(from, to) {
+                    q = spec.apply(&q, &op).0;
+                    let (_, peek) = spec.apply(&q, &QueueOp::Peek);
+                    assert!(
+                        ok_resps.contains(&peek),
+                        "S({from:?}, {to:?}) exposed third response {peek:?}"
+                    );
+                }
+                assert_eq!(&q, to, "S({from:?}, {to:?}) missed its target");
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Integration tests: the §5 adversaries against the workspace's register
+//! and queue implementations — Table 1, executed.
+
+use hi_core::objects::{BoundedQueueSpec, MultiRegisterSpec};
+use hi_lowerbound::{
+    audit_distances, canonical_map, run_adversary, CtScript, QueuePeekScript, Verdict,
+};
+use hi_queue::PositionalQueue;
+use hi_registers::{LockFreeHiRegister, VidyasankarRegister, WaitFreeHiRegister};
+use hi_sim::Implementation;
+
+const ROUNDS: u64 = 2_000;
+const BUDGET: u64 = 10_000;
+
+#[test]
+fn algorithm2_reader_starves() {
+    // Theorem 17 in action: Algorithm 2 is state-quiescent HI from binary
+    // registers, so the Lemma 16 adversary starves its reader indefinitely.
+    for k in [3u64, 4, 5, 8] {
+        let imp = LockFreeHiRegister::new(k, 1);
+        let script = CtScript::new(MultiRegisterSpec::new(k, 1));
+        let report = run_adversary(&imp, &script, ROUNDS, BUDGET).unwrap();
+        assert!(report.bases_smaller_than_classes, "binary cells < {k} classes");
+        assert_eq!(report.verdict, Verdict::Starved, "K = {k}");
+        assert_eq!(report.rounds, ROUNDS);
+    }
+}
+
+#[test]
+fn algorithm4_defeats_the_adversary() {
+    // Algorithm 4 is wait-free: its reader writes (flag/B protocol), which
+    // breaks the adversary's canonical-memory assumption; the forked
+    // executions diverge and every read completes.
+    for k in [3u64, 4, 6] {
+        let imp = WaitFreeHiRegister::new(k, 1);
+        let script = CtScript::new(MultiRegisterSpec::new(k, 1));
+        let report = run_adversary(&imp, &script, ROUNDS, BUDGET).unwrap();
+        match report.verdict {
+            Verdict::Diverged { solo_outcomes, .. } => {
+                assert!(
+                    solo_outcomes.iter().all(Option::is_some),
+                    "every diverged read completes solo (wait-freedom), K = {k}"
+                );
+            }
+            Verdict::ReaderReturned { .. } => {} // also a win for Algorithm 4
+            Verdict::Starved => panic!("Algorithm 4's reader must not starve (K = {k})"),
+        }
+    }
+}
+
+#[test]
+fn algorithm1_reader_returns_because_memory_leaks() {
+    // Vidyasankar's register is wait-free but not HI: stale 1s above the
+    // current value let the reader find a value the adversary did not plan
+    // for, so the read returns (or the executions diverge) quickly.
+    let imp = VidyasankarRegister::new(4, 1);
+    let script = CtScript::new(MultiRegisterSpec::new(4, 1));
+    let report = run_adversary(&imp, &script, ROUNDS, BUDGET).unwrap();
+    assert_ne!(report.verdict, Verdict::Starved, "Algorithm 1 reads are wait-free");
+}
+
+#[test]
+fn positional_queue_peek_starves() {
+    // Theorem 20 in action: the positional queue is state-quiescent HI from
+    // binary registers, so the §5.4 adversary starves Peek.
+    for t in [2u32, 3, 5] {
+        let spec = BoundedQueueSpec::new(t, 2);
+        let imp = PositionalQueue::new(t, 2);
+        let script = QueuePeekScript::new(spec);
+        let report = run_adversary(&imp, &script, ROUNDS, BUDGET).unwrap();
+        assert!(report.bases_smaller_than_classes, "binary cells < {} classes", t + 1);
+        assert_eq!(report.verdict, Verdict::Starved, "t = {t}");
+    }
+}
+
+#[test]
+fn starvation_grows_with_budget() {
+    // The adversary extends the execution without bound: the reader's step
+    // count equals the round budget at every scale (Theorem 17's
+    // "arbitrarily long executions").
+    let imp = LockFreeHiRegister::new(3, 1);
+    let script = CtScript::new(MultiRegisterSpec::new(3, 1));
+    for rounds in [10u64, 100, 1_000, 5_000] {
+        let report = run_adversary(&imp, &script, rounds, BUDGET).unwrap();
+        assert_eq!(report.verdict, Verdict::Starved);
+        assert_eq!(report.rounds, rounds);
+    }
+}
+
+#[test]
+fn proposition14_distance_audit_register() {
+    // Canonical representations of a C_t register from binary cells must
+    // contain a pair at distance >= 2 (here: all pairs are at distance 2),
+    // so no perfect HI implementation exists (Propositions 6 + 14).
+    let imp = LockFreeHiRegister::new(4, 1);
+    let script = CtScript::new(MultiRegisterSpec::new(4, 1));
+    let reps: Vec<u64> = (1..=4).collect();
+    let canon = canonical_map(&imp, &script, &reps, BUDGET);
+    let audit = audit_distances(&imp.init_memory(), &canon);
+    assert_eq!(audit.max_distance, 2);
+    assert!(!audit.perfect_hi_possible);
+    assert_eq!(audit.max_cell_states, Some(2));
+}
+
+#[test]
+fn canonical_map_is_one_hot_for_hi_register() {
+    let imp = LockFreeHiRegister::new(3, 1);
+    let script = CtScript::new(MultiRegisterSpec::new(3, 1));
+    let canon = canonical_map(&imp, &script, &[1, 2, 3], BUDGET);
+    assert_eq!(canon[0], vec![1, 0, 0]);
+    assert_eq!(canon[1], vec![0, 1, 0]);
+    assert_eq!(canon[2], vec![0, 0, 1]);
+}

@@ -1,0 +1,203 @@
+//! Real-thread backend of the positional HI queue on `AtomicU8` cells.
+//!
+//! Single-mutator single-observer, enforced by [`AtomicPositionalQueue::split`]
+//! handing out exactly one non-cloneable handle per role.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const ORD: Ordering = Ordering::SeqCst;
+
+/// Threaded positional HI queue over `{1..=t}` with capacity `cap`.
+#[derive(Debug)]
+pub struct AtomicPositionalQueue {
+    /// `slots[s * t + (e-1)]` is `Q[s][e]`.
+    slots: Box<[AtomicU8]>,
+    /// `len[l]` is `LEN[l]`.
+    len: Box<[AtomicU8]>,
+    t: u32,
+    cap: usize,
+}
+
+impl AtomicPositionalQueue {
+    /// Creates an empty queue.
+    pub fn new(t: u32, cap: usize) -> Self {
+        assert!(t >= 2 && cap >= 1);
+        AtomicPositionalQueue {
+            slots: (0..cap * t as usize).map(|_| AtomicU8::new(0)).collect(),
+            len: (0..cap).map(|_| AtomicU8::new(0)).collect(),
+            t,
+            cap,
+        }
+    }
+
+    fn q(&self, s: usize, e: u32) -> &AtomicU8 {
+        &self.slots[s * self.t as usize + (e - 1) as usize]
+    }
+
+    /// Memory snapshot: all `Q` cells then all `LEN` cells. Only an atomic
+    /// snapshot at quiescent points of the caller's protocol.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .chain(self.len.iter())
+            .map(|c| u64::from(c.load(ORD)))
+            .collect()
+    }
+
+    /// The canonical representation of an abstract state under
+    /// [`snapshot`](AtomicPositionalQueue::snapshot).
+    pub fn canonical(&self, state: &[u32]) -> Vec<u64> {
+        let t = self.t as usize;
+        let mut snap = vec![0u64; self.cap * t + self.cap];
+        for (s, &e) in state.iter().enumerate() {
+            snap[s * t + (e as usize - 1)] = 1;
+        }
+        for l in 0..state.len() {
+            snap[self.cap * t + l] = 1;
+        }
+        snap
+    }
+
+    /// Splits into the single mutator and single observer handles.
+    pub fn split(&mut self) -> (QueueMutator<'_>, QueuePeeker<'_>) {
+        (QueueMutator { q: self, mirror: Vec::new() }, QueuePeeker { q: self })
+    }
+}
+
+/// The mutating handle: `enqueue` and `dequeue`, both wait-free.
+#[derive(Debug)]
+pub struct QueueMutator<'a> {
+    q: &'a AtomicPositionalQueue,
+    mirror: Vec<u32>,
+}
+
+impl QueueMutator<'_> {
+    /// Appends `v`; returns `false` if the queue is full.
+    pub fn enqueue(&mut self, v: u32) -> bool {
+        assert!((1..=self.q.t).contains(&v));
+        if self.mirror.len() >= self.q.cap {
+            return false;
+        }
+        let s = self.mirror.len();
+        self.q.q(s, v).store(1, ORD);
+        self.q.len[s].store(1, ORD);
+        self.mirror.push(v);
+        true
+    }
+
+    /// Removes and returns the front element, if any.
+    pub fn dequeue(&mut self) -> Option<u32> {
+        if self.mirror.is_empty() {
+            return None;
+        }
+        let len = self.mirror.len();
+        self.q.len[len - 1].store(0, ORD);
+        self.q.q(0, self.mirror[0]).store(0, ORD);
+        for s in 1..len {
+            // Move before clear: the element is never absent from memory.
+            self.q.q(s - 1, self.mirror[s]).store(1, ORD);
+            self.q.q(s, self.mirror[s]).store(0, ORD);
+        }
+        Some(self.mirror.remove(0))
+    }
+
+    /// Current length (mutator-local, exact).
+    pub fn len(&self) -> usize {
+        self.mirror.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mirror.is_empty()
+    }
+}
+
+/// The observing handle: `peek`, lock-free.
+#[derive(Debug)]
+pub struct QueuePeeker<'a> {
+    q: &'a AtomicPositionalQueue,
+}
+
+impl QueuePeeker<'_> {
+    /// One scan attempt: `Some(None)` = empty, `Some(Some(v))` = front `v`,
+    /// `None` = front moved mid-scan, retry.
+    pub fn try_peek(&self) -> Option<Option<u32>> {
+        if self.q.len[0].load(ORD) == 0 {
+            return Some(None);
+        }
+        for e in 1..=self.q.t {
+            if self.q.q(0, e).load(ORD) == 1 {
+                return Some(Some(e));
+            }
+        }
+        None
+    }
+
+    /// The front element (`None` = empty). Lock-free: retries while the
+    /// mutator keeps shifting.
+    pub fn peek(&self) -> Option<u32> {
+        loop {
+            if let Some(result) = self.try_peek() {
+                return result;
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_round_trip() {
+        let mut q = AtomicPositionalQueue::new(4, 4);
+        let (mut m, p) = q.split();
+        assert!(m.enqueue(3));
+        assert!(m.enqueue(1));
+        assert_eq!(p.peek(), Some(3));
+        assert_eq!(m.dequeue(), Some(3));
+        assert_eq!(p.peek(), Some(1));
+        assert_eq!(m.dequeue(), Some(1));
+        assert_eq!(m.dequeue(), None);
+        assert_eq!(p.peek(), None);
+    }
+
+    #[test]
+    fn canonical_memory_when_quiescent() {
+        let mut q = AtomicPositionalQueue::new(3, 3);
+        {
+            let (mut m, _p) = q.split();
+            m.enqueue(2);
+            m.enqueue(1);
+            m.dequeue();
+        }
+        assert_eq!(q.snapshot(), q.canonical(&[1]));
+    }
+
+    #[test]
+    fn concurrent_peeks_see_fronts() {
+        let mut q = AtomicPositionalQueue::new(5, 8);
+        let (mut m, p) = q.split();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for round in 0..2_000u32 {
+                    m.enqueue(round % 5 + 1);
+                    if round % 3 == 0 {
+                        m.dequeue();
+                    }
+                    while m.len() > 4 {
+                        m.dequeue();
+                    }
+                }
+            });
+            s.spawn(|| {
+                for _ in 0..2_000 {
+                    if let Some(v) = p.peek() {
+                        assert!((1..=5).contains(&v));
+                    }
+                }
+            });
+        });
+    }
+}

@@ -1,0 +1,123 @@
+//! Exact rational probabilities.
+
+use std::fmt;
+use std::ops::Add;
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a.max(1)
+}
+
+/// A non-negative rational number in lowest terms, used for exact
+/// probability bookkeeping during tape enumeration.
+///
+/// # Example
+///
+/// ```
+/// use hi_randomized::Fraction;
+///
+/// let third = Fraction::new(1, 3);
+/// let sixth = Fraction::new(1, 6);
+/// assert_eq!(third + third + third, Fraction::one());
+/// assert_eq!(sixth + sixth, third);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Fraction {
+    num: u128,
+    den: u128,
+}
+
+impl Fraction {
+    /// Creates `num / den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: u128, den: u128) -> Self {
+        assert!(den != 0, "zero denominator");
+        let g = gcd(num, den);
+        Fraction { num: num / g, den: den / g }
+    }
+
+    /// The zero probability.
+    pub fn zero() -> Self {
+        Fraction { num: 0, den: 1 }
+    }
+
+    /// The certain probability.
+    pub fn one() -> Self {
+        Fraction { num: 1, den: 1 }
+    }
+
+    /// The numerator (in lowest terms).
+    pub fn numerator(&self) -> u128 {
+        self.num
+    }
+
+    /// The denominator (in lowest terms).
+    pub fn denominator(&self) -> u128 {
+        self.den
+    }
+
+    /// `self * (1/k)` — one uniform draw among `k` choices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or on overflow (tapes long enough to overflow
+    /// `u128` denominators are far beyond what enumeration can visit).
+    pub fn scale_down(&self, k: usize) -> Self {
+        assert!(k > 0, "draw among zero choices");
+        Fraction::new(self.num, self.den.checked_mul(k as u128).expect("probability underflow"))
+    }
+}
+
+impl Add for Fraction {
+    type Output = Fraction;
+
+    fn add(self, rhs: Fraction) -> Fraction {
+        let den = self.den.checked_mul(rhs.den).expect("denominator overflow");
+        let num = self
+            .num
+            .checked_mul(rhs.den)
+            .and_then(|a| rhs.num.checked_mul(self.den).map(|b| a + b))
+            .expect("numerator overflow");
+        Fraction::new(num, den)
+    }
+}
+
+impl fmt::Display for Fraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction() {
+        assert_eq!(Fraction::new(2, 4), Fraction::new(1, 2));
+        assert_eq!(Fraction::new(0, 7), Fraction::zero());
+    }
+
+    #[test]
+    fn addition() {
+        let f = Fraction::new(1, 6) + Fraction::new(1, 3);
+        assert_eq!(f, Fraction::new(1, 2));
+    }
+
+    #[test]
+    fn scaling() {
+        assert_eq!(Fraction::one().scale_down(4), Fraction::new(1, 4));
+        assert_eq!(Fraction::new(1, 2).scale_down(3), Fraction::new(1, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_rejected() {
+        Fraction::new(1, 0);
+    }
+}

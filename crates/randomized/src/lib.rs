@@ -1,0 +1,53 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Sequential *randomized* history independence (paper §1, §2 and §7).
+//!
+//! For deterministic implementations, weak and strong history independence
+//! coincide (Proposition 3) and the rest of the workspace treats them as
+//! one. Once implementations may flip coins, the two notions split:
+//!
+//! * **WHI** (Definition 1): any two operation sequences reaching the same
+//!   state induce the same *distribution* over memory representations —
+//!   protection against an observer who looks once.
+//! * **SHI** (Definition 2): the *joint* distributions at any matching lists
+//!   of observation points coincide — protection against an observer who
+//!   looks repeatedly.
+//!
+//! The paper's §1 example: a set storing each inserted item at a fresh
+//! random location is weakly HI but not strongly HI, because re-inserting an
+//! item may move it, which a twice-looking observer detects. This crate
+//! makes that example *exactly checkable*: randomness is modeled as an
+//! explicit choice tape, the checker enumerates every tape, and
+//! distributions are compared as exact rationals — no sampling error.
+//!
+//! # Example
+//!
+//! ```
+//! use hi_randomized::{check_whi, check_shi, RandomSlotSet, SetOp};
+//!
+//! let set = RandomSlotSet::new(2, 3); // 2 elements, 3 slots
+//! // WHI: {1} reached directly or via inserting and removing 2.
+//! let direct = vec![SetOp::Insert(1)];
+//! let detour = vec![SetOp::Insert(1), SetOp::Insert(2), SetOp::Remove(2)];
+//! assert!(check_whi(&set, &direct, &detour).is_ok());
+//!
+//! // SHI: observe after the first insert and again at the end. Re-inserting
+//! // element 1 may move it; the twice-looking observer notices.
+//! let stay = (vec![SetOp::Insert(1)], vec![1, 1]);
+//! let move_around = (
+//!     vec![SetOp::Insert(1), SetOp::Remove(1), SetOp::Insert(1)],
+//!     vec![1, 3],
+//! );
+//! assert!(check_shi(&set, &stay, &move_around).is_err());
+//! ```
+
+mod fraction;
+mod model;
+mod random_set;
+
+pub use fraction::Fraction;
+pub use model::{
+    check_shi, check_whi, joint_distribution, Distribution, Draws, HiDistributionViolation,
+    RandomizedImpl,
+};
+pub use random_set::{CanonicalSlotSet, RandomSlotSet, SetOp};

@@ -1,0 +1,332 @@
+//! The randomized implementation model and the exact WHI/SHI checkers.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::hash::Hash;
+
+use crate::fraction::Fraction;
+
+/// The randomness source handed to [`RandomizedImpl::apply`]: an explicit
+/// tape of choices, replayed by the enumerator.
+///
+/// Each call to [`draw`](Draws::draw) consumes one tape entry. When the tape
+/// is exhausted the draw is recorded as *needed* and a placeholder `0` is
+/// returned; the run's results are discarded and the enumerator re-runs the
+/// sequence once per possible choice. Implementations must therefore
+/// tolerate any value `< k` from every draw (they cannot tell replay from
+/// first run — which is the point).
+#[derive(Clone, Debug)]
+pub struct Draws {
+    tape: Vec<usize>,
+    pos: usize,
+    arities: Vec<usize>,
+    needed: Option<usize>,
+}
+
+impl Draws {
+    fn replay(tape: Vec<usize>) -> Self {
+        Draws { tape, pos: 0, arities: Vec::new(), needed: None }
+    }
+
+    /// Draws uniformly from `0..k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn draw(&mut self, k: usize) -> usize {
+        assert!(k > 0, "draw among zero choices");
+        if let Some(&choice) = self.tape.get(self.pos) {
+            self.pos += 1;
+            self.arities.push(k);
+            debug_assert!(choice < k, "tape entry out of range for arity {k}");
+            choice
+        } else {
+            self.needed = Some(k);
+            self.pos += 1;
+            0
+        }
+    }
+
+    fn incomplete(&self) -> Option<usize> {
+        self.needed
+    }
+
+    /// The probability of this tape: the product of `1/arity` over all
+    /// completed draws.
+    fn weight(&self) -> Fraction {
+        self.arities.iter().fold(Fraction::one(), |w, &k| w.scale_down(k))
+    }
+}
+
+/// A sequential implementation whose operations may flip coins.
+///
+/// This mirrors the paper's sequential setting of §2: an abstract object
+/// plus a memory representation, with randomness made explicit so that
+/// distributions can be enumerated exactly rather than sampled.
+pub trait RandomizedImpl {
+    /// Operation type.
+    type Op: Clone + fmt::Debug;
+    /// Memory representation (the observable).
+    type Mem: Clone + Eq + Hash + fmt::Debug;
+    /// Abstract state (what HI is allowed to reveal).
+    type State: Clone + Eq + fmt::Debug;
+
+    /// The initial memory representation.
+    fn initial(&self) -> Self::Mem;
+
+    /// Applies one operation, drawing randomness from `draws`.
+    fn apply(&self, mem: &Self::Mem, op: &Self::Op, draws: &mut Draws) -> Self::Mem;
+
+    /// The abstract state represented by a memory.
+    fn abstract_state(&self, mem: &Self::Mem) -> Self::State;
+}
+
+/// An exact probability distribution over values of type `T`.
+pub type Distribution<T> = HashMap<T, Fraction>;
+
+/// Computes the exact joint distribution of the memory representations at
+/// the given observation `points` (1-based operation counts, as in
+/// Definition 2: point `i` observes the memory after the `i`-th operation)
+/// along the operation sequence `ops`.
+///
+/// Enumerates every choice tape; runtime is the product of the draw
+/// arities, so keep examples small (the paper's examples need only a
+/// handful of slots).
+///
+/// # Panics
+///
+/// Panics if a point is out of range (`0` or greater than `ops.len()`).
+pub fn joint_distribution<I: RandomizedImpl>(
+    imp: &I,
+    ops: &[I::Op],
+    points: &[usize],
+) -> Distribution<Vec<I::Mem>> {
+    for &p in points {
+        assert!((1..=ops.len()).contains(&p), "observation point {p} out of range");
+    }
+    let mut dist: Distribution<Vec<I::Mem>> = HashMap::new();
+    // DFS over tape prefixes.
+    let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+    while let Some(tape) = stack.pop() {
+        let mut draws = Draws::replay(tape.clone());
+        let mut mem = imp.initial();
+        let mut observed: Vec<I::Mem> = Vec::with_capacity(points.len());
+        let mut forked = false;
+        for (i, op) in ops.iter().enumerate() {
+            mem = imp.apply(&mem, op, &mut draws);
+            if let Some(k) = draws.incomplete() {
+                // The run needs one more draw than the tape provides: fork
+                // into one extended tape per possible choice.
+                for choice in 0..k {
+                    let mut t = tape.clone();
+                    t.push(choice);
+                    stack.push(t);
+                }
+                forked = true;
+                break;
+            }
+            for &p in points {
+                if p == i + 1 {
+                    observed.push(mem.clone());
+                }
+            }
+        }
+        if forked {
+            continue;
+        }
+        let entry = dist.entry(observed).or_insert_with(Fraction::zero);
+        *entry = *entry + draws.weight();
+    }
+    debug_assert_eq!(
+        dist.values().copied().fold(Fraction::zero(), |a, b| a + b),
+        Fraction::one(),
+        "distribution must sum to 1"
+    );
+    dist
+}
+
+/// Evidence that two histories induce different memory distributions at the
+/// compared observation points.
+#[derive(Clone, Debug)]
+pub struct HiDistributionViolation<M> {
+    /// A memory tuple whose probability differs.
+    pub witness: Vec<M>,
+    /// Its probability under the first history.
+    pub p1: Fraction,
+    /// Its probability under the second history.
+    pub p2: Fraction,
+}
+
+impl<M: fmt::Debug> fmt::Display for HiDistributionViolation<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "observation {:?} has probability {} under history 1 but {} under history 2",
+            self.witness, self.p1, self.p2
+        )
+    }
+}
+
+impl<M: fmt::Debug> Error for HiDistributionViolation<M> {}
+
+fn compare<M: Clone + Eq + Hash + fmt::Debug>(
+    d1: &Distribution<Vec<M>>,
+    d2: &Distribution<Vec<M>>,
+) -> Result<(), HiDistributionViolation<M>> {
+    for (key, &p1) in d1 {
+        let p2 = d2.get(key).copied().unwrap_or_else(Fraction::zero);
+        if p1 != p2 {
+            return Err(HiDistributionViolation { witness: key.clone(), p1, p2 });
+        }
+    }
+    for (key, &p2) in d2 {
+        if !d1.contains_key(key) {
+            return Err(HiDistributionViolation {
+                witness: key.clone(),
+                p1: Fraction::zero(),
+                p2,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks **weak history independence** (Definition 1) for one pair of
+/// operation sequences: both must take the object from the initial state to
+/// the same state and must induce the same distribution on the final memory
+/// representation.
+///
+/// # Errors
+///
+/// Returns the differing observation if the distributions are not equal.
+///
+/// # Panics
+///
+/// Panics if the sequences are empty or do not reach the same abstract
+/// state (the definition only constrains same-state pairs).
+pub fn check_whi<I: RandomizedImpl>(
+    imp: &I,
+    seq1: &[I::Op],
+    seq2: &[I::Op],
+) -> Result<(), HiDistributionViolation<I::Mem>> {
+    assert!(!seq1.is_empty() && !seq2.is_empty(), "sequences must be nonempty");
+    assert_states_match(imp, seq1, seq2);
+    let d1 = joint_distribution(imp, seq1, &[seq1.len()]);
+    let d2 = joint_distribution(imp, seq2, &[seq2.len()]);
+    compare(&d1, &d2)
+}
+
+/// Checks **strong history independence** (Definition 2) for one pair of
+/// `(sequence, observation points)` instances: corresponding prefixes must
+/// reach the same states, and the joint distributions over the observed
+/// memory tuples must be identical.
+///
+/// # Errors
+///
+/// Returns the differing observation tuple if the joint distributions are
+/// not equal.
+///
+/// # Panics
+///
+/// Panics if the point lists have different lengths or if corresponding
+/// prefixes reach different abstract states.
+pub fn check_shi<I: RandomizedImpl>(
+    imp: &I,
+    h1: &(Vec<I::Op>, Vec<usize>),
+    h2: &(Vec<I::Op>, Vec<usize>),
+) -> Result<(), HiDistributionViolation<I::Mem>> {
+    let (seq1, points1) = h1;
+    let (seq2, points2) = h2;
+    assert_eq!(points1.len(), points2.len(), "point lists must have equal length");
+    for (&p1, &p2) in points1.iter().zip(points2) {
+        assert_states_match(imp, &seq1[..p1], &seq2[..p2]);
+    }
+    let d1 = joint_distribution(imp, seq1, points1);
+    let d2 = joint_distribution(imp, seq2, points2);
+    compare(&d1, &d2)
+}
+
+fn assert_states_match<I: RandomizedImpl>(imp: &I, seq1: &[I::Op], seq2: &[I::Op]) {
+    // The abstract state must be a function of the operation sequence alone
+    // (it cannot depend on the coin flips in a correct implementation);
+    // probing the zero tape suffices to compare the two sequences.
+    let state = |seq: &[I::Op]| {
+        let mut draws = Draws::replay(vec![0; 4096]);
+        let mut mem = imp.initial();
+        for op in seq {
+            mem = imp.apply(&mem, op, &mut draws);
+        }
+        imp.abstract_state(&mem)
+    };
+    assert_eq!(
+        state(seq1),
+        state(seq2),
+        "the definitions only compare histories reaching the same state"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A one-cell "register" that stores the value XOR a fresh coin flip's
+    /// placement bit — deliberately not HI at all.
+    struct CoinRegister;
+
+    impl RandomizedImpl for CoinRegister {
+        type Op = u8;
+        type Mem = (u8, usize);
+        type State = u8;
+
+        fn initial(&self) -> Self::Mem {
+            (0, 0)
+        }
+
+        fn apply(&self, _mem: &Self::Mem, op: &u8, draws: &mut Draws) -> Self::Mem {
+            (*op, draws.draw(2))
+        }
+
+        fn abstract_state(&self, mem: &Self::Mem) -> u8 {
+            mem.0
+        }
+    }
+
+    #[test]
+    fn distribution_sums_to_one_and_is_uniform() {
+        let d = joint_distribution(&CoinRegister, &[5u8], &[1]);
+        assert_eq!(d.len(), 2);
+        for p in d.values() {
+            assert_eq!(*p, Fraction::new(1, 2));
+        }
+    }
+
+    #[test]
+    fn whi_holds_for_memoryless_randomness() {
+        // Any two one-op histories writing 5: same uniform distribution.
+        check_whi(&CoinRegister, &[5u8], &[5u8]).unwrap();
+        // Longer history, same final op: the final flip is fresh, so the
+        // final-memory distribution is the same — WHI holds.
+        check_whi(&CoinRegister, &[1u8, 5], &[5u8]).unwrap();
+    }
+
+    #[test]
+    fn shi_detects_refreshed_randomness() {
+        // Observing twice: (after op1, after op1) has perfectly correlated
+        // memories in the short history, but the long history re-flips.
+        let short = (vec![5u8], vec![1, 1]);
+        let long = (vec![5u8, 5u8], vec![1, 2]);
+        let err = check_shi(&CoinRegister, &short, &long).unwrap_err();
+        assert!(err.p1 != err.p2);
+    }
+
+    #[test]
+    fn joint_points_capture_intermediate_memories() {
+        let d = joint_distribution(&CoinRegister, &[1u8, 2u8], &[1, 2]);
+        // Two independent flips: four equally likely (mem1, mem2) tuples.
+        assert_eq!(d.len(), 4);
+        for p in d.values() {
+            assert_eq!(*p, Fraction::new(1, 4));
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! The paper's §1 example: a set whose inserts pick fresh random locations —
+//! weakly but not strongly history independent — and its canonical
+//! deterministic counterpart.
+
+use crate::model::{Draws, RandomizedImpl};
+
+/// Operations of the slot sets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SetOp {
+    /// Add element `e` (no-op if present).
+    Insert(u32),
+    /// Remove element `e` (no-op if absent).
+    Remove(u32),
+}
+
+/// A set over `{1..=t}` stored in `m ≥ t` memory slots, each insert placing
+/// its element in a *uniformly random free slot* (the paper's §1 example).
+///
+/// Weakly HI: by symmetry, the distribution of placements depends only on
+/// the current contents. Not strongly HI: remove + re-insert relocates the
+/// element with probability `> 0`, which an observer who saw the earlier
+/// placement detects.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomSlotSet {
+    t: u32,
+    m: usize,
+}
+
+impl RandomSlotSet {
+    /// Creates a set over `{1..=t}` with `m` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t >= 1` and `m >= t` (inserts must always find a free
+    /// slot).
+    pub fn new(t: u32, m: usize) -> Self {
+        assert!(t >= 1, "domain must be nonempty");
+        assert!(m >= t as usize, "need at least one slot per element");
+        RandomSlotSet { t, m }
+    }
+}
+
+impl RandomizedImpl for RandomSlotSet {
+    type Op = SetOp;
+    /// Slot contents: 0 = empty, else the element.
+    type Mem = Vec<u32>;
+    /// Sorted member list.
+    type State = Vec<u32>;
+
+    fn initial(&self) -> Vec<u32> {
+        vec![0; self.m]
+    }
+
+    fn apply(&self, mem: &Vec<u32>, op: &SetOp, draws: &mut Draws) -> Vec<u32> {
+        let mut mem = mem.clone();
+        match op {
+            SetOp::Insert(e) => {
+                assert!((1..=self.t).contains(e), "element out of domain");
+                if !mem.contains(e) {
+                    let free: Vec<usize> =
+                        (0..self.m).filter(|&s| mem[s] == 0).collect();
+                    let slot = free[draws.draw(free.len())];
+                    mem[slot] = *e;
+                }
+            }
+            SetOp::Remove(e) => {
+                for slot in &mut mem {
+                    if slot == e {
+                        *slot = 0;
+                    }
+                }
+            }
+        }
+        mem
+    }
+
+    fn abstract_state(&self, mem: &Vec<u32>) -> Vec<u32> {
+        let mut members: Vec<u32> = mem.iter().copied().filter(|&e| e != 0).collect();
+        members.sort_unstable();
+        members
+    }
+}
+
+/// The deterministic counterpart: element `e` always lives in slot `e - 1`.
+/// Canonical, hence (Proposition 3) both weakly and strongly HI.
+#[derive(Clone, Copy, Debug)]
+pub struct CanonicalSlotSet {
+    t: u32,
+}
+
+impl CanonicalSlotSet {
+    /// Creates a set over `{1..=t}`.
+    pub fn new(t: u32) -> Self {
+        assert!(t >= 1, "domain must be nonempty");
+        CanonicalSlotSet { t }
+    }
+}
+
+impl RandomizedImpl for CanonicalSlotSet {
+    type Op = SetOp;
+    type Mem = Vec<u32>;
+    type State = Vec<u32>;
+
+    fn initial(&self) -> Vec<u32> {
+        vec![0; self.t as usize]
+    }
+
+    fn apply(&self, mem: &Vec<u32>, op: &SetOp, _draws: &mut Draws) -> Vec<u32> {
+        let mut mem = mem.clone();
+        match op {
+            SetOp::Insert(e) => mem[(*e - 1) as usize] = *e,
+            SetOp::Remove(e) => mem[(*e - 1) as usize] = 0,
+        }
+        mem
+    }
+
+    fn abstract_state(&self, mem: &Vec<u32>) -> Vec<u32> {
+        mem.iter().copied().filter(|&e| e != 0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{check_shi, check_whi, joint_distribution};
+    use crate::Fraction;
+
+    #[test]
+    fn insert_distribution_is_uniform_over_free_slots() {
+        let set = RandomSlotSet::new(2, 3);
+        let d = joint_distribution(&set, &[SetOp::Insert(1)], &[1]);
+        assert_eq!(d.len(), 3, "three possible placements");
+        for p in d.values() {
+            assert_eq!(*p, Fraction::new(1, 3));
+        }
+    }
+
+    #[test]
+    fn random_set_is_whi_on_paper_pairs() {
+        // Definition 1 pairs: same final state via different histories.
+        let set = RandomSlotSet::new(2, 3);
+        let pairs: Vec<(Vec<SetOp>, Vec<SetOp>)> = vec![
+            // {1} directly vs via a 2-detour.
+            (
+                vec![SetOp::Insert(1)],
+                vec![SetOp::Insert(1), SetOp::Insert(2), SetOp::Remove(2)],
+            ),
+            // {1} directly vs remove + re-insert.
+            (
+                vec![SetOp::Insert(1)],
+                vec![SetOp::Insert(1), SetOp::Remove(1), SetOp::Insert(1)],
+            ),
+            // {1,2} in either insertion order.
+            (
+                vec![SetOp::Insert(1), SetOp::Insert(2)],
+                vec![SetOp::Insert(2), SetOp::Insert(1)],
+            ),
+        ];
+        for (s1, s2) in pairs {
+            check_whi(&set, &s1, &s2)
+                .unwrap_or_else(|v| panic!("WHI must hold for {s1:?} vs {s2:?}: {v}"));
+        }
+    }
+
+    #[test]
+    fn random_set_is_not_shi() {
+        // The §1 narrative: insert, remove, insert again; an observer who
+        // sees the memory after each insert can tell re-insertion happened,
+        // because the element may move. Compare against the single-insert
+        // history observed twice at the same point.
+        let set = RandomSlotSet::new(2, 3);
+        let stay = (vec![SetOp::Insert(1)], vec![1, 1]);
+        let reinsert = (
+            vec![SetOp::Insert(1), SetOp::Remove(1), SetOp::Insert(1)],
+            vec![1, 3],
+        );
+        let violation = check_shi(&set, &stay, &reinsert)
+            .expect_err("random placement cannot be strongly HI");
+        // In `stay`, both observations are the same memory with certainty;
+        // in `reinsert` they differ with probability 2/3 (m = 3 free slots
+        // at re-insertion, 1 matching).
+        assert_ne!(violation.p1, violation.p2);
+    }
+
+    #[test]
+    fn canonical_set_is_whi_and_shi() {
+        let set = CanonicalSlotSet::new(3);
+        let s1 = vec![SetOp::Insert(1), SetOp::Insert(3)];
+        let s2 = vec![SetOp::Insert(3), SetOp::Insert(2), SetOp::Remove(2), SetOp::Insert(1)];
+        check_whi(&set, &s1, &s2).unwrap();
+        let h1 = (s1, vec![2, 2]);
+        let h2 = (s2, vec![4, 4]);
+        check_shi(&set, &h1, &h2).unwrap();
+    }
+
+    #[test]
+    fn deterministic_whi_equals_shi() {
+        // Proposition 3's content, on the canonical set: single-point and
+        // multi-point observations coincide for deterministic
+        // implementations — both checks pass on arbitrary same-state pairs.
+        let set = CanonicalSlotSet::new(2);
+        let s1 = vec![SetOp::Insert(2)];
+        let s2 = vec![SetOp::Insert(2), SetOp::Remove(1)];
+        check_whi(&set, &s1, &s2).unwrap();
+        check_shi(&set, &(s1, vec![1, 1]), &(s2, vec![1, 2])).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "same state")]
+    fn mismatched_states_rejected() {
+        let set = RandomSlotSet::new(2, 2);
+        let _ = check_whi(&set, &[SetOp::Insert(1)], &[SetOp::Insert(2)]);
+    }
+}

@@ -1,0 +1,152 @@
+//! The perfect-HI set over `{1..t}` (paper §5.1).
+//!
+//! The set is not in `C_t` — its operations cannot distinguish its `2^t`
+//! states — and the obvious implementation from `t` binary registers is
+//! *perfect* HI: every operation is a single primitive, so every reachable
+//! configuration's memory is the characteristic vector of the current
+//! abstract state, with no intermediate representations at all.
+
+use hi_core::objects::{SetOp, SetResp, SetSpec};
+use hi_core::Pid;
+use hi_sim::{CellDomain, CellId, Implementation, MemCtx, ProcessHandle, SharedMem};
+
+/// The §5.1 set: `S[e] = 1` iff `e` is a member. Any process may run any
+/// operation; all operations are single-primitive, wait-free and perfect HI.
+#[derive(Clone, Debug)]
+pub struct HiSet {
+    spec: SetSpec,
+    s: Vec<CellId>,
+    n: usize,
+    mem: SharedMem,
+}
+
+impl HiSet {
+    /// Creates a set over `{1..=t}` shared by `n` processes.
+    pub fn new(t: u32, n: usize) -> Self {
+        let spec = SetSpec::new(t);
+        let mut mem = SharedMem::new();
+        let s: Vec<CellId> =
+            (1..=t).map(|e| mem.alloc(format!("S[{e}]"), CellDomain::Binary, 0)).collect();
+        HiSet { spec, s, n, mem }
+    }
+
+    /// The canonical representation of a state (bitmask over bits `1..=t`).
+    pub fn canonical(&self, state: u64) -> Vec<u64> {
+        (1..=self.spec.t()).map(|e| u64::from(state & (1 << e) != 0)).collect()
+    }
+}
+
+/// The per-process step machine of [`HiSet`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HiSetProcess {
+    s: Vec<CellId>,
+    pending: Option<SetOp>,
+}
+
+impl HiSetProcess {
+    fn cell(&self, e: u32) -> CellId {
+        self.s[(e - 1) as usize]
+    }
+}
+
+impl ProcessHandle<SetSpec> for HiSetProcess {
+    fn invoke(&mut self, op: SetOp) {
+        assert!(self.pending.is_none(), "operation already pending");
+        self.pending = Some(op);
+    }
+
+    fn is_idle(&self) -> bool {
+        self.pending.is_none()
+    }
+
+    fn step(&mut self, ctx: &mut MemCtx<'_>) -> Option<SetResp> {
+        match self.pending.take().expect("step of idle process") {
+            SetOp::Insert(e) => {
+                ctx.write(self.cell(e), 1);
+                Some(SetResp::Ack)
+            }
+            SetOp::Remove(e) => {
+                ctx.write(self.cell(e), 0);
+                Some(SetResp::Ack)
+            }
+            SetOp::Contains(e) => Some(SetResp::Bool(ctx.read(self.cell(e)) == 1)),
+        }
+    }
+
+    fn peeked_cell(&self) -> Option<CellId> {
+        self.pending.as_ref().map(|op| match op {
+            SetOp::Insert(e) | SetOp::Remove(e) | SetOp::Contains(e) => self.cell(*e),
+        })
+    }
+}
+
+impl Implementation<SetSpec> for HiSet {
+    type Process = HiSetProcess;
+
+    fn spec(&self) -> &SetSpec {
+        &self.spec
+    }
+
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn init_memory(&self) -> SharedMem {
+        self.mem.clone()
+    }
+
+    fn make_process(&self, _pid: Pid) -> HiSetProcess {
+        HiSetProcess { s: self.s.clone(), pending: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hi_sim::Executor;
+
+    #[test]
+    fn membership_round_trip() {
+        let mut exec = Executor::new(HiSet::new(5, 2));
+        exec.run_op_solo(Pid(0), SetOp::Insert(3), 10).unwrap();
+        exec.run_op_solo(Pid(0), SetOp::Insert(5), 10).unwrap();
+        exec.run_op_solo(Pid(0), SetOp::Remove(3), 10).unwrap();
+        assert_eq!(
+            exec.run_op_solo(Pid(1), SetOp::Contains(5), 10).unwrap(),
+            SetResp::Bool(true)
+        );
+        assert_eq!(
+            exec.run_op_solo(Pid(1), SetOp::Contains(3), 10).unwrap(),
+            SetResp::Bool(false)
+        );
+    }
+
+    #[test]
+    fn every_configuration_is_canonical() {
+        // Perfect HI: memory equals the characteristic vector at *every*
+        // step, not just at quiescence.
+        let imp = HiSet::new(4, 1);
+        let mut exec = Executor::new(imp.clone());
+        let mut state = 0u64;
+        for op in [
+            SetOp::Insert(2),
+            SetOp::Insert(4),
+            SetOp::Remove(2),
+            SetOp::Insert(1),
+            SetOp::Remove(4),
+        ] {
+            exec.run_op_solo(Pid(0), op, 10).unwrap();
+            state = exec.spec().apply(&state, &op).0;
+            assert_eq!(exec.snapshot(), imp.canonical(state));
+        }
+    }
+
+    #[test]
+    fn operations_are_single_step() {
+        let mut exec = Executor::new(HiSet::new(3, 1));
+        exec.invoke(Pid(0), SetOp::Insert(1));
+        assert!(exec.step(Pid(0)).is_some(), "insert completes in one primitive");
+    }
+
+    use hi_core::ObjectSpec;
+}

@@ -1,0 +1,64 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! History-independent SWSR multi-valued registers from binary registers,
+//! plus the max register and the perfect-HI set (paper §4 and §5.1).
+//!
+//! All implementations come in two backends:
+//!
+//! * **Simulator step machines** (the default types), pluggable into
+//!   [`hi_sim::Executor`] for deterministic scheduling, exhaustive checking
+//!   and the lower-bound adversary.
+//! * **Threaded atomics** (module [`threaded`]), for real-concurrency stress
+//!   tests and benchmarks.
+//!
+//! The four register implementations and their guarantees:
+//!
+//! | Type | Paper | Progress | History independence |
+//! |---|---|---|---|
+//! | [`VidyasankarRegister`] | Algorithm 1 | wait-free | **none** (leaks past writes) |
+//! | [`LockFreeHiRegister`] | Algorithms 2+3 | writer wait-free, reader lock-free | state-quiescent |
+//! | [`WaitFreeHiRegister`] | Algorithm 4 | wait-free | quiescent |
+//! | [`MaxRegister`] | §5.1 | wait-free | state-quiescent |
+//!
+//! Role convention for the SWSR registers: **pid 0 is the writer, pid 1 is
+//! the reader**; machines panic when invoked with the wrong operation for
+//! their role.
+//!
+//! The [`HiSet`] (§5.1) is multi-process: every pid may run every operation.
+
+pub mod hi_set;
+pub mod lockfree;
+pub mod max_register;
+pub mod threaded;
+pub mod vidyasankar;
+pub mod waitfree;
+
+pub use hi_set::HiSet;
+pub use lockfree::LockFreeHiRegister;
+pub use max_register::MaxRegister;
+pub use vidyasankar::VidyasankarRegister;
+pub use waitfree::WaitFreeHiRegister;
+
+/// The role of a process in a single-writer single-reader implementation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Role {
+    /// pid 0: may invoke `Write`.
+    Writer,
+    /// pid 1: may invoke `Read`.
+    Reader,
+}
+
+impl Role {
+    /// The role of `pid` under the SWSR convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics for pids other than 0 and 1.
+    pub fn of_pid(pid: hi_core::Pid) -> Role {
+        match pid.0 {
+            0 => Role::Writer,
+            1 => Role::Reader,
+            other => panic!("SWSR implementations have exactly two processes, got pid {other}"),
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Algorithms 2 + 3: the lock-free state-quiescent HI SWSR multi-valued
+//! register from binary registers.
+//!
+//! The writer behaves like Algorithm 1 but additionally clears *upwards*
+//! (`v+1 .. K`), so whenever no write is pending the array has exactly one 1
+//! — the canonical representation. The price: a reader overlapping a stream
+//! of writes may find no 1 in its scan (`TryRead` returns ⊥, Algorithm 3)
+//! and must retry, so reads are lock-free rather than wait-free. This is
+//! exactly the trade-off cell of Table 1 row 2.
+
+use hi_core::objects::{MultiRegisterSpec, RegisterOp, RegisterResp};
+use hi_core::Pid;
+use hi_sim::{CellDomain, CellId, Implementation, MemCtx, ProcessHandle, SharedMem};
+
+use crate::Role;
+
+/// Algorithms 2+3. pid 0 writes (wait-free), pid 1 reads (lock-free).
+/// State-quiescent HI.
+#[derive(Clone, Debug)]
+pub struct LockFreeHiRegister {
+    spec: MultiRegisterSpec,
+    a: Vec<CellId>,
+    mem: SharedMem,
+}
+
+impl LockFreeHiRegister {
+    /// Creates a `K`-valued register with initial value `v0`: binary cells
+    /// `A[1..=K]`, `A[v0] = 1`.
+    pub fn new(k: u64, v0: u64) -> Self {
+        let spec = MultiRegisterSpec::new(k, v0);
+        let mut mem = SharedMem::new();
+        let a: Vec<CellId> = (1..=k)
+            .map(|v| mem.alloc(format!("A[{v}]"), CellDomain::Binary, u64::from(v == v0)))
+            .collect();
+        LockFreeHiRegister { spec, a, mem }
+    }
+
+    /// The canonical memory representation of value `v`: all zeros except
+    /// `A[v] = 1`.
+    pub fn canonical(&self, v: u64) -> Vec<u64> {
+        (1..=self.spec.k()).map(|i| u64::from(i == v)).collect()
+    }
+}
+
+/// Program counter of one Algorithm 2 operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Pc {
+    Idle,
+    /// Line 5: write `A[v] <- 1`.
+    WriteSet { v: u64 },
+    /// Line 6: clear downwards, `j` from `v-1` to 1.
+    WriteClearDown { v: u64, j: u64 },
+    /// Line 7: clear upwards, `j` from `v+1` to `K`.
+    WriteClearUp { j: u64 },
+    /// Algorithm 3 lines 1–2: scan up; on reaching `K` without a 1, retry
+    /// from index 1 (the lock-free loop of Algorithm 2 lines 2–3).
+    ScanUp { j: u64 },
+    /// Algorithm 3 lines 4–5: scan down keeping the smallest 1.
+    ScanDown { j: u64, val: u64 },
+}
+
+/// The per-process step machine of [`LockFreeHiRegister`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LockFreeHiProcess {
+    role: Role,
+    k: u64,
+    a: Vec<CellId>,
+    pc: Pc,
+}
+
+impl LockFreeHiProcess {
+    fn cell(&self, v: u64) -> CellId {
+        self.a[(v - 1) as usize]
+    }
+}
+
+impl ProcessHandle<MultiRegisterSpec> for LockFreeHiProcess {
+    fn invoke(&mut self, op: RegisterOp) {
+        assert_eq!(self.pc, Pc::Idle, "operation already pending");
+        self.pc = match (self.role, op) {
+            (Role::Writer, RegisterOp::Write(v)) => Pc::WriteSet { v },
+            (Role::Reader, RegisterOp::Read) => Pc::ScanUp { j: 1 },
+            (role, op) => panic!("{role:?} cannot invoke {op:?}"),
+        };
+    }
+
+    fn is_idle(&self) -> bool {
+        self.pc == Pc::Idle
+    }
+
+    fn step(&mut self, ctx: &mut MemCtx<'_>) -> Option<RegisterResp> {
+        match self.pc.clone() {
+            Pc::Idle => panic!("step of idle process"),
+            Pc::WriteSet { v } => {
+                ctx.write(self.cell(v), 1);
+                self.pc = if v > 1 {
+                    Pc::WriteClearDown { v, j: v - 1 }
+                } else if v < self.k {
+                    Pc::WriteClearUp { j: v + 1 }
+                } else {
+                    Pc::Idle
+                };
+                (self.pc == Pc::Idle).then_some(RegisterResp::Ack)
+            }
+            Pc::WriteClearDown { v, j } => {
+                ctx.write(self.cell(j), 0);
+                self.pc = if j > 1 {
+                    Pc::WriteClearDown { v, j: j - 1 }
+                } else if v < self.k {
+                    Pc::WriteClearUp { j: v + 1 }
+                } else {
+                    Pc::Idle
+                };
+                (self.pc == Pc::Idle).then_some(RegisterResp::Ack)
+            }
+            Pc::WriteClearUp { j } => {
+                ctx.write(self.cell(j), 0);
+                self.pc = if j < self.k { Pc::WriteClearUp { j: j + 1 } } else { Pc::Idle };
+                (self.pc == Pc::Idle).then_some(RegisterResp::Ack)
+            }
+            Pc::ScanUp { j } => {
+                if ctx.read(self.cell(j)) == 1 {
+                    if j == 1 {
+                        self.pc = Pc::Idle;
+                        Some(RegisterResp::Value(1))
+                    } else {
+                        self.pc = Pc::ScanDown { j: j - 1, val: j };
+                        None
+                    }
+                } else {
+                    // TryRead fails at K: restart (lock-free retry).
+                    self.pc = if j < self.k { Pc::ScanUp { j: j + 1 } } else { Pc::ScanUp { j: 1 } };
+                    None
+                }
+            }
+            Pc::ScanDown { j, val } => {
+                let val = if ctx.read(self.cell(j)) == 1 { j } else { val };
+                if j > 1 {
+                    self.pc = Pc::ScanDown { j: j - 1, val };
+                    None
+                } else {
+                    self.pc = Pc::Idle;
+                    Some(RegisterResp::Value(val))
+                }
+            }
+        }
+    }
+
+    fn peeked_cell(&self) -> Option<CellId> {
+        match &self.pc {
+            Pc::Idle => None,
+            Pc::WriteSet { v } => Some(self.cell(*v)),
+            Pc::WriteClearDown { j, .. }
+            | Pc::WriteClearUp { j }
+            | Pc::ScanUp { j }
+            | Pc::ScanDown { j, .. } => Some(self.cell(*j)),
+        }
+    }
+}
+
+impl Implementation<MultiRegisterSpec> for LockFreeHiRegister {
+    type Process = LockFreeHiProcess;
+
+    fn spec(&self) -> &MultiRegisterSpec {
+        &self.spec
+    }
+
+    fn num_processes(&self) -> usize {
+        2
+    }
+
+    fn init_memory(&self) -> SharedMem {
+        self.mem.clone()
+    }
+
+    fn make_process(&self, pid: Pid) -> LockFreeHiProcess {
+        LockFreeHiProcess {
+            role: Role::of_pid(pid),
+            k: self.spec.k(),
+            a: self.a.clone(),
+            pc: Pc::Idle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hi_sim::Executor;
+
+    const W: Pid = Pid(0);
+    const R: Pid = Pid(1);
+
+    #[test]
+    fn sequential_write_read() {
+        let mut exec = Executor::new(LockFreeHiRegister::new(5, 1));
+        exec.run_op_solo(W, RegisterOp::Write(3), 100).unwrap();
+        assert_eq!(
+            exec.run_op_solo(R, RegisterOp::Read, 100).unwrap(),
+            RegisterResp::Value(3)
+        );
+    }
+
+    #[test]
+    fn canonical_memory_after_each_write() {
+        let imp = LockFreeHiRegister::new(4, 2);
+        let mut exec = Executor::new(imp.clone());
+        for v in [3, 1, 4, 1, 2] {
+            exec.run_op_solo(W, RegisterOp::Write(v), 100).unwrap();
+            assert_eq!(exec.snapshot(), imp.canonical(v), "after Write({v})");
+        }
+    }
+
+    #[test]
+    fn no_leak_on_paper_example() {
+        // Write(2);Write(1) and Write(1) now leave identical memory.
+        let imp = LockFreeHiRegister::new(3, 3);
+        let mut e1 = Executor::new(imp.clone());
+        e1.run_op_solo(W, RegisterOp::Write(2), 100).unwrap();
+        e1.run_op_solo(W, RegisterOp::Write(1), 100).unwrap();
+        let mut e2 = Executor::new(imp);
+        e2.run_op_solo(W, RegisterOp::Write(1), 100).unwrap();
+        assert_eq!(e1.snapshot(), e2.snapshot());
+    }
+
+    #[test]
+    fn reader_starves_under_hostile_writer() {
+        // Keep the register's single 1 one step ahead of the reader's scan
+        // cursor: before the reader reads A[j], write any value != j. The
+        // read never returns (lock-free, not wait-free) even though the
+        // writer completes every write.
+        let k = 4;
+        let mut exec = Executor::new(LockFreeHiRegister::new(k, 2));
+        exec.invoke(R, RegisterOp::Read);
+        for round in 0..200u64 {
+            // The reader's scan index at round r is (r mod K) + 1; the
+            // current value differs from it, so this step reads 0.
+            assert!(exec.step(R).is_none(), "read must not return under this schedule");
+            let next_j = (round + 1) % k + 1;
+            let dodge = next_j % k + 1;
+            exec.run_op_solo(W, RegisterOp::Write(dodge), 100).unwrap();
+        }
+        assert!(exec.can_step(R), "read still pending after 200 rounds");
+    }
+
+    #[test]
+    fn writer_is_wait_free_bounded_steps() {
+        // A Write takes exactly K steps (set + K-1 clears), independent of
+        // the reader: the writer side of Algorithm 2 is wait-free.
+        let k = 5;
+        let mut exec = Executor::new(LockFreeHiRegister::new(k, 1));
+        for v in 1..=k {
+            exec.invoke(W, RegisterOp::Write(v));
+            let mut steps = 0;
+            while exec.can_step(W) {
+                exec.step(W);
+                steps += 1;
+            }
+            assert_eq!(steps, k, "Write({v}) must take exactly K primitives");
+        }
+    }
+
+    #[test]
+    fn reader_returns_when_run_solo() {
+        // Lock-freedom: once the writer stops, the reader finishes.
+        let mut exec = Executor::new(LockFreeHiRegister::new(4, 2));
+        exec.invoke(R, RegisterOp::Read);
+        exec.step(R); // reads A[1] = 0 while the value is 2
+        exec.run_op_solo(W, RegisterOp::Write(4), 100).unwrap();
+        let (_, resp) = exec.run_solo(R, 100).unwrap();
+        assert_eq!(resp, RegisterResp::Value(4));
+    }
+}

@@ -1,0 +1,253 @@
+//! The max register (paper §5.1): wait-free *and* state-quiescent HI from
+//! binary registers — possible because the max register is not in `C_t`.
+//!
+//! The implementation is the paper's "simple modification to Algorithm 1":
+//! the writer only touches `A` when the new value exceeds everything it has
+//! written before, then sets `A[v]` and clears downwards. Since values only
+//! grow, the stale-1s-above problem of Algorithm 1 cannot arise: when no
+//! write is pending, exactly `A[max] = 1` — a canonical representation at
+//! every state-quiescent point, with no retry loop anywhere.
+
+use hi_core::objects::{MaxRegisterOp, MaxRegisterSpec, RegisterResp};
+use hi_core::Pid;
+use hi_sim::{CellDomain, CellId, Implementation, MemCtx, ProcessHandle, SharedMem};
+
+use crate::Role;
+
+/// The §5.1 max register. pid 0 writes, pid 1 reads; both wait-free;
+/// state-quiescent HI.
+#[derive(Clone, Debug)]
+pub struct MaxRegister {
+    spec: MaxRegisterSpec,
+    a: Vec<CellId>,
+    mem: SharedMem,
+}
+
+impl MaxRegister {
+    /// Creates a max register over `1..=k` (initial maximum 1).
+    pub fn new(k: u64) -> Self {
+        let spec = MaxRegisterSpec::new(k);
+        let mut mem = SharedMem::new();
+        let a: Vec<CellId> = (1..=k)
+            .map(|v| mem.alloc(format!("A[{v}]"), CellDomain::Binary, u64::from(v == 1)))
+            .collect();
+        MaxRegister { spec, a, mem }
+    }
+
+    /// The canonical memory representation of maximum `m`.
+    pub fn canonical(&self, m: u64) -> Vec<u64> {
+        (1..=self.spec.k()).map(|i| u64::from(i == m)).collect()
+    }
+}
+
+/// Program counter of one max-register operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Pc {
+    Idle,
+    /// Write `A[v] <- 1` (only reached when `v` exceeds the local maximum).
+    WriteSet { v: u64 },
+    /// Clear `A[j] <- 0`, descending.
+    WriteClear { j: u64 },
+    /// Scan up for the first 1.
+    ScanUp { j: u64 },
+    /// Scan down keeping the smallest 1 (as in Algorithm 1's reader).
+    ScanDown { j: u64, val: u64 },
+}
+
+/// The per-process step machine of [`MaxRegister`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MaxRegisterProcess {
+    role: Role,
+    k: u64,
+    a: Vec<CellId>,
+    /// Writer-local maximum written so far.
+    local_max: u64,
+    pc: Pc,
+    /// A `WriteMax` not exceeding `local_max` completes without any
+    /// primitive; this flag marks that pending-but-trivial state.
+    trivial_ack: bool,
+}
+
+impl MaxRegisterProcess {
+    fn cell(&self, v: u64) -> CellId {
+        self.a[(v - 1) as usize]
+    }
+}
+
+impl ProcessHandle<MaxRegisterSpec> for MaxRegisterProcess {
+    fn invoke(&mut self, op: MaxRegisterOp) {
+        assert!(self.is_idle(), "operation already pending");
+        match (self.role, op) {
+            (Role::Writer, MaxRegisterOp::WriteMax(v)) => {
+                if v > self.local_max {
+                    self.pc = Pc::WriteSet { v };
+                } else {
+                    self.trivial_ack = true;
+                }
+            }
+            (Role::Reader, MaxRegisterOp::ReadMax) => self.pc = Pc::ScanUp { j: 1 },
+            (role, op) => panic!("{role:?} cannot invoke {op:?}"),
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.pc == Pc::Idle && !self.trivial_ack
+    }
+
+    fn step(&mut self, ctx: &mut MemCtx<'_>) -> Option<RegisterResp> {
+        if self.trivial_ack {
+            self.trivial_ack = false;
+            return Some(RegisterResp::Ack);
+        }
+        match self.pc.clone() {
+            Pc::Idle => panic!("step of idle process"),
+            Pc::WriteSet { v } => {
+                ctx.write(self.cell(v), 1);
+                self.local_max = v;
+                if v > 1 {
+                    self.pc = Pc::WriteClear { j: v - 1 };
+                    None
+                } else {
+                    self.pc = Pc::Idle;
+                    Some(RegisterResp::Ack)
+                }
+            }
+            Pc::WriteClear { j } => {
+                ctx.write(self.cell(j), 0);
+                if j > 1 {
+                    self.pc = Pc::WriteClear { j: j - 1 };
+                    None
+                } else {
+                    self.pc = Pc::Idle;
+                    Some(RegisterResp::Ack)
+                }
+            }
+            Pc::ScanUp { j } => {
+                if ctx.read(self.cell(j)) == 1 {
+                    if j == 1 {
+                        self.pc = Pc::Idle;
+                        Some(RegisterResp::Value(1))
+                    } else {
+                        self.pc = Pc::ScanDown { j: j - 1, val: j };
+                        None
+                    }
+                } else {
+                    assert!(j < self.k, "max register invariant broken: no 1 in A");
+                    self.pc = Pc::ScanUp { j: j + 1 };
+                    None
+                }
+            }
+            Pc::ScanDown { j, val } => {
+                let val = if ctx.read(self.cell(j)) == 1 { j } else { val };
+                if j > 1 {
+                    self.pc = Pc::ScanDown { j: j - 1, val };
+                    None
+                } else {
+                    self.pc = Pc::Idle;
+                    Some(RegisterResp::Value(val))
+                }
+            }
+        }
+    }
+
+    fn peeked_cell(&self) -> Option<CellId> {
+        match &self.pc {
+            Pc::Idle => None,
+            Pc::WriteSet { v } => Some(self.cell(*v)),
+            Pc::WriteClear { j } | Pc::ScanUp { j } | Pc::ScanDown { j, .. } => {
+                Some(self.cell(*j))
+            }
+        }
+    }
+}
+
+impl Implementation<MaxRegisterSpec> for MaxRegister {
+    type Process = MaxRegisterProcess;
+
+    fn spec(&self) -> &MaxRegisterSpec {
+        &self.spec
+    }
+
+    fn num_processes(&self) -> usize {
+        2
+    }
+
+    fn init_memory(&self) -> SharedMem {
+        self.mem.clone()
+    }
+
+    fn make_process(&self, pid: Pid) -> MaxRegisterProcess {
+        MaxRegisterProcess {
+            role: Role::of_pid(pid),
+            k: self.spec.k(),
+            a: self.a.clone(),
+            local_max: 1,
+            pc: Pc::Idle,
+            trivial_ack: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hi_sim::Executor;
+
+    const W: Pid = Pid(0);
+    const R: Pid = Pid(1);
+
+    #[test]
+    fn returns_running_maximum() {
+        let mut exec = Executor::new(MaxRegister::new(6));
+        for (write, expect) in [(3, 3), (2, 3), (5, 5), (1, 5)] {
+            exec.run_op_solo(W, MaxRegisterOp::WriteMax(write), 100).unwrap();
+            assert_eq!(
+                exec.run_op_solo(R, MaxRegisterOp::ReadMax, 100).unwrap(),
+                RegisterResp::Value(expect)
+            );
+        }
+    }
+
+    #[test]
+    fn state_quiescent_memory_is_canonical() {
+        let imp = MaxRegister::new(5);
+        let mut exec = Executor::new(imp.clone());
+        for (write, max) in [(2, 2), (4, 4), (3, 4), (5, 5)] {
+            exec.run_op_solo(W, MaxRegisterOp::WriteMax(write), 100).unwrap();
+            assert_eq!(exec.snapshot(), imp.canonical(max), "after WriteMax({write})");
+        }
+    }
+
+    #[test]
+    fn smaller_write_leaves_memory_untouched() {
+        let imp = MaxRegister::new(4);
+        let mut exec = Executor::new(imp);
+        exec.run_op_solo(W, MaxRegisterOp::WriteMax(3), 100).unwrap();
+        let before = exec.snapshot();
+        let steps_before = exec.steps();
+        exec.run_op_solo(W, MaxRegisterOp::WriteMax(2), 100).unwrap();
+        assert_eq!(exec.snapshot(), before);
+        assert_eq!(exec.steps(), steps_before + 1, "one local step, no primitives");
+    }
+
+    #[test]
+    fn reader_is_wait_free_under_increasing_writes() {
+        // Monotone writes cannot starve the reader: at most K write phases
+        // exist in total.
+        let k = 8;
+        let mut exec = Executor::new(MaxRegister::new(k));
+        exec.invoke(R, MaxRegisterOp::ReadMax);
+        let mut returned = false;
+        for v in 2..=k {
+            if exec.step(R).is_some() {
+                returned = true;
+                break;
+            }
+            exec.run_op_solo(W, MaxRegisterOp::WriteMax(v), 100).unwrap();
+        }
+        if !returned {
+            // Writer has exhausted its domain; reader finishes solo.
+            exec.run_solo(R, 10 * k).unwrap();
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! Real-thread backends of the register algorithms, on `AtomicU8` cells with
+//! sequentially consistent ordering (the paper assumes atomic base
+//! registers).
+//!
+//! The SWSR discipline is enforced by construction: [`split`] borrows the
+//! register mutably and hands out exactly one non-cloneable writer handle
+//! and one reader handle; both are `Send`, so they can move to threads.
+//!
+//! [`split`]: AtomicVidyasankar::split
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const ORD: Ordering = Ordering::SeqCst;
+
+fn alloc_bits(k: u64, v0: u64) -> Box<[AtomicU8]> {
+    (1..=k).map(|v| AtomicU8::new(u8::from(v == v0))).collect()
+}
+
+fn snapshot_bits(bits: &[AtomicU8]) -> Vec<u64> {
+    bits.iter().map(|b| u64::from(b.load(ORD))).collect()
+}
+
+macro_rules! swsr_register_shell {
+    ($(#[$doc:meta])* $name:ident, $writer:ident, $reader:ident) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name {
+            a: Box<[AtomicU8]>,
+            k: u64,
+        }
+
+        impl $name {
+            /// The number of values, `K`.
+            pub fn k(&self) -> u64 {
+                self.k
+            }
+
+            /// `mem(C)` of the `A` array. Only meaningful at quiescent
+            /// points of the caller's protocol; reads are atomic per cell
+            /// but the vector itself is not an atomic snapshot.
+            pub fn snapshot_a(&self) -> Vec<u64> {
+                snapshot_bits(&self.a)
+            }
+
+            /// Splits into the single writer and single reader handles.
+            pub fn split(&mut self) -> ($writer<'_>, $reader<'_>) {
+                ($writer { reg: self, last_val: 0 }, $reader { reg: self })
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1
+// ---------------------------------------------------------------------------
+
+swsr_register_shell! {
+    /// Threaded Algorithm 1 (Vidyasankar): wait-free, linearizable, not HI.
+    AtomicVidyasankar, VidyasankarWriter, VidyasankarReader
+}
+
+impl AtomicVidyasankar {
+    /// Creates a `K`-valued register with initial value `v0`.
+    pub fn new(k: u64, v0: u64) -> Self {
+        assert!(k >= 2 && (1..=k).contains(&v0));
+        AtomicVidyasankar { a: alloc_bits(k, v0), k }
+    }
+}
+
+/// Writer handle of [`AtomicVidyasankar`].
+#[derive(Debug)]
+pub struct VidyasankarWriter<'a> {
+    reg: &'a AtomicVidyasankar,
+    #[allow(dead_code)] // parity with the HI registers' writer state
+    last_val: u64,
+}
+
+impl VidyasankarWriter<'_> {
+    /// `Write(v)`: set `A[v]`, clear downwards.
+    pub fn write(&mut self, v: u64) {
+        let a = &self.reg.a;
+        a[(v - 1) as usize].store(1, ORD);
+        for j in (1..v).rev() {
+            a[(j - 1) as usize].store(0, ORD);
+        }
+    }
+}
+
+/// Reader handle of [`AtomicVidyasankar`].
+#[derive(Debug)]
+pub struct VidyasankarReader<'a> {
+    reg: &'a AtomicVidyasankar,
+}
+
+impl VidyasankarReader<'_> {
+    /// `Read()`: scan up to the first 1, then down keeping the smallest 1.
+    pub fn read(&mut self) -> u64 {
+        let a = &self.reg.a;
+        let mut j = 1u64;
+        while a[(j - 1) as usize].load(ORD) == 0 {
+            j += 1;
+            assert!(j <= self.reg.k, "Algorithm 1 invariant broken: no 1 in A");
+        }
+        let mut val = j;
+        for j in (1..val).rev() {
+            if a[(j - 1) as usize].load(ORD) == 1 {
+                val = j;
+            }
+        }
+        val
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 2
+// ---------------------------------------------------------------------------
+
+swsr_register_shell! {
+    /// Threaded Algorithms 2+3: writer wait-free, reader lock-free,
+    /// state-quiescent HI.
+    AtomicLockFreeHi, LockFreeHiWriter, LockFreeHiReader
+}
+
+impl AtomicLockFreeHi {
+    /// Creates a `K`-valued register with initial value `v0`.
+    pub fn new(k: u64, v0: u64) -> Self {
+        assert!(k >= 2 && (1..=k).contains(&v0));
+        AtomicLockFreeHi { a: alloc_bits(k, v0), k }
+    }
+}
+
+/// Writer handle of [`AtomicLockFreeHi`].
+#[derive(Debug)]
+pub struct LockFreeHiWriter<'a> {
+    reg: &'a AtomicLockFreeHi,
+    #[allow(dead_code)]
+    last_val: u64,
+}
+
+impl LockFreeHiWriter<'_> {
+    /// `Write(v)`: set `A[v]`, clear downwards, then clear upwards.
+    pub fn write(&mut self, v: u64) {
+        let a = &self.reg.a;
+        a[(v - 1) as usize].store(1, ORD);
+        for j in (1..v).rev() {
+            a[(j - 1) as usize].store(0, ORD);
+        }
+        for j in (v + 1)..=self.reg.k {
+            a[(j - 1) as usize].store(0, ORD);
+        }
+    }
+}
+
+/// Reader handle of [`AtomicLockFreeHi`].
+#[derive(Debug)]
+pub struct LockFreeHiReader<'a> {
+    reg: &'a AtomicLockFreeHi,
+}
+
+impl LockFreeHiReader<'_> {
+    /// One `TryRead` attempt (Algorithm 3): `None` means no 1 was found.
+    pub fn try_read(&mut self) -> Option<u64> {
+        let a = &self.reg.a;
+        for j in 1..=self.reg.k {
+            if a[(j - 1) as usize].load(ORD) == 1 {
+                let mut val = j;
+                for j2 in (1..val).rev() {
+                    if a[(j2 - 1) as usize].load(ORD) == 1 {
+                        val = j2;
+                    }
+                }
+                return Some(val);
+            }
+        }
+        None
+    }
+
+    /// `Read()`: retry `TryRead` until it succeeds. Lock-free: may loop while
+    /// writes keep overlapping.
+    pub fn read(&mut self) -> u64 {
+        loop {
+            if let Some(val) = self.try_read() {
+                return val;
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 4
+// ---------------------------------------------------------------------------
+
+/// Threaded Algorithm 4: wait-free, quiescent HI.
+#[derive(Debug)]
+pub struct AtomicWaitFreeHi {
+    a: Box<[AtomicU8]>,
+    b: Box<[AtomicU8]>,
+    flag1: AtomicU8,
+    flag2: AtomicU8,
+    k: u64,
+}
+
+impl AtomicWaitFreeHi {
+    /// Creates a `K`-valued register with initial value `v0`.
+    pub fn new(k: u64, v0: u64) -> Self {
+        assert!(k >= 2 && (1..=k).contains(&v0));
+        AtomicWaitFreeHi {
+            a: alloc_bits(k, v0),
+            b: alloc_bits(k, 0),
+            flag1: AtomicU8::new(0),
+            flag2: AtomicU8::new(0),
+            k,
+        }
+    }
+
+    /// The number of values, `K`.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// Full memory snapshot: `A[1..K], B[1..K], flag[1], flag[2]`. Only an
+    /// atomic snapshot at quiescent points of the caller's protocol.
+    pub fn snapshot(&self) -> Vec<u64> {
+        let mut snap = snapshot_bits(&self.a);
+        snap.extend(snapshot_bits(&self.b));
+        snap.push(u64::from(self.flag1.load(ORD)));
+        snap.push(u64::from(self.flag2.load(ORD)));
+        snap
+    }
+
+    /// The canonical representation of value `v` under [`snapshot`].
+    ///
+    /// [`snapshot`]: AtomicWaitFreeHi::snapshot
+    pub fn canonical(&self, v: u64) -> Vec<u64> {
+        let mut snap = vec![0u64; (2 * self.k + 2) as usize];
+        snap[(v - 1) as usize] = 1;
+        snap
+    }
+
+    /// Splits into the single writer and single reader handles.
+    pub fn split(&mut self, v0: u64) -> (WaitFreeHiWriter<'_>, WaitFreeHiReader<'_>) {
+        (WaitFreeHiWriter { reg: self, last_val: v0 }, WaitFreeHiReader { reg: self })
+    }
+}
+
+/// Writer handle of [`AtomicWaitFreeHi`].
+#[derive(Debug)]
+pub struct WaitFreeHiWriter<'a> {
+    reg: &'a AtomicWaitFreeHi,
+    last_val: u64,
+}
+
+impl WaitFreeHiWriter<'_> {
+    /// `Write(v)` (Algorithm 4 lines 11–19).
+    pub fn write(&mut self, v: u64) {
+        let r = self.reg;
+        let b_empty = (1..=r.k).all(|j| r.b[(j - 1) as usize].load(ORD) == 0);
+        if b_empty
+            && r.flag1.load(ORD) == 1 {
+                r.b[(self.last_val - 1) as usize].store(1, ORD);
+                if r.flag2.load(ORD) == 1 || r.flag1.load(ORD) == 0 {
+                    r.b[(self.last_val - 1) as usize].store(0, ORD);
+                }
+            }
+        r.a[(v - 1) as usize].store(1, ORD);
+        for j in (1..v).rev() {
+            r.a[(j - 1) as usize].store(0, ORD);
+        }
+        for j in (v + 1)..=r.k {
+            r.a[(j - 1) as usize].store(0, ORD);
+        }
+        self.last_val = v;
+    }
+}
+
+/// Reader handle of [`AtomicWaitFreeHi`].
+#[derive(Debug)]
+pub struct WaitFreeHiReader<'a> {
+    reg: &'a AtomicWaitFreeHi,
+}
+
+impl WaitFreeHiReader<'_> {
+    fn try_read(&self) -> Option<u64> {
+        let r = self.reg;
+        for j in 1..=r.k {
+            if r.a[(j - 1) as usize].load(ORD) == 1 {
+                let mut val = j;
+                for j2 in (1..val).rev() {
+                    if r.a[(j2 - 1) as usize].load(ORD) == 1 {
+                        val = j2;
+                    }
+                }
+                return Some(val);
+            }
+        }
+        None
+    }
+
+    /// `Read()` (Algorithm 4 lines 1–10): wait-free, at most two `TryRead`s
+    /// plus one scan of `B`.
+    pub fn read(&mut self) -> u64 {
+        let r = self.reg;
+        r.flag1.store(1, ORD);
+        let mut val = None;
+        for _ in 0..2 {
+            val = self.try_read();
+            if val.is_some() {
+                break;
+            }
+        }
+        let val = val.unwrap_or_else(|| {
+            let mut from_b = None;
+            for j in 1..=r.k {
+                if r.b[(j - 1) as usize].load(ORD) == 1 {
+                    from_b = Some(j);
+                }
+            }
+            from_b.expect("Lemma 10 violated: no value in B after two failed TryReads")
+        });
+        r.flag2.store(1, ORD);
+        for j in 1..=r.k {
+            r.b[(j - 1) as usize].store(0, ORD);
+        }
+        r.flag1.store(0, ORD);
+        r.flag2.store(0, ORD);
+        val
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn vidyasankar_sequential() {
+        let mut reg = AtomicVidyasankar::new(5, 1);
+        let (mut w, mut r) = reg.split();
+        w.write(4);
+        assert_eq!(r.read(), 4);
+        w.write(2);
+        assert_eq!(r.read(), 2);
+    }
+
+    #[test]
+    fn lockfree_hi_canonical_after_writes() {
+        let mut reg = AtomicLockFreeHi::new(4, 2);
+        {
+            let (mut w, mut r) = reg.split();
+            w.write(3);
+            assert_eq!(r.read(), 3);
+        }
+        assert_eq!(reg.snapshot_a(), vec![0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn waitfree_hi_canonical_when_quiescent() {
+        let mut reg = AtomicWaitFreeHi::new(4, 1);
+        {
+            let (mut w, mut r) = reg.split(1);
+            w.write(3);
+            assert_eq!(r.read(), 3);
+            w.write(2);
+        }
+        assert_eq!(reg.snapshot(), reg.canonical(2));
+    }
+
+    #[test]
+    fn waitfree_hi_concurrent_stress() {
+        // A writer thread cycling values races a reader thread doing 2000
+        // reads; every read must return an in-domain value (reads are
+        // wait-free, so the loop always terminates), and after one final
+        // solo write the memory must be canonical.
+        let k = 6;
+        let mut reg = AtomicWaitFreeHi::new(k, 1);
+        let stop = AtomicBool::new(false);
+        {
+            let (mut w, mut r) = reg.split(1);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let mut round = 0u64;
+                    while !stop.load(ORD) {
+                        w.write(round % k + 1);
+                        round += 1;
+                    }
+                });
+                s.spawn(|| {
+                    for _ in 0..2_000 {
+                        let v = r.read();
+                        assert!((1..=k).contains(&v), "read out-of-range value {v}");
+                    }
+                    stop.store(true, ORD);
+                });
+            });
+        }
+        // A solo write with no concurrent reader never consults last-val,
+        // so re-splitting here is sound.
+        let (mut w, _r) = reg.split(1);
+        w.write(3);
+        assert_eq!(reg.snapshot(), reg.canonical(3));
+    }
+
+    #[test]
+    fn vidyasankar_leaks_lockfree_does_not() {
+        // The §4 leak, on real atomics.
+        let mut v1 = AtomicVidyasankar::new(3, 3);
+        v1.split().0.write(2);
+        v1.split().0.write(1);
+        let mut v2 = AtomicVidyasankar::new(3, 3);
+        v2.split().0.write(1);
+        assert_ne!(v1.snapshot_a(), v2.snapshot_a());
+
+        let mut h1 = AtomicLockFreeHi::new(3, 3);
+        h1.split().0.write(2);
+        h1.split().0.write(1);
+        let mut h2 = AtomicLockFreeHi::new(3, 3);
+        h2.split().0.write(1);
+        assert_eq!(h1.snapshot_a(), h2.snapshot_a());
+    }
+}

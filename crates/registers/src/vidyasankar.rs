@@ -1,0 +1,231 @@
+//! Algorithm 1: Vidyasankar's wait-free SWSR multi-valued register from
+//! binary registers — the paper's *non*-history-independent baseline.
+//!
+//! The value is the smallest index `v` with `A[v] = 1`. A `Write(v)` sets
+//! `A[v]` and clears only *below* `v`, so indices above the current value
+//! keep stale 1s: after `Write(2); Write(1)` the memory is `[1,1,0]`, after
+//! just `Write(1)` it is `[1,0,0]` — the memory reveals the history even in
+//! sequential executions (paper §4).
+
+use hi_core::objects::{MultiRegisterSpec, RegisterOp, RegisterResp};
+use hi_core::Pid;
+use hi_sim::{CellDomain, CellId, Implementation, MemCtx, ProcessHandle, SharedMem};
+
+use crate::Role;
+
+/// Algorithm 1. pid 0 writes, pid 1 reads. Wait-free, linearizable, not HI.
+#[derive(Clone, Debug)]
+pub struct VidyasankarRegister {
+    spec: MultiRegisterSpec,
+    a: Vec<CellId>,
+    mem: SharedMem,
+}
+
+impl VidyasankarRegister {
+    /// Creates a `K`-valued register with initial value `v0`, laid out as
+    /// binary cells `A[1..=K]` with `A[v0] = 1`.
+    pub fn new(k: u64, v0: u64) -> Self {
+        let spec = MultiRegisterSpec::new(k, v0);
+        let mut mem = SharedMem::new();
+        let a: Vec<CellId> = (1..=k)
+            .map(|v| mem.alloc(format!("A[{v}]"), CellDomain::Binary, u64::from(v == v0)))
+            .collect();
+        VidyasankarRegister { spec, a, mem }
+    }
+}
+
+/// Program counter of one Algorithm 1 operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Pc {
+    Idle,
+    /// Line 7: write `A[v] <- 1`.
+    WriteSet { v: u64 },
+    /// Line 8: write `A[j] <- 0`, `j` descending to 1.
+    WriteClear { j: u64 },
+    /// Lines 1–2: scan up for the first `A[j] = 1`.
+    ScanUp { j: u64 },
+    /// Lines 4–5: scan down from `val - 1`, keeping the smallest 1.
+    ScanDown { j: u64, val: u64 },
+}
+
+/// The per-process step machine of [`VidyasankarRegister`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VidyasankarProcess {
+    role: Role,
+    k: u64,
+    a: Vec<CellId>,
+    pc: Pc,
+}
+
+impl VidyasankarProcess {
+    fn cell(&self, v: u64) -> CellId {
+        self.a[(v - 1) as usize]
+    }
+}
+
+impl ProcessHandle<MultiRegisterSpec> for VidyasankarProcess {
+    fn invoke(&mut self, op: RegisterOp) {
+        assert_eq!(self.pc, Pc::Idle, "operation already pending");
+        self.pc = match (self.role, op) {
+            (Role::Writer, RegisterOp::Write(v)) => Pc::WriteSet { v },
+            (Role::Reader, RegisterOp::Read) => Pc::ScanUp { j: 1 },
+            (role, op) => panic!("{role:?} cannot invoke {op:?}"),
+        };
+    }
+
+    fn is_idle(&self) -> bool {
+        self.pc == Pc::Idle
+    }
+
+    fn step(&mut self, ctx: &mut MemCtx<'_>) -> Option<RegisterResp> {
+        match self.pc.clone() {
+            Pc::Idle => panic!("step of idle process"),
+            Pc::WriteSet { v } => {
+                ctx.write(self.cell(v), 1);
+                if v > 1 {
+                    self.pc = Pc::WriteClear { j: v - 1 };
+                    None
+                } else {
+                    self.pc = Pc::Idle;
+                    Some(RegisterResp::Ack)
+                }
+            }
+            Pc::WriteClear { j } => {
+                ctx.write(self.cell(j), 0);
+                if j > 1 {
+                    self.pc = Pc::WriteClear { j: j - 1 };
+                    None
+                } else {
+                    self.pc = Pc::Idle;
+                    Some(RegisterResp::Ack)
+                }
+            }
+            Pc::ScanUp { j } => {
+                if ctx.read(self.cell(j)) == 1 {
+                    if j == 1 {
+                        self.pc = Pc::Idle;
+                        Some(RegisterResp::Value(1))
+                    } else {
+                        self.pc = Pc::ScanDown { j: j - 1, val: j };
+                        None
+                    }
+                } else {
+                    assert!(j < self.k, "Algorithm 1 invariant broken: no 1 in A");
+                    self.pc = Pc::ScanUp { j: j + 1 };
+                    None
+                }
+            }
+            Pc::ScanDown { j, val } => {
+                let val = if ctx.read(self.cell(j)) == 1 { j } else { val };
+                if j > 1 {
+                    self.pc = Pc::ScanDown { j: j - 1, val };
+                    None
+                } else {
+                    self.pc = Pc::Idle;
+                    Some(RegisterResp::Value(val))
+                }
+            }
+        }
+    }
+
+    fn peeked_cell(&self) -> Option<CellId> {
+        match &self.pc {
+            Pc::Idle => None,
+            Pc::WriteSet { v } => Some(self.cell(*v)),
+            Pc::WriteClear { j } | Pc::ScanUp { j } | Pc::ScanDown { j, .. } => {
+                Some(self.cell(*j))
+            }
+        }
+    }
+}
+
+impl Implementation<MultiRegisterSpec> for VidyasankarRegister {
+    type Process = VidyasankarProcess;
+
+    fn spec(&self) -> &MultiRegisterSpec {
+        &self.spec
+    }
+
+    fn num_processes(&self) -> usize {
+        2
+    }
+
+    fn init_memory(&self) -> SharedMem {
+        self.mem.clone()
+    }
+
+    fn make_process(&self, pid: Pid) -> VidyasankarProcess {
+        VidyasankarProcess {
+            role: Role::of_pid(pid),
+            k: self.spec.k(),
+            a: self.a.clone(),
+            pc: Pc::Idle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hi_sim::Executor;
+
+    const W: Pid = Pid(0);
+    const R: Pid = Pid(1);
+
+    #[test]
+    fn sequential_write_read() {
+        let mut exec = Executor::new(VidyasankarRegister::new(5, 1));
+        exec.run_op_solo(W, RegisterOp::Write(4), 100).unwrap();
+        assert_eq!(
+            exec.run_op_solo(R, RegisterOp::Read, 100).unwrap(),
+            RegisterResp::Value(4)
+        );
+    }
+
+    #[test]
+    fn initial_value_readable() {
+        let mut exec = Executor::new(VidyasankarRegister::new(3, 2));
+        assert_eq!(
+            exec.run_op_solo(R, RegisterOp::Read, 100).unwrap(),
+            RegisterResp::Value(2)
+        );
+    }
+
+    #[test]
+    fn leaks_history_in_sequential_execution() {
+        // The paper's §4 example: Write(2);Write(1) vs Write(1) reach the
+        // same abstract state with different memory.
+        let imp = VidyasankarRegister::new(3, 3);
+        let mut e1 = Executor::new(imp.clone());
+        e1.run_op_solo(W, RegisterOp::Write(2), 100).unwrap();
+        e1.run_op_solo(W, RegisterOp::Write(1), 100).unwrap();
+        let mut e2 = Executor::new(imp);
+        e2.run_op_solo(W, RegisterOp::Write(1), 100).unwrap();
+        assert_ne!(e1.snapshot(), e2.snapshot(), "Algorithm 1 must leak (paper §4)");
+        // Yet both read back the same value.
+        assert_eq!(
+            e1.run_op_solo(R, RegisterOp::Read, 100).unwrap(),
+            e2.run_op_solo(R, RegisterOp::Read, 100).unwrap()
+        );
+    }
+
+    #[test]
+    fn write_is_wait_free_bounded_steps() {
+        // A Write(v) takes exactly v steps (1 set + v-1 clears).
+        let mut exec = Executor::new(VidyasankarRegister::new(6, 1));
+        exec.invoke(W, RegisterOp::Write(6));
+        let mut steps = 0;
+        while exec.can_step(W) {
+            exec.step(W);
+            steps += 1;
+        }
+        assert_eq!(steps, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot invoke")]
+    fn reader_cannot_write() {
+        let mut exec = Executor::new(VidyasankarRegister::new(3, 1));
+        exec.invoke(R, RegisterOp::Write(2));
+    }
+}

@@ -1,0 +1,232 @@
+//! The executor: drives step machines and records configurations.
+
+use std::error::Error;
+use std::fmt;
+
+use hi_core::{History, ObjectSpec, OpId, Pid};
+
+use crate::mem::{MemSnapshot, SharedMem};
+use crate::process::{Implementation, MemCtx, ProcessHandle};
+use crate::trace::Trace;
+
+/// A pending high-level operation of one process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Pending<S: ObjectSpec> {
+    id: OpId,
+    op: S::Op,
+    read_only: bool,
+}
+
+/// An executor holds one configuration of the system — the shared memory and
+/// every process's local state — plus the induced history, and advances the
+/// execution one step at a time under external scheduling control.
+///
+/// Executors are `Clone`: forking an executor forks the execution, which is
+/// how the exhaustive explorer and the §5 adversary build their execution
+/// trees.
+///
+/// # Example
+///
+/// See the crate-level documentation for a complete example.
+#[derive(Clone, Debug)]
+pub struct Executor<S: ObjectSpec, I: Implementation<S>> {
+    spec: S,
+    imp: I,
+    mem: SharedMem,
+    procs: Vec<I::Process>,
+    pending: Vec<Option<Pending<S>>>,
+    history: History<S::Op, S::Resp>,
+    steps: u64,
+    trace: Option<Trace>,
+}
+
+impl<S: ObjectSpec, I: Implementation<S>> Executor<S, I> {
+    /// Creates an executor in the implementation's initial configuration.
+    pub fn new(imp: I) -> Self {
+        let n = imp.num_processes();
+        Executor {
+            spec: imp.spec().clone(),
+            mem: imp.init_memory(),
+            procs: (0..n).map(|i| imp.make_process(Pid(i))).collect(),
+            pending: (0..n).map(|_| None).collect(),
+            history: History::new(),
+            steps: 0,
+            trace: None,
+            imp,
+        }
+    }
+
+    /// The abstract object's specification.
+    pub fn spec(&self) -> &S {
+        &self.spec
+    }
+
+    /// The implementation this executor runs.
+    pub fn implementation(&self) -> &I {
+        &self.imp
+    }
+
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// The shared memory of the current configuration.
+    pub fn mem(&self) -> &SharedMem {
+        &self.mem
+    }
+
+    /// `mem(C)` of the current configuration.
+    pub fn snapshot(&self) -> MemSnapshot {
+        self.mem.snapshot()
+    }
+
+    /// The history induced so far.
+    pub fn history(&self) -> &History<S::Op, S::Resp> {
+        &self.history
+    }
+
+    /// The local state of process `pid` (for indistinguishability checks).
+    pub fn process(&self, pid: Pid) -> &I::Process {
+        &self.procs[pid.0]
+    }
+
+    /// Total number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Starts recording a [`Trace`] of all primitives.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::new());
+        }
+    }
+
+    /// The trace recorded so far, if tracing is enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Stops tracing and returns the recorded trace.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// Whether `pid` has a pending operation (and can therefore take steps).
+    pub fn can_step(&self, pid: Pid) -> bool {
+        self.pending[pid.0].is_some()
+    }
+
+    /// The pending operation of `pid`, if any.
+    pub fn pending_op(&self, pid: Pid) -> Option<&S::Op> {
+        self.pending[pid.0].as_ref().map(|p| &p.op)
+    }
+
+    /// Whether the current configuration is quiescent: no pending operation
+    /// (paper §2).
+    pub fn is_quiescent(&self) -> bool {
+        self.pending.iter().all(Option::is_none)
+    }
+
+    /// Whether the current configuration is state-quiescent: no pending
+    /// *state-changing* operation (Definition 7; read-only operations may be
+    /// ongoing).
+    pub fn is_state_quiescent(&self) -> bool {
+        self.pending.iter().flatten().all(|p| p.read_only)
+    }
+
+    /// Invokes `op` on process `pid` and returns the operation id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` already has a pending operation.
+    pub fn invoke(&mut self, pid: Pid, op: S::Op) -> OpId {
+        assert!(self.pending[pid.0].is_none(), "{pid} already has a pending operation");
+        let id = self.history.invoke(pid, op.clone());
+        let read_only = self.spec.is_read_only(&op);
+        self.procs[pid.0].invoke(op.clone());
+        self.pending[pid.0] = Some(Pending { id, op, read_only });
+        id
+    }
+
+    /// Executes one step of process `pid`. Returns `Some((id, resp))` if the
+    /// pending operation completed at this step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` has no pending operation.
+    pub fn step(&mut self, pid: Pid) -> Option<(OpId, S::Resp)> {
+        let pending = self.pending[pid.0].as_ref().expect("step of idle process").clone();
+        let result = {
+            let mut ctx = MemCtx::new(&mut self.mem, self.trace.as_mut(), pid, self.steps);
+            self.procs[pid.0].step(&mut ctx)
+        };
+        self.steps += 1;
+        match result {
+            Some(resp) => {
+                self.history.ret(pending.id, resp.clone());
+                self.pending[pid.0] = None;
+                Some((pending.id, resp))
+            }
+            None => None,
+        }
+    }
+
+    /// Runs process `pid` solo until its pending operation returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::StepLimit`] if the operation does not return
+    /// within `max_steps` steps — which, for a solo run of an
+    /// obstruction-free implementation, indicates a bug.
+    pub fn run_solo(&mut self, pid: Pid, max_steps: u64) -> Result<(OpId, S::Resp), RunError> {
+        for _ in 0..max_steps {
+            if let Some(done) = self.step(pid) {
+                return Ok(done);
+            }
+        }
+        Err(RunError::StepLimit { pid, steps: max_steps })
+    }
+
+    /// Invokes `op` on `pid` and runs it solo to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::StepLimit`] if the operation does not return
+    /// within `max_steps` steps.
+    pub fn run_op_solo(&mut self, pid: Pid, op: S::Op, max_steps: u64) -> Result<S::Resp, RunError> {
+        self.invoke(pid, op);
+        self.run_solo(pid, max_steps).map(|(_, resp)| resp)
+    }
+
+    /// Whether the local states of all processes equal those of `other`
+    /// (used by the lower-bound adversary's indistinguishability argument).
+    pub fn processes_eq(&self, other: &Self) -> bool {
+        self.procs == other.procs
+    }
+}
+
+/// Errors from driving an execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunError {
+    /// An operation failed to complete within the step budget.
+    StepLimit {
+        /// The process whose operation did not return.
+        pid: Pid,
+        /// The budget that was exhausted.
+        steps: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::StepLimit { pid, steps } => {
+                write!(f, "operation by {pid} did not return within {steps} steps")
+            }
+        }
+    }
+}
+
+impl Error for RunError {}

@@ -1,0 +1,90 @@
+//! Figure-style rendering of traces: one lane per process, one column per
+//! step, in the visual language of the paper's execution diagrams.
+
+use hi_core::Pid;
+
+use crate::mem::SharedMem;
+use crate::trace::{PrimKind, Trace};
+
+/// Renders a trace as per-process lanes:
+///
+/// ```text
+/// p0 | W A[2]=1 | W A[1]=0 |          |
+/// p1 |          |          | R A[1]=0 |
+/// ```
+///
+/// Each column is one global step; `W`/`R`/`C` mark writes, reads and CAS
+/// primitives. Intended for the short executions of the figure
+/// reproductions; long traces produce wide output (use
+/// [`Trace::render`] for a vertical listing instead).
+pub fn render_lanes(trace: &Trace, mem: &SharedMem, num_processes: usize) -> String {
+    let events = trace.events();
+    if events.is_empty() {
+        return String::new();
+    }
+    let first = events.first().unwrap().step;
+    let last = events.last().unwrap().step;
+    let columns = (last - first + 1) as usize;
+    let mut cells: Vec<Vec<String>> = vec![vec![String::new(); columns]; num_processes];
+    for ev in events {
+        let col = (ev.step - first) as usize;
+        let name = mem.name(ev.cell);
+        let text = match ev.kind {
+            PrimKind::Read => format!("R {name}={}", ev.value),
+            PrimKind::Write => format!("W {name}={}", ev.value),
+            PrimKind::Cas { ok, .. } => {
+                format!("C {name}{}", if ok { "!" } else { "?" })
+            }
+        };
+        if ev.pid.0 < num_processes {
+            cells[ev.pid.0][col] = text;
+        }
+    }
+    let width = cells
+        .iter()
+        .flat_map(|lane| lane.iter().map(String::len))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let mut out = String::new();
+    for (pid, lane) in cells.iter().enumerate() {
+        out.push_str(&format!("{} |", Pid(pid)));
+        for cell in lane {
+            out.push_str(&format!(" {cell:<width$} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::CellDomain;
+
+    #[test]
+    fn lanes_align_by_step() {
+        let mut mem = SharedMem::new();
+        let a = mem.alloc("A[1]", CellDomain::Binary, 0);
+        let b = mem.alloc("A[2]", CellDomain::Binary, 0);
+        let mut t = Trace::new();
+        t.record(0, Pid(0), a, PrimKind::Write, 1);
+        t.record(1, Pid(1), b, PrimKind::Read, 0);
+        t.record(2, Pid(0), a, PrimKind::Cas { expected: 1, new: 0, ok: true }, 0);
+        let lanes = render_lanes(&t, &mem, 2);
+        let lines: Vec<&str> = lanes.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("W A[1]=1"), "{lanes}");
+        assert!(lines[1].contains("R A[2]=0"), "{lanes}");
+        assert!(lines[0].contains("C A[1]!"), "{lanes}");
+        // p1's lane is empty where p0 acted and vice versa.
+        assert_eq!(lines[0].matches('|').count(), lines[1].matches('|').count());
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        let mem = SharedMem::new();
+        let t = Trace::new();
+        assert_eq!(render_lanes(&t, &mem, 2), "");
+    }
+}

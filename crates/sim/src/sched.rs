@@ -1,0 +1,170 @@
+//! Schedulers: who takes the next step.
+//!
+//! The asynchronous model places no fairness constraints on the adversary
+//! scheduler; these schedulers cover the spectrum used by the test suites:
+//! deterministic rotation, seeded randomness (for reproducible stress), and
+//! fully scripted schedules (for reproducing the paper's figures).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hi_core::Pid;
+
+/// Chooses the next process to step among the enabled ones.
+pub trait Scheduler {
+    /// Picks one of `enabled` (never empty).
+    fn next_pid(&mut self, enabled: &[Pid]) -> Pid;
+}
+
+/// Rotates through processes in pid order.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    last: Option<Pid>,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin scheduler.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn next_pid(&mut self, enabled: &[Pid]) -> Pid {
+        assert!(!enabled.is_empty(), "no enabled process");
+        let next = match self.last {
+            None => enabled[0],
+            Some(last) => *enabled
+                .iter()
+                .find(|p| p.0 > last.0)
+                .unwrap_or(&enabled[0]),
+        };
+        self.last = Some(next);
+        next
+    }
+}
+
+/// Picks uniformly at random among enabled processes, from a seed.
+///
+/// Equal seeds give equal schedules, so stress-test failures are
+/// reproducible from the reported seed alone.
+#[derive(Clone, Debug)]
+pub struct Seeded {
+    rng: StdRng,
+}
+
+impl Seeded {
+    /// Creates a seeded random scheduler.
+    pub fn new(seed: u64) -> Self {
+        Seeded { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Scheduler for Seeded {
+    fn next_pid(&mut self, enabled: &[Pid]) -> Pid {
+        assert!(!enabled.is_empty(), "no enabled process");
+        enabled[self.rng.gen_range(0..enabled.len())]
+    }
+}
+
+/// Follows an explicit schedule, then falls back to round-robin.
+///
+/// Scripted entries naming a process that is not enabled are skipped; this
+/// makes figure scripts robust to the exact number of steps an operation
+/// takes.
+#[derive(Clone, Debug)]
+pub struct Scripted {
+    script: Vec<Pid>,
+    pos: usize,
+    fallback: RoundRobin,
+}
+
+impl Scripted {
+    /// Creates a scheduler following `script`.
+    pub fn new(script: Vec<Pid>) -> Self {
+        Scripted { script, pos: 0, fallback: RoundRobin::new() }
+    }
+
+    /// Convenience: a script of `(pid, repeat)` runs.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hi_sim::{Scripted, Pid};
+    /// // 3 steps of p0, then 2 of p1, then 1 of p0.
+    /// let sched = Scripted::runs(&[(0, 3), (1, 2), (0, 1)]);
+    /// # let _ = sched;
+    /// ```
+    pub fn runs(runs: &[(usize, usize)]) -> Self {
+        let mut script = Vec::new();
+        for &(pid, n) in runs {
+            script.extend(std::iter::repeat_n(Pid(pid), n));
+        }
+        Scripted::new(script)
+    }
+
+    /// Whether the script has been fully consumed.
+    pub fn exhausted(&self) -> bool {
+        self.pos >= self.script.len()
+    }
+}
+
+impl Scheduler for Scripted {
+    fn next_pid(&mut self, enabled: &[Pid]) -> Pid {
+        while self.pos < self.script.len() {
+            let pid = self.script[self.pos];
+            self.pos += 1;
+            if enabled.contains(&pid) {
+                return pid;
+            }
+        }
+        self.fallback.next_pid(enabled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut rr = RoundRobin::new();
+        let enabled = [Pid(0), Pid(1), Pid(2)];
+        let picks: Vec<_> = (0..6).map(|_| rr.next_pid(&enabled).0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_disabled() {
+        let mut rr = RoundRobin::new();
+        assert_eq!(rr.next_pid(&[Pid(0), Pid(2)]), Pid(0));
+        assert_eq!(rr.next_pid(&[Pid(0), Pid(2)]), Pid(2));
+        assert_eq!(rr.next_pid(&[Pid(0), Pid(2)]), Pid(0));
+    }
+
+    #[test]
+    fn seeded_is_reproducible() {
+        let enabled = [Pid(0), Pid(1), Pid(2), Pid(3)];
+        let a: Vec<_> = {
+            let mut s = Seeded::new(42);
+            (0..32).map(|_| s.next_pid(&enabled).0).collect()
+        };
+        let b: Vec<_> = {
+            let mut s = Seeded::new(42);
+            (0..32).map(|_| s.next_pid(&enabled).0).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scripted_skips_and_falls_back() {
+        let mut s = Scripted::runs(&[(1, 2), (0, 1)]);
+        assert_eq!(s.next_pid(&[Pid(0), Pid(1)]), Pid(1));
+        // p1 disabled: the scripted p1 entry is skipped, p0 served.
+        assert_eq!(s.next_pid(&[Pid(0)]), Pid(0));
+        assert!(s.exhausted());
+        // Fallback round-robin afterwards, starting from the first enabled.
+        assert_eq!(s.next_pid(&[Pid(0), Pid(1)]), Pid(0));
+        assert_eq!(s.next_pid(&[Pid(0), Pid(1)]), Pid(1));
+    }
+}

@@ -1,0 +1,160 @@
+//! Step-level execution traces, used to render the paper's figures.
+
+use std::fmt;
+
+use hi_core::Pid;
+
+use crate::mem::{CellId, SharedMem};
+
+/// The primitive performed at one step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PrimKind {
+    /// A read; the event's `value` is the value read.
+    Read,
+    /// A write; the event's `value` is the value written.
+    Write,
+    /// A compare-and-swap; the event's `value` is the cell's value *after*
+    /// the operation.
+    Cas {
+        /// The expected value.
+        expected: u64,
+        /// The replacement value.
+        new: u64,
+        /// Whether the CAS succeeded.
+        ok: bool,
+    },
+}
+
+/// One primitive operation on a base object.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Global step index in the execution.
+    pub step: u64,
+    /// The process that took the step.
+    pub pid: Pid,
+    /// The base object accessed.
+    pub cell: CellId,
+    /// What was done.
+    pub kind: PrimKind,
+    /// Value read, written, or resulting (for CAS).
+    pub value: u64,
+}
+
+impl TraceEvent {
+    /// Renders the event against a memory layout (for cell names).
+    pub fn render(&self, mem: &SharedMem) -> String {
+        let name = mem.name(self.cell);
+        match self.kind {
+            PrimKind::Read => format!("[{:>4}] {} read  {} -> {}", self.step, self.pid, name, self.value),
+            PrimKind::Write => format!("[{:>4}] {} write {} <- {}", self.step, self.pid, name, self.value),
+            PrimKind::Cas { expected, new, ok } => format!(
+                "[{:>4}] {} cas   {} ({} -> {}) {}",
+                self.step,
+                self.pid,
+                name,
+                expected,
+                new,
+                if ok { "ok" } else { "failed" }
+            ),
+        }
+    }
+}
+
+/// A sequence of primitive operations, in execution order.
+///
+/// # Example
+///
+/// ```
+/// use hi_sim::{Trace, PrimKind, CellId, Pid};
+///
+/// let mut t = Trace::new();
+/// t.record(0, Pid(1), CellId(0), PrimKind::Write, 1);
+/// assert_eq!(t.events().len(), 1);
+/// assert_eq!(t.writes_to(CellId(0)).count(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn record(&mut self, step: u64, pid: Pid, cell: CellId, kind: PrimKind, value: u64) {
+        self.events.push(TraceEvent { step, pid, cell, kind, value });
+    }
+
+    /// The recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Iterates over the writes (including successful CAS) to `cell`.
+    pub fn writes_to(&self, cell: CellId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| {
+            e.cell == cell
+                && matches!(e.kind, PrimKind::Write | PrimKind::Cas { ok: true, .. })
+        })
+    }
+
+    /// Renders the whole trace against a memory layout.
+    pub fn render(&self, mem: &SharedMem) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.render(mem));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no event has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for ev in &self.events {
+            writeln!(f, "[{:>4}] {} {:?} {} = {}", ev.step, ev.pid, ev.kind, ev.cell, ev.value)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::CellDomain;
+
+    #[test]
+    fn render_uses_cell_names() {
+        let mut mem = SharedMem::new();
+        let c = mem.alloc("A[2]", CellDomain::Binary, 0);
+        let mut t = Trace::new();
+        t.record(3, Pid(0), c, PrimKind::Write, 1);
+        let s = t.render(&mem);
+        assert!(s.contains("A[2]"), "{s}");
+        assert!(s.contains("p0"), "{s}");
+    }
+
+    #[test]
+    fn writes_to_filters_reads_and_failed_cas() {
+        let mut t = Trace::new();
+        let c = CellId(0);
+        t.record(0, Pid(0), c, PrimKind::Read, 0);
+        t.record(1, Pid(0), c, PrimKind::Write, 1);
+        t.record(2, Pid(0), c, PrimKind::Cas { expected: 0, new: 1, ok: false }, 1);
+        t.record(3, Pid(0), c, PrimKind::Cas { expected: 1, new: 0, ok: true }, 0);
+        assert_eq!(t.writes_to(c).count(), 2);
+    }
+}

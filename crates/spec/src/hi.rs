@@ -1,0 +1,196 @@
+//! History-independence observers (Definitions 5, 7, 8 of the paper).
+//!
+//! An observer is parameterized by the set of configurations at which it may
+//! examine the memory. At each permitted point it records the pair
+//! `(abstract state, mem(C))`; the implementation is HI with respect to the
+//! model iff no state is ever seen with two different memory
+//! representations.
+
+use hi_core::{CanonicalMap, HiViolation, History, ObjectSpec};
+use hi_sim::{Executor, Implementation, MemSnapshot};
+
+/// Which configurations the observer may examine (Figure 1 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ObservationModel {
+    /// Any configuration (Definition 5, *perfect HI*).
+    Perfect,
+    /// Configurations with no pending state-changing operation
+    /// (Definition 7, *state-quiescent HI*).
+    StateQuiescent,
+    /// Configurations with no pending operation at all
+    /// (Definition 8, *quiescent HI*).
+    Quiescent,
+}
+
+impl ObservationModel {
+    /// Whether the observer may examine the memory of `exec`'s current
+    /// configuration.
+    pub fn permits<S: ObjectSpec, I: Implementation<S>>(&self, exec: &Executor<S, I>) -> bool {
+        match self {
+            ObservationModel::Perfect => true,
+            ObservationModel::StateQuiescent => exec.is_state_quiescent(),
+            ObservationModel::Quiescent => exec.is_quiescent(),
+        }
+    }
+}
+
+/// Accumulates `(state, mem(C))` observations under a given model and
+/// reports the first violation.
+///
+/// # Example
+///
+/// ```
+/// use hi_spec::{HiMonitor, ObservationModel};
+///
+/// let mut monitor: HiMonitor<u64> = HiMonitor::new(ObservationModel::Quiescent);
+/// monitor.record(3, vec![0, 0, 1]);
+/// monitor.record(3, vec![0, 0, 1]);
+/// assert!(monitor.violation().is_none());
+/// monitor.record(3, vec![1, 1, 1]);
+/// assert!(monitor.violation().is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct HiMonitor<Q> {
+    model: ObservationModel,
+    canon: CanonicalMap<Q, MemSnapshot>,
+    violation: Option<HiViolation<Q, MemSnapshot>>,
+    points: u64,
+}
+
+impl<Q: Clone + Eq + std::hash::Hash + std::fmt::Debug> HiMonitor<Q> {
+    /// Creates a monitor for the given observation model.
+    pub fn new(model: ObservationModel) -> Self {
+        HiMonitor { model, canon: CanonicalMap::new(), violation: None, points: 0 }
+    }
+
+    /// The observation model this monitor implements.
+    pub fn model(&self) -> ObservationModel {
+        self.model
+    }
+
+    /// Records a raw `(state, snapshot)` pair, bypassing the permission
+    /// check (for callers that track quiescence themselves, e.g. threaded
+    /// stress tests).
+    pub fn record(&mut self, state: Q, snapshot: MemSnapshot) {
+        self.points += 1;
+        if self.violation.is_none() {
+            if let Err(v) = self.canon.observe(state, snapshot) {
+                self.violation = Some(v);
+            }
+        }
+    }
+
+    /// Observes the current configuration of `exec` if the model permits it,
+    /// attributing it the abstract state `state`.
+    pub fn observe<S, I>(&mut self, exec: &Executor<S, I>, state: Q)
+    where
+        S: ObjectSpec,
+        I: Implementation<S>,
+    {
+        if self.model.permits(exec) {
+            self.record(state, exec.snapshot());
+        }
+    }
+
+    /// The first violation found, if any.
+    pub fn violation(&self) -> Option<&HiViolation<Q, MemSnapshot>> {
+        self.violation.as_ref()
+    }
+
+    /// Number of permitted observation points recorded.
+    pub fn points(&self) -> u64 {
+        self.points
+    }
+
+    /// The canonical map learned so far.
+    pub fn canonical_map(&self) -> &CanonicalMap<Q, MemSnapshot> {
+        &self.canon
+    }
+
+    /// Converts the monitor into a result: `Ok(points)` if no violation was
+    /// observed.
+    ///
+    /// # Errors
+    ///
+    /// The first [`HiViolation`] recorded, if any.
+    pub fn into_result(self) -> Result<u64, HiViolation<Q, MemSnapshot>> {
+        match self.violation {
+            Some(v) => Err(v),
+            None => Ok(self.points),
+        }
+    }
+}
+
+/// The abstract state of a *single-mutator* implementation, derived from its
+/// history: the completed state-changing operations, applied in invocation
+/// order.
+///
+/// Valid whenever all state-changing operations are issued by one process
+/// (SWSR registers, the positional queue): that process's operations are
+/// sequential, so their invocation order is their linearization order, and
+/// at any state-quiescent configuration the abstract state is exactly the
+/// fold of the completed ones.
+///
+/// # Example
+///
+/// ```
+/// use hi_core::objects::{MultiRegisterSpec, RegisterOp, RegisterResp};
+/// use hi_core::{History, Pid};
+/// use hi_spec::single_mutator_state;
+///
+/// let spec = MultiRegisterSpec::new(4, 1);
+/// let mut h = History::new();
+/// let w = h.invoke(Pid(0), RegisterOp::Write(3));
+/// h.ret(w, RegisterResp::Ack);
+/// h.invoke(Pid(1), RegisterOp::Read); // pending read-only op: ignored
+/// assert_eq!(single_mutator_state(&spec, &h), 3);
+/// ```
+pub fn single_mutator_state<S: ObjectSpec>(spec: &S, history: &History<S::Op, S::Resp>) -> S::State {
+    let mut state = spec.initial_state();
+    for rec in history.records() {
+        if rec.is_complete() && !spec.is_read_only(&rec.op) {
+            state = spec.apply(&state, &rec.op).0;
+        }
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hi_core::objects::{MultiRegisterSpec, RegisterOp, RegisterResp};
+    use hi_core::Pid;
+
+    #[test]
+    fn monitor_counts_points() {
+        let mut m: HiMonitor<u64> = HiMonitor::new(ObservationModel::Perfect);
+        m.record(1, vec![1]);
+        m.record(2, vec![2]);
+        m.record(1, vec![1]);
+        assert_eq!(m.points(), 3);
+        assert_eq!(m.canonical_map().len(), 2);
+        assert_eq!(m.into_result().unwrap(), 3);
+    }
+
+    #[test]
+    fn monitor_reports_first_violation() {
+        let mut m: HiMonitor<u64> = HiMonitor::new(ObservationModel::Quiescent);
+        m.record(1, vec![0]);
+        m.record(1, vec![9]);
+        m.record(1, vec![8]);
+        let v = m.into_result().unwrap_err();
+        assert_eq!(v.second, vec![9], "first violation is kept");
+    }
+
+    #[test]
+    fn single_mutator_state_ignores_pending_and_reads() {
+        let spec = MultiRegisterSpec::new(5, 1);
+        let mut h = History::new();
+        let w1 = h.invoke(Pid(0), RegisterOp::Write(2));
+        h.ret(w1, RegisterResp::Ack);
+        let r = h.invoke(Pid(1), RegisterOp::Read);
+        h.ret(r, RegisterResp::Value(2));
+        h.invoke(Pid(0), RegisterOp::Write(5)); // pending: not yet linearized here
+        assert_eq!(single_mutator_state(&spec, &h), 2);
+    }
+}

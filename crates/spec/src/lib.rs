@@ -1,0 +1,35 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Correctness checkers for concurrent object implementations.
+//!
+//! Three tools, corresponding to the paper's three correctness dimensions:
+//!
+//! * **Linearizability** ([`lin`]): a Wing–Gong-style search with
+//!   memoization that decides whether a concurrent [`History`] has a
+//!   linearization against an [`ObjectSpec`] — pending operations may be
+//!   completed or dropped, real-time order is respected.
+//! * **History independence** ([`hi`]): observers implementing
+//!   Definitions 5, 7 and 8 (perfect, state-quiescent and quiescent HI).
+//!   They snapshot `mem(C)` at the configurations their observation model
+//!   permits and feed a [`CanonicalMap`](hi_core::CanonicalMap); any state
+//!   observed with two distinct representations is a violation.
+//! * **Exhaustive exploration** ([`explore()`]): bounded DFS over *all*
+//!   schedules of a small workload, calling back at every reachable
+//!   configuration and at every maximal path — small-scope model checking
+//!   for the algorithms' trickiest interleavings.
+//!
+//! The [`harness`] module bundles the three into one-call checks used
+//! throughout the workspace's test suites.
+//!
+//! [`History`]: hi_core::History
+//! [`ObjectSpec`]: hi_core::ObjectSpec
+
+pub mod explore;
+pub mod harness;
+pub mod hi;
+pub mod lin;
+
+pub use explore::{explore, ExploreStats, ExploreVisitor};
+pub use harness::{check_run, check_run_single_mutator, CheckError, CheckReport};
+pub use hi::{single_mutator_state, HiMonitor, ObservationModel};
+pub use lin::{linearize, LinError, LinOptions, Linearization};

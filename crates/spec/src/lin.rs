@@ -1,0 +1,350 @@
+//! Linearizability checking (Herlihy & Wing; search in the style of Wing &
+//! Gong with state memoization).
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+use std::hash::Hash;
+
+use hi_core::{History, ObjectSpec, OpId, OpRecord};
+
+/// Options for the linearizability search.
+#[derive(Clone, Copy, Debug)]
+pub struct LinOptions {
+    /// Maximum number of search nodes before giving up with
+    /// [`LinError::BudgetExhausted`]. The default (10 million) decides all
+    /// histories produced by this workspace's test suites in well under a
+    /// second.
+    pub node_budget: u64,
+}
+
+impl Default for LinOptions {
+    fn default() -> Self {
+        LinOptions { node_budget: 10_000_000 }
+    }
+}
+
+/// A witness that a history is linearizable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Linearization<Q> {
+    /// The operation ids in linearization order. Pending operations that the
+    /// witness chose to complete are included; dropped pending operations
+    /// are not.
+    pub order: Vec<OpId>,
+    /// The abstract state at the end of the linearization —
+    /// `state(h(α))` in the paper's notation.
+    pub final_state: Q,
+}
+
+/// Why a linearization could not be produced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinError {
+    /// The history has no linearization: the implementation is not
+    /// linearizable (or the spec is wrong).
+    NotLinearizable,
+    /// The search exceeded its node budget; the verdict is unknown.
+    BudgetExhausted {
+        /// The budget that was exhausted.
+        nodes: u64,
+    },
+}
+
+impl fmt::Display for LinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinError::NotLinearizable => write!(f, "history is not linearizable"),
+            LinError::BudgetExhausted { nodes } => {
+                write!(f, "linearizability search exhausted its budget of {nodes} nodes")
+            }
+        }
+    }
+}
+
+impl Error for LinError {}
+
+/// Compact bitmask over operation indices.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct DoneSet {
+    words: Vec<u64>,
+    count: usize,
+}
+
+impl DoneSet {
+    fn new(n: usize) -> Self {
+        DoneSet { words: vec![0; n.div_ceil(64)], count: 0 }
+    }
+
+    fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    fn insert(&mut self, i: usize) {
+        debug_assert!(!self.contains(i));
+        self.words[i / 64] |= 1 << (i % 64);
+        self.count += 1;
+    }
+
+    fn remove(&mut self, i: usize) {
+        debug_assert!(self.contains(i));
+        self.words[i / 64] &= !(1 << (i % 64));
+        self.count -= 1;
+    }
+}
+
+struct Search<'a, S: ObjectSpec> {
+    spec: &'a S,
+    records: &'a [OpRecord<S::Op, S::Resp>],
+    /// Memo of `(done-set, state)` pairs known to fail.
+    failed: HashSet<(Vec<u64>, S::State)>,
+    nodes: u64,
+    budget: u64,
+}
+
+impl<'a, S: ObjectSpec> Search<'a, S> {
+    /// Returns the linearization order (indices into `records`) extending
+    /// the current prefix, or `None` if this node cannot reach success.
+    fn dfs(&mut self, done: &mut DoneSet, state: &S::State) -> Result<Option<Vec<usize>>, LinError> {
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            return Err(LinError::BudgetExhausted { nodes: self.budget });
+        }
+        // Success: every *completed* operation has been linearized; remaining
+        // pending operations are dropped (legal completions).
+        if self.records.iter().enumerate().all(|(i, r)| !r.is_complete() || done.contains(i)) {
+            return Ok(Some(Vec::new()));
+        }
+        if self.failed.contains(&(done.words.clone(), state.clone())) {
+            return Ok(None);
+        }
+        // The earliest return among undone completed operations: any undone
+        // operation invoked after that return cannot be linearized next.
+        let frontier = self
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| !done.contains(*i) && r.is_complete())
+            .map(|(_, r)| r.returned_at.unwrap())
+            .min()
+            .unwrap_or(usize::MAX);
+        for i in 0..self.records.len() {
+            if done.contains(i) {
+                continue;
+            }
+            let rec = &self.records[i];
+            if rec.invoked_at > frontier {
+                continue;
+            }
+            let (next_state, resp) = self.spec.apply(state, &rec.op);
+            if let Some(expected) = &rec.resp {
+                if resp != *expected {
+                    continue;
+                }
+            }
+            done.insert(i);
+            let sub = self.dfs(done, &next_state)?;
+            done.remove(i);
+            if let Some(mut rest) = sub {
+                rest.insert(0, i);
+                return Ok(Some(rest));
+            }
+        }
+        self.failed.insert((done.words.clone(), state.clone()));
+        Ok(None)
+    }
+}
+
+/// Searches for a linearization of `history` against `spec`.
+///
+/// The search respects the three conditions of the paper's §2: the result is
+/// a permutation of a completion of the history, matches the sequential
+/// specification, and respects the real-time order of non-overlapping
+/// operations.
+///
+/// # Errors
+///
+/// [`LinError::NotLinearizable`] if no linearization exists;
+/// [`LinError::BudgetExhausted`] if the search gave up.
+///
+/// # Example
+///
+/// ```
+/// use hi_core::objects::{MultiRegisterSpec, RegisterOp, RegisterResp};
+/// use hi_core::{History, Pid};
+/// use hi_spec::{linearize, LinOptions};
+///
+/// let spec = MultiRegisterSpec::new(3, 1);
+/// let mut h = History::new();
+/// let w = h.invoke(Pid(0), RegisterOp::Write(2));
+/// let r = h.invoke(Pid(1), RegisterOp::Read);
+/// h.ret(r, RegisterResp::Value(2)); // read overlaps the write and sees it
+/// h.ret(w, RegisterResp::Ack);
+/// let lin = linearize(&spec, &h, &LinOptions::default()).unwrap();
+/// assert_eq!(lin.final_state, 2);
+/// ```
+pub fn linearize<S: ObjectSpec>(
+    spec: &S,
+    history: &History<S::Op, S::Resp>,
+    opts: &LinOptions,
+) -> Result<Linearization<S::State>, LinError> {
+    let records = history.records();
+    let mut search = Search {
+        spec,
+        records: &records,
+        failed: HashSet::new(),
+        nodes: 0,
+        budget: opts.node_budget,
+    };
+    let mut done = DoneSet::new(records.len());
+    let initial = spec.initial_state();
+    match search.dfs(&mut done, &initial)? {
+        Some(order_indices) => {
+            let mut state = spec.initial_state();
+            for &i in &order_indices {
+                state = spec.apply(&state, &records[i].op).0;
+            }
+            Ok(Linearization {
+                order: order_indices.iter().map(|&i| records[i].id).collect(),
+                final_state: state,
+            })
+        }
+        None => Err(LinError::NotLinearizable),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hi_core::objects::{
+        BoundedQueueSpec, MultiRegisterSpec, QueueOp, QueueResp, RegisterOp, RegisterResp,
+    };
+    use hi_core::Pid;
+
+    fn opts() -> LinOptions {
+        LinOptions::default()
+    }
+
+    #[test]
+    fn sequential_history_linearizes() {
+        let spec = MultiRegisterSpec::new(4, 1);
+        let mut h = History::new();
+        let a = h.invoke(Pid(0), RegisterOp::Write(3));
+        h.ret(a, RegisterResp::Ack);
+        let b = h.invoke(Pid(1), RegisterOp::Read);
+        h.ret(b, RegisterResp::Value(3));
+        let lin = linearize(&spec, &h, &opts()).unwrap();
+        assert_eq!(lin.order, vec![a, b]);
+        assert_eq!(lin.final_state, 3);
+    }
+
+    #[test]
+    fn stale_read_after_write_is_rejected() {
+        let spec = MultiRegisterSpec::new(4, 1);
+        let mut h = History::new();
+        let a = h.invoke(Pid(0), RegisterOp::Write(3));
+        h.ret(a, RegisterResp::Ack);
+        // Read invoked after the write returned must not see the old value.
+        let b = h.invoke(Pid(1), RegisterOp::Read);
+        h.ret(b, RegisterResp::Value(1));
+        assert_eq!(linearize(&spec, &h, &opts()), Err(LinError::NotLinearizable));
+    }
+
+    #[test]
+    fn overlapping_read_may_see_either_value() {
+        let spec = MultiRegisterSpec::new(4, 1);
+        for seen in [1, 3] {
+            let mut h = History::new();
+            let a = h.invoke(Pid(0), RegisterOp::Write(3));
+            let b = h.invoke(Pid(1), RegisterOp::Read);
+            h.ret(b, RegisterResp::Value(seen));
+            h.ret(a, RegisterResp::Ack);
+            assert!(linearize(&spec, &h, &opts()).is_ok(), "value {seen} should be legal");
+        }
+    }
+
+    #[test]
+    fn pending_op_may_be_completed() {
+        let spec = MultiRegisterSpec::new(4, 1);
+        let mut h = History::new();
+        let _w = h.invoke(Pid(0), RegisterOp::Write(2)); // never returns
+        let b = h.invoke(Pid(1), RegisterOp::Read);
+        h.ret(b, RegisterResp::Value(2)); // saw the pending write: fine
+        let lin = linearize(&spec, &h, &opts()).unwrap();
+        assert_eq!(lin.final_state, 2);
+    }
+
+    #[test]
+    fn pending_op_may_be_dropped() {
+        let spec = MultiRegisterSpec::new(4, 1);
+        let mut h = History::new();
+        let _w = h.invoke(Pid(0), RegisterOp::Write(2)); // never returns
+        let b = h.invoke(Pid(1), RegisterOp::Read);
+        h.ret(b, RegisterResp::Value(1)); // did not see it: also fine
+        let lin = linearize(&spec, &h, &opts()).unwrap();
+        assert_eq!(lin.final_state, 1);
+    }
+
+    #[test]
+    fn new_old_inversion_is_rejected() {
+        // Two sequential reads must not observe values in anti-order of two
+        // sequential writes.
+        let spec = MultiRegisterSpec::new(4, 1);
+        let mut h = History::new();
+        let w1 = h.invoke(Pid(0), RegisterOp::Write(2));
+        h.ret(w1, RegisterResp::Ack);
+        let w2 = h.invoke(Pid(0), RegisterOp::Write(3));
+        h.ret(w2, RegisterResp::Ack);
+        let r1 = h.invoke(Pid(1), RegisterOp::Read);
+        h.ret(r1, RegisterResp::Value(3));
+        let r2 = h.invoke(Pid(1), RegisterOp::Read);
+        h.ret(r2, RegisterResp::Value(2));
+        assert_eq!(linearize(&spec, &h, &opts()), Err(LinError::NotLinearizable));
+    }
+
+    #[test]
+    fn queue_fifo_violation_is_rejected() {
+        let spec = BoundedQueueSpec::new(3, 4);
+        let mut h = History::new();
+        let e1 = h.invoke(Pid(0), QueueOp::Enqueue(1));
+        h.ret(e1, QueueResp::Empty);
+        let e2 = h.invoke(Pid(0), QueueOp::Enqueue(2));
+        h.ret(e2, QueueResp::Empty);
+        let d = h.invoke(Pid(1), QueueOp::Dequeue);
+        h.ret(d, QueueResp::Value(2)); // FIFO violation: 1 was first
+        assert_eq!(linearize(&spec, &h, &opts()), Err(LinError::NotLinearizable));
+    }
+
+    #[test]
+    fn concurrent_enqueues_allow_either_order() {
+        let spec = BoundedQueueSpec::new(3, 4);
+        for first in [1u32, 2u32] {
+            let mut h = History::new();
+            let e1 = h.invoke(Pid(0), QueueOp::Enqueue(1));
+            let e2 = h.invoke(Pid(1), QueueOp::Enqueue(2));
+            h.ret(e1, QueueResp::Empty);
+            h.ret(e2, QueueResp::Empty);
+            let d = h.invoke(Pid(0), QueueOp::Dequeue);
+            h.ret(d, QueueResp::Value(first));
+            assert!(linearize(&spec, &h, &opts()).is_ok(), "front {first} should be legal");
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports() {
+        let spec = MultiRegisterSpec::new(4, 1);
+        let mut h = History::new();
+        for i in 0..6 {
+            h.invoke(Pid(i), RegisterOp::Write(1));
+        }
+        let res = linearize(&spec, &h, &LinOptions { node_budget: 2 });
+        assert!(matches!(res, Err(LinError::BudgetExhausted { .. })) || res.is_ok());
+    }
+
+    #[test]
+    fn empty_history_linearizes() {
+        let spec = MultiRegisterSpec::new(4, 2);
+        let h: History<RegisterOp, RegisterResp> = History::new();
+        let lin = linearize(&spec, &h, &opts()).unwrap();
+        assert!(lin.order.is_empty());
+        assert_eq!(lin.final_state, 2);
+    }
+}

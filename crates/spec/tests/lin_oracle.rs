@@ -1,0 +1,162 @@
+//! Oracle test for the linearizability checker: on small random histories,
+//! compare the memoized search against brute-force enumeration of all
+//! linearization candidates.
+
+use hi_core::objects::{MultiRegisterSpec, RegisterOp, RegisterResp};
+use hi_core::{History, ObjectSpec, OpRecord, Pid};
+use hi_spec::{linearize, LinError, LinOptions};
+use proptest::prelude::*;
+
+/// Brute force: try every permutation of every subset-completion of the
+/// history's operations (completed ops mandatory, pending optional) and test
+/// the three linearizability conditions directly.
+fn brute_force_linearizable(
+    spec: &MultiRegisterSpec,
+    records: &[OpRecord<RegisterOp, RegisterResp>],
+) -> bool {
+    let n = records.len();
+    assert!(n <= 6, "brute force is factorial");
+    // Choose which pending ops to include (completed ops are mandatory).
+    let pending: Vec<usize> = (0..n).filter(|&i| !records[i].is_complete()).collect();
+    for mask in 0..(1u32 << pending.len()) {
+        let mut included: Vec<usize> = (0..n).filter(|&i| records[i].is_complete()).collect();
+        for (bit, &idx) in pending.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                included.push(idx);
+            }
+        }
+        if permutations_ok(spec, records, &mut included.clone(), 0) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Heap's-algorithm-free recursive permutation check.
+fn permutations_ok(
+    spec: &MultiRegisterSpec,
+    records: &[OpRecord<RegisterOp, RegisterResp>],
+    order: &mut Vec<usize>,
+    fixed: usize,
+) -> bool {
+    if fixed == order.len() {
+        return sequential_ok(spec, records, order);
+    }
+    for i in fixed..order.len() {
+        order.swap(fixed, i);
+        if permutations_ok(spec, records, order, fixed + 1) {
+            order.swap(fixed, i);
+            return true;
+        }
+        order.swap(fixed, i);
+    }
+    false
+}
+
+fn sequential_ok(
+    spec: &MultiRegisterSpec,
+    records: &[OpRecord<RegisterOp, RegisterResp>],
+    order: &[usize],
+) -> bool {
+    // Real-time order: if a returns before b is invoked, a must precede b.
+    for (pos_a, &a) in order.iter().enumerate() {
+        for &b in &order[pos_a + 1..] {
+            if records[b].precedes(&records[a]) {
+                return false;
+            }
+        }
+    }
+    // Excluded (dropped pending) ops must not be required by real time:
+    // dropping is always legal for pending ops, nothing to check.
+    // Spec conformance with matching responses for completed ops.
+    let mut state = spec.initial_state();
+    for &i in order {
+        let (next, resp) = spec.apply(&state, &records[i].op);
+        if let Some(expected) = &records[i].resp {
+            if resp != *expected {
+                return false;
+            }
+        }
+        state = next;
+    }
+    true
+}
+
+fn arbitrary_history() -> impl Strategy<Value = History<RegisterOp, RegisterResp>> {
+    // Up to 5 operations across 2 processes; each op is a write or a read
+    // with a random (possibly wrong) response; some ops stay pending.
+    let op_strategy = prop::collection::vec(
+        (0u8..2, 1u64..4, 1u64..4, prop::bool::ANY, 0u8..3),
+        1..5,
+    );
+    op_strategy.prop_map(|ops| {
+        let mut h: History<RegisterOp, RegisterResp> = History::new();
+        let mut pending: Vec<(hi_core::OpId, RegisterResp)> = Vec::new();
+        for (kind, v, seen, complete, drain) in ops {
+            // Occasionally retire older pending ops first, creating overlap
+            // structure.
+            for _ in 0..drain.min(pending.len() as u8) {
+                let (id, resp) = pending.remove(0);
+                h.ret(id, resp);
+            }
+            // Alternate pids; skip if that pid already has a pending op.
+            let pid = Pid((v % 2) as usize);
+            if h.pending_ids().iter().any(|id| {
+                h.records().iter().any(|r| r.id == *id && r.pid == pid)
+            }) {
+                continue;
+            }
+            let (op, resp) = match kind {
+                0 => (RegisterOp::Write(v), RegisterResp::Ack),
+                _ => (RegisterOp::Read, RegisterResp::Value(seen)),
+            };
+            let id = h.invoke(pid, op);
+            if complete {
+                h.ret(id, resp);
+            } else {
+                pending.push((id, resp));
+            }
+        }
+        h
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The checker agrees with brute force on every generated history.
+    #[test]
+    fn checker_matches_brute_force(h in arbitrary_history()) {
+        let spec = MultiRegisterSpec::new(3, 1);
+        let records = h.records();
+        prop_assume!(records.len() <= 5);
+        let expected = brute_force_linearizable(&spec, &records);
+        let got = match linearize(&spec, &h, &LinOptions::default()) {
+            Ok(_) => true,
+            Err(LinError::NotLinearizable) => false,
+            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+        };
+        prop_assert_eq!(got, expected, "history: {:?}", h);
+    }
+
+    /// Any linearization witness the checker returns is itself valid.
+    #[test]
+    fn witness_is_valid(h in arbitrary_history()) {
+        let spec = MultiRegisterSpec::new(3, 1);
+        if let Ok(lin) = linearize(&spec, &h, &LinOptions::default()) {
+            let records = h.records();
+            let order: Vec<usize> = lin
+                .order
+                .iter()
+                .map(|id| records.iter().position(|r| r.id == *id).unwrap())
+                .collect();
+            // All completed ops present.
+            for (i, r) in records.iter().enumerate() {
+                if r.is_complete() {
+                    prop_assert!(order.contains(&i));
+                }
+            }
+            prop_assert!(sequential_ok(&spec, &records, &order));
+        }
+    }
+}

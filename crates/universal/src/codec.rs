@@ -1,0 +1,282 @@
+//! Bit-level canonical representations for the universal construction.
+//!
+//! The codec enumerates the object's states, operations and responses once,
+//! at construction, and never again — so the mapping from abstract values to
+//! bit patterns is fixed at initialization, exactly the form of canonical
+//! representation that Proposition 3 requires of deterministic HI
+//! implementations. (An interning table extended lazily during execution
+//! would order entries by first use and thereby leak the history.)
+
+use std::collections::HashMap;
+
+use hi_core::EnumerableSpec;
+use hi_llsc::LlscLayout;
+
+/// Decoded contents of an `announce` cell.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AnnValue<S: EnumerableSpec> {
+    /// `⊥`: no pending operation.
+    Bot,
+    /// An announced operation awaiting application.
+    Op(S::Op),
+    /// The response of an applied operation awaiting delivery.
+    Resp(S::Resp),
+}
+
+impl<S: EnumerableSpec> AnnValue<S> {
+    /// Whether this is a response (the `∈ R` test of Algorithm 5).
+    pub fn is_resp(&self) -> bool {
+        matches!(self, AnnValue::Resp(_))
+    }
+
+    /// Whether this is an operation (the `∈ O` test).
+    pub fn is_op(&self) -> bool {
+        matches!(self, AnnValue::Op(_))
+    }
+}
+
+fn bits_for(count: usize) -> u32 {
+    debug_assert!(count >= 1);
+    (usize::BITS - (count - 1).leading_zeros()).max(1)
+}
+
+/// The fixed encoder/decoder for one object spec and process count.
+///
+/// `head` values encode `⟨state, ⊥⟩` or `⟨state, ⟨resp, pid⟩⟩`; `announce`
+/// values encode `⊥`, an operation, or a response. Both include the R-LLSC
+/// context bits via their [`LlscLayout`]s.
+///
+/// # Example
+///
+/// ```
+/// use hi_core::objects::{CounterSpec, CounterResp};
+/// use hi_universal::Codec;
+///
+/// let spec = CounterSpec::new(0, 7, 0);
+/// let codec = Codec::new(&spec, 4);
+/// let h = codec.enc_head(&5, Some((&CounterResp::Ack, 2)));
+/// let (q, r) = codec.dec_head(h);
+/// assert_eq!(q, 5);
+/// assert_eq!(r, Some((CounterResp::Ack, 2)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Codec<S: EnumerableSpec> {
+    states: Vec<S::State>,
+    state_idx: HashMap<S::State, u64>,
+    ops: Vec<S::Op>,
+    op_idx: HashMap<S::Op, u64>,
+    resps: Vec<S::Resp>,
+    resp_idx: HashMap<S::Resp, u64>,
+    n: usize,
+    state_bits: u32,
+    resp_bits: u32,
+    pid_bits: u32,
+    payload_bits: u32,
+    head_layout: LlscLayout,
+    ann_layout: LlscLayout,
+}
+
+impl<S: EnumerableSpec> Codec<S> {
+    /// Builds the codec for `spec` shared by `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head or announce encoding (value bits + `n` context
+    /// bits) does not fit in 64 bits — the construction requires base
+    /// objects with `O(s · 2^n)` states and refuses to truncate.
+    pub fn new(spec: &S, n: usize) -> Self {
+        assert!(n >= 1, "at least one process required");
+        let states = spec.states();
+        let ops = spec.ops();
+        let resps = spec.responses();
+        let state_idx: HashMap<_, _> =
+            states.iter().cloned().enumerate().map(|(i, q)| (q, i as u64)).collect();
+        let op_idx: HashMap<_, _> =
+            ops.iter().cloned().enumerate().map(|(i, o)| (o, i as u64)).collect();
+        let resp_idx: HashMap<_, _> =
+            resps.iter().cloned().enumerate().map(|(i, r)| (r, i as u64)).collect();
+        assert_eq!(state_idx.len(), states.len(), "duplicate states");
+        assert_eq!(op_idx.len(), ops.len(), "duplicate ops");
+        assert_eq!(resp_idx.len(), resps.len(), "duplicate responses");
+
+        let state_bits = bits_for(states.len());
+        let resp_bits = bits_for(resps.len());
+        let pid_bits = bits_for(n);
+        let payload_bits = bits_for(ops.len()).max(resp_bits);
+        // head value: tag(1) | pid | resp | state
+        let head_val_bits = 1 + pid_bits + resp_bits + state_bits;
+        // announce value: tag(2) | payload
+        let ann_val_bits = 2 + payload_bits;
+        let head_layout = LlscLayout::new(head_val_bits, n);
+        let ann_layout = LlscLayout::new(ann_val_bits, n);
+        Codec {
+            states,
+            state_idx,
+            ops,
+            op_idx,
+            resps,
+            resp_idx,
+            n,
+            state_bits,
+            resp_bits,
+            pid_bits,
+            payload_bits,
+            head_layout,
+            ann_layout,
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The R-LLSC layout of the `head` cell.
+    pub fn head_layout(&self) -> LlscLayout {
+        self.head_layout
+    }
+
+    /// The R-LLSC layout of the `announce` cells.
+    pub fn ann_layout(&self) -> LlscLayout {
+        self.ann_layout
+    }
+
+    /// Encodes a `head` value `⟨state, ⊥⟩` or `⟨state, ⟨resp, pid⟩⟩`.
+    pub fn enc_head(&self, state: &S::State, resp: Option<(&S::Resp, usize)>) -> u64 {
+        let q = self.state_idx[state];
+        match resp {
+            None => q,
+            Some((r, pid)) => {
+                assert!(pid < self.n);
+                let r = self.resp_idx[r];
+                let tag_shift = self.state_bits + self.resp_bits + self.pid_bits;
+                (1u64 << tag_shift)
+                    | ((pid as u64) << (self.state_bits + self.resp_bits))
+                    | (r << self.state_bits)
+                    | q
+            }
+        }
+    }
+
+    /// Decodes a `head` value.
+    pub fn dec_head(&self, v: u64) -> (S::State, Option<(S::Resp, usize)>) {
+        let tag_shift = self.state_bits + self.resp_bits + self.pid_bits;
+        let state_mask = (1u64 << self.state_bits) - 1;
+        let q = self.states[(v & state_mask) as usize].clone();
+        if v >> tag_shift == 0 {
+            (q, None)
+        } else {
+            let resp_mask = (1u64 << self.resp_bits) - 1;
+            let pid_mask = (1u64 << self.pid_bits) - 1;
+            let r = self.resps[((v >> self.state_bits) & resp_mask) as usize].clone();
+            let pid = ((v >> (self.state_bits + self.resp_bits)) & pid_mask) as usize;
+            (q, Some((r, pid)))
+        }
+    }
+
+    /// The encoding of `announce = ⊥` (all-zero value).
+    pub fn enc_ann_bot(&self) -> u64 {
+        0
+    }
+
+    /// Encodes an announced operation.
+    pub fn enc_ann_op(&self, op: &S::Op) -> u64 {
+        (1u64 << self.payload_bits) | self.op_idx[op]
+    }
+
+    /// Encodes a delivered response.
+    pub fn enc_ann_resp(&self, resp: &S::Resp) -> u64 {
+        (2u64 << self.payload_bits) | self.resp_idx[resp]
+    }
+
+    /// Decodes an `announce` value.
+    pub fn dec_ann(&self, v: u64) -> AnnValue<S> {
+        let payload = v & ((1u64 << self.payload_bits) - 1);
+        match v >> self.payload_bits {
+            0 => AnnValue::Bot,
+            1 => AnnValue::Op(self.ops[payload as usize].clone()),
+            2 => AnnValue::Resp(self.resps[payload as usize].clone()),
+            tag => panic!("corrupt announce tag {tag}"),
+        }
+    }
+
+    /// The initial `head` value: `⟨q0, ⊥⟩` for the given initial state.
+    pub fn initial_head(&self, initial: &S::State) -> u64 {
+        self.enc_head(initial, None)
+    }
+
+    /// The enumerated states (in canonical index order).
+    pub fn states(&self) -> &[S::State] {
+        &self.states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hi_core::objects::{CounterOp, CounterResp, CounterSpec, SetOp, SetSpec};
+
+    #[test]
+    fn head_round_trip_all_states() {
+        let spec = CounterSpec::new(-2, 4, 0);
+        let codec = Codec::new(&spec, 3);
+        for q in spec_states(&spec) {
+            let v = codec.enc_head(&q, None);
+            assert_eq!(codec.dec_head(v), (q, None));
+            for pid in 0..3 {
+                for r in [CounterResp::Ack, CounterResp::Value(-2), CounterResp::Value(4)] {
+                    let v = codec.enc_head(&q, Some((&r, pid)));
+                    assert_eq!(codec.dec_head(v), (q, Some((r, pid))));
+                }
+            }
+        }
+    }
+
+    fn spec_states(spec: &CounterSpec) -> Vec<i64> {
+        use hi_core::EnumerableSpec;
+        spec.states()
+    }
+
+    #[test]
+    fn announce_round_trip() {
+        let spec = SetSpec::new(4);
+        let codec = Codec::new(&spec, 2);
+        assert_eq!(codec.dec_ann(codec.enc_ann_bot()), AnnValue::Bot);
+        let op = SetOp::Insert(3);
+        assert_eq!(codec.dec_ann(codec.enc_ann_op(&op)), AnnValue::Op(op));
+        let r = hi_core::objects::SetResp::Bool(true);
+        assert_eq!(codec.dec_ann(codec.enc_ann_resp(&r)), AnnValue::Resp(r));
+    }
+
+    #[test]
+    fn bot_encoding_is_zero() {
+        // The all-zero announce cell is ⊥ with empty context: the canonical
+        // idle representation.
+        let codec = Codec::new(&SetSpec::new(2), 2);
+        assert_eq!(codec.enc_ann_bot(), 0);
+    }
+
+    #[test]
+    fn distinct_encodings() {
+        let spec = CounterSpec::new(0, 3, 0);
+        let codec = Codec::new(&spec, 2);
+        let mut seen = std::collections::HashSet::new();
+        for q in [0i64, 1, 2, 3] {
+            assert!(seen.insert(codec.enc_head(&q, None)));
+            for pid in 0..2 {
+                for r in [CounterResp::Ack, CounterResp::Value(1)] {
+                    assert!(seen.insert(codec.enc_head(&q, Some((&r, pid)))));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn op_is_not_resp() {
+        let spec = CounterSpec::new(0, 1, 0);
+        let codec = Codec::new(&spec, 1);
+        let v = codec.enc_ann_op(&CounterOp::Inc);
+        assert!(codec.dec_ann(v).is_op());
+        assert!(!codec.dec_ann(v).is_resp());
+    }
+}

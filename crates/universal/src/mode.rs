@@ -1,0 +1,170 @@
+//! Mode tracking for Algorithm 5 (Invariant 22 / Figure 3).
+//!
+//! The algorithm alternates between modes `A_i` (head = `⟨q, ⊥⟩`) and `B_i`
+//! (head = `⟨q, ⟨rsp, j⟩⟩`): each write to `head` either installs a response
+//! (A→B, the *first stage*, which also changes the state) or clears one
+//! (B→A, the *third stage*, which must preserve the state). [`ModeTracker`]
+//! watches a live execution's head values and reports any violation.
+
+use std::error::Error;
+use std::fmt;
+
+/// The mode of the algorithm, derived from the head value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// `head = ⟨q, ⊥⟩`: in-between operations.
+    A,
+    /// `head = ⟨q, ⟨rsp, j⟩⟩`: an operation has been applied, its response
+    /// not yet delivered and cleared.
+    B,
+}
+
+/// A violation of Invariant 22.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ModeViolation {
+    /// Human-readable description of the broken transition.
+    pub detail: String,
+}
+
+impl fmt::Display for ModeViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Invariant 22 violated: {}", self.detail)
+    }
+}
+
+impl Error for ModeViolation {}
+
+/// Observes the sequence of head values `(state_token, has_resp)` and checks
+/// Invariant 22: consecutive head writes alternate
+/// `⟨q, ⊥⟩ → ⟨q', r ≠ ⊥⟩ → ⟨q', ⊥⟩ → …`, with B→A transitions preserving
+/// the state component.
+///
+/// The tracker is representation-agnostic: callers feed it an opaque state
+/// token (e.g. the encoded state bits) plus the response flag.
+///
+/// # Example
+///
+/// ```
+/// use hi_universal::ModeTracker;
+///
+/// let mut t = ModeTracker::new(0, false); // A_0: ⟨q0, ⊥⟩
+/// t.observe(5, true).unwrap();            // B_1: ⟨q1, ⟨r, j⟩⟩
+/// t.observe(5, false).unwrap();           // A_1: ⟨q1, ⊥⟩
+/// assert_eq!(t.transitions(), 2);
+/// assert!(t.observe(7, false).is_err(), "A → A with a state change");
+/// ```
+#[derive(Clone, Debug)]
+pub struct ModeTracker {
+    state: u64,
+    has_resp: bool,
+    transitions: u64,
+    a_to_b: u64,
+}
+
+impl ModeTracker {
+    /// Creates a tracker from the initial head value.
+    pub fn new(state: u64, has_resp: bool) -> Self {
+        ModeTracker { state, has_resp, transitions: 0, a_to_b: 0 }
+    }
+
+    /// The current mode.
+    pub fn mode(&self) -> Mode {
+        if self.has_resp {
+            Mode::B
+        } else {
+            Mode::A
+        }
+    }
+
+    /// Total head writes observed.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Number of A→B transitions observed — the number of *linearized*
+    /// state-changing operations (Lemma 23).
+    pub fn linearized_ops(&self) -> u64 {
+        self.a_to_b
+    }
+
+    /// Feeds the next observed head value. A no-op if the value is unchanged
+    /// (head was not written).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModeViolation`] if the transition breaks Invariant 22.
+    pub fn observe(&mut self, state: u64, has_resp: bool) -> Result<(), ModeViolation> {
+        if state == self.state && has_resp == self.has_resp {
+            return Ok(());
+        }
+        self.transitions += 1;
+        let outcome = match (self.has_resp, has_resp) {
+            (false, true) => {
+                // A -> B: the first stage; the state may change.
+                self.a_to_b += 1;
+                Ok(())
+            }
+            (true, false) => {
+                // B -> A: the third stage; the state must be preserved.
+                if state == self.state {
+                    Ok(())
+                } else {
+                    Err(ModeViolation {
+                        detail: format!(
+                            "B->A transition changed the state ({} -> {})",
+                            self.state, state
+                        ),
+                    })
+                }
+            }
+            (false, false) => Err(ModeViolation {
+                detail: format!("A->A head write ({} -> {})", self.state, state),
+            }),
+            (true, true) => Err(ModeViolation {
+                detail: format!("B->B head write ({} -> {})", self.state, state),
+            }),
+        };
+        self.state = state;
+        self.has_resp = has_resp;
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legal_alternation() {
+        let mut t = ModeTracker::new(0, false);
+        for i in 1..=10u64 {
+            t.observe(i, true).unwrap();
+            assert_eq!(t.mode(), Mode::B);
+            t.observe(i, false).unwrap();
+            assert_eq!(t.mode(), Mode::A);
+        }
+        assert_eq!(t.linearized_ops(), 10);
+        assert_eq!(t.transitions(), 20);
+    }
+
+    #[test]
+    fn unchanged_value_is_not_a_transition() {
+        let mut t = ModeTracker::new(3, false);
+        t.observe(3, false).unwrap();
+        assert_eq!(t.transitions(), 0);
+    }
+
+    #[test]
+    fn b_to_a_must_preserve_state() {
+        let mut t = ModeTracker::new(0, false);
+        t.observe(4, true).unwrap();
+        let err = t.observe(5, false).unwrap_err();
+        assert!(err.to_string().contains("changed the state"));
+    }
+
+    #[test]
+    fn double_a_write_is_flagged() {
+        let mut t = ModeTracker::new(0, false);
+        assert!(t.observe(1, false).is_err());
+    }
+}

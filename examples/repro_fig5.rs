@@ -1,0 +1,85 @@
+//! Reproduces **Figure 5** of the paper (Lemma 35): every 1 the writer
+//! publishes in `B` is cleaned up — by the writer itself (scenario a) or by
+//! the overlapping reader (scenario b) — before the system quiesces, which
+//! is exactly why Algorithm 4's quiescent memory is canonical.
+//!
+//! ```sh
+//! cargo run --example repro_fig5
+//! ```
+
+use hi_concurrent::registers::WaitFreeHiRegister;
+use hi_concurrent::sim::{render_lanes, Executor, Pid, Trace};
+use hi_core::objects::RegisterOp;
+
+const W: Pid = Pid(0);
+const R: Pid = Pid(1);
+const K: u64 = 3;
+
+fn print_b_traffic(exec: &Executor<hi_core::objects::MultiRegisterSpec, WaitFreeHiRegister>) {
+    let trace: &Trace = exec.trace().unwrap();
+    for ev in trace.events() {
+        let name = exec.mem().name(ev.cell);
+        if name.starts_with('B') {
+            println!("  {}", ev.render(exec.mem()));
+        }
+    }
+}
+
+fn indent(text: &str) -> String {
+    text.lines().map(|l| format!("    {l}\n")).collect()
+}
+
+fn main() {
+    println!("Figure 5 — who erases the writer's help from B\n");
+
+    // ------------------------------------------------------------------
+    // Scenario (a): the *writer* clears its own B write (line 15), because
+    // it reads flag[2] = 1: the reader has already finished reading B.
+    // ------------------------------------------------------------------
+    println!("scenario (a): writer writes B, sees flag[2] = 1, clears B itself");
+    let imp = WaitFreeHiRegister::new(K, 2);
+    let mut exec = Executor::new(imp.clone());
+    // Reader: flag[1] <- 1, TryRead finds A[2] (3 reads: A[1], A[2], A[1]),
+    // then flag[2] <- 1. Five steps leave it *before* its B-clearing loop.
+    exec.invoke(R, RegisterOp::Read);
+    for _ in 0..5 {
+        exec.step(R);
+    }
+    exec.enable_trace();
+    // Writer: B empty, flag[1] = 1 -> writes B[last-val]; flag[2] = 1 ->
+    // clears B[last-val] (line 15); proceeds to A.
+    exec.run_op_solo(W, RegisterOp::Write(3), 10_000).unwrap();
+    print_b_traffic(&exec);
+    println!("  lanes (writer = p0, reader = p1):");
+    print!("{}", indent(&render_lanes(exec.trace().unwrap(), exec.mem(), 2)));
+    while exec.can_step(R) {
+        exec.step(R);
+    }
+    assert_eq!(exec.snapshot(), imp.canonical(3));
+    println!("  => quiescent memory canonical: {:?}\n", exec.snapshot());
+
+    // ------------------------------------------------------------------
+    // Scenario (b): the writer's B write survives (flag[2] = 0, flag[1] = 1)
+    // and the *reader* erases it in its cleanup loop (line 8).
+    // ------------------------------------------------------------------
+    println!("scenario (b): writer leaves B set, the reader's cleanup clears it");
+    let imp = WaitFreeHiRegister::new(K, 2);
+    let mut exec = Executor::new(imp.clone());
+    // Reader has only announced itself (flag[1] = 1), not yet set flag[2].
+    exec.invoke(R, RegisterOp::Read);
+    exec.step(R);
+    exec.enable_trace();
+    // Writer: B empty, flag[1] = 1 -> writes B[2]; flag[2] = 0 and
+    // flag[1] = 1 -> leaves the help in place; writes A.
+    exec.run_op_solo(W, RegisterOp::Write(3), 10_000).unwrap();
+    // Reader completes: its TryRead succeeds on the new A, and its cleanup
+    // loop erases B[2].
+    while exec.can_step(R) {
+        exec.step(R);
+    }
+    print_b_traffic(&exec);
+    assert_eq!(exec.snapshot(), imp.canonical(3));
+    println!("  => quiescent memory canonical: {:?}", exec.snapshot());
+
+    println!("\nin both scenarios the B footprint is gone at quiescence — Lemma 35.");
+}

@@ -1,0 +1,49 @@
+#![forbid(unsafe_code)]
+//! Umbrella crate for the history-independent concurrent objects workspace.
+//!
+//! This crate re-exports the workspace's public API so that examples,
+//! integration tests and downstream users need a single dependency. The
+//! pieces:
+//!
+//! * [`core`] — abstract objects `(Q, q0, O, R, Δ)`, histories, the `C_t`
+//!   class and canonical-representation bookkeeping.
+//! * [`sim`] — a deterministic asynchronous shared-memory simulator whose
+//!   configurations and `mem(C)` snapshots match the paper's model exactly.
+//! * [`spec`] — linearizability and history-independence checkers plus a
+//!   bounded exhaustive schedule explorer.
+//! * [`registers`] — Algorithms 1–4 of the paper (Vidyasankar's register,
+//!   the lock-free state-quiescent HI register, the wait-free quiescent HI
+//!   register), the max register and the perfect-HI set.
+//! * [`queue`] — a lock-free state-quiescent HI queue with `Peek`.
+//! * [`llsc`] — Algorithm 6: a lock-free perfect-HI releasable LL/SC object
+//!   from atomic CAS.
+//! * [`universal`] — Algorithm 5: the wait-free state-quiescent HI universal
+//!   construction, plus baselines.
+//! * [`lowerbound`] — the executable §5.2/§5.4 impossibility adversaries.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hi_concurrent::registers::waitfree::WaitFreeHiRegister;
+//! use hi_concurrent::sim::{Executor, Pid};
+//! use hi_core::objects::RegisterOp;
+//!
+//! // A wait-free quiescent-HI 5-valued register from binary registers
+//! // (Algorithm 4), run in the simulator.
+//! let imp = WaitFreeHiRegister::new(5, 1);
+//! let mut exec = Executor::new(imp);
+//! exec.run_op_solo(Pid(0), RegisterOp::Write(4), 1_000).unwrap();
+//! let resp = exec.run_op_solo(Pid(1), RegisterOp::Read, 1_000).unwrap();
+//! assert_eq!(resp, hi_core::objects::RegisterResp::Value(4));
+//! ```
+
+pub use hi_core as core;
+pub use hi_hashtable as hashtable;
+pub use hi_llsc as llsc;
+pub use hi_lowerbound as lowerbound;
+pub use hi_queue as queue;
+pub use hi_randomized as randomized;
+pub use hi_registers as registers;
+pub use hi_sim as sim;
+pub use hi_spec as spec;
+pub use hi_universal as universal;

@@ -1,0 +1,164 @@
+//! Failure injection: in the asynchronous model a crashed process is simply
+//! one that never takes another step. Wait-free operations must complete
+//! regardless of crashes; lock-free ones may rely on the crashed process's
+//! absence of *activity* (a static memory cannot starve a retry loop); and
+//! helping structures (Algorithm 5) must complete a crashed process's
+//! announced operation exactly once.
+
+use hi_concurrent::queue::PositionalQueue;
+use hi_concurrent::registers::{LockFreeHiRegister, WaitFreeHiRegister};
+use hi_concurrent::sim::{Executor, Pid};
+use hi_concurrent::spec::{linearize, LinOptions};
+use hi_concurrent::universal::{CasUniversal, SimUniversal};
+use hi_core::objects::{CounterOp, CounterResp, CounterSpec, QueueOp, RegisterOp, RegisterResp};
+
+const W: Pid = Pid(0);
+const R: Pid = Pid(1);
+
+/// For every possible crash point of a `Write(v)`, the reader must still
+/// complete and the history must linearize (Algorithm 4 *and* Algorithm 2:
+/// with the writer static, even the lock-free reader terminates, because a
+/// static array always contains a 1).
+#[test]
+fn register_reader_survives_writer_crash_at_every_point() {
+    let k = 4;
+    for crash_after in 0..=(2 * k + 4) {
+        // Algorithm 2.
+        let mut exec = Executor::new(LockFreeHiRegister::new(k, 2));
+        exec.invoke(W, RegisterOp::Write(3));
+        for _ in 0..crash_after {
+            if exec.can_step(W) {
+                exec.step(W);
+            }
+        }
+        // Writer crashes here; reader runs alone.
+        let resp = exec.run_op_solo(R, RegisterOp::Read, 10_000).unwrap();
+        assert!(matches!(resp, RegisterResp::Value(v) if (1..=k).contains(&v)));
+        linearize(exec.spec(), exec.history(), &LinOptions::default())
+            .unwrap_or_else(|e| panic!("Algorithm 2, crash at {crash_after}: {e}"));
+
+        // Algorithm 4.
+        let mut exec = Executor::new(WaitFreeHiRegister::new(k, 2));
+        exec.invoke(W, RegisterOp::Write(3));
+        for _ in 0..crash_after {
+            if exec.can_step(W) {
+                exec.step(W);
+            }
+        }
+        let resp = exec.run_op_solo(R, RegisterOp::Read, 10_000).unwrap();
+        assert!(matches!(resp, RegisterResp::Value(v) if (1..=k).contains(&v)));
+        linearize(exec.spec(), exec.history(), &LinOptions::default())
+            .unwrap_or_else(|e| panic!("Algorithm 4, crash at {crash_after}: {e}"));
+    }
+}
+
+/// Algorithm 5's helping makes it crash-tolerant: crash p0 at *every* point
+/// inside an Inc; p1 and p2 keep operating and must (a) complete their own
+/// operations and (b) apply p0's announced operation at most once.
+#[test]
+fn universal_survives_crash_at_every_point() {
+    let spec = CounterSpec::new(0, 32, 0);
+    // An Inc under this spec takes a bounded number of steps; probe them all.
+    for crash_after in 0..40 {
+        let imp = SimUniversal::new(spec, 3);
+        let mut exec = Executor::new(imp.clone());
+        exec.invoke(Pid(0), CounterOp::Inc);
+        let mut crashed_mid_op = false;
+        for _ in 0..crash_after {
+            if exec.can_step(Pid(0)) {
+                exec.step(Pid(0));
+            }
+        }
+        if exec.can_step(Pid(0)) {
+            crashed_mid_op = true; // p0's op still pending at the crash
+        }
+        // Survivors run several ops each, all solo-complete (wait-freedom
+        // under crashes: nothing p0 holds can block them).
+        for round in 0..3 {
+            for pid in [1, 2] {
+                let op = if round == 1 { CounterOp::Dec } else { CounterOp::Inc };
+                exec.run_op_solo(Pid(pid), op, 10_000).unwrap_or_else(|e| {
+                    panic!("survivor p{pid} blocked after crash at {crash_after}: {e}")
+                });
+            }
+        }
+        let value = match exec.run_op_solo(Pid(1), CounterOp::Read, 10_000).unwrap() {
+            CounterResp::Value(v) => v,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Survivors contributed 2×(+1) + 2×(-1) + 2×(+1) = +2; p0's Inc may
+        // or may not have been applied (helped), but never twice.
+        assert!(
+            value == 2 || value == 3,
+            "crash at {crash_after}: value {value} implies lost or duplicated ops"
+        );
+        if !crashed_mid_op {
+            assert_eq!(value, 3, "a completed op must be counted");
+        }
+        // The full history (with p0's op possibly pending) linearizes.
+        linearize(exec.spec(), exec.history(), &LinOptions::default())
+            .unwrap_or_else(|e| panic!("crash at {crash_after}: {e}"));
+    }
+}
+
+/// The CAS baseline is lock-free: a crashed process between read and CAS
+/// holds nothing, so survivors proceed.
+#[test]
+fn cas_universal_survives_mid_op_crash() {
+    let imp = CasUniversal::new(CounterSpec::new(0, 8, 0), 2);
+    let mut exec = Executor::new(imp);
+    exec.invoke(Pid(0), CounterOp::Inc);
+    exec.step(Pid(0)); // p0 read the cell, then crashed before its CAS
+    for _ in 0..3 {
+        exec.run_op_solo(Pid(1), CounterOp::Inc, 100).unwrap();
+    }
+    assert_eq!(
+        exec.run_op_solo(Pid(1), CounterOp::Read, 100).unwrap(),
+        CounterResp::Value(3)
+    );
+}
+
+/// The positional queue's Peek is *not* crash-tolerant: a mutator crash
+/// between clearing the front slot and moving the next element up leaves a
+/// static memory in which Peek spins forever — the lock-free/wait-free gap,
+/// exhibited by a single crash instead of an adversary.
+#[test]
+fn queue_peek_blocks_on_mutator_crash_mid_dequeue() {
+    let mut exec = Executor::new(PositionalQueue::new(3, 3));
+    exec.run_op_solo(W, QueueOp::Enqueue(1), 100).unwrap();
+    exec.run_op_solo(W, QueueOp::Enqueue(2), 100).unwrap();
+    // Dequeue steps: LEN clear, front clear, move, clear-old. Crash after
+    // the front clear: slot 0 empty, LEN[0] still 1.
+    exec.invoke(W, QueueOp::Dequeue);
+    exec.step(W); // LEN[1] <- 0
+    exec.step(W); // Q[0][1] <- 0   (front gone, element 2 still in slot 1)
+    // Peek now spins: LEN[0] = 1 but slot 0 stays empty forever.
+    exec.invoke(R, QueueOp::Peek);
+    for _ in 0..10_000 {
+        assert!(
+            exec.step(R).is_none(),
+            "Peek must not return while the front is in limbo"
+        );
+    }
+    assert!(exec.can_step(R), "Peek is stuck — the price of lock-freedom under crashes");
+}
+
+/// Contrast: crashing the mutator at any point of an *enqueue* cannot block
+/// Peek, because enqueue never makes the front slot transiently empty.
+#[test]
+fn queue_peek_survives_mutator_crash_mid_enqueue() {
+    for crash_after in 0..=2 {
+        let mut exec = Executor::new(PositionalQueue::new(3, 3));
+        exec.run_op_solo(W, QueueOp::Enqueue(2), 100).unwrap();
+        exec.invoke(W, QueueOp::Enqueue(3));
+        for _ in 0..crash_after {
+            if exec.can_step(W) {
+                exec.step(W);
+            }
+        }
+        let resp = exec.run_op_solo(R, QueueOp::Peek, 10_000).unwrap_or_else(|e| {
+            panic!("Peek blocked after enqueue crash at {crash_after}: {e}")
+        });
+        assert_eq!(resp, hi_core::objects::QueueResp::Value(2));
+    }
+}

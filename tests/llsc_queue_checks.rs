@@ -1,0 +1,174 @@
+//! Cross-crate checks of the R-LLSC object (Algorithm 6 / Theorem 28) and
+//! the positional queue: linearizability under random schedules and the
+//! perfect-HI bijection of the LLSC cell.
+
+use hi_concurrent::llsc::{RLlscOp, RLlscSpec, SimRLlsc};
+use hi_concurrent::queue::PositionalQueue;
+use hi_concurrent::sim::{run_workload, Executor, Seeded, Workload};
+use hi_concurrent::spec::{
+    check_run_single_mutator, linearize, HiMonitor, LinOptions, ObservationModel,
+};
+use hi_core::objects::{BoundedQueueSpec, QueueOp};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+const MAX_STEPS: u64 = 200_000;
+
+fn llsc_workload(v: u64, n: usize, ops: usize, seed: u64) -> Workload<RLlscSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = Workload::new(n);
+    for pid in 0..n {
+        for _ in 0..ops {
+            let op = match rng.gen_range(0..6) {
+                0 => RLlscOp::Ll { pid },
+                1 => RLlscOp::Vl { pid },
+                2 => RLlscOp::Sc { pid, new: rng.gen_range(0..v) },
+                3 => RLlscOp::Rl { pid },
+                4 => RLlscOp::Load,
+                _ => RLlscOp::Store { new: rng.gen_range(0..v) },
+            };
+            w.push(pid, op);
+        }
+    }
+    w
+}
+
+#[test]
+fn rllsc_linearizes_under_random_schedules() {
+    // Theorem 28, linearizability half.
+    for seed in 0..30u64 {
+        let n = 3;
+        let imp = SimRLlsc::new(4, 0, n);
+        let mut exec = Executor::new(imp.clone());
+        run_workload(
+            &mut exec,
+            llsc_workload(4, n, 6, seed),
+            &mut Seeded::new(seed),
+            &mut (),
+            MAX_STEPS,
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        linearize(exec.spec(), exec.history(), &LinOptions::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn rllsc_memory_is_a_bijection_of_state() {
+    // Theorem 28, perfect-HI half: at *every* configuration the single cell
+    // decodes to some (val, context) pair, and equal decoded states imply
+    // equal memories (trivially, but the monitor also catches any stray
+    // cell the implementation might have touched).
+    for seed in 0..20u64 {
+        let n = 3;
+        let imp = SimRLlsc::new(4, 1, n);
+        let mut exec = Executor::new(imp.clone());
+        let mut monitor: HiMonitor<(u64, u64)> = HiMonitor::new(ObservationModel::Perfect);
+        let imp2 = imp.clone();
+        let mut observer = |e: &Executor<RLlscSpec, SimRLlsc>| {
+            monitor.observe(e, imp2.decode(&e.snapshot()));
+        };
+        run_workload(
+            &mut exec,
+            llsc_workload(4, n, 6, seed),
+            &mut Seeded::new(seed),
+            &mut observer,
+            MAX_STEPS,
+        )
+        .unwrap();
+        assert!(monitor.violation().is_none(), "seed {seed}: {:?}", monitor.violation());
+        monitor
+            .canonical_map()
+            .check_injective()
+            .expect("distinct LLSC states must have distinct memories");
+    }
+}
+
+#[test]
+fn positional_queue_random_schedules() {
+    // Linearizable + state-quiescent HI, the §5.4 possibility counterpart.
+    for seed in 0..40u64 {
+        let t = 3;
+        let cap = 3;
+        let imp = PositionalQueue::new(t, cap);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w: Workload<BoundedQueueSpec> = Workload::new(2);
+        for _ in 0..12 {
+            let op = match rng.gen_range(0..2) {
+                0 => QueueOp::Enqueue(rng.gen_range(1..=t)),
+                _ => QueueOp::Dequeue,
+            };
+            w.push(0, op);
+            w.push(1, QueueOp::Peek);
+        }
+        let report = check_run_single_mutator(
+            &imp,
+            w,
+            &mut Seeded::new(seed),
+            ObservationModel::StateQuiescent,
+            MAX_STEPS,
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(
+            report.final_snapshot,
+            imp.canonical(&report.lin.final_state),
+            "seed {seed}: final memory must be canonical"
+        );
+    }
+}
+
+#[test]
+fn rllsc_context_reveals_nothing_after_release() {
+    // The R in R-LLSC: LL followed by RL leaves the memory exactly as it
+    // was — the motivation for adding release to the interface (§6).
+    let imp = SimRLlsc::new(4, 2, 2);
+    let mut exec = Executor::new(imp.clone());
+    let before = exec.snapshot();
+    exec.run_op_solo(hi_core::Pid(0), RLlscOp::Ll { pid: 0 }, 10).unwrap();
+    assert_ne!(exec.snapshot(), before, "the link is visible while held");
+    exec.run_op_solo(hi_core::Pid(0), RLlscOp::Rl { pid: 0 }, 10).unwrap();
+    assert_eq!(exec.snapshot(), before, "released link leaves no trace");
+}
+
+#[test]
+fn queue_peek_mid_shift_sees_old_or_new_front_only() {
+    // Directed schedule: during a dequeue's shift, a concurrent Peek may
+    // return the outgoing front (linearized before) or the incoming front
+    // (after) — never anything else, whichever point the dequeue has reached.
+    use hi_core::Pid;
+    let t = 3;
+    for pause_after in 0..6u64 {
+        let mut exec = Executor::new(PositionalQueue::new(t, 3));
+        exec.run_op_solo(Pid(0), QueueOp::Enqueue(2), 100).unwrap();
+        exec.run_op_solo(Pid(0), QueueOp::Enqueue(3), 100).unwrap();
+        exec.invoke(Pid(0), QueueOp::Dequeue);
+        for _ in 0..pause_after {
+            if exec.can_step(Pid(0)) {
+                exec.step(Pid(0));
+            }
+        }
+        // Finish the dequeue only after the peek, to keep the overlap.
+        exec.invoke(Pid(1), QueueOp::Peek);
+        let mut peek_resp = None;
+        for _ in 0..100 {
+            if let Some((_, r)) = exec.step(Pid(1)) {
+                peek_resp = Some(r);
+                break;
+            }
+            if exec.can_step(Pid(0)) {
+                exec.step(Pid(0));
+            }
+        }
+        let r = peek_resp.expect("peek completes once the dequeue finishes");
+        assert!(
+            r == hi_core::objects::QueueResp::Value(2) || r == hi_core::objects::QueueResp::Value(3),
+            "pause {pause_after}: peek returned {r:?}"
+        );
+        // Finish everything and verify linearizability + canonical memory.
+        while exec.can_step(Pid(0)) {
+            exec.step(Pid(0));
+        }
+        linearize(exec.spec(), exec.history(), &LinOptions::default())
+            .unwrap_or_else(|e| panic!("pause {pause_after}: {e}"));
+    }
+}

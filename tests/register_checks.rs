@@ -1,0 +1,232 @@
+//! Cross-crate checks of the register algorithms (paper §4): randomized
+//! schedules, linearizability, and history independence under each
+//! observation model — including the *negative* results (Algorithm 1 leaks;
+//! Algorithm 4 is not state-quiescent HI).
+
+use hi_concurrent::registers::{
+    LockFreeHiRegister, MaxRegister, VidyasankarRegister, WaitFreeHiRegister,
+};
+use hi_concurrent::sim::{Seeded, Workload};
+use hi_concurrent::spec::{check_run_single_mutator, CheckError, ObservationModel};
+use hi_core::objects::{MaxRegisterOp, MultiRegisterSpec, RegisterOp};
+use hi_core::objects::MaxRegisterSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const MAX_STEPS: u64 = 200_000;
+
+fn register_workload(k: u64, ops: usize, seed: u64) -> Workload<MultiRegisterSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = Workload::new(2);
+    for _ in 0..ops {
+        w.push(0, RegisterOp::Write(rng.gen_range(1..=k)));
+        w.push(1, RegisterOp::Read);
+    }
+    w
+}
+
+#[test]
+fn lockfree_hi_register_random_schedules() {
+    // Theorem 9: Algorithm 2 is linearizable and state-quiescent HI.
+    for seed in 0..40u64 {
+        for k in [3u64, 5] {
+            let imp = LockFreeHiRegister::new(k, 1);
+            let report = check_run_single_mutator(
+                &imp,
+                register_workload(k, 12, seed),
+                &mut Seeded::new(seed),
+                ObservationModel::StateQuiescent,
+                MAX_STEPS,
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}, K {k}: {e}"));
+            assert!(report.hi_points > 0, "observation points must exist");
+        }
+    }
+}
+
+#[test]
+fn waitfree_hi_register_random_schedules() {
+    // Theorem 12: Algorithm 4 is linearizable and quiescent HI.
+    for seed in 0..40u64 {
+        for k in [3u64, 5] {
+            let imp = WaitFreeHiRegister::new(k, 1);
+            let report = check_run_single_mutator(
+                &imp,
+                register_workload(k, 12, seed),
+                &mut Seeded::new(seed),
+                ObservationModel::Quiescent,
+                MAX_STEPS,
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}, K {k}: {e}"));
+            assert!(report.hi_points > 0);
+        }
+    }
+}
+
+#[test]
+fn vidyasankar_is_linearizable_but_not_hi() {
+    // Algorithm 1 linearizes fine...
+    for seed in 0..20u64 {
+        let imp = VidyasankarRegister::new(4, 1);
+        // ...but only if we don't ask for history independence: run with the
+        // monitor disabled by using a workload that never revisits a state.
+        let mut w: Workload<MultiRegisterSpec> = Workload::new(2);
+        w.push(0, RegisterOp::Write(2));
+        w.push(0, RegisterOp::Write(3));
+        w.push(1, RegisterOp::Read);
+        // Quiescent HI monitoring with a state-revisiting workload flags it:
+        let mut leaky: Workload<MultiRegisterSpec> = Workload::new(2);
+        for op in [
+            RegisterOp::Write(2),
+            RegisterOp::Write(1),
+            RegisterOp::Write(3),
+            RegisterOp::Write(1),
+        ] {
+            leaky.push(0, op);
+        }
+        let err = check_run_single_mutator(
+            &imp,
+            leaky,
+            &mut Seeded::new(seed),
+            ObservationModel::Quiescent,
+            MAX_STEPS,
+        )
+        .expect_err("Algorithm 1 must violate quiescent HI on a state-revisiting history");
+        assert!(matches!(err, CheckError::Hi(_)), "got {err}");
+        // The non-revisiting workload passes even the HI check trivially.
+        check_run_single_mutator(
+            &imp,
+            w,
+            &mut Seeded::new(seed),
+            ObservationModel::Quiescent,
+            MAX_STEPS,
+        )
+        .unwrap();
+    }
+}
+
+#[test]
+fn waitfree_register_is_not_state_quiescent_hi() {
+    // Table 1's wait-free row: quiescent HI is possible (previous test),
+    // state-quiescent HI is impossible (Corollary 18). Algorithm 4 indeed
+    // fails the stronger monitor: a pending read leaves flag[1] = 1 at a
+    // state-quiescent configuration.
+    let imp = WaitFreeHiRegister::new(3, 1);
+    let mut w: Workload<MultiRegisterSpec> = Workload::new(2);
+    w.push(1, RegisterOp::Read);
+    let err = check_run_single_mutator(
+        &imp,
+        w,
+        &mut Seeded::new(7),
+        ObservationModel::StateQuiescent,
+        MAX_STEPS,
+    )
+    .expect_err("a pending read must break state-quiescent canonicity");
+    assert!(matches!(err, CheckError::Hi(_)));
+}
+
+#[test]
+fn lockfree_register_is_perfect_hi_nowhere() {
+    // Proposition 14: no implementation of a C_t register from binary cells
+    // can be perfect HI; Algorithm 2 indeed fails the perfect monitor as
+    // soon as a write is mid-flight.
+    let imp = LockFreeHiRegister::new(3, 1);
+    let mut w: Workload<MultiRegisterSpec> = Workload::new(2);
+    w.push(0, RegisterOp::Write(3));
+    w.push(0, RegisterOp::Write(1));
+    let err = check_run_single_mutator(
+        &imp,
+        w,
+        &mut Seeded::new(3),
+        ObservationModel::Perfect,
+        MAX_STEPS,
+    )
+    .expect_err("mid-write memory cannot be canonical");
+    assert!(matches!(err, CheckError::Hi(_)));
+}
+
+#[test]
+fn max_register_random_schedules() {
+    // §5.1: the max register escapes C_t and is wait-free + state-quiescent
+    // HI from binary registers.
+    for seed in 0..40u64 {
+        let imp = MaxRegister::new(6);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let mut w: Workload<MaxRegisterSpec> = Workload::new(2);
+        for _ in 0..10 {
+            w.push(0, MaxRegisterOp::WriteMax(rng.gen_range(1..=6)));
+            w.push(1, MaxRegisterOp::ReadMax);
+        }
+        check_run_single_mutator(
+            &imp,
+            w,
+            &mut Seeded::new(seed),
+            ObservationModel::StateQuiescent,
+            MAX_STEPS,
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn final_memory_is_canonical_for_hi_registers() {
+    for seed in 0..10u64 {
+        let k = 4;
+        let imp = LockFreeHiRegister::new(k, 1);
+        let report = check_run_single_mutator(
+            &imp,
+            register_workload(k, 8, seed),
+            &mut Seeded::new(seed),
+            ObservationModel::StateQuiescent,
+            MAX_STEPS,
+        )
+        .unwrap();
+        let v = report.lin.final_state;
+        assert_eq!(report.final_snapshot, imp.canonical(v));
+
+        let imp = WaitFreeHiRegister::new(k, 1);
+        let report = check_run_single_mutator(
+            &imp,
+            register_workload(k, 8, seed),
+            &mut Seeded::new(seed),
+            ObservationModel::Quiescent,
+            MAX_STEPS,
+        )
+        .unwrap();
+        let v = report.lin.final_state;
+        assert_eq!(report.final_snapshot, imp.canonical(v));
+    }
+}
+
+#[test]
+fn proposition19_algorithm4_reader_writes() {
+    // Prop. 19: in any wait-free quiescent-HI SWSR register from binary
+    // registers, the reader MUST write to shared memory. Algorithm 4's
+    // reader indeed does (flag announcements + B cleanup)...
+    use hi_concurrent::sim::{Executor, Pid, PrimKind};
+    let imp = WaitFreeHiRegister::new(3, 2);
+    let mut exec = Executor::new(imp);
+    exec.enable_trace();
+    exec.run_op_solo(Pid(1), RegisterOp::Read, 1_000).unwrap();
+    let trace = exec.take_trace().unwrap();
+    let reader_writes = trace
+        .events()
+        .iter()
+        .filter(|e| e.pid == Pid(1) && matches!(e.kind, PrimKind::Write))
+        .count();
+    assert!(reader_writes > 0, "Algorithm 4's reader must write (Prop. 19)");
+
+    // ...while Algorithm 2's reader never writes — consistent with Prop. 19,
+    // because Algorithm 2's reads are not wait-free.
+    let imp = LockFreeHiRegister::new(3, 2);
+    let mut exec = hi_concurrent::sim::Executor::new(imp);
+    exec.enable_trace();
+    exec.run_op_solo(Pid(1), RegisterOp::Read, 1_000).unwrap();
+    let trace = exec.take_trace().unwrap();
+    let reader_writes = trace
+        .events()
+        .iter()
+        .filter(|e| e.pid == Pid(1) && matches!(e.kind, PrimKind::Write))
+        .count();
+    assert_eq!(reader_writes, 0, "Algorithm 2's reader is read-only");
+}

@@ -1,0 +1,375 @@
+//! Cross-crate checks of the universal constructions (paper §6):
+//! linearizability and state-quiescent HI of Algorithm 5 over several
+//! object types, perfect HI of the CAS baseline, the leak of the non-HI
+//! contrast, and the mode alternation of Invariant 22.
+
+use hi_concurrent::sim::{run_workload, Executor, Seeded, Workload};
+use hi_concurrent::spec::{linearize, HiMonitor, LinOptions, ObservationModel};
+use hi_concurrent::universal::{
+    CasUniversal, LeakyUniversal, ModeTracker, SimUniversal,
+};
+use hi_core::objects::{
+    BoundedQueueSpec, CounterOp, CounterSpec, MapOp, MapSpec, QueueOp, SetOp, SetSpec,
+    SnapshotOp, SnapshotSpec, StackOp, StackSpec,
+};
+use hi_core::EnumerableSpec;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+const MAX_STEPS: u64 = 500_000;
+
+fn counter_workload(n: usize, ops: usize, seed: u64) -> Workload<CounterSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = Workload::new(n);
+    for pid in 0..n {
+        for _ in 0..ops {
+            let op = match rng.gen_range(0..3) {
+                0 => CounterOp::Inc,
+                1 => CounterOp::Dec,
+                _ => CounterOp::Read,
+            };
+            w.push(pid, op);
+        }
+    }
+    w
+}
+
+/// Runs a workload on a `SimUniversal`, monitoring state-quiescent HI with
+/// the head-decode oracle and checking linearizability at the end.
+fn check_universal<S: EnumerableSpec>(
+    imp: &SimUniversal<S>,
+    workload: Workload<S>,
+    seed: u64,
+) -> u64 {
+    let mut exec = Executor::new(imp.clone());
+    let mut monitor: HiMonitor<S::State> = HiMonitor::new(ObservationModel::StateQuiescent);
+    {
+        let imp2 = imp.clone();
+        let mut observer = |e: &Executor<S, SimUniversal<S>>| {
+            if e.is_state_quiescent() {
+                // Theorem 32: at state-quiescent points the memory must be
+                // the canonical representation of the head state.
+                let q = imp2.abstract_state(&e.snapshot());
+                assert_eq!(
+                    e.snapshot(),
+                    imp2.canonical(&q),
+                    "non-canonical state-quiescent memory (seed {seed})"
+                );
+                monitor.observe(e, q);
+            }
+        };
+        run_workload(&mut exec, workload, &mut Seeded::new(seed), &mut observer, MAX_STEPS)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+    assert!(monitor.violation().is_none(), "seed {seed}: {:?}", monitor.violation());
+    linearize(exec.spec(), exec.history(), &LinOptions::default())
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    exec.steps()
+}
+
+#[test]
+fn universal_counter_random_schedules() {
+    for seed in 0..25u64 {
+        for n in [2usize, 3] {
+            let imp = SimUniversal::new(CounterSpec::new(-4, 4, 0), n);
+            check_universal(&imp, counter_workload(n, 6, seed), seed);
+        }
+    }
+}
+
+#[test]
+fn universal_set_random_schedules() {
+    for seed in 0..15u64 {
+        let n = 3;
+        let spec = SetSpec::new(3);
+        let imp = SimUniversal::new(spec, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w: Workload<SetSpec> = Workload::new(n);
+        for pid in 0..n {
+            for _ in 0..5 {
+                let e = rng.gen_range(1..=3);
+                let op = match rng.gen_range(0..3) {
+                    0 => SetOp::Insert(e),
+                    1 => SetOp::Remove(e),
+                    _ => SetOp::Contains(e),
+                };
+                w.push(pid, op);
+            }
+        }
+        check_universal(&imp, w, seed);
+    }
+}
+
+#[test]
+fn universal_queue_random_schedules() {
+    for seed in 0..15u64 {
+        let n = 2;
+        let spec = BoundedQueueSpec::new(3, 3);
+        let imp = SimUniversal::new(spec, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w: Workload<BoundedQueueSpec> = Workload::new(n);
+        for pid in 0..n {
+            for _ in 0..6 {
+                let op = match rng.gen_range(0..3) {
+                    0 => QueueOp::Enqueue(rng.gen_range(1..=3)),
+                    1 => QueueOp::Dequeue,
+                    _ => QueueOp::Peek,
+                };
+                w.push(pid, op);
+            }
+        }
+        check_universal(&imp, w, seed);
+    }
+}
+
+#[test]
+fn universal_stack_random_schedules() {
+    for seed in 0..15u64 {
+        let n = 2;
+        let spec = StackSpec::new(3, 3);
+        let imp = SimUniversal::new(spec, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w: Workload<StackSpec> = Workload::new(n);
+        for pid in 0..n {
+            for _ in 0..6 {
+                let op = match rng.gen_range(0..3) {
+                    0 => StackOp::Push(rng.gen_range(1..=3)),
+                    1 => StackOp::Pop,
+                    _ => StackOp::Top,
+                };
+                w.push(pid, op);
+            }
+        }
+        check_universal(&imp, w, seed);
+    }
+}
+
+#[test]
+fn invariant22_mode_alternation() {
+    // Every head write flips A <-> B, and B -> A preserves the state.
+    for seed in 0..15u64 {
+        let n = 3;
+        let imp = SimUniversal::new(CounterSpec::new(-4, 4, 0), n);
+        let mut exec = Executor::new(imp.clone());
+        let init = imp.head_value(&exec.snapshot());
+        let enc = |q: &i64| (*q + 10) as u64; // injective state token
+        let mut tracker = ModeTracker::new(enc(&init.0), init.1.is_some());
+        let imp2 = imp.clone();
+        let mut observer = |e: &Executor<CounterSpec, SimUniversal<CounterSpec>>| {
+            let (q, r) = imp2.head_value(&e.snapshot());
+            tracker.observe(enc(&q), r.is_some()).unwrap();
+        };
+        run_workload(
+            &mut exec,
+            counter_workload(n, 5, seed),
+            &mut Seeded::new(seed),
+            &mut observer,
+            MAX_STEPS,
+        )
+        .unwrap();
+        // Lemma 23: each A->B transition linearizes exactly one
+        // state-changing op; our workload has 15 ops, some read-only.
+        assert!(tracker.linearized_ops() <= 15);
+        assert_eq!(tracker.mode(), hi_concurrent::universal::Mode::A, "final mode is A");
+    }
+}
+
+#[test]
+fn cas_universal_is_perfect_hi() {
+    for seed in 0..15u64 {
+        let n = 3;
+        let imp = CasUniversal::new(CounterSpec::new(-4, 4, 0), n);
+        let mut exec = Executor::new(imp.clone());
+        let mut monitor: HiMonitor<i64> = HiMonitor::new(ObservationModel::Perfect);
+        let imp2 = imp.clone();
+        let mut observer = |e: &Executor<CounterSpec, CasUniversal<CounterSpec>>| {
+            monitor.observe(e, imp2.abstract_state(&e.snapshot()));
+        };
+        run_workload(
+            &mut exec,
+            counter_workload(n, 6, seed),
+            &mut Seeded::new(seed),
+            &mut observer,
+            MAX_STEPS,
+        )
+        .unwrap();
+        assert!(monitor.violation().is_none(), "seed {seed}: {:?}", monitor.violation());
+        linearize(exec.spec(), exec.history(), &LinOptions::default()).unwrap();
+    }
+}
+
+#[test]
+fn leaky_universal_fails_even_quiescent_hi() {
+    // The ledger distinguishes histories that reach the same state: the
+    // monitor catches it at the second quiescent visit to state 0.
+    let imp = LeakyUniversal::new(CounterSpec::new(-4, 4, 0), 2);
+    let mut exec = Executor::new(imp.clone());
+    let mut monitor: HiMonitor<i64> = HiMonitor::new(ObservationModel::Quiescent);
+    let imp2 = imp.clone();
+    let mut observer = |e: &Executor<CounterSpec, LeakyUniversal<CounterSpec>>| {
+        monitor.observe(e, imp2.abstract_state(&e.snapshot()));
+    };
+    let mut w: Workload<CounterSpec> = Workload::new(2);
+    // Visit state 0 at two quiescent points with different op counts.
+    w.push(0, CounterOp::Inc);
+    w.push(0, CounterOp::Dec);
+    w.push(0, CounterOp::Inc);
+    w.push(0, CounterOp::Dec);
+    run_workload(&mut exec, w, &mut Seeded::new(1), &mut observer, MAX_STEPS).unwrap();
+    assert!(
+        monitor.violation().is_some(),
+        "the op ledger must break history independence"
+    );
+}
+
+#[test]
+fn universal_announce_cells_clear_after_runs() {
+    // Lemmas 26/27: at the (state-)quiescent end of a run every announce
+    // cell is ⊥ with an empty context and head has an empty context — i.e.
+    // the whole memory equals the canonical representation.
+    for seed in 0..10u64 {
+        let n = 4;
+        let imp = SimUniversal::new(CounterSpec::new(-8, 8, 0), n);
+        let mut exec = Executor::new(imp.clone());
+        run_workload(
+            &mut exec,
+            counter_workload(n, 4, seed),
+            &mut Seeded::new(seed),
+            &mut (),
+            MAX_STEPS,
+        )
+        .unwrap();
+        let q = imp.abstract_state(&exec.snapshot());
+        assert_eq!(exec.snapshot(), imp.canonical(&q), "seed {seed}");
+    }
+}
+
+#[test]
+fn universal_map_random_schedules() {
+    for seed in 0..15u64 {
+        let n = 2;
+        let spec = MapSpec::new(2, 2);
+        let imp = SimUniversal::new(spec, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w: Workload<MapSpec> = Workload::new(n);
+        for pid in 0..n {
+            for _ in 0..6 {
+                let k = rng.gen_range(1..=2);
+                let op = match rng.gen_range(0..3) {
+                    0 => MapOp::Put(k, rng.gen_range(1..=2)),
+                    1 => MapOp::Delete(k),
+                    _ => MapOp::Get(k),
+                };
+                w.push(pid, op);
+            }
+        }
+        check_universal(&imp, w, seed);
+    }
+}
+
+#[test]
+fn universal_snapshot_random_schedules() {
+    for seed in 0..12u64 {
+        let n = 3;
+        let spec = SnapshotSpec::new(2, 2);
+        let imp = SimUniversal::new(spec, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w: Workload<SnapshotSpec> = Workload::new(n);
+        for pid in 0..n {
+            for _ in 0..4 {
+                let op = if rng.gen_bool(0.5) {
+                    SnapshotOp::Update(rng.gen_range(0..2), rng.gen_range(0..=2))
+                } else {
+                    SnapshotOp::Scan
+                };
+                w.push(pid, op);
+            }
+        }
+        check_universal(&imp, w, seed);
+    }
+}
+
+#[test]
+fn universal_multiwriter_register_random_schedules() {
+    // The universal construction turns the SWSR register spec into a
+    // full MWMR register, trivially.
+    use hi_core::objects::{MultiRegisterSpec, RegisterOp};
+    for seed in 0..12u64 {
+        let n = 3;
+        let spec = MultiRegisterSpec::new(4, 1);
+        let imp = SimUniversal::new(spec, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w: Workload<MultiRegisterSpec> = Workload::new(n);
+        for pid in 0..n {
+            for _ in 0..4 {
+                let op = if rng.gen_bool(0.5) {
+                    RegisterOp::Write(rng.gen_range(1..=4))
+                } else {
+                    RegisterOp::Read
+                };
+                w.push(pid, op);
+            }
+        }
+        check_universal(&imp, w, seed);
+    }
+}
+
+#[test]
+fn lemma26_announce_is_bot_without_pending_op() {
+    // Lemma 26, at every configuration of random executions: a process with
+    // no pending state-changing operation has announce[i] = ⊥.
+    use hi_concurrent::universal::AnnValue;
+    use hi_core::{ObjectSpec, Pid};
+    for seed in 0..15u64 {
+        let n = 3;
+        let imp = SimUniversal::new(CounterSpec::new(-4, 4, 0), n);
+        let mut exec = Executor::new(imp.clone());
+        let imp2 = imp.clone();
+        let mut observer = |e: &Executor<CounterSpec, SimUniversal<CounterSpec>>| {
+            let spec = *e.spec();
+            for pid in 0..n {
+                let state_changing_pending = e
+                    .pending_op(Pid(pid))
+                    .map(|op| !spec.is_read_only(op))
+                    .unwrap_or(false);
+                if !state_changing_pending {
+                    assert!(
+                        matches!(imp2.announce_value(&e.snapshot(), pid), AnnValue::Bot),
+                        "seed {seed}: announce[{pid}] not ⊥ while p{pid} idle"
+                    );
+                }
+            }
+        };
+        run_workload(
+            &mut exec,
+            counter_workload(n, 6, seed),
+            &mut Seeded::new(seed),
+            &mut observer,
+            MAX_STEPS,
+        )
+        .unwrap();
+    }
+}
+
+#[test]
+fn universal_priority_queue_random_schedules() {
+    use hi_core::objects::{PQueueOp, PQueueSpec};
+    for seed in 0..12u64 {
+        let n = 2;
+        let spec = PQueueSpec::new(3, 3);
+        let imp = SimUniversal::new(spec, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w: Workload<PQueueSpec> = Workload::new(n);
+        for pid in 0..n {
+            for _ in 0..6 {
+                let op = match rng.gen_range(0..3) {
+                    0 => PQueueOp::Insert(rng.gen_range(1..=3)),
+                    1 => PQueueOp::ExtractMin,
+                    _ => PQueueOp::FindMin,
+                };
+                w.push(pid, op);
+            }
+        }
+        check_universal(&imp, w, seed);
+    }
+}

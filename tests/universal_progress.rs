@@ -1,0 +1,96 @@
+//! Progress properties of Algorithm 5 (Theorem 32's wait-freedom and the
+//! helping mechanism of Lemmas 24/31), as targeted schedules rather than
+//! random stress.
+
+use hi_concurrent::sim::{Executor, Pid};
+use hi_concurrent::universal::SimUniversal;
+use hi_core::objects::{CounterOp, CounterResp, CounterSpec};
+
+/// Under a scheduler that always favors the other processes (round-robin
+/// over everyone, so p0 gets only every n-th step while the others spam
+/// fresh operations), p0's operation still completes within a bounded
+/// number of its *own* steps — wait-freedom, not just lock-freedom.
+#[test]
+fn stalled_process_completes_within_bounded_own_steps() {
+    let n = 4;
+    let imp = SimUniversal::new(CounterSpec::new(0, 10_000, 0), n);
+    let mut exec = Executor::new(imp);
+    exec.invoke(Pid(0), CounterOp::Inc);
+    let mut p0_steps = 0u64;
+    let mut done = false;
+    // Generous but finite bound: the helping rotation guarantees completion
+    // once every live process has cycled its priority to p0.
+    'outer: for _round in 0..10_000 {
+        // Others keep invoking and stepping fresh ops (maximal contention).
+        for pid in 1..n {
+            if !exec.can_step(Pid(pid)) {
+                exec.invoke(Pid(pid), CounterOp::Inc);
+            }
+            exec.step(Pid(pid));
+        }
+        // p0 gets one step per round.
+        p0_steps += 1;
+        if exec.step(Pid(0)).is_some() {
+            done = true;
+            break 'outer;
+        }
+    }
+    assert!(done, "p0's operation never returned: wait-freedom violated");
+    assert!(
+        p0_steps <= 2_000,
+        "p0 needed {p0_steps} own steps — far beyond the helping bound"
+    );
+}
+
+/// A process that *only announces* (then crashes) is helped to completion:
+/// its operation's effect lands exactly once, no matter how many other
+/// operations run afterwards.
+#[test]
+fn announced_op_applied_exactly_once_despite_crash() {
+    let n = 3;
+    let imp = SimUniversal::new(CounterSpec::new(0, 1_000, 0), n);
+    let mut exec = Executor::new(imp);
+    exec.invoke(Pid(0), CounterOp::Inc);
+    exec.step(Pid(0)); // announce, then crash
+    for _ in 0..10 {
+        exec.run_op_solo(Pid(1), CounterOp::Inc, 10_000).unwrap();
+        exec.run_op_solo(Pid(2), CounterOp::Inc, 10_000).unwrap();
+    }
+    let value = match exec.run_op_solo(Pid(1), CounterOp::Read, 10_000).unwrap() {
+        CounterResp::Value(v) => v,
+        other => panic!("unexpected {other:?}"),
+    };
+    // 20 survivor increments + exactly one helped increment.
+    assert_eq!(value, 21, "crashed announcement must be applied exactly once");
+}
+
+/// The helping priority rotates: after enough state changes by one process,
+/// its priority pointer visits every peer (Theorem 32's fairness argument).
+#[test]
+fn priority_rotates_through_all_processes() {
+    let n = 4;
+    let imp = SimUniversal::new(CounterSpec::new(0, 1_000, 0), n);
+    let mut exec = Executor::new(imp);
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(exec.process(Pid(1)).priority());
+    for _ in 0..2 * n {
+        exec.run_op_solo(Pid(1), CounterOp::Inc, 10_000).unwrap();
+        seen.insert(exec.process(Pid(1)).priority());
+    }
+    assert_eq!(seen.len(), n, "priority must cycle through all {n} processes");
+}
+
+/// Read-only operations are a single load even under pending state changes
+/// by every other process (the `ApplyReadOnly` fast path).
+#[test]
+fn reads_are_single_step_under_contention() {
+    let n = 3;
+    let imp = SimUniversal::new(CounterSpec::new(0, 100, 0), n);
+    let mut exec = Executor::new(imp);
+    exec.invoke(Pid(0), CounterOp::Inc);
+    exec.step(Pid(0));
+    exec.invoke(Pid(1), CounterOp::Inc);
+    exec.step(Pid(1));
+    exec.invoke(Pid(2), CounterOp::Read);
+    assert!(exec.step(Pid(2)).is_some(), "read-only ops take exactly one step");
+}
