@@ -1,0 +1,272 @@
+#![forbid(unsafe_code)]
+//! Offline stand-in for the subset of the `criterion` crate this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal benchmark harness with criterion's API shape: [`Criterion`],
+//! [`BenchmarkGroup`] (with [`BenchmarkGroup::throughput`] and
+//! [`BenchmarkGroup::sample_size`]), [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurements are a simple
+//! warmup-then-median-of-samples loop printed as `ns/iter`; there is no
+//! statistical analysis, HTML report or baseline comparison. Swap the
+//! `criterion` workspace dependency back to crates.io for the real harness;
+//! no source changes are required.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark `name` at parameter value `parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: name.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// A benchmark identified only by a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: String::new(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.to_owned(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name, parameter: None }
+    }
+}
+
+/// Units of work per iteration, used to report throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs closures and measures them.
+pub struct Bencher {
+    /// Median nanoseconds per iteration of the last `iter` call.
+    last_ns_per_iter: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`, called repeatedly in a timed loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up for a fixed small budget while estimating cost.
+        let warmup = Duration::from_millis(20);
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < warmup {
+            black_box(routine());
+            iters += 1;
+        }
+        let per_iter = warmup.as_nanos() as f64 / iters.max(1) as f64;
+        // Size each sample to ~2ms of work, then take the median of samples.
+        let batch = ((2_000_000.0 / per_iter.max(1.0)) as u64).clamp(1, 1 << 24);
+        let samples = self.sample_size.clamp(3, 100);
+        let mut per_iter_samples: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            per_iter_samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter_samples.sort_by(|a, b| a.total_cmp(b));
+        self.last_ns_per_iter = per_iter_samples[per_iter_samples.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput reported for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { last_ns_per_iter: 0.0, sample_size: self.sample_size };
+        routine(&mut b);
+        self.report(&id, b.last_ns_per_iter);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { last_ns_per_iter: 0.0, sample_size: self.sample_size };
+        routine(&mut b, input);
+        self.report(&id, b.last_ns_per_iter);
+        self
+    }
+
+    fn report(&mut self, id: &BenchmarkId, ns_per_iter: f64) {
+        let mut line = format!("{}/{}: {:.1} ns/iter", self.name, id.render(), ns_per_iter);
+        if let Some(tp) = self.throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if ns_per_iter > 0.0 {
+                let per_sec = count as f64 * 1e9 / ns_per_iter;
+                line.push_str(&format!(" ({per_sec:.0} {unit}/s)"));
+            }
+        }
+        println!("{line}");
+        self.criterion.results.push((format!("{}/{}", self.name, id.render()), ns_per_iter));
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// No-op in the stand-in; the real crate reads CLI flags here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, routine);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a group runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates a `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_addition(c: &mut Criterion) {
+        let mut group = c.benchmark_group("adds");
+        group.throughput(Throughput::Elements(1));
+        group.sample_size(3);
+        group.bench_function("wrapping", |b| b.iter(|| black_box(3u64).wrapping_add(4)));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x) + 1)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_records() {
+        let mut c = Criterion::default();
+        bench_addition(&mut c);
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results.iter().all(|(name, ns)| !name.is_empty() && *ns >= 0.0));
+    }
+
+    criterion_group!(smoke, bench_addition);
+    criterion_group!(
+        name = smoke_cfg;
+        config = Criterion::default();
+        targets = bench_addition,
+    );
+
+    #[test]
+    fn group_macros_expand_and_run() {
+        smoke();
+        smoke_cfg();
+    }
+}

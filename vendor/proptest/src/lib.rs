@@ -1,0 +1,629 @@
+#![forbid(unsafe_code)]
+//! Offline stand-in for the subset of the `proptest` crate this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a deterministic, API-compatible implementation of the pieces it calls:
+//! the [`proptest!`] macro (with `#![proptest_config(..)]`, `pat in strategy`
+//! and `name: type` parameters), integer-range / tuple / `prop::collection`
+//! / `prop::bool` strategies, [`strategy::Strategy::prop_map`], the
+//! `prop_assert*` macros, [`prop_assume!`] and
+//! [`test_runner::TestCaseError`].
+//!
+//! Unlike real proptest it does no shrinking and no failure persistence: each
+//! case is drawn from a per-case deterministic seed and a failing case panics
+//! with its case index. Swap the `proptest` workspace dependency back to
+//! crates.io for the real engine; no source changes are required.
+
+pub mod test_runner {
+    //! Case configuration, errors and the per-case RNG.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Subset of proptest's `Config`: the number of cases per test and the
+    /// rejection budget.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases to run.
+        pub cases: u32,
+        /// Total `prop_assume!` rejections tolerated across the whole run
+        /// before the test aborts (mirrors real proptest's
+        /// `max_global_rejects`).
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases, ..Config::default() }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256, max_global_rejects: 1024 }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected (e.g. by `prop_assume!`); not a failure.
+        Reject(String),
+        /// The case failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failing case with the given reason.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejected case with the given reason.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            match self {
+                TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+            }
+        }
+    }
+
+    /// Outcome of a single test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// FNV-1a hash, used to give every test its own random stream.
+    pub fn fnv1a(name: &str) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        h
+    }
+
+    /// Deterministic per-case source of randomness.
+    #[derive(Clone, Debug)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// The RNG for case number `case` of a test run.
+        pub fn deterministic(case: u32) -> Self {
+            TestRng::salted(0, case, 0)
+        }
+
+        /// The RNG for attempt `attempt` of case `case` of the test whose
+        /// identity hashes to `salt`. Distinct tests get distinct streams,
+        /// and `prop_assume!` rejections resample by bumping `attempt` —
+        /// everything stays reproducible.
+        pub fn salted(salt: u64, case: u32, attempt: u32) -> Self {
+            TestRng(StdRng::seed_from_u64(
+                0xC0FF_EE00_u64
+                    ^ salt.rotate_left(11)
+                    ^ (u64::from(case) << 17)
+                    ^ (u64::from(attempt) << 47),
+            ))
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        /// The underlying generator, for strategies that sample ranges.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.0
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::test_runner::TestRng;
+    use core::ops::{Range, RangeInclusive};
+    use rand::{Rng, SampleRange};
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    ///
+    /// Unlike real proptest there is no value tree and no shrinking: a
+    /// strategy simply samples a value from the per-case RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Generates with `self`, then transforms through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: Clone,
+        Range<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.rng().gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: Clone,
+        RangeInclusive<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.rng().gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    /// Strategy producing a fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! Default strategies per type, used for `name: type` parameters of
+    //! [`crate::proptest!`].
+
+    use super::test_runner::TestRng;
+
+    /// Types with a canonical "any value" generator.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation)]
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod bool {
+    //! Strategies for `bool`.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy type of [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use core::ops::Range;
+    use rand::Rng;
+    use std::collections::HashSet;
+
+    /// Strategy type of [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec`s whose length lies in `size` and whose elements come from
+    /// `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "empty size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng().gen_range(self.size.clone());
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy type of [`hash_set`].
+    #[derive(Clone, Debug)]
+    pub struct HashSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `HashSet`s whose cardinality lies in `size` (best effort, as for real
+    /// proptest: if the element strategy cannot produce enough distinct
+    /// values the set is smaller).
+    pub fn hash_set<S>(elem: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: core::hash::Hash + Eq,
+    {
+        assert!(!size.is_empty(), "empty size range");
+        HashSetStrategy { elem, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: core::hash::Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = rng.rng().gen_range(self.size.clone());
+            let mut out = HashSet::new();
+            let mut tries = 0usize;
+            while out.len() < target && tries < 16 * target + 64 {
+                out.insert(self.elem.sample(rng));
+                tries += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a proptest-based test module needs in scope.
+
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{
+        Config as ProptestConfig, TestCaseError, TestCaseResult,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the two argument forms the real macro does: `pattern in strategy`
+/// and `name: Type` (via [`arbitrary::Arbitrary`]), plus a leading
+/// `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::Config::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let salt = $crate::test_runner::fnv1a(concat!(
+                module_path!(), "::", stringify!($name),
+            ));
+            let mut global_rejects: u32 = 0;
+            for case in 0..config.cases {
+                // `prop_assume!` rejections resample the case (fresh attempt
+                // number) instead of passing vacuously, up to the global
+                // rejection budget — mirroring real proptest.
+                let mut attempt: u32 = 0;
+                loop {
+                    let mut rng =
+                        $crate::test_runner::TestRng::salted(salt, case, attempt);
+                    let outcome: $crate::test_runner::TestCaseResult =
+                        $crate::__proptest_case!(rng; ($($params)*); $body);
+                    match outcome {
+                        ::core::result::Result::Ok(()) => break,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(reason),
+                        ) => {
+                            global_rejects += 1;
+                            attempt += 1;
+                            if global_rejects > config.max_global_rejects {
+                                panic!(
+                                    "proptest: too many global rejects \
+                                     ({}): {reason}",
+                                    config.max_global_rejects,
+                                )
+                            }
+                        }
+                        ::core::result::Result::Err(e) => {
+                            panic!("proptest: case {case}/{} failed: {e}", config.cases)
+                        }
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // All parameters bound: run the body inside a Result-returning closure so
+    // `prop_assert*` / `?` can early-return.
+    ($rng:ident; (); $body:block) => {
+        (|| -> $crate::test_runner::TestCaseResult {
+            $body
+            ::core::result::Result::Ok(())
+        })()
+    };
+    ($rng:ident; (,); $body:block) => {
+        $crate::__proptest_case!($rng; (); $body)
+    };
+    // `name: Type` parameters (Arbitrary).
+    ($rng:ident; ($var:ident : $ty:ty) ; $body:block) => {{
+        let $var: $ty = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_case!($rng; (); $body)
+    }};
+    ($rng:ident; ($var:ident : $ty:ty, $($rest:tt)*) ; $body:block) => {{
+        let $var: $ty = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_case!($rng; ($($rest)*); $body)
+    }};
+    // `pattern in strategy` parameters.
+    ($rng:ident; ($pat:pat_param in $strat:expr) ; $body:block) => {{
+        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_case!($rng; (); $body)
+    }};
+    ($rng:ident; ($pat:pat_param in $strat:expr, $($rest:tt)*) ; $body:block) => {{
+        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_case!($rng; ($($rest)*); $body)
+    }};
+}
+
+/// `assert!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?} == {:?}`", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?} == {:?}`: {}",
+                    left,
+                    right,
+                    format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?} != {:?}`", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?} != {:?}`: {}",
+                    left,
+                    right,
+                    format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when `cond` does not hold (counts as a rejection,
+/// not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_sample_within_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic(0);
+        for _ in 0..200 {
+            let v = (1u32..5).sample(&mut rng);
+            assert!((1..5).contains(&v));
+            let xs = prop::collection::vec(0u8..3, 2..6).sample(&mut rng);
+            assert!((2..6).contains(&xs.len()));
+            assert!(xs.iter().all(|x| *x < 3));
+            let set = prop::collection::hash_set(1u32..100, 0..8).sample(&mut rng);
+            assert!(set.len() < 8);
+            let (a, b) = (0u8..2, prop::bool::ANY).sample(&mut rng);
+            assert!(a < 2 || b || !b);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro binds `pat in strategy`, `mut` patterns and typed
+        /// (Arbitrary) parameters, and `prop_assert*` early-returns work.
+        #[test]
+        fn macro_round_trip(
+            v in 1u64..10,
+            mut xs in prop::collection::vec(0u8..3, 1..4),
+            seed: u64,
+        ) {
+            prop_assert!(v >= 1 && v < 10);
+            xs.push(0);
+            prop_assert!(!xs.is_empty());
+            let _ = seed;
+            prop_assume!(v != 99);
+            prop_assert_eq!(v + 1, 1 + v, "commutativity for {}", v);
+            prop_assert_ne!(v, 0);
+        }
+
+        /// Rejected cases are resampled, not passed vacuously: every case
+        /// that reaches the assertion satisfies the assumption.
+        #[test]
+        fn assume_resamples(v in 0u64..100) {
+            prop_assume!(v >= 50);
+            prop_assert!(v >= 50);
+        }
+
+        /// An always-false assumption exhausts the rejection budget instead
+        /// of passing green.
+        #[test]
+        #[should_panic(expected = "too many global rejects")]
+        fn assume_false_aborts(v in 0u64..100) {
+            prop_assume!(v > 100);
+            let _ = v;
+        }
+    }
+
+    #[test]
+    fn distinct_tests_get_distinct_streams() {
+        let salt_a = crate::test_runner::fnv1a("mod::test_a");
+        let salt_b = crate::test_runner::fnv1a("mod::test_b");
+        let mut a = crate::test_runner::TestRng::salted(salt_a, 0, 0);
+        let mut b = crate::test_runner::TestRng::salted(salt_b, 0, 0);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>(),
+        );
+    }
+}
