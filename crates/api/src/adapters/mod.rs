@@ -1,0 +1,24 @@
+//! [`ConcurrentObject`](crate::ConcurrentObject) adapters for every
+//! threaded backend in the workspace.
+//!
+//! | Adapter | Backend | Paper | Roles | HI level |
+//! |---|---|---|---|---|
+//! | [`VidyasankarObject`] | `AtomicVidyasankar` | Algorithm 1 | SWSR | none |
+//! | [`LockFreeHiObject`] | `AtomicLockFreeHi` | Algorithms 2+3 | SWSR | state-quiescent |
+//! | [`WaitFreeHiObject`] | `AtomicWaitFreeHi` | Algorithm 4 | SWSR | quiescent |
+//! | [`QueueObject`] | `AtomicPositionalQueue` | §5.4 companion | SWSR | state-quiescent |
+//! | [`LlscObject`] | `PackedRLlsc` | Algorithm 6 | `n` symmetric | perfect |
+//! | [`UniversalObject`] | `AtomicUniversal` | Algorithm 5 | `n` symmetric | state-quiescent |
+
+pub mod llsc;
+pub mod queue;
+pub mod registers;
+pub mod universal;
+
+pub use llsc::{LlscHandle, LlscObject};
+pub use queue::{QueueHandle, QueueObject};
+pub use registers::{
+    LockFreeHiHandle, LockFreeHiObject, VidyasankarHandle, VidyasankarObject, WaitFreeHiHandle,
+    WaitFreeHiObject,
+};
+pub use universal::{UniversalObject, UniversalObjectHandle};

@@ -1,0 +1,203 @@
+//! [`ConcurrentObject`] adapters for the §4 SWSR register backends.
+
+use hi_core::objects::{MultiRegisterSpec, RegisterOp, RegisterResp};
+use hi_registers::threaded::{
+    AtomicLockFreeHi, AtomicVidyasankar, AtomicWaitFreeHi, LockFreeHiReader, LockFreeHiWriter,
+    VidyasankarReader, VidyasankarWriter, WaitFreeHiReader, WaitFreeHiWriter,
+};
+
+use crate::object::{ConcurrentObject, HiLevel, ObjectHandle, Roles};
+
+/// Generates the adapter object + role-enum handle for one SWSR register
+/// backend; the `ConcurrentObject` impls differ per algorithm (snapshot
+/// shape, canonical form, HI level) and are written out below.
+macro_rules! swsr_register_adapter {
+    (
+        $(#[$obj_doc:meta])* $obj:ident,
+        $(#[$handle_doc:meta])* $handle:ident,
+        $backend:ident, $writer:ident, $reader:ident
+    ) => {
+        $(#[$obj_doc])*
+        #[derive(Debug)]
+        pub struct $obj {
+            spec: MultiRegisterSpec,
+            reg: $backend,
+        }
+
+        impl $obj {
+            /// Creates the register implementing `spec`.
+            pub fn new(spec: MultiRegisterSpec) -> Self {
+                $obj { spec, reg: $backend::new(spec.k(), spec.initial_value()) }
+            }
+
+            /// The underlying backend, for backend-specific inspection.
+            pub fn backend(&self) -> &$backend {
+                &self.reg
+            }
+        }
+
+        $(#[$handle_doc])*
+        #[derive(Debug)]
+        pub enum $handle<'a> {
+            /// Handle 0: the single writer.
+            Writer($writer<'a>),
+            /// Handle 1: the single reader.
+            Reader($reader<'a>),
+        }
+
+        impl ObjectHandle<MultiRegisterSpec> for $handle<'_> {
+            fn apply(&mut self, op: RegisterOp) -> RegisterResp {
+                match (self, op) {
+                    ($handle::Writer(w), RegisterOp::Write(v)) => {
+                        w.write(v);
+                        RegisterResp::Ack
+                    }
+                    ($handle::Reader(r), RegisterOp::Read) => RegisterResp::Value(r.read()),
+                    ($handle::Writer(_), op) => panic!("the writer cannot invoke {op:?}"),
+                    ($handle::Reader(_), op) => panic!("the reader cannot invoke {op:?}"),
+                }
+            }
+
+            fn supports(&self, op: &RegisterOp) -> bool {
+                matches!(
+                    (self, op),
+                    ($handle::Writer(_), RegisterOp::Write(_))
+                        | ($handle::Reader(_), RegisterOp::Read)
+                )
+            }
+        }
+    };
+}
+
+swsr_register_adapter! {
+    /// Algorithm 1 (Vidyasankar) through the unified facade: wait-free,
+    /// linearizable, **not** history independent — [`ConcurrentObject::canonical`]
+    /// returns `None` and drivers skip the memory audit.
+    VidyasankarObject,
+    /// Role handle of [`VidyasankarObject`].
+    VidyasankarHandle,
+    AtomicVidyasankar, VidyasankarWriter, VidyasankarReader
+}
+
+swsr_register_adapter! {
+    /// Algorithms 2+3 through the unified facade: writer wait-free, reader
+    /// lock-free, state-quiescent HI.
+    LockFreeHiObject,
+    /// Role handle of [`LockFreeHiObject`].
+    LockFreeHiHandle,
+    AtomicLockFreeHi, LockFreeHiWriter, LockFreeHiReader
+}
+
+swsr_register_adapter! {
+    /// Algorithm 4 through the unified facade: wait-free, quiescent HI.
+    WaitFreeHiObject,
+    /// Role handle of [`WaitFreeHiObject`].
+    WaitFreeHiHandle,
+    AtomicWaitFreeHi, WaitFreeHiWriter, WaitFreeHiReader
+}
+
+/// The canonical one-hot `A` array of value `v` for a `k`-valued register.
+fn one_hot(k: u64, v: u64) -> Vec<u64> {
+    let mut snap = vec![0u64; k as usize];
+    snap[(v - 1) as usize] = 1;
+    snap
+}
+
+impl ConcurrentObject<MultiRegisterSpec> for VidyasankarObject {
+    type Handle<'a> = VidyasankarHandle<'a>;
+
+    fn spec(&self) -> &MultiRegisterSpec {
+        &self.spec
+    }
+
+    fn roles(&self) -> Roles {
+        Roles::SingleWriterSingleReader
+    }
+
+    fn hi_level(&self) -> HiLevel {
+        HiLevel::NotHi
+    }
+
+    fn handles(&mut self) -> Vec<VidyasankarHandle<'_>> {
+        let (w, r) = self.reg.split();
+        vec![VidyasankarHandle::Writer(w), VidyasankarHandle::Reader(r)]
+    }
+
+    fn mem_snapshot(&self) -> Vec<u64> {
+        self.reg.snapshot_a()
+    }
+
+    fn canonical(&self, _state: &u64) -> Option<Vec<u64>> {
+        None // Algorithm 1 leaks history; there is no canonical form.
+    }
+
+    fn abstract_state(&self) -> u64 {
+        self.reg.current_value()
+    }
+}
+
+impl ConcurrentObject<MultiRegisterSpec> for LockFreeHiObject {
+    type Handle<'a> = LockFreeHiHandle<'a>;
+
+    fn spec(&self) -> &MultiRegisterSpec {
+        &self.spec
+    }
+
+    fn roles(&self) -> Roles {
+        Roles::SingleWriterSingleReader
+    }
+
+    fn hi_level(&self) -> HiLevel {
+        HiLevel::StateQuiescent
+    }
+
+    fn handles(&mut self) -> Vec<LockFreeHiHandle<'_>> {
+        let (w, r) = self.reg.split();
+        vec![LockFreeHiHandle::Writer(w), LockFreeHiHandle::Reader(r)]
+    }
+
+    fn mem_snapshot(&self) -> Vec<u64> {
+        self.reg.snapshot_a()
+    }
+
+    fn canonical(&self, state: &u64) -> Option<Vec<u64>> {
+        Some(one_hot(self.spec.k(), *state))
+    }
+
+    fn abstract_state(&self) -> u64 {
+        self.reg.current_value()
+    }
+}
+
+impl ConcurrentObject<MultiRegisterSpec> for WaitFreeHiObject {
+    type Handle<'a> = WaitFreeHiHandle<'a>;
+
+    fn spec(&self) -> &MultiRegisterSpec {
+        &self.spec
+    }
+
+    fn roles(&self) -> Roles {
+        Roles::SingleWriterSingleReader
+    }
+
+    fn hi_level(&self) -> HiLevel {
+        HiLevel::Quiescent
+    }
+
+    fn handles(&mut self) -> Vec<WaitFreeHiHandle<'_>> {
+        let (w, r) = self.reg.split_quiescent();
+        vec![WaitFreeHiHandle::Writer(w), WaitFreeHiHandle::Reader(r)]
+    }
+
+    fn mem_snapshot(&self) -> Vec<u64> {
+        self.reg.snapshot()
+    }
+
+    fn canonical(&self, state: &u64) -> Option<Vec<u64>> {
+        Some(self.reg.canonical(*state))
+    }
+
+    fn abstract_state(&self) -> u64 {
+        self.reg.current_value()
+    }
+}

@@ -1,0 +1,109 @@
+//! [`ConcurrentObject`] adapter for the universal construction
+//! (Algorithm 5): any enumerable object, wait-free and state-quiescent HI.
+
+use hi_core::EnumerableSpec;
+use hi_universal::{AtomicUniversal, UniversalHandle};
+
+use crate::object::{ConcurrentObject, HiLevel, ObjectHandle, Roles};
+
+/// Algorithm 5 over any [`EnumerableSpec`], through the unified facade:
+/// `n` symmetric wait-free handles, state-quiescent HI.
+#[derive(Debug)]
+pub struct UniversalObject<S: EnumerableSpec> {
+    u: AtomicUniversal<S>,
+}
+
+impl<S: EnumerableSpec> UniversalObject<S> {
+    /// Creates the object implementing `spec`, shared by `n` processes.
+    pub fn new(spec: S, n: usize) -> Self {
+        UniversalObject {
+            u: AtomicUniversal::new(spec, n),
+        }
+    }
+
+    /// The §6.1 ablation — Algorithm 5 without the `RL` clearing lines.
+    /// Still linearizable and wait-free, but no longer HI: leftover context
+    /// bits leak history, so [`ConcurrentObject::canonical`] returns `None`
+    /// and drivers skip the audit.
+    pub fn without_release(spec: S, n: usize) -> Self {
+        UniversalObject {
+            u: AtomicUniversal::without_release(spec, n),
+        }
+    }
+
+    /// The underlying backend, for backend-specific inspection.
+    pub fn backend(&self) -> &AtomicUniversal<S> {
+        &self.u
+    }
+
+    fn is_hi(&self) -> bool {
+        // `without_release` drops the clearing that buys HI.
+        self.u.releases()
+    }
+}
+
+/// Per-process handle of [`UniversalObject`]; every handle may invoke every
+/// operation (helping makes the roles symmetric).
+#[derive(Debug)]
+pub struct UniversalObjectHandle<'a, S: EnumerableSpec> {
+    h: UniversalHandle<'a, S>,
+}
+
+impl<S: EnumerableSpec> ObjectHandle<S> for UniversalObjectHandle<'_, S> {
+    fn apply(&mut self, op: S::Op) -> S::Resp {
+        self.h.apply(op)
+    }
+
+    fn supports(&self, _op: &S::Op) -> bool {
+        true
+    }
+}
+
+impl<S> ConcurrentObject<S> for UniversalObject<S>
+where
+    S: EnumerableSpec + Send + Sync,
+    S::State: Send + Sync,
+    S::Op: Send + Sync,
+    S::Resp: Send + Sync,
+{
+    type Handle<'a>
+        = UniversalObjectHandle<'a, S>
+    where
+        S: 'a;
+
+    fn spec(&self) -> &S {
+        self.u.spec()
+    }
+
+    fn roles(&self) -> Roles {
+        Roles::MultiProcess { n: self.u.n() }
+    }
+
+    fn hi_level(&self) -> HiLevel {
+        if self.u.releases() {
+            HiLevel::StateQuiescent
+        } else {
+            HiLevel::NotHi
+        }
+    }
+
+    fn handles(&mut self) -> Vec<UniversalObjectHandle<'_, S>> {
+        self.u
+            .handles()
+            .into_iter()
+            .map(|h| UniversalObjectHandle { h })
+            .collect()
+    }
+
+    fn mem_snapshot(&self) -> Vec<u64> {
+        self.u.snapshot()
+    }
+
+    fn canonical(&self, state: &S::State) -> Option<Vec<u64>> {
+        self.is_hi().then(|| self.u.canonical(state))
+    }
+
+    fn abstract_state(&self) -> S::State {
+        self.u.abstract_state()
+    }
+}

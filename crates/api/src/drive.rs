@@ -1,0 +1,297 @@
+//! A generic threaded stress/HI-audit driver over [`ConcurrentObject`]:
+//! random workload in, linearizability verdict + quiescent-point memory
+//! audit out.
+//!
+//! This replaces the per-object glue that each threaded stress test used to
+//! carry: one thread per handle applies randomly chosen supported
+//! operations, every invocation/response is stamped from a global sequence
+//! counter (widening intervals can only make *more* histories acceptable,
+//! so any violation reported is real), the rebuilt [`History`] is checked
+//! with the same linearizability search used for simulated executions, and
+//! finally — at full quiescence — `mem_snapshot()` is compared against
+//! `canonical(abstract_state())` whenever the object's
+//! [`HiLevel`](crate::HiLevel) fixes a
+//! canonical form.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use hi_core::{EnumerableSpec, History, ObjectSpec, Pid};
+use hi_spec::{linearize, LinError, LinOptions, Linearization};
+
+use crate::object::{ConcurrentObject, ObjectHandle};
+
+/// Configuration of a [`drive`] run.
+#[derive(Clone, Copy, Debug)]
+pub struct DriveConfig {
+    /// Operations each handle applies.
+    pub ops_per_handle: usize,
+    /// Seed of the per-handle workload generators.
+    pub seed: u64,
+    /// Options of the final linearizability search.
+    pub lin: LinOptions,
+}
+
+impl Default for DriveConfig {
+    fn default() -> Self {
+        DriveConfig {
+            ops_per_handle: 100,
+            seed: 0x5eed,
+            lin: LinOptions::default(),
+        }
+    }
+}
+
+/// Result of a successful [`drive`] run.
+#[derive(Clone, Debug)]
+pub struct DriveReport<S: ObjectSpec> {
+    /// The rebuilt concurrent history.
+    pub history: History<S::Op, S::Resp>,
+    /// The linearization witness of that history.
+    pub lin: Linearization<S::State>,
+    /// The abstract state decoded from the quiescent memory.
+    pub final_state: S::State,
+    /// The quiescent `mem(C)`.
+    pub mem: Vec<u64>,
+    /// Whether the memory audit ran (`false` only for
+    /// [`HiLevel::NotHi`](crate::HiLevel::NotHi)
+    /// objects, which fix no canonical form).
+    pub audited: bool,
+}
+
+/// Why a [`drive`] run failed.
+#[derive(Clone, Debug)]
+pub enum DriveError<S: ObjectSpec> {
+    /// The rebuilt history does not linearize (or the search gave up).
+    Lin(LinError),
+    /// The quiescent memory is not the canonical representation of the
+    /// final abstract state.
+    NotCanonical {
+        /// The decoded final state.
+        state: S::State,
+        /// The observed memory.
+        mem: Vec<u64>,
+        /// The expected canonical representation.
+        canonical: Vec<u64>,
+    },
+}
+
+impl<S: ObjectSpec> fmt::Display for DriveError<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriveError::Lin(e) => write!(f, "linearizability: {e}"),
+            DriveError::NotCanonical {
+                state,
+                mem,
+                canonical,
+            } => write!(
+                f,
+                "quiescent memory of state {state:?} is {mem:?}, expected canonical {canonical:?}"
+            ),
+        }
+    }
+}
+
+impl<S: ObjectSpec> Error for DriveError<S> {}
+
+/// A minimal splitmix64 generator: deterministic per-handle workloads
+/// without a dependency on the vendored `rand` stub.
+#[derive(Clone, Debug)]
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..bound` (bound > 0).
+    pub(crate) fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Builds a deterministic random script of `len` operations drawn from
+/// `menu`. Shared by the threaded driver and the registry's sim twins so
+/// both backends face the same workload distribution.
+pub fn random_script<Op: Clone>(menu: &[Op], len: usize, seed: u64) -> Vec<Op> {
+    let mut rng = SplitMix64::new(seed);
+    (0..len)
+        .map(|_| menu[rng.below(menu.len())].clone())
+        .collect()
+}
+
+/// The seed of handle `i`'s script under a [`DriveConfig`] seed.
+pub fn handle_seed(seed: u64, i: usize) -> u64 {
+    seed ^ (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// An invocation/response pair stamped from the global sequence counter.
+struct StampedOp<O, R> {
+    pid: usize,
+    invoked: u64,
+    returned: u64,
+    op: O,
+    resp: R,
+}
+
+/// Rebuilds a [`History`] from per-thread stamped records.
+fn rebuild_history<O: Clone, R: Clone>(ops: Vec<StampedOp<O, R>>) -> History<O, R> {
+    // (stamp, is_return, record index); stamps are unique (fetch_add).
+    let mut events: Vec<(u64, bool, usize)> = Vec::with_capacity(ops.len() * 2);
+    for (idx, op) in ops.iter().enumerate() {
+        events.push((op.invoked, false, idx));
+        events.push((op.returned, true, idx));
+    }
+    events.sort_unstable();
+    let mut history = History::new();
+    let mut pending: std::collections::HashMap<usize, hi_core::OpId> =
+        std::collections::HashMap::new();
+    for (_, is_return, idx) in events {
+        let rec = &ops[idx];
+        if is_return {
+            let id = pending.remove(&idx).expect("return before invoke");
+            history.ret(id, rec.resp.clone());
+        } else {
+            pending.insert(idx, history.invoke(Pid(rec.pid), rec.op.clone()));
+        }
+    }
+    history
+}
+
+/// Drives `obj` with a random threaded workload and audits the result.
+///
+/// One OS thread per handle applies `cfg.ops_per_handle` operations drawn
+/// uniformly from the operations its role supports. After the threads join:
+///
+/// 1. the stamped history is rebuilt and checked for linearizability
+///    against `obj.spec()`;
+/// 2. if the object's [`HiLevel`](crate::HiLevel) fixes a canonical form, the quiescent
+///    `mem_snapshot()` is compared against `canonical(abstract_state())`.
+///
+/// # Errors
+///
+/// [`DriveError::Lin`] if the history does not linearize,
+/// [`DriveError::NotCanonical`] if the memory audit fails.
+pub fn drive<S, O>(obj: &mut O, cfg: &DriveConfig) -> Result<DriveReport<S>, DriveError<S>>
+where
+    S: EnumerableSpec,
+    S::Op: Send,
+    S::Resp: Send,
+    O: ConcurrentObject<S>,
+{
+    let spec = obj.spec().clone();
+    let all_ops = spec.ops();
+    let audit = obj.hi_level().auditable();
+    let log = {
+        let handles = obj.handles();
+        let clock = AtomicU64::new(0);
+        let log: Mutex<Vec<StampedOp<S::Op, S::Resp>>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for (i, mut h) in handles.into_iter().enumerate() {
+                let menu: Vec<S::Op> = all_ops
+                    .iter()
+                    .filter(|op| h.supports(op))
+                    .cloned()
+                    .collect();
+                if menu.is_empty() {
+                    continue; // a role with nothing to do
+                }
+                let script = random_script(&menu, cfg.ops_per_handle, handle_seed(cfg.seed, i));
+                let clock = &clock;
+                let log = &log;
+                s.spawn(move || {
+                    let mut local = Vec::with_capacity(script.len());
+                    for op in script {
+                        let invoked = clock.fetch_add(1, Ordering::SeqCst);
+                        let resp = h.apply(op.clone());
+                        let returned = clock.fetch_add(1, Ordering::SeqCst);
+                        local.push(StampedOp {
+                            pid: i,
+                            invoked,
+                            returned,
+                            op,
+                            resp,
+                        });
+                    }
+                    log.lock().unwrap().extend(local);
+                });
+            }
+        });
+        log.into_inner().unwrap()
+    };
+
+    let history = rebuild_history(log);
+    let lin = linearize(&spec, &history, &cfg.lin).map_err(DriveError::Lin)?;
+    let final_state = obj.abstract_state();
+    let mem = obj.mem_snapshot();
+    if audit {
+        let canonical = obj
+            .canonical(&final_state)
+            .expect("auditable HiLevel must fix a canonical form");
+        if mem != canonical {
+            return Err(DriveError::NotCanonical {
+                state: final_state,
+                mem,
+                canonical,
+            });
+        }
+    }
+    Ok(DriveReport {
+        history,
+        lin,
+        final_state,
+        mem,
+        audited: audit,
+    })
+}
+
+/// Pure throughput run: one thread per handle applies `ops_per_handle`
+/// random supported operations with no stamping, history or checking.
+/// Returns the number of operations completed (the benchmarks' unit).
+pub fn throughput<S, O>(obj: &mut O, ops_per_handle: usize, seed: u64) -> usize
+where
+    S: EnumerableSpec,
+    S::Op: Send,
+    O: ConcurrentObject<S>,
+{
+    let spec = obj.spec().clone();
+    let all_ops = spec.ops();
+    let handles = obj.handles();
+    let mut total = 0;
+    std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for (i, mut h) in handles.into_iter().enumerate() {
+            let menu: Vec<S::Op> = all_ops
+                .iter()
+                .filter(|op| h.supports(op))
+                .cloned()
+                .collect();
+            if menu.is_empty() {
+                continue;
+            }
+            let script = random_script(&menu, ops_per_handle, handle_seed(seed, i));
+            joins.push(s.spawn(move || {
+                let n = script.len();
+                for op in script {
+                    h.apply(op);
+                }
+                n
+            }));
+        }
+        total = joins
+            .into_iter()
+            .map(|j| j.join().expect("driver thread panicked"))
+            .sum();
+    });
+    total
+}

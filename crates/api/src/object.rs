@@ -1,0 +1,155 @@
+//! The unified object facade: one trait for every threaded backend.
+
+use hi_core::ObjectSpec;
+
+/// How many handles an object hands out, and what each may do.
+///
+/// The paper's algorithms fall into two disciplines: the §4/§5 constructions
+/// are *single-writer single-reader* (their correctness proofs lean on the
+/// mutator being alone), while Algorithm 5 is symmetric over `n` processes.
+/// The facade keeps the by-construction discipline visible so generic
+/// drivers route operations only to handles that may perform them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Roles {
+    /// Exactly two handles: handle 0 is the single mutator (writer), handle
+    /// 1 the single observer (reader). Covers the SWSR registers and the
+    /// positional queue (whose "writer" is the enqueue/dequeue mutator and
+    /// "reader" the peeker).
+    SingleWriterSingleReader,
+    /// `n` symmetric handles; every handle may invoke every operation.
+    MultiProcess {
+        /// The number of processes sharing the object.
+        n: usize,
+    },
+}
+
+impl Roles {
+    /// The number of handles [`ConcurrentObject::handles`] returns.
+    pub fn num_handles(&self) -> usize {
+        match self {
+            Roles::SingleWriterSingleReader => 2,
+            Roles::MultiProcess { n } => *n,
+        }
+    }
+}
+
+/// The history-independence guarantee a backend provides, i.e. at which
+/// configurations [`ConcurrentObject::mem_snapshot`] must equal
+/// [`ConcurrentObject::canonical`] of the abstract state.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum HiLevel {
+    /// No guarantee: the memory may leak operation history (Algorithm 1).
+    NotHi,
+    /// Canonical whenever no operation at all is pending (Definition 8,
+    /// Algorithm 4).
+    Quiescent,
+    /// Canonical whenever no *state-changing* operation is pending
+    /// (Definition 7; Algorithms 2+3, the positional queue, Algorithm 5).
+    StateQuiescent,
+    /// Canonical in every configuration (Definition 5, Algorithm 6).
+    Perfect,
+}
+
+impl HiLevel {
+    /// Whether a quiescent-point audit (`mem_snapshot == canonical`) is
+    /// meaningful for this level. Every level except [`HiLevel::NotHi`]
+    /// promises canonical memory at full quiescence.
+    pub fn auditable(&self) -> bool {
+        *self != HiLevel::NotHi
+    }
+}
+
+/// One process's capability on a [`ConcurrentObject`]: apply operations of
+/// the object's [`ObjectSpec`] and get responses back.
+///
+/// Handles are `Send` (they move into threads) but not `Sync` or `Clone`:
+/// a handle is a *role*, and the single-mutator algorithms are correct only
+/// because their mutator handle cannot be duplicated.
+pub trait ObjectHandle<S: ObjectSpec> {
+    /// Applies `op` and returns its response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this handle's role does not support `op` (see
+    /// [`supports`](ObjectHandle::supports)).
+    fn apply(&mut self, op: S::Op) -> S::Resp;
+
+    /// Whether this handle's role may invoke `op`. Generic drivers use this
+    /// to build per-handle operation menus.
+    fn supports(&self, op: &S::Op) -> bool;
+}
+
+/// A concurrent implementation of an abstract object `(Q, q0, O, R, Δ)` on
+/// real threads, with a uniform surface for construction, operation
+/// application, and quiescent-point history-independence auditing.
+///
+/// Every threaded backend in this workspace implements this trait via an
+/// adapter in [`crate::adapters`], which is what lets the generic driver
+/// ([`crate::drive`]) and the scenario registry ([`crate::registry`]) treat
+/// Algorithm 1 registers and the Algorithm 5 universal object identically.
+///
+/// # Example
+///
+/// The universal construction over a counter, driven purely through the
+/// trait (mirroring the `AtomicUniversal` doctest it replaces):
+///
+/// ```
+/// use hi_api::{ConcurrentObject, ObjectHandle, UniversalObject};
+/// use hi_core::objects::{CounterOp, CounterResp, CounterSpec};
+///
+/// let mut counter = UniversalObject::new(CounterSpec::new(0, 100, 0), 2);
+/// {
+///     let mut handles = counter.handles();
+///     let mut h1 = handles.pop().unwrap();
+///     let mut h0 = handles.pop().unwrap();
+///     h0.apply(CounterOp::Inc);
+///     h1.apply(CounterOp::Inc);
+///     assert_eq!(h0.apply(CounterOp::Read), CounterResp::Value(2));
+/// }
+/// assert_eq!(counter.abstract_state(), 2);
+/// assert_eq!(
+///     Some(counter.mem_snapshot()),
+///     counter.canonical(&2),
+///     "quiescent memory is the canonical representation of 2"
+/// );
+/// ```
+pub trait ConcurrentObject<S: ObjectSpec> {
+    /// The per-role handle type. Handles borrow the object, so all handles
+    /// must be dropped before the object is observed or re-split.
+    type Handle<'a>: ObjectHandle<S> + Send
+    where
+        Self: 'a;
+
+    /// The object's sequential specification.
+    fn spec(&self) -> &S;
+
+    /// The role discipline of this implementation.
+    fn roles(&self) -> Roles;
+
+    /// The history-independence guarantee of this implementation.
+    fn hi_level(&self) -> HiLevel;
+
+    /// Hands out one handle per role ([`Roles::num_handles`] of them, in
+    /// role order). The `&mut` receiver proves quiescence — no handle from
+    /// an earlier split is outstanding — so re-splitting mid-lifetime is
+    /// sound: adapters reconstruct any mutator-local state from the
+    /// (canonical) quiescent memory.
+    fn handles(&mut self) -> Vec<Self::Handle<'_>>;
+
+    /// `mem(C)`: the object's memory representation, one `u64` per base
+    /// object, in a fixed per-implementation order. Cell reads are atomic
+    /// but the vector is not an atomic snapshot; it equals `mem(C)` only at
+    /// configurations the object's [`HiLevel`] permits observing.
+    fn mem_snapshot(&self) -> Vec<u64>;
+
+    /// The canonical representation of abstract state `state` under
+    /// [`mem_snapshot`](ConcurrentObject::mem_snapshot), fixed at
+    /// initialization (Proposition 3). `None` if the implementation fixes no
+    /// canonical form (i.e. [`HiLevel::NotHi`]).
+    fn canonical(&self, state: &S::State) -> Option<Vec<u64>>;
+
+    /// The object's current abstract state, decoded from memory. Only
+    /// meaningful at quiescent points (the `&self` receiver cannot enforce
+    /// this; callers of a live object must pause their handles first).
+    fn abstract_state(&self) -> S::State;
+}

@@ -1,0 +1,413 @@
+//! A registry of named object×spec scenarios, each drivable through the
+//! unified facade *and* cross-checkable against its simulator twin.
+//!
+//! A scenario bundles a threaded backend (driven via [`crate::drive`]) with
+//! the matching `hi_sim` implementation of the *same* [`hi_core::ObjectSpec`]
+//! (driven through `hi_spec`'s harness), so one parameterized suite can
+//! assert that both backends linearize against the same specification and
+//! keep their memory canonical. Adding a workload is one registry entry,
+//! not a new test file.
+
+use hi_core::objects::{BoundedQueueSpec, CounterSpec, MultiRegisterSpec, QueueOp, RegisterOp};
+use hi_core::{EnumerableSpec, ObjectSpec};
+use hi_llsc::{RLlscSpec, SimRLlsc};
+use hi_queue::PositionalQueue;
+use hi_registers::{LockFreeHiRegister, VidyasankarRegister, WaitFreeHiRegister};
+use hi_sim::{run_workload, Executor, Implementation, Seeded, Workload};
+use hi_spec::{check_run, check_run_single_mutator, linearize, LinOptions, ObservationModel};
+use hi_universal::SimUniversal;
+
+use crate::adapters::{
+    LlscObject, LockFreeHiObject, QueueObject, UniversalObject, VidyasankarObject, WaitFreeHiObject,
+};
+use crate::drive::{drive, handle_seed, random_script, throughput, DriveConfig};
+use crate::object::ConcurrentObject;
+
+/// Step budget of the simulator twins (generous: the seeded scheduler must
+/// get every lock-free retry loop through a bounded workload).
+const SIM_MAX_STEPS: u64 = 2_000_000;
+
+/// Summary of one threaded scenario run, monomorphic so the registry can be
+/// iterated without knowing each scenario's spec types.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ScenarioReport {
+    /// Completed operations across all handles.
+    pub ops: usize,
+    /// Whether the quiescent memory audit ran (false only for non-HI
+    /// backends).
+    pub audited: bool,
+}
+
+/// A named object×spec configuration: a threaded backend behind
+/// [`ConcurrentObject`] plus its simulator twin.
+pub struct Scenario {
+    /// Stable name, `family/variant` style (e.g. `"register/waitfree-hi-k5"`).
+    pub name: &'static str,
+    /// One-line description.
+    pub about: &'static str,
+    threaded: fn(&DriveConfig) -> Result<ScenarioReport, String>,
+    sim: fn(u64, usize) -> Result<(), String>,
+    throughput: fn(usize, u64) -> usize,
+}
+
+impl Scenario {
+    /// Drives the threaded backend through [`drive`]: random workload,
+    /// linearizability check, quiescent memory audit.
+    ///
+    /// # Errors
+    ///
+    /// The rendered [`crate::drive::DriveError`], if any.
+    pub fn run_threaded(&self, cfg: &DriveConfig) -> Result<ScenarioReport, String> {
+        (self.threaded)(cfg)
+    }
+
+    /// Runs the simulator twin on an equivalent workload under a seeded
+    /// scheduler and checks it linearizes against the same spec (with HI
+    /// monitoring where the implementation promises it).
+    ///
+    /// # Errors
+    ///
+    /// The rendered check failure, if any.
+    pub fn check_sim(&self, seed: u64, ops_per_pid: usize) -> Result<(), String> {
+        (self.sim)(seed, ops_per_pid)
+    }
+
+    /// Pure throughput run of the threaded backend (no history, no checks):
+    /// applies `ops_per_handle` operations per handle and returns the number
+    /// completed. The unit the `api_throughput` bench measures.
+    pub fn run_throughput(&self, ops_per_handle: usize, seed: u64) -> usize {
+        (self.throughput)(ops_per_handle, seed)
+    }
+}
+
+/// Runs `drive` on any facade object and flattens the report.
+fn drive_report<S, O>(obj: &mut O, cfg: &DriveConfig) -> Result<ScenarioReport, String>
+where
+    S: EnumerableSpec,
+    S::Op: Send,
+    S::Resp: Send,
+    O: ConcurrentObject<S>,
+{
+    let report = drive(obj, cfg).map_err(|e| e.to_string())?;
+    Ok(ScenarioReport {
+        ops: report.history.records().len(),
+        audited: report.audited,
+    })
+}
+
+/// The register menus under the SWSR role convention: pid 0 writes, pid 1
+/// reads.
+fn register_menus(k: u64) -> [Vec<RegisterOp>; 2] {
+    [
+        (1..=k).map(RegisterOp::Write).collect(),
+        vec![RegisterOp::Read],
+    ]
+}
+
+/// The queue menus under the mutator/observer convention.
+fn queue_menus(t: u32) -> [Vec<QueueOp>; 2] {
+    let mut mutate: Vec<QueueOp> = (1..=t).map(QueueOp::Enqueue).collect();
+    mutate.push(QueueOp::Dequeue);
+    [mutate, vec![QueueOp::Peek]]
+}
+
+/// Builds the sim workload whose per-pid scripts mirror the threaded
+/// driver's generation (same menus, same per-handle seeds).
+fn sim_workload<S: ObjectSpec>(menus: &[Vec<S::Op>], ops_per_pid: usize, seed: u64) -> Workload<S> {
+    let mut w = Workload::new(menus.len());
+    for (pid, menu) in menus.iter().enumerate() {
+        for op in random_script(menu, ops_per_pid, handle_seed(seed, pid)) {
+            w.push(pid, op);
+        }
+    }
+    w
+}
+
+/// Linearizability-only sim check (for non-HI implementations where memory
+/// monitoring would be meaningless).
+fn sim_lin_only<S, I>(
+    imp: &I,
+    menus: &[Vec<S::Op>],
+    seed: u64,
+    ops_per_pid: usize,
+) -> Result<(), String>
+where
+    S: ObjectSpec,
+    I: Implementation<S>,
+{
+    let mut exec = Executor::new(imp.clone());
+    let workload = sim_workload::<S>(menus, ops_per_pid, seed);
+    run_workload(
+        &mut exec,
+        workload,
+        &mut Seeded::new(seed),
+        &mut (),
+        SIM_MAX_STEPS,
+    )
+    .map_err(|e| e.to_string())?;
+    linearize(exec.spec(), exec.history(), &LinOptions::default())
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+}
+
+/// Full single-mutator sim check: linearizability + HI monitoring under
+/// `model`.
+fn sim_single_mutator<S, I>(
+    imp: &I,
+    menus: &[Vec<S::Op>],
+    model: ObservationModel,
+    seed: u64,
+    ops_per_pid: usize,
+) -> Result<(), String>
+where
+    S: ObjectSpec,
+    I: Implementation<S>,
+{
+    let workload = sim_workload::<S>(menus, ops_per_pid, seed);
+    check_run_single_mutator(imp, workload, &mut Seeded::new(seed), model, SIM_MAX_STEPS)
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Scenario parameters (shared by both backends of each entry).
+// ---------------------------------------------------------------------------
+
+const REG_K: u64 = 5;
+const QUEUE_T: u32 = 3;
+const QUEUE_CAP: usize = 6;
+const LLSC_V: u64 = 8;
+const LLSC_N: usize = 3;
+const COUNTER_N: usize = 3;
+const UREG_K: u64 = 4;
+const UREG_N: usize = 2;
+const UQUEUE_N: usize = 3;
+
+fn reg_spec() -> MultiRegisterSpec {
+    MultiRegisterSpec::new(REG_K, 1)
+}
+
+fn queue_spec() -> BoundedQueueSpec {
+    BoundedQueueSpec::new(QUEUE_T, QUEUE_CAP)
+}
+
+fn llsc_spec() -> RLlscSpec {
+    RLlscSpec::new(LLSC_V, 0, LLSC_N)
+}
+
+fn counter_spec() -> CounterSpec {
+    CounterSpec::new(-300, 300, 0)
+}
+
+fn llsc_menus() -> Vec<Vec<hi_llsc::RLlscOp>> {
+    let spec = llsc_spec();
+    let all = spec.ops();
+    (0..LLSC_N)
+        .map(|pid| {
+            all.iter()
+                .filter(|op| op.pid().map_or(true, |p| p == pid))
+                .copied()
+                .collect()
+        })
+        .collect()
+}
+
+fn universal_menus<S: EnumerableSpec>(spec: &S, n: usize) -> Vec<Vec<S::Op>> {
+    (0..n).map(|_| spec.ops()).collect()
+}
+
+/// Sim twin of a universal scenario: Algorithm 5 step machines, HI
+/// monitored at state-quiescent points with the head-decode oracle.
+fn sim_universal<S: EnumerableSpec>(
+    spec: S,
+    n: usize,
+    seed: u64,
+    ops_per_pid: usize,
+) -> Result<(), String> {
+    let imp = SimUniversal::new(spec.clone(), n);
+    let workload = sim_workload::<S>(&universal_menus(&spec, n), ops_per_pid, seed);
+    let oracle_imp = imp.clone();
+    check_run(
+        &imp,
+        workload,
+        &mut Seeded::new(seed),
+        ObservationModel::StateQuiescent,
+        SIM_MAX_STEPS,
+        move |exec| oracle_imp.abstract_state(&exec.snapshot()),
+    )
+    .map(|_| ())
+    .map_err(|e| e.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// The registry.
+// ---------------------------------------------------------------------------
+
+/// All registered scenarios. Every threaded backend in the workspace is
+/// represented; conformance tests, stress tests and the throughput bench
+/// iterate this list instead of hand-writing per-object drivers.
+pub fn registry() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "register/vidyasankar-k5",
+            about: "Algorithm 1: wait-free SWSR register, linearizable, not HI",
+            threaded: |cfg| drive_report(&mut VidyasankarObject::new(reg_spec()), cfg),
+            throughput: |ops, seed| throughput(&mut VidyasankarObject::new(reg_spec()), ops, seed),
+            sim: |seed, ops| {
+                sim_lin_only(
+                    &VidyasankarRegister::new(REG_K, 1),
+                    &register_menus(REG_K),
+                    seed,
+                    ops,
+                )
+            },
+        },
+        Scenario {
+            name: "register/lockfree-hi-k5",
+            about: "Algorithms 2+3: state-quiescent HI SWSR register, reader lock-free",
+            threaded: |cfg| drive_report(&mut LockFreeHiObject::new(reg_spec()), cfg),
+            throughput: |ops, seed| throughput(&mut LockFreeHiObject::new(reg_spec()), ops, seed),
+            sim: |seed, ops| {
+                sim_single_mutator(
+                    &LockFreeHiRegister::new(REG_K, 1),
+                    &register_menus(REG_K),
+                    ObservationModel::StateQuiescent,
+                    seed,
+                    ops,
+                )
+            },
+        },
+        Scenario {
+            name: "register/waitfree-hi-k5",
+            about: "Algorithm 4: quiescent HI SWSR register, wait-free",
+            threaded: |cfg| drive_report(&mut WaitFreeHiObject::new(reg_spec()), cfg),
+            throughput: |ops, seed| throughput(&mut WaitFreeHiObject::new(reg_spec()), ops, seed),
+            sim: |seed, ops| {
+                sim_single_mutator(
+                    &WaitFreeHiRegister::new(REG_K, 1),
+                    &register_menus(REG_K),
+                    ObservationModel::Quiescent,
+                    seed,
+                    ops,
+                )
+            },
+        },
+        Scenario {
+            name: "queue/positional-t3",
+            about: "§5.4 companion: state-quiescent HI queue with lock-free Peek",
+            threaded: |cfg| drive_report(&mut QueueObject::new(queue_spec()), cfg),
+            throughput: |ops, seed| throughput(&mut QueueObject::new(queue_spec()), ops, seed),
+            sim: |seed, ops| {
+                sim_single_mutator(
+                    &PositionalQueue::new(QUEUE_T, QUEUE_CAP),
+                    &queue_menus(QUEUE_T),
+                    ObservationModel::StateQuiescent,
+                    seed,
+                    ops,
+                )
+            },
+        },
+        Scenario {
+            name: "llsc/packed-v8-n3",
+            about: "Algorithm 6: releasable LL/SC on one word, perfect HI",
+            threaded: |cfg| drive_report(&mut LlscObject::new(llsc_spec()), cfg),
+            throughput: |ops, seed| throughput(&mut LlscObject::new(llsc_spec()), ops, seed),
+            sim: |seed, ops| {
+                let imp = SimRLlsc::new(LLSC_V, 0, LLSC_N);
+                let oracle_imp = imp.clone();
+                let workload = sim_workload::<RLlscSpec>(&llsc_menus(), ops, seed);
+                check_run(
+                    &imp,
+                    workload,
+                    &mut Seeded::new(seed),
+                    ObservationModel::Perfect,
+                    SIM_MAX_STEPS,
+                    move |exec| oracle_imp.decode(&exec.snapshot()),
+                )
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+            },
+        },
+        Scenario {
+            name: "universal/counter-n3",
+            about: "Algorithm 5 over a bounded counter: wait-free, state-quiescent HI",
+            threaded: |cfg| drive_report(&mut UniversalObject::new(counter_spec(), COUNTER_N), cfg),
+            throughput: |ops, seed| {
+                throughput(
+                    &mut UniversalObject::new(counter_spec(), COUNTER_N),
+                    ops,
+                    seed,
+                )
+            },
+            sim: |seed, ops| sim_universal(counter_spec(), COUNTER_N, seed, ops),
+        },
+        Scenario {
+            name: "universal/register-k4-n2",
+            about: "Algorithm 5 over a multi-valued register (multi-writer, unlike §4)",
+            threaded: |cfg| {
+                drive_report(
+                    &mut UniversalObject::new(MultiRegisterSpec::new(UREG_K, 1), UREG_N),
+                    cfg,
+                )
+            },
+            throughput: |ops, seed| {
+                throughput(
+                    &mut UniversalObject::new(MultiRegisterSpec::new(UREG_K, 1), UREG_N),
+                    ops,
+                    seed,
+                )
+            },
+            sim: |seed, ops| sim_universal(MultiRegisterSpec::new(UREG_K, 1), UREG_N, seed, ops),
+        },
+        Scenario {
+            name: "universal/queue-t3-n3",
+            about: "Algorithm 5 over the bounded queue: every role symmetric",
+            threaded: |cfg| {
+                drive_report(
+                    &mut UniversalObject::new(BoundedQueueSpec::new(3, 4), UQUEUE_N),
+                    cfg,
+                )
+            },
+            throughput: |ops, seed| {
+                throughput(
+                    &mut UniversalObject::new(BoundedQueueSpec::new(3, 4), UQUEUE_N),
+                    ops,
+                    seed,
+                )
+            },
+            sim: |seed, ops| sim_universal(BoundedQueueSpec::new(3, 4), UQUEUE_N, seed, ops),
+        },
+        Scenario {
+            name: "universal/counter-no-release",
+            about: "§6.1 ablation: Algorithm 5 without RL — linearizable but not HI",
+            threaded: |cfg| {
+                drive_report(
+                    &mut UniversalObject::without_release(counter_spec(), COUNTER_N),
+                    cfg,
+                )
+            },
+            throughput: |ops, seed| {
+                throughput(
+                    &mut UniversalObject::without_release(counter_spec(), COUNTER_N),
+                    ops,
+                    seed,
+                )
+            },
+            sim: |seed, ops| {
+                // The ablation leaks memory, so only linearizability is checked.
+                let imp = SimUniversal::without_release(counter_spec(), COUNTER_N);
+                sim_lin_only(
+                    &imp,
+                    &universal_menus(&counter_spec(), COUNTER_N),
+                    seed,
+                    ops,
+                )
+            },
+        },
+    ]
+}
+
+/// Looks up a scenario by name.
+pub fn scenario(name: &str) -> Option<Scenario> {
+    registry().into_iter().find(|s| s.name == name)
+}

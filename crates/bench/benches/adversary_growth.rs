@@ -16,21 +16,33 @@ fn bench_adversary(c: &mut Criterion) {
     let mut group = c.benchmark_group("adversary_growth");
     group.sample_size(10);
     for rounds in [10u64, 100, 1_000] {
-        group.bench_with_input(BenchmarkId::new("alg2_register_k4", rounds), &rounds, |b, &rounds| {
-            let imp = LockFreeHiRegister::new(4, 1);
-            let script = CtScript::new(MultiRegisterSpec::new(4, 1));
-            b.iter(|| run_adversary(&imp, &script, rounds, 10_000).unwrap().rounds)
-        });
-        group.bench_with_input(BenchmarkId::new("queue_peek_t3", rounds), &rounds, |b, &rounds| {
-            let imp = PositionalQueue::new(3, 2);
-            let script = QueuePeekScript::new(BoundedQueueSpec::new(3, 2));
-            b.iter(|| run_adversary(&imp, &script, rounds, 10_000).unwrap().rounds)
-        });
-        group.bench_with_input(BenchmarkId::new("alg4_escapes", rounds), &rounds, |b, &rounds| {
-            let imp = WaitFreeHiRegister::new(4, 1);
-            let script = CtScript::new(MultiRegisterSpec::new(4, 1));
-            b.iter(|| run_adversary(&imp, &script, rounds, 10_000).unwrap().rounds)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("alg2_register_k4", rounds),
+            &rounds,
+            |b, &rounds| {
+                let imp = LockFreeHiRegister::new(4, 1);
+                let script = CtScript::new(MultiRegisterSpec::new(4, 1));
+                b.iter(|| run_adversary(&imp, &script, rounds, 10_000).unwrap().rounds)
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("queue_peek_t3", rounds),
+            &rounds,
+            |b, &rounds| {
+                let imp = PositionalQueue::new(3, 2);
+                let script = QueuePeekScript::new(BoundedQueueSpec::new(3, 2));
+                b.iter(|| run_adversary(&imp, &script, rounds, 10_000).unwrap().rounds)
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("alg4_escapes", rounds),
+            &rounds,
+            |b, &rounds| {
+                let imp = WaitFreeHiRegister::new(4, 1);
+                let script = CtScript::new(MultiRegisterSpec::new(4, 1));
+                b.iter(|| run_adversary(&imp, &script, rounds, 10_000).unwrap().rounds)
+            },
+        );
     }
     group.finish();
 }

@@ -13,8 +13,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hi_core::objects::{CounterOp, CounterSpec, MultiRegisterSpec, RegisterOp};
-use hi_sim::Implementation;
 use hi_registers::WaitFreeHiRegister;
+use hi_sim::Implementation;
 use hi_sim::{run_workload, Executor, RoundRobin, Seeded, Workload};
 use hi_spec::{single_mutator_state, HiMonitor, ObservationModel};
 use hi_universal::{ModeTracker, SimUniversal};
@@ -72,7 +72,8 @@ fn bench_fig2_fig4_read_paths(c: &mut Criterion) {
         let imp = WaitFreeHiRegister::new(k, 2);
         b.iter(|| {
             let mut exec = Executor::new(imp.clone());
-            exec.run_op_solo(hi_core::Pid(1), RegisterOp::Read, 1_000).unwrap()
+            exec.run_op_solo(hi_core::Pid(1), RegisterOp::Read, 1_000)
+                .unwrap()
         })
     });
     group.bench_function("read_from_b_forced", |b| {
@@ -87,7 +88,8 @@ fn bench_fig2_fig4_read_paths(c: &mut Criterion) {
                     out = Some(resp);
                     break;
                 }
-                exec.run_op_solo(hi_core::Pid(0), RegisterOp::Write(next), 1_000).unwrap();
+                exec.run_op_solo(hi_core::Pid(0), RegisterOp::Write(next), 1_000)
+                    .unwrap();
                 next = if next == 1 { k } else { 1 };
             }
             out.expect("Algorithm 4 reads are wait-free")

@@ -54,24 +54,29 @@ fn bench_concurrent_phase(c: &mut Criterion) {
     group.sample_size(20);
     for threads in [1usize, 2, 4] {
         group.throughput(Throughput::Elements(u64::from(N_KEYS)));
-        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
-            b.iter(|| {
-                let table = AtomicHashTable::new(CAPACITY);
-                let keys: Vec<u32> =
-                    (1..=N_KEYS).map(|k| k.wrapping_mul(2654435761) % 100_000 + 1).collect();
-                std::thread::scope(|s| {
-                    for chunk in keys.chunks(keys.len().div_ceil(threads)) {
-                        let table = &table;
-                        s.spawn(move || {
-                            for &k in chunk {
-                                table.insert(k);
-                            }
-                        });
-                    }
-                });
-                table.capacity()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let table = AtomicHashTable::new(CAPACITY);
+                    let keys: Vec<u32> = (1..=N_KEYS)
+                        .map(|k| k.wrapping_mul(2654435761) % 100_000 + 1)
+                        .collect();
+                    std::thread::scope(|s| {
+                        for chunk in keys.chunks(keys.len().div_ceil(threads)) {
+                            let table = &table;
+                            s.spawn(move || {
+                                for &k in chunk {
+                                    table.insert(k);
+                                }
+                            });
+                        }
+                    });
+                    table.capacity()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,5 +1,6 @@
 //! Ablation: the price of history independence in the register algorithms,
-//! as a function of K.
+//! as a function of K — driven through the unified `ConcurrentObject`
+//! facade (one bench body per algorithm family, not per bespoke API).
 //!
 //! Shape to reproduce: Algorithm 1's `Write(v)` costs `O(v)` primitives
 //! (clear below only); Algorithms 2/4 cost `O(K)` (the upward clearing that
@@ -7,29 +8,60 @@
 //! overhead on top. Reads are `O(K)` for all three when uncontended.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hi_registers::threaded::{AtomicLockFreeHi, AtomicVidyasankar, AtomicWaitFreeHi};
+use hi_api::{ConcurrentObject, ObjectHandle};
+use hi_api::{LockFreeHiObject, VidyasankarObject, WaitFreeHiObject};
+use hi_core::objects::{MultiRegisterSpec, RegisterOp};
+
+/// Benches one write/read pair of any SWSR facade object.
+fn bench_register_pair<O>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    label: &str,
+    k: u64,
+    mut obj: O,
+    op: RegisterOp,
+    handle_idx: usize,
+) where
+    O: ConcurrentObject<MultiRegisterSpec>,
+{
+    group.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
+        let mut handles = obj.handles();
+        let h = &mut handles[handle_idx];
+        b.iter(|| h.apply(op));
+    });
+}
 
 fn bench_write_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("register_write_cost");
     for k in [4u64, 8, 16, 32, 64] {
         group.throughput(Throughput::Elements(k));
-        group.bench_with_input(BenchmarkId::new("alg1_write_low", k), &k, |b, &k| {
-            let mut reg = AtomicVidyasankar::new(k, 1);
-            let (mut w, _r) = reg.split();
-            // Writing a low value: Algorithm 1 clears almost nothing.
-            b.iter(|| w.write(2));
-        });
-        group.bench_with_input(BenchmarkId::new("alg2_write_low", k), &k, |b, &k| {
-            let mut reg = AtomicLockFreeHi::new(k, 1);
-            let (mut w, _r) = reg.split();
-            // Algorithm 2 must clear all the way up to K: O(K) regardless.
-            b.iter(|| w.write(2));
-        });
-        group.bench_with_input(BenchmarkId::new("alg4_write_low", k), &k, |b, &k| {
-            let mut reg = AtomicWaitFreeHi::new(k, 1);
-            let (mut w, _r) = reg.split(1);
-            b.iter(|| w.write(2));
-        });
+        let spec = MultiRegisterSpec::new(k, 1);
+        // Writing a low value: Algorithm 1 clears almost nothing, while
+        // Algorithms 2/4 must clear all the way up to K: O(K) regardless.
+        let w = RegisterOp::Write(2);
+        bench_register_pair(
+            &mut group,
+            "alg1_write_low",
+            k,
+            VidyasankarObject::new(spec),
+            w,
+            0,
+        );
+        bench_register_pair(
+            &mut group,
+            "alg2_write_low",
+            k,
+            LockFreeHiObject::new(spec),
+            w,
+            0,
+        );
+        bench_register_pair(
+            &mut group,
+            "alg4_write_low",
+            k,
+            WaitFreeHiObject::new(spec),
+            w,
+            0,
+        );
     }
     group.finish();
 }
@@ -37,21 +69,32 @@ fn bench_write_cost(c: &mut Criterion) {
 fn bench_read_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("register_read_cost");
     for k in [4u64, 16, 64] {
-        group.bench_with_input(BenchmarkId::new("alg1_read", k), &k, |b, &k| {
-            let mut reg = AtomicVidyasankar::new(k, k);
-            let (_w, mut r) = reg.split();
-            b.iter(|| r.read());
-        });
-        group.bench_with_input(BenchmarkId::new("alg2_read", k), &k, |b, &k| {
-            let mut reg = AtomicLockFreeHi::new(k, k);
-            let (_w, mut r) = reg.split();
-            b.iter(|| r.read());
-        });
-        group.bench_with_input(BenchmarkId::new("alg4_read", k), &k, |b, &k| {
-            let mut reg = AtomicWaitFreeHi::new(k, k);
-            let (_w, mut r) = reg.split(k);
-            b.iter(|| r.read());
-        });
+        let spec = MultiRegisterSpec::new(k, k);
+        let r = RegisterOp::Read;
+        bench_register_pair(
+            &mut group,
+            "alg1_read",
+            k,
+            VidyasankarObject::new(spec),
+            r,
+            1,
+        );
+        bench_register_pair(
+            &mut group,
+            "alg2_read",
+            k,
+            LockFreeHiObject::new(spec),
+            r,
+            1,
+        );
+        bench_register_pair(
+            &mut group,
+            "alg4_read",
+            k,
+            WaitFreeHiObject::new(spec),
+            r,
+            1,
+        );
     }
     group.finish();
 }
@@ -64,18 +107,20 @@ fn bench_contended(c: &mut Criterion) {
     group.sample_size(20);
     for k in [8u64, 32] {
         group.bench_with_input(BenchmarkId::new("alg4_read_vs_writer", k), &k, |b, &k| {
-            let mut reg = AtomicWaitFreeHi::new(k, 1);
-            let (mut w, mut r) = reg.split(1);
+            let mut reg = WaitFreeHiObject::new(MultiRegisterSpec::new(k, 1));
+            let mut handles = reg.handles().into_iter();
+            let mut w = handles.next().unwrap();
+            let mut r = handles.next().unwrap();
             let stop = std::sync::atomic::AtomicBool::new(false);
             std::thread::scope(|s| {
                 s.spawn(|| {
                     let mut v = 0u64;
                     while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                         v = v % k + 1;
-                        w.write(v);
+                        w.apply(RegisterOp::Write(v));
                     }
                 });
-                b.iter(|| r.read());
+                b.iter(|| r.apply(RegisterOp::Read));
                 stop.store(true, std::sync::atomic::Ordering::Relaxed);
             });
         });

@@ -36,19 +36,37 @@ fn bench_table1(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("alg1_waitfree_not_hi", k), |b| {
         let imp = VidyasankarRegister::new(k, 1);
         b.iter(|| {
-            run_to_completion(&imp, write_read_workload(k, pairs), &mut RoundRobin::new(), 1 << 20)
+            run_to_completion(
+                &imp,
+                write_read_workload(k, pairs),
+                &mut RoundRobin::new(),
+                1 << 20,
+            )
         })
     });
-    group.bench_function(BenchmarkId::new("alg2_lockfree_state_quiescent_hi", k), |b| {
-        let imp = LockFreeHiRegister::new(k, 1);
-        b.iter(|| {
-            run_to_completion(&imp, write_read_workload(k, pairs), &mut RoundRobin::new(), 1 << 20)
-        })
-    });
+    group.bench_function(
+        BenchmarkId::new("alg2_lockfree_state_quiescent_hi", k),
+        |b| {
+            let imp = LockFreeHiRegister::new(k, 1);
+            b.iter(|| {
+                run_to_completion(
+                    &imp,
+                    write_read_workload(k, pairs),
+                    &mut RoundRobin::new(),
+                    1 << 20,
+                )
+            })
+        },
+    );
     group.bench_function(BenchmarkId::new("alg4_waitfree_quiescent_hi", k), |b| {
         let imp = WaitFreeHiRegister::new(k, 1);
         b.iter(|| {
-            run_to_completion(&imp, write_read_workload(k, pairs), &mut RoundRobin::new(), 1 << 20)
+            run_to_completion(
+                &imp,
+                write_read_workload(k, pairs),
+                &mut RoundRobin::new(),
+                1 << 20,
+            )
         })
     });
     group.finish();

@@ -8,16 +8,24 @@
 //! retries burn cycles.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hi_api::{ConcurrentObject, ObjectHandle, UniversalObject};
 use hi_bench::run_to_completion;
 use hi_core::objects::{CounterOp, CounterSpec};
 use hi_sim::{RoundRobin, Workload};
-use hi_universal::{AtomicUniversal, CasUniversal, LeakyUniversal, SimUniversal};
+use hi_universal::{CasUniversal, LeakyUniversal, SimUniversal};
 
 fn counter_workload(n: usize, ops: usize) -> Workload<CounterSpec> {
     let mut w = Workload::new(n);
     for pid in 0..n {
         for i in 0..ops {
-            w.push(pid, if i % 2 == 0 { CounterOp::Inc } else { CounterOp::Dec });
+            w.push(
+                pid,
+                if i % 2 == 0 {
+                    CounterOp::Inc
+                } else {
+                    CounterOp::Dec
+                },
+            );
         }
     }
     w
@@ -35,19 +43,34 @@ fn bench_sim_universal(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("algorithm5", n), &n, |b, &n| {
             let imp = SimUniversal::new(spec(), n);
             b.iter(|| {
-                run_to_completion(&imp, counter_workload(n, ops), &mut RoundRobin::new(), 1 << 22)
+                run_to_completion(
+                    &imp,
+                    counter_workload(n, ops),
+                    &mut RoundRobin::new(),
+                    1 << 22,
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("cas_baseline", n), &n, |b, &n| {
             let imp = CasUniversal::new(spec(), n);
             b.iter(|| {
-                run_to_completion(&imp, counter_workload(n, ops), &mut RoundRobin::new(), 1 << 22)
+                run_to_completion(
+                    &imp,
+                    counter_workload(n, ops),
+                    &mut RoundRobin::new(),
+                    1 << 22,
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("leaky", n), &n, |b, &n| {
             let imp = LeakyUniversal::new(spec(), n);
             b.iter(|| {
-                run_to_completion(&imp, counter_workload(n, ops), &mut RoundRobin::new(), 1 << 22)
+                run_to_completion(
+                    &imp,
+                    counter_workload(n, ops),
+                    &mut RoundRobin::new(),
+                    1 << 22,
+                )
             })
         });
         // Ablation: Algorithm 5 without the RL clearing lines — measures the
@@ -56,7 +79,12 @@ fn bench_sim_universal(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("algorithm5_no_release", n), &n, |b, &n| {
             let imp = SimUniversal::without_release(spec(), n);
             b.iter(|| {
-                run_to_completion(&imp, counter_workload(n, ops), &mut RoundRobin::new(), 1 << 22)
+                run_to_completion(
+                    &imp,
+                    counter_workload(n, ops),
+                    &mut RoundRobin::new(),
+                    1 << 22,
+                )
             })
         });
     }
@@ -70,13 +98,18 @@ fn bench_threaded_universal(c: &mut Criterion) {
         group.throughput(Throughput::Elements(2_000));
         group.bench_with_input(BenchmarkId::new("algorithm5_threads", n), &n, |b, &n| {
             b.iter(|| {
-                let u = AtomicUniversal::new(CounterSpec::new(-2_000, 2_000, 0), n);
+                // Through the unified facade: uniform handle fan-out.
+                let mut u = UniversalObject::new(CounterSpec::new(-2_000, 2_000, 0), n);
+                let handles = u.handles();
                 std::thread::scope(|s| {
-                    for pid in 0..n {
-                        let mut h = u.handle(pid);
+                    for mut h in handles {
                         s.spawn(move || {
                             for i in 0..(2_000 / n) {
-                                h.apply(if i % 2 == 0 { CounterOp::Inc } else { CounterOp::Dec });
+                                h.apply(if i % 2 == 0 {
+                                    CounterOp::Inc
+                                } else {
+                                    CounterOp::Dec
+                                });
                             }
                         });
                     }

@@ -1,0 +1,120 @@
+//! Machine-readable benchmark summaries: `BENCH_<name>.json` files at the
+//! workspace root, seeding the perf trajectory without depending on the
+//! (vendored, stats-free) criterion stand-in.
+//!
+//! The format is deliberately tiny — one object per benchmark run, a
+//! `results` array of scenario measurements — so CI and later sessions can
+//! diff throughput with `jq` and no extra tooling.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// One measured scenario.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Scenario name (e.g. `"universal/counter-n3"`).
+    pub scenario: String,
+    /// Operations completed in the measured run.
+    pub ops: usize,
+    /// Wall-clock time of the measured run.
+    pub elapsed: Duration,
+}
+
+impl BenchRecord {
+    /// Throughput in operations per second. A zero elapsed time (possible
+    /// only for degenerate runs) is clamped to 1ns to keep the value finite.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.max(Duration::from_nanos(1)).as_secs_f64()
+    }
+}
+
+/// Escapes a string for JSON embedding.
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Renders the summary document.
+pub fn render(bench: &str, records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", escape(bench)));
+    out.push_str("  \"unit\": \"ops_per_sec\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"ops\": {}, \"elapsed_ns\": {}, \"ops_per_sec\": {:.1}}}{}\n",
+            escape(&r.scenario),
+            r.ops,
+            r.elapsed.as_nanos(),
+            r.ops_per_sec(),
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The workspace root (two levels above this crate's manifest).
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Writes `BENCH_<name>.json` at the workspace root and returns its path.
+///
+/// # Errors
+///
+/// Any I/O error from creating or writing the file.
+pub fn write_summary(bench: &str, records: &[BenchRecord]) -> std::io::Result<PathBuf> {
+    let path = workspace_root().join(format!("BENCH_{bench}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(render(bench, records).as_bytes())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_valid_shape() {
+        let records = vec![
+            BenchRecord {
+                scenario: "a/b".into(),
+                ops: 100,
+                elapsed: Duration::from_millis(5),
+            },
+            BenchRecord {
+                scenario: "c\"d".into(),
+                ops: 2,
+                elapsed: Duration::from_nanos(10),
+            },
+        ];
+        let doc = render("smoke", &records);
+        assert!(doc.contains("\"bench\": \"smoke\""));
+        assert!(doc.contains("\"scenario\": \"a/b\""));
+        assert!(doc.contains("c\\\"d"), "quotes are escaped");
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn ops_per_sec_is_finite() {
+        let r = BenchRecord {
+            scenario: "x".into(),
+            ops: 7,
+            elapsed: Duration::ZERO,
+        };
+        assert!(r.ops_per_sec().is_finite());
+    }
+}

@@ -3,6 +3,8 @@
 //! Table 1 and Figures 1–5. See `benches/` for the individual harnesses and
 //! `EXPERIMENTS.md` at the workspace root for the paper-vs-measured record.
 
+pub mod json;
+
 use hi_core::ObjectSpec;
 use hi_sim::{run_workload, Executor, Implementation, Scheduler, Workload};
 

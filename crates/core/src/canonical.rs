@@ -38,7 +38,10 @@ where
 {
     /// Creates an empty map.
     pub fn new() -> Self {
-        CanonicalMap { map: HashMap::new(), observations: 0 }
+        CanonicalMap {
+            map: HashMap::new(),
+            observations: 0,
+        }
     }
 
     /// Records that `state` was observed with memory representation `mem`.

@@ -52,7 +52,11 @@ pub trait CtObject: ObjectSpec {
         let reps: Vec<_> = (0..t).map(|i| self.representative(i)).collect();
         let mut responses = Vec::new();
         for (i, q) in reps.iter().enumerate() {
-            assert_eq!(self.class_of(q), i, "representative of class {i} is misclassified");
+            assert_eq!(
+                self.class_of(q),
+                i,
+                "representative of class {i} is misclassified"
+            );
             let (_, r) = self.apply(q, &read);
             assert!(
                 !responses.contains(&r),

@@ -129,7 +129,11 @@ pub struct History<O, R> {
 impl<O: Clone, R: Clone> History<O, R> {
     /// Creates an empty history.
     pub fn new() -> Self {
-        History { events: Vec::new(), next_id: 0, pending: HashMap::new() }
+        History {
+            events: Vec::new(),
+            next_id: 0,
+            pending: HashMap::new(),
+        }
     }
 
     /// Records an invocation by `pid` and returns the fresh operation id.
@@ -164,7 +168,11 @@ impl<O: Clone, R: Clone> History<O, R> {
                 _ => None,
             })
             .unwrap_or_else(|| panic!("return for unknown operation {id}"));
-        assert_eq!(self.pending.get(&pid), Some(&id), "return does not match pending op");
+        assert_eq!(
+            self.pending.get(&pid),
+            Some(&id),
+            "return does not match pending op"
+        );
         self.pending.remove(&pid);
         self.events.push(Event::Return { pid, id, resp });
     }

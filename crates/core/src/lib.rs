@@ -40,6 +40,7 @@
 //! ```
 
 pub mod canonical;
+pub mod cells;
 pub mod ct;
 pub mod history;
 pub mod object;

@@ -102,8 +102,16 @@ pub trait EnumerableSpec: ObjectSpec {
         let resps = self.responses();
         let state_set: HashSet<_> = states.iter().cloned().collect();
         let resp_set: HashSet<_> = resps.iter().cloned().collect();
-        assert_eq!(state_set.len(), states.len(), "duplicate states in enumeration");
-        assert_eq!(resp_set.len(), resps.len(), "duplicate responses in enumeration");
+        assert_eq!(
+            state_set.len(),
+            states.len(),
+            "duplicate states in enumeration"
+        );
+        assert_eq!(
+            resp_set.len(),
+            resps.len(),
+            "duplicate responses in enumeration"
+        );
         assert!(
             state_set.contains(&self.initial_state()),
             "initial state missing from enumeration"
@@ -112,8 +120,14 @@ pub trait EnumerableSpec: ObjectSpec {
         for q in &states {
             for op in &ops {
                 let (q2, r) = self.apply(q, op);
-                assert!(state_set.contains(&q2), "apply({q:?}, {op:?}) leaves state space");
-                assert!(resp_set.contains(&r), "apply({q:?}, {op:?}) response {r:?} not enumerated");
+                assert!(
+                    state_set.contains(&q2),
+                    "apply({q:?}, {op:?}) leaves state space"
+                );
+                assert!(
+                    resp_set.contains(&r),
+                    "apply({q:?}, {op:?}) response {r:?} not enumerated"
+                );
                 if self.is_read_only(op) {
                     assert_eq!(q2, *q, "read-only op {op:?} changed state {q:?}");
                 }

@@ -81,7 +81,10 @@ impl ObjectSpec for CasSpec {
         match op {
             CasOp::Read => (*state, CasResp::Value(*state)),
             CasOp::Cas(old, new) => {
-                assert!((1..=self.t).contains(new), "CAS to out-of-range value {new}");
+                assert!(
+                    (1..=self.t).contains(new),
+                    "CAS to out-of-range value {new}"
+                );
                 if state == old {
                     (*new, CasResp::Bool(true))
                 } else {

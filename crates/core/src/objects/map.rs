@@ -57,8 +57,13 @@ impl MapSpec {
     /// stays below `2^20` (the enumeration guard).
     pub fn new(keys: u32, vals: u32) -> Self {
         assert!(keys >= 1 && vals >= 1);
-        let states = (u64::from(vals) + 1).checked_pow(keys).expect("state space overflow");
-        assert!(states < (1 << 20), "state space too large to enumerate ({states})");
+        let states = (u64::from(vals) + 1)
+            .checked_pow(keys)
+            .expect("state space overflow");
+        assert!(
+            states < (1 << 20),
+            "state space too large to enumerate ({states})"
+        );
         MapSpec { keys, vals }
     }
 
@@ -105,7 +110,11 @@ impl ObjectSpec for MapSpec {
             MapOp::Get(k) => {
                 self.check_key(*k);
                 let v = state[(*k - 1) as usize];
-                let resp = if v == 0 { MapResp::Missing } else { MapResp::Value(v) };
+                let resp = if v == 0 {
+                    MapResp::Missing
+                } else {
+                    MapResp::Value(v)
+                };
                 (state.clone(), resp)
             }
         }

@@ -170,21 +170,46 @@ mod tests {
     #[test]
     fn extract_orders_by_priority() {
         let pq = PQueueSpec::new(5, 5);
-        let s = pq.run([PQueueOp::Insert(3), PQueueOp::Insert(1), PQueueOp::Insert(5)].iter());
+        let s = pq.run(
+            [
+                PQueueOp::Insert(3),
+                PQueueOp::Insert(1),
+                PQueueOp::Insert(5),
+            ]
+            .iter(),
+        );
         let (s, r1) = pq.apply(&s, &PQueueOp::ExtractMin);
         let (s, r2) = pq.apply(&s, &PQueueOp::ExtractMin);
         let (_, r3) = pq.apply(&s, &PQueueOp::ExtractMin);
         assert_eq!(
             (r1, r2, r3),
-            (PQueueResp::Value(1), PQueueResp::Value(3), PQueueResp::Value(5))
+            (
+                PQueueResp::Value(1),
+                PQueueResp::Value(3),
+                PQueueResp::Value(5)
+            )
         );
     }
 
     #[test]
     fn multiset_state_is_insertion_order_independent() {
         let pq = PQueueSpec::new(4, 4);
-        let a = pq.run([PQueueOp::Insert(2), PQueueOp::Insert(4), PQueueOp::Insert(2)].iter());
-        let b = pq.run([PQueueOp::Insert(4), PQueueOp::Insert(2), PQueueOp::Insert(2)].iter());
+        let a = pq.run(
+            [
+                PQueueOp::Insert(2),
+                PQueueOp::Insert(4),
+                PQueueOp::Insert(2),
+            ]
+            .iter(),
+        );
+        let b = pq.run(
+            [
+                PQueueOp::Insert(4),
+                PQueueOp::Insert(2),
+                PQueueOp::Insert(2),
+            ]
+            .iter(),
+        );
         assert_eq!(a, b);
     }
 }

@@ -95,7 +95,10 @@ impl ObjectSpec for BoundedQueueSpec {
     fn apply(&self, state: &QueueState, op: &QueueOp) -> (QueueState, QueueResp) {
         match op {
             QueueOp::Enqueue(v) => {
-                assert!((1..=self.t).contains(v), "enqueue of out-of-domain element {v}");
+                assert!(
+                    (1..=self.t).contains(v),
+                    "enqueue of out-of-domain element {v}"
+                );
                 if state.len() >= self.cap {
                     (state.clone(), QueueResp::Full)
                 } else {
@@ -176,7 +179,14 @@ mod tests {
     #[test]
     fn fifo_order() {
         let q = BoundedQueueSpec::new(4, 4);
-        let s = q.run([QueueOp::Enqueue(1), QueueOp::Enqueue(2), QueueOp::Enqueue(3)].iter());
+        let s = q.run(
+            [
+                QueueOp::Enqueue(1),
+                QueueOp::Enqueue(2),
+                QueueOp::Enqueue(3),
+            ]
+            .iter(),
+        );
         let (s, r1) = q.apply(&s, &QueueOp::Dequeue);
         let (_, r2) = q.apply(&s, &QueueOp::Dequeue);
         assert_eq!((r1, r2), (QueueResp::Value(1), QueueResp::Value(2)));

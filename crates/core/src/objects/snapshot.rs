@@ -50,8 +50,13 @@ impl SnapshotSpec {
     /// `(vals+1)^m` stays below `2^20`.
     pub fn new(m: usize, vals: u32) -> Self {
         assert!(m >= 1 && vals >= 1);
-        let states = (u64::from(vals) + 1).checked_pow(m as u32).expect("state space overflow");
-        assert!(states < (1 << 20), "state space too large to enumerate ({states})");
+        let states = (u64::from(vals) + 1)
+            .checked_pow(m as u32)
+            .expect("state space overflow");
+        assert!(
+            states < (1 << 20),
+            "state space too large to enumerate ({states})"
+        );
         SnapshotSpec { m, vals }
     }
 
@@ -135,9 +140,17 @@ mod tests {
     fn scan_sees_all_updates() {
         let s = SnapshotSpec::new(3, 3);
         let q = s.run(
-            [SnapshotOp::Update(1, 3), SnapshotOp::Update(0, 1), SnapshotOp::Update(1, 2)].iter(),
+            [
+                SnapshotOp::Update(1, 3),
+                SnapshotOp::Update(0, 1),
+                SnapshotOp::Update(1, 2),
+            ]
+            .iter(),
         );
-        assert_eq!(s.apply(&q, &SnapshotOp::Scan).1, SnapshotResp::View(vec![1, 2, 0]));
+        assert_eq!(
+            s.apply(&q, &SnapshotOp::Scan).1,
+            SnapshotResp::View(vec![1, 2, 0])
+        );
     }
 
     #[test]

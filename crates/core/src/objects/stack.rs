@@ -79,7 +79,10 @@ impl ObjectSpec for StackSpec {
     fn apply(&self, state: &Vec<u32>, op: &StackOp) -> (Vec<u32>, StackResp) {
         match op {
             StackOp::Push(v) => {
-                assert!((1..=self.t).contains(v), "push of out-of-domain element {v}");
+                assert!(
+                    (1..=self.t).contains(v),
+                    "push of out-of-domain element {v}"
+                );
                 if state.len() >= self.cap {
                     (state.clone(), StackResp::Full)
                 } else {

@@ -11,8 +11,8 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use crate::{incumbent_wins, slot_of};
 use crate::seq::HiHashTable;
+use crate::{incumbent_wins, slot_of};
 
 const ORD: Ordering = Ordering::SeqCst;
 
@@ -33,7 +33,9 @@ impl AtomicHashTable {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        AtomicHashTable { slots: (0..capacity).map(|_| AtomicU32::new(0)).collect() }
+        AtomicHashTable {
+            slots: (0..capacity).map(|_| AtomicU32::new(0)).collect(),
+        }
     }
 
     /// Capacity in slots.

@@ -34,7 +34,10 @@ impl HiHashTable {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        HiHashTable { slots: vec![0; capacity], len: 0 }
+        HiHashTable {
+            slots: vec![0; capacity],
+            len: 0,
+        }
     }
 
     /// Number of keys stored.
@@ -162,7 +165,10 @@ impl TombstoneHashTable {
     /// Creates an empty table with `capacity` slots.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        TombstoneHashTable { slots: vec![0; capacity], len: 0 }
+        TombstoneHashTable {
+            slots: vec![0; capacity],
+            len: 0,
+        }
     }
 
     /// The memory representation, tombstones and all.

@@ -77,8 +77,16 @@ impl LlscLayout {
     ///
     /// Panics if `val` or `context` overflow their fields.
     pub fn pack(&self, val: u64, context: u64) -> u64 {
-        assert!(val <= self.val_mask(), "value {val} overflows {} bits", self.val_bits);
-        assert!(context < (1u64 << self.n), "context {context:#b} overflows {} bits", self.n);
+        assert!(
+            val <= self.val_mask(),
+            "value {val} overflows {} bits",
+            self.val_bits
+        );
+        assert!(
+            context < (1u64 << self.n),
+            "context {context:#b} overflows {} bits",
+            self.n
+        );
         val | (context << self.val_bits)
     }
 

@@ -105,7 +105,11 @@ pub enum LlscOp {
 impl LlscOp {
     /// Starts an `LL` by `pid` on `cell`.
     pub fn ll(pid: usize, cell: CellId) -> Self {
-        LlscOp::Ll { pid, cell, cur: None }
+        LlscOp::Ll {
+            pid,
+            cell,
+            cur: None,
+        }
     }
 
     /// Starts a `VL` by `pid` on `cell`.
@@ -115,12 +119,21 @@ impl LlscOp {
 
     /// Starts an `SC` by `pid` on `cell` installing `new_val`.
     pub fn sc(pid: usize, cell: CellId, new_val: u64) -> Self {
-        LlscOp::Sc { pid, cell, new_val, cur: None }
+        LlscOp::Sc {
+            pid,
+            cell,
+            new_val,
+            cur: None,
+        }
     }
 
     /// Starts an `RL` by `pid` on `cell`.
     pub fn rl(pid: usize, cell: CellId) -> Self {
-        LlscOp::Rl { pid, cell, cur: None }
+        LlscOp::Rl {
+            pid,
+            cell,
+            cur: None,
+        }
     }
 
     /// Starts a `Load` on `cell`.
@@ -167,7 +180,12 @@ impl LlscOp {
                 let v = ctx.read(*cell);
                 Some(LlscResult::Bool(layout.has(v, *pid)))
             }
-            LlscOp::Sc { pid, cell, new_val, cur } => match cur.take() {
+            LlscOp::Sc {
+                pid,
+                cell,
+                new_val,
+                cur,
+            } => match cur.take() {
                 None => {
                     let v = ctx.read(*cell);
                     if layout.has(v, *pid) {
@@ -239,7 +257,12 @@ impl SimRLlsc {
             None => CellDomain::Word,
         };
         let cell = mem.alloc("X", domain, layout.reset(v0));
-        SimRLlsc { spec, layout, cell, mem }
+        SimRLlsc {
+            spec,
+            layout,
+            cell,
+            mem,
+        }
     }
 
     /// The packing layout (shared with embedding algorithms).
@@ -267,7 +290,10 @@ impl ProcessHandle<RLlscSpec> for SimRLlscProcess {
     fn invoke(&mut self, op: RLlscOp) {
         assert!(self.pending.is_none(), "operation already pending");
         if let Some(pid) = op.pid() {
-            assert_eq!(pid, self.pid, "operation pid must match the invoking process");
+            assert_eq!(
+                pid, self.pid,
+                "operation pid must match the invoking process"
+            );
         }
         self.pending = Some(match op {
             RLlscOp::Ll { pid } => LlscOp::ll(pid, self.cell),
@@ -320,7 +346,12 @@ impl Implementation<RLlscSpec> for SimRLlsc {
 
     fn make_process(&self, pid: Pid) -> SimRLlscProcess {
         assert!(pid.0 < self.spec.n());
-        SimRLlscProcess { pid: pid.0, cell: self.cell, layout: self.layout, pending: None }
+        SimRLlscProcess {
+            pid: pid.0,
+            cell: self.cell,
+            layout: self.layout,
+            pending: None,
+        }
     }
 }
 
@@ -333,11 +364,13 @@ mod tests {
     fn ll_sc_solo() {
         let mut exec = Executor::new(SimRLlsc::new(8, 3, 2));
         assert_eq!(
-            exec.run_op_solo(Pid(0), RLlscOp::Ll { pid: 0 }, 10).unwrap(),
+            exec.run_op_solo(Pid(0), RLlscOp::Ll { pid: 0 }, 10)
+                .unwrap(),
             RLlscResp::Val(3)
         );
         assert_eq!(
-            exec.run_op_solo(Pid(0), RLlscOp::Sc { pid: 0, new: 5 }, 10).unwrap(),
+            exec.run_op_solo(Pid(0), RLlscOp::Sc { pid: 0, new: 5 }, 10)
+                .unwrap(),
             RLlscResp::Bool(true)
         );
         assert_eq!(
@@ -359,10 +392,13 @@ mod tests {
     fn interference_between_ll_and_sc() {
         // p0 LLs, p1 Stores, p0's SC must fail.
         let mut exec = Executor::new(SimRLlsc::new(4, 0, 2));
-        exec.run_op_solo(Pid(0), RLlscOp::Ll { pid: 0 }, 10).unwrap();
-        exec.run_op_solo(Pid(1), RLlscOp::Store { new: 2 }, 10).unwrap();
+        exec.run_op_solo(Pid(0), RLlscOp::Ll { pid: 0 }, 10)
+            .unwrap();
+        exec.run_op_solo(Pid(1), RLlscOp::Store { new: 2 }, 10)
+            .unwrap();
         assert_eq!(
-            exec.run_op_solo(Pid(0), RLlscOp::Sc { pid: 0, new: 3 }, 10).unwrap(),
+            exec.run_op_solo(Pid(0), RLlscOp::Sc { pid: 0, new: 3 }, 10)
+                .unwrap(),
             RLlscResp::Bool(false)
         );
     }

@@ -44,9 +44,10 @@ impl RLlscOp {
     /// The invoking process, if the operation is process-relative.
     pub fn pid(&self) -> Option<usize> {
         match self {
-            RLlscOp::Ll { pid } | RLlscOp::Vl { pid } | RLlscOp::Sc { pid, .. } | RLlscOp::Rl { pid } => {
-                Some(*pid)
-            }
+            RLlscOp::Ll { pid }
+            | RLlscOp::Vl { pid }
+            | RLlscOp::Sc { pid, .. }
+            | RLlscOp::Rl { pid } => Some(*pid),
             RLlscOp::Load | RLlscOp::Store { .. } => None,
         }
     }

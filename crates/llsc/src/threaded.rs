@@ -35,7 +35,10 @@ pub struct PackedRLlsc {
 impl PackedRLlsc {
     /// Creates the object holding `v0` with an empty context.
     pub fn new(layout: LlscLayout, v0: u64) -> Self {
-        PackedRLlsc { cell: AtomicU64::new(layout.reset(v0)), layout }
+        PackedRLlsc {
+            cell: AtomicU64::new(layout.reset(v0)),
+            layout,
+        }
     }
 
     /// The packing layout.
@@ -81,7 +84,10 @@ impl PackedRLlsc {
         if !self.layout.has(cur, pid) {
             return Some(false);
         }
-        match self.cell.compare_exchange(cur, self.layout.reset(new_val), ORD, ORD) {
+        match self
+            .cell
+            .compare_exchange(cur, self.layout.reset(new_val), ORD, ORD)
+        {
             Ok(_) => Some(true),
             Err(_) => None,
         }
@@ -157,7 +163,11 @@ mod tests {
         assert!(x.vl(1));
         x.rl(1);
         assert!(!x.vl(1));
-        assert_eq!(x.raw(), x.layout().reset(0), "no trace of the released link");
+        assert_eq!(
+            x.raw(),
+            x.layout().reset(0),
+            "no trace of the released link"
+        );
     }
 
     #[test]
@@ -197,6 +207,10 @@ mod tests {
         let total: u64 = wins.iter().sum();
         assert!(total >= 1, "lock-freedom: someone must win");
         assert!(total <= 4_000);
-        assert_eq!(x.layout().context(x.raw()), 0, "all contexts eventually cleared or consumed");
+        assert_eq!(
+            x.layout().context(x.raw()),
+            0,
+            "all contexts eventually cleared or consumed"
+        );
     }
 }

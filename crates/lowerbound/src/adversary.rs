@@ -144,7 +144,10 @@ where
 
     for round in 0..max_rounds {
         // All readers are in identical local states; they peek one cell.
-        let cell = execs[0].process(READER).peeked_cell().ok_or(AdversaryError::NoPeek)?;
+        let cell = execs[0]
+            .process(READER)
+            .peeked_cell()
+            .ok_or(AdversaryError::NoPeek)?;
         for exec in &execs[1..] {
             if exec.process(READER).peeked_cell() != Some(cell) {
                 return Err(AdversaryError::PeekMismatch);
@@ -206,7 +209,10 @@ where
                         .map(|(_, resp)| format!("{resp:?}")),
                 })
                 .collect();
-            report.verdict = Verdict::Diverged { round: round + 1, solo_outcomes };
+            report.verdict = Verdict::Diverged {
+                round: round + 1,
+                solo_outcomes,
+            };
             return Ok(report);
         }
     }

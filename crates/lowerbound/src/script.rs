@@ -42,7 +42,9 @@ impl<S: CtObject> CtScript<S> {
 
 impl<S: CtObject> ChangeScript<S> for CtScript<S> {
     fn representatives(&self) -> Vec<S::State> {
-        (0..self.spec.t()).map(|i| self.spec.representative(i)).collect()
+        (0..self.spec.t())
+            .map(|i| self.spec.representative(i))
+            .collect()
     }
 
     fn read_op(&self) -> S::Op {

@@ -20,7 +20,10 @@ fn algorithm2_reader_starves() {
         let imp = LockFreeHiRegister::new(k, 1);
         let script = CtScript::new(MultiRegisterSpec::new(k, 1));
         let report = run_adversary(&imp, &script, ROUNDS, BUDGET).unwrap();
-        assert!(report.bases_smaller_than_classes, "binary cells < {k} classes");
+        assert!(
+            report.bases_smaller_than_classes,
+            "binary cells < {k} classes"
+        );
         assert_eq!(report.verdict, Verdict::Starved, "K = {k}");
         assert_eq!(report.rounds, ROUNDS);
     }
@@ -56,7 +59,11 @@ fn algorithm1_reader_returns_because_memory_leaks() {
     let imp = VidyasankarRegister::new(4, 1);
     let script = CtScript::new(MultiRegisterSpec::new(4, 1));
     let report = run_adversary(&imp, &script, ROUNDS, BUDGET).unwrap();
-    assert_ne!(report.verdict, Verdict::Starved, "Algorithm 1 reads are wait-free");
+    assert_ne!(
+        report.verdict,
+        Verdict::Starved,
+        "Algorithm 1 reads are wait-free"
+    );
 }
 
 #[test]
@@ -68,7 +75,11 @@ fn positional_queue_peek_starves() {
         let imp = PositionalQueue::new(t, 2);
         let script = QueuePeekScript::new(spec);
         let report = run_adversary(&imp, &script, ROUNDS, BUDGET).unwrap();
-        assert!(report.bases_smaller_than_classes, "binary cells < {} classes", t + 1);
+        assert!(
+            report.bases_smaller_than_classes,
+            "binary cells < {} classes",
+            t + 1
+        );
         assert_eq!(report.verdict, Verdict::Starved, "t = {t}");
     }
 }

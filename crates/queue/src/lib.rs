@@ -61,9 +61,15 @@ impl PositionalQueue {
                     .collect()
             })
             .collect();
-        let len_cells: Vec<CellId> =
-            (0..cap).map(|l| mem.alloc(format!("LEN[{l}]"), CellDomain::Binary, 0)).collect();
-        PositionalQueue { spec, slots, len_cells, mem }
+        let len_cells: Vec<CellId> = (0..cap)
+            .map(|l| mem.alloc(format!("LEN[{l}]"), CellDomain::Binary, 0))
+            .collect();
+        PositionalQueue {
+            spec,
+            slots,
+            len_cells,
+            mem,
+        }
     }
 
     /// The canonical memory representation of an abstract queue state.
@@ -87,19 +93,29 @@ enum MutPc {
     Idle,
     /// Respond without touching memory (`Enqueue` on full, `Dequeue` on
     /// empty).
-    Trivial { resp: QueueResp },
+    Trivial {
+        resp: QueueResp,
+    },
     /// Enqueue: write `Q[len][v] <- 1`.
-    EnqElem { v: u32 },
+    EnqElem {
+        v: u32,
+    },
     /// Enqueue: write `LEN[len] <- 1`.
-    EnqLen { v: u32 },
+    EnqLen {
+        v: u32,
+    },
     /// Dequeue: write `LEN[len-1] <- 0`.
     DeqLen,
     /// Dequeue: write `Q[0][front] <- 0`.
     DeqClearFront,
     /// Dequeue: write `Q[s-1][mirror[s]] <- 1` (move before clear).
-    DeqMove { s: usize },
+    DeqMove {
+        s: usize,
+    },
     /// Dequeue: write `Q[s][mirror[s]] <- 0`.
-    DeqClearOld { s: usize },
+    DeqClearOld {
+        s: usize,
+    },
 }
 
 /// Reader program counter (`Peek` retry loop).
@@ -109,7 +125,9 @@ enum ReadPc {
     /// Read `LEN[0]`; 0 means empty.
     CheckLen,
     /// Read `Q[0][e]`, scanning the front slot.
-    ScanFront { e: u32 },
+    ScanFront {
+        e: u32,
+    },
 }
 
 /// The per-process step machine of [`PositionalQueue`].
@@ -147,14 +165,18 @@ impl ProcessHandle<BoundedQueueSpec> for PositionalQueueProcess {
         match (self.is_mutator, op) {
             (true, QueueOp::Enqueue(v)) => {
                 self.mpc = if self.mirror.len() >= self.cap {
-                    MutPc::Trivial { resp: QueueResp::Full }
+                    MutPc::Trivial {
+                        resp: QueueResp::Full,
+                    }
                 } else {
                     MutPc::EnqElem { v }
                 };
             }
             (true, QueueOp::Dequeue) => {
                 self.mpc = if self.mirror.is_empty() {
-                    MutPc::Trivial { resp: QueueResp::Empty }
+                    MutPc::Trivial {
+                        resp: QueueResp::Empty,
+                    }
                 } else {
                     MutPc::DeqLen
                 };
@@ -333,13 +355,34 @@ mod tests {
         exec.run_op_solo(M, QueueOp::Enqueue(2), 100).unwrap();
         exec.run_op_solo(M, QueueOp::Enqueue(3), 100).unwrap();
         exec.run_op_solo(M, QueueOp::Enqueue(1), 100).unwrap();
-        assert_eq!(exec.run_op_solo(R, QueueOp::Peek, 100).unwrap(), QueueResp::Value(2));
-        assert_eq!(exec.run_op_solo(M, QueueOp::Dequeue, 100).unwrap(), QueueResp::Value(2));
-        assert_eq!(exec.run_op_solo(R, QueueOp::Peek, 100).unwrap(), QueueResp::Value(3));
-        assert_eq!(exec.run_op_solo(M, QueueOp::Dequeue, 100).unwrap(), QueueResp::Value(3));
-        assert_eq!(exec.run_op_solo(M, QueueOp::Dequeue, 100).unwrap(), QueueResp::Value(1));
-        assert_eq!(exec.run_op_solo(M, QueueOp::Dequeue, 100).unwrap(), QueueResp::Empty);
-        assert_eq!(exec.run_op_solo(R, QueueOp::Peek, 100).unwrap(), QueueResp::Empty);
+        assert_eq!(
+            exec.run_op_solo(R, QueueOp::Peek, 100).unwrap(),
+            QueueResp::Value(2)
+        );
+        assert_eq!(
+            exec.run_op_solo(M, QueueOp::Dequeue, 100).unwrap(),
+            QueueResp::Value(2)
+        );
+        assert_eq!(
+            exec.run_op_solo(R, QueueOp::Peek, 100).unwrap(),
+            QueueResp::Value(3)
+        );
+        assert_eq!(
+            exec.run_op_solo(M, QueueOp::Dequeue, 100).unwrap(),
+            QueueResp::Value(3)
+        );
+        assert_eq!(
+            exec.run_op_solo(M, QueueOp::Dequeue, 100).unwrap(),
+            QueueResp::Value(1)
+        );
+        assert_eq!(
+            exec.run_op_solo(M, QueueOp::Dequeue, 100).unwrap(),
+            QueueResp::Empty
+        );
+        assert_eq!(
+            exec.run_op_solo(R, QueueOp::Peek, 100).unwrap(),
+            QueueResp::Empty
+        );
     }
 
     #[test]
@@ -387,7 +430,10 @@ mod tests {
         exec.invoke(R, QueueOp::Peek);
         let mut front = 2u32;
         for _ in 0..300 {
-            assert!(exec.step(R).is_none(), "peek must not return under this schedule");
+            assert!(
+                exec.step(R).is_none(),
+                "peek must not return under this schedule"
+            );
             // Move the front to a value the reader is not about to read.
             let avoid = exec.process(R).scanning_elem().unwrap_or(0);
             let next = (1..=t).find(|v| *v != avoid && *v != front).unwrap();
@@ -413,8 +459,14 @@ mod tests {
     #[test]
     fn full_and_empty_are_single_local_steps() {
         let mut exec = Executor::new(PositionalQueue::new(2, 1));
-        assert_eq!(exec.run_op_solo(M, QueueOp::Dequeue, 1).unwrap(), QueueResp::Empty);
+        assert_eq!(
+            exec.run_op_solo(M, QueueOp::Dequeue, 1).unwrap(),
+            QueueResp::Empty
+        );
         exec.run_op_solo(M, QueueOp::Enqueue(1), 100).unwrap();
-        assert_eq!(exec.run_op_solo(M, QueueOp::Enqueue(2), 1).unwrap(), QueueResp::Full);
+        assert_eq!(
+            exec.run_op_solo(M, QueueOp::Enqueue(2), 1).unwrap(),
+            QueueResp::Full
+        );
     }
 }

@@ -3,9 +3,9 @@
 //! Single-mutator single-observer, enforced by [`AtomicPositionalQueue::split`]
 //! handing out exactly one non-cloneable handle per role.
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::AtomicU8;
 
-const ORD: Ordering = Ordering::SeqCst;
+use hi_core::cells::{snapshot_bits, zero_bits, CELL_ORD as ORD};
 
 /// Threaded positional HI queue over `{1..=t}` with capacity `cap`.
 #[derive(Debug)]
@@ -23,8 +23,8 @@ impl AtomicPositionalQueue {
     pub fn new(t: u32, cap: usize) -> Self {
         assert!(t >= 2 && cap >= 1);
         AtomicPositionalQueue {
-            slots: (0..cap * t as usize).map(|_| AtomicU8::new(0)).collect(),
-            len: (0..cap).map(|_| AtomicU8::new(0)).collect(),
+            slots: zero_bits(cap * t as usize),
+            len: zero_bits(cap),
             t,
             cap,
         }
@@ -37,10 +37,22 @@ impl AtomicPositionalQueue {
     /// Memory snapshot: all `Q` cells then all `LEN` cells. Only an atomic
     /// snapshot at quiescent points of the caller's protocol.
     pub fn snapshot(&self) -> Vec<u64> {
-        self.slots
-            .iter()
-            .chain(self.len.iter())
-            .map(|c| u64::from(c.load(ORD)))
+        let mut snap = snapshot_bits(&self.slots);
+        snap.extend(snapshot_bits(&self.len));
+        snap
+    }
+
+    /// Decodes the abstract queue state (front first) from memory. Only
+    /// meaningful at quiescent points, where the representation is canonical:
+    /// `LEN` is a unary prefix and slot `s` holds exactly one set element bit.
+    pub fn decode_state(&self) -> Vec<u32> {
+        let len = self.len.iter().take_while(|l| l.load(ORD) == 1).count();
+        (0..len)
+            .map(|s| {
+                (1..=self.t)
+                    .find(|e| self.q(s, *e).load(ORD) == 1)
+                    .expect("invariant broken: occupied slot with no element bit")
+            })
             .collect()
     }
 
@@ -59,8 +71,13 @@ impl AtomicPositionalQueue {
     }
 
     /// Splits into the single mutator and single observer handles.
+    ///
+    /// May be called repeatedly (the `&mut` receiver guarantees quiescence):
+    /// the mutator's local mirror is reconstructed from the canonical memory,
+    /// so a re-split after earlier mutations picks up where they left off.
     pub fn split(&mut self) -> (QueueMutator<'_>, QueuePeeker<'_>) {
-        (QueueMutator { q: self, mirror: Vec::new() }, QueuePeeker { q: self })
+        let mirror = self.decode_state();
+        (QueueMutator { q: self, mirror }, QueuePeeker { q: self })
     }
 }
 

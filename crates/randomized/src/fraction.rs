@@ -38,7 +38,10 @@ impl Fraction {
     pub fn new(num: u128, den: u128) -> Self {
         assert!(den != 0, "zero denominator");
         let g = gcd(num, den);
-        Fraction { num: num / g, den: den / g }
+        Fraction {
+            num: num / g,
+            den: den / g,
+        }
     }
 
     /// The zero probability.
@@ -69,7 +72,12 @@ impl Fraction {
     /// `u128` denominators are far beyond what enumeration can visit).
     pub fn scale_down(&self, k: usize) -> Self {
         assert!(k > 0, "draw among zero choices");
-        Fraction::new(self.num, self.den.checked_mul(k as u128).expect("probability underflow"))
+        Fraction::new(
+            self.num,
+            self.den
+                .checked_mul(k as u128)
+                .expect("probability underflow"),
+        )
     }
 }
 

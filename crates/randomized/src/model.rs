@@ -26,7 +26,12 @@ pub struct Draws {
 
 impl Draws {
     fn replay(tape: Vec<usize>) -> Self {
-        Draws { tape, pos: 0, arities: Vec::new(), needed: None }
+        Draws {
+            tape,
+            pos: 0,
+            arities: Vec::new(),
+            needed: None,
+        }
     }
 
     /// Draws uniformly from `0..k`.
@@ -55,7 +60,9 @@ impl Draws {
     /// The probability of this tape: the product of `1/arity` over all
     /// completed draws.
     fn weight(&self) -> Fraction {
-        self.arities.iter().fold(Fraction::one(), |w, &k| w.scale_down(k))
+        self.arities
+            .iter()
+            .fold(Fraction::one(), |w, &k| w.scale_down(k))
     }
 }
 
@@ -103,7 +110,10 @@ pub fn joint_distribution<I: RandomizedImpl>(
     points: &[usize],
 ) -> Distribution<Vec<I::Mem>> {
     for &p in points {
-        assert!((1..=ops.len()).contains(&p), "observation point {p} out of range");
+        assert!(
+            (1..=ops.len()).contains(&p),
+            "observation point {p} out of range"
+        );
     }
     let mut dist: Distribution<Vec<I::Mem>> = HashMap::new();
     // DFS over tape prefixes.
@@ -177,7 +187,11 @@ fn compare<M: Clone + Eq + Hash + fmt::Debug>(
     for (key, &p1) in d1 {
         let p2 = d2.get(key).copied().unwrap_or_else(Fraction::zero);
         if p1 != p2 {
-            return Err(HiDistributionViolation { witness: key.clone(), p1, p2 });
+            return Err(HiDistributionViolation {
+                witness: key.clone(),
+                p1,
+                p2,
+            });
         }
     }
     for (key, &p2) in d2 {
@@ -210,7 +224,10 @@ pub fn check_whi<I: RandomizedImpl>(
     seq1: &[I::Op],
     seq2: &[I::Op],
 ) -> Result<(), HiDistributionViolation<I::Mem>> {
-    assert!(!seq1.is_empty() && !seq2.is_empty(), "sequences must be nonempty");
+    assert!(
+        !seq1.is_empty() && !seq2.is_empty(),
+        "sequences must be nonempty"
+    );
     assert_states_match(imp, seq1, seq2);
     let d1 = joint_distribution(imp, seq1, &[seq1.len()]);
     let d2 = joint_distribution(imp, seq2, &[seq2.len()]);
@@ -238,7 +255,11 @@ pub fn check_shi<I: RandomizedImpl>(
 ) -> Result<(), HiDistributionViolation<I::Mem>> {
     let (seq1, points1) = h1;
     let (seq2, points2) = h2;
-    assert_eq!(points1.len(), points2.len(), "point lists must have equal length");
+    assert_eq!(
+        points1.len(),
+        points2.len(),
+        "point lists must have equal length"
+    );
     for (&p1, &p2) in points1.iter().zip(points2) {
         assert_states_match(imp, &seq1[..p1], &seq2[..p2]);
     }

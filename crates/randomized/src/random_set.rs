@@ -57,8 +57,7 @@ impl RandomizedImpl for RandomSlotSet {
             SetOp::Insert(e) => {
                 assert!((1..=self.t).contains(e), "element out of domain");
                 if !mem.contains(e) {
-                    let free: Vec<usize> =
-                        (0..self.m).filter(|&s| mem[s] == 0).collect();
+                    let free: Vec<usize> = (0..self.m).filter(|&s| mem[s] == 0).collect();
                     let slot = free[draws.draw(free.len())];
                     mem[slot] = *e;
                 }
@@ -174,8 +173,8 @@ mod tests {
             vec![SetOp::Insert(1), SetOp::Remove(1), SetOp::Insert(1)],
             vec![1, 3],
         );
-        let violation = check_shi(&set, &stay, &reinsert)
-            .expect_err("random placement cannot be strongly HI");
+        let violation =
+            check_shi(&set, &stay, &reinsert).expect_err("random placement cannot be strongly HI");
         // In `stay`, both observations are the same memory with certainty;
         // in `reinsert` they differ with probability 2/3 (m = 3 free slots
         // at re-insertion, 1 matching).
@@ -186,7 +185,12 @@ mod tests {
     fn canonical_set_is_whi_and_shi() {
         let set = CanonicalSlotSet::new(3);
         let s1 = vec![SetOp::Insert(1), SetOp::Insert(3)];
-        let s2 = vec![SetOp::Insert(3), SetOp::Insert(2), SetOp::Remove(2), SetOp::Insert(1)];
+        let s2 = vec![
+            SetOp::Insert(3),
+            SetOp::Insert(2),
+            SetOp::Remove(2),
+            SetOp::Insert(1),
+        ];
         check_whi(&set, &s1, &s2).unwrap();
         let h1 = (s1, vec![2, 2]);
         let h2 = (s2, vec![4, 4]);

@@ -25,14 +25,17 @@ impl HiSet {
     pub fn new(t: u32, n: usize) -> Self {
         let spec = SetSpec::new(t);
         let mut mem = SharedMem::new();
-        let s: Vec<CellId> =
-            (1..=t).map(|e| mem.alloc(format!("S[{e}]"), CellDomain::Binary, 0)).collect();
+        let s: Vec<CellId> = (1..=t)
+            .map(|e| mem.alloc(format!("S[{e}]"), CellDomain::Binary, 0))
+            .collect();
         HiSet { spec, s, n, mem }
     }
 
     /// The canonical representation of a state (bitmask over bits `1..=t`).
     pub fn canonical(&self, state: u64) -> Vec<u64> {
-        (1..=self.spec.t()).map(|e| u64::from(state & (1 << e) != 0)).collect()
+        (1..=self.spec.t())
+            .map(|e| u64::from(state & (1 << e) != 0))
+            .collect()
     }
 }
 
@@ -96,7 +99,10 @@ impl Implementation<SetSpec> for HiSet {
     }
 
     fn make_process(&self, _pid: Pid) -> HiSetProcess {
-        HiSetProcess { s: self.s.clone(), pending: None }
+        HiSetProcess {
+            s: self.s.clone(),
+            pending: None,
+        }
     }
 }
 
@@ -145,7 +151,10 @@ mod tests {
     fn operations_are_single_step() {
         let mut exec = Executor::new(HiSet::new(3, 1));
         exec.invoke(Pid(0), SetOp::Insert(1));
-        assert!(exec.step(Pid(0)).is_some(), "insert completes in one primitive");
+        assert!(
+            exec.step(Pid(0)).is_some(),
+            "insert completes in one primitive"
+        );
     }
 
     use hi_core::ObjectSpec;

@@ -47,16 +47,28 @@ impl LockFreeHiRegister {
 enum Pc {
     Idle,
     /// Line 5: write `A[v] <- 1`.
-    WriteSet { v: u64 },
+    WriteSet {
+        v: u64,
+    },
     /// Line 6: clear downwards, `j` from `v-1` to 1.
-    WriteClearDown { v: u64, j: u64 },
+    WriteClearDown {
+        v: u64,
+        j: u64,
+    },
     /// Line 7: clear upwards, `j` from `v+1` to `K`.
-    WriteClearUp { j: u64 },
+    WriteClearUp {
+        j: u64,
+    },
     /// Algorithm 3 lines 1–2: scan up; on reaching `K` without a 1, retry
     /// from index 1 (the lock-free loop of Algorithm 2 lines 2–3).
-    ScanUp { j: u64 },
+    ScanUp {
+        j: u64,
+    },
     /// Algorithm 3 lines 4–5: scan down keeping the smallest 1.
-    ScanDown { j: u64, val: u64 },
+    ScanDown {
+        j: u64,
+        val: u64,
+    },
 }
 
 /// The per-process step machine of [`LockFreeHiRegister`].
@@ -115,7 +127,11 @@ impl ProcessHandle<MultiRegisterSpec> for LockFreeHiProcess {
             }
             Pc::WriteClearUp { j } => {
                 ctx.write(self.cell(j), 0);
-                self.pc = if j < self.k { Pc::WriteClearUp { j: j + 1 } } else { Pc::Idle };
+                self.pc = if j < self.k {
+                    Pc::WriteClearUp { j: j + 1 }
+                } else {
+                    Pc::Idle
+                };
                 (self.pc == Pc::Idle).then_some(RegisterResp::Ack)
             }
             Pc::ScanUp { j } => {
@@ -129,7 +145,11 @@ impl ProcessHandle<MultiRegisterSpec> for LockFreeHiProcess {
                     }
                 } else {
                     // TryRead fails at K: restart (lock-free retry).
-                    self.pc = if j < self.k { Pc::ScanUp { j: j + 1 } } else { Pc::ScanUp { j: 1 } };
+                    self.pc = if j < self.k {
+                        Pc::ScanUp { j: j + 1 }
+                    } else {
+                        Pc::ScanUp { j: 1 }
+                    };
                     None
                 }
             }
@@ -235,7 +255,10 @@ mod tests {
         for round in 0..200u64 {
             // The reader's scan index at round r is (r mod K) + 1; the
             // current value differs from it, so this step reads 0.
-            assert!(exec.step(R).is_none(), "read must not return under this schedule");
+            assert!(
+                exec.step(R).is_none(),
+                "read must not return under this schedule"
+            );
             let next_j = (round + 1) % k + 1;
             let dodge = next_j % k + 1;
             exec.run_op_solo(W, RegisterOp::Write(dodge), 100).unwrap();

@@ -45,13 +45,22 @@ impl MaxRegister {
 enum Pc {
     Idle,
     /// Write `A[v] <- 1` (only reached when `v` exceeds the local maximum).
-    WriteSet { v: u64 },
+    WriteSet {
+        v: u64,
+    },
     /// Clear `A[j] <- 0`, descending.
-    WriteClear { j: u64 },
+    WriteClear {
+        j: u64,
+    },
     /// Scan up for the first 1.
-    ScanUp { j: u64 },
+    ScanUp {
+        j: u64,
+    },
     /// Scan down keeping the smallest 1 (as in Algorithm 1's reader).
-    ScanDown { j: u64, val: u64 },
+    ScanDown {
+        j: u64,
+        val: u64,
+    },
 }
 
 /// The per-process step machine of [`MaxRegister`].
@@ -154,9 +163,7 @@ impl ProcessHandle<MaxRegisterSpec> for MaxRegisterProcess {
         match &self.pc {
             Pc::Idle => None,
             Pc::WriteSet { v } => Some(self.cell(*v)),
-            Pc::WriteClear { j } | Pc::ScanUp { j } | Pc::ScanDown { j, .. } => {
-                Some(self.cell(*j))
-            }
+            Pc::WriteClear { j } | Pc::ScanUp { j } | Pc::ScanDown { j, .. } => Some(self.cell(*j)),
         }
     }
 }
@@ -200,7 +207,8 @@ mod tests {
     fn returns_running_maximum() {
         let mut exec = Executor::new(MaxRegister::new(6));
         for (write, expect) in [(3, 3), (2, 3), (5, 5), (1, 5)] {
-            exec.run_op_solo(W, MaxRegisterOp::WriteMax(write), 100).unwrap();
+            exec.run_op_solo(W, MaxRegisterOp::WriteMax(write), 100)
+                .unwrap();
             assert_eq!(
                 exec.run_op_solo(R, MaxRegisterOp::ReadMax, 100).unwrap(),
                 RegisterResp::Value(expect)
@@ -213,8 +221,13 @@ mod tests {
         let imp = MaxRegister::new(5);
         let mut exec = Executor::new(imp.clone());
         for (write, max) in [(2, 2), (4, 4), (3, 4), (5, 5)] {
-            exec.run_op_solo(W, MaxRegisterOp::WriteMax(write), 100).unwrap();
-            assert_eq!(exec.snapshot(), imp.canonical(max), "after WriteMax({write})");
+            exec.run_op_solo(W, MaxRegisterOp::WriteMax(write), 100)
+                .unwrap();
+            assert_eq!(
+                exec.snapshot(),
+                imp.canonical(max),
+                "after WriteMax({write})"
+            );
         }
     }
 
@@ -222,12 +235,18 @@ mod tests {
     fn smaller_write_leaves_memory_untouched() {
         let imp = MaxRegister::new(4);
         let mut exec = Executor::new(imp);
-        exec.run_op_solo(W, MaxRegisterOp::WriteMax(3), 100).unwrap();
+        exec.run_op_solo(W, MaxRegisterOp::WriteMax(3), 100)
+            .unwrap();
         let before = exec.snapshot();
         let steps_before = exec.steps();
-        exec.run_op_solo(W, MaxRegisterOp::WriteMax(2), 100).unwrap();
+        exec.run_op_solo(W, MaxRegisterOp::WriteMax(2), 100)
+            .unwrap();
         assert_eq!(exec.snapshot(), before);
-        assert_eq!(exec.steps(), steps_before + 1, "one local step, no primitives");
+        assert_eq!(
+            exec.steps(),
+            steps_before + 1,
+            "one local step, no primitives"
+        );
     }
 
     #[test]
@@ -243,7 +262,8 @@ mod tests {
                 returned = true;
                 break;
             }
-            exec.run_op_solo(W, MaxRegisterOp::WriteMax(v), 100).unwrap();
+            exec.run_op_solo(W, MaxRegisterOp::WriteMax(v), 100)
+                .unwrap();
         }
         if !returned {
             // Writer has exhausted its domain; reader finishes solo.

@@ -8,17 +8,11 @@
 //!
 //! [`split`]: AtomicVidyasankar::split
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::AtomicU8;
 
-const ORD: Ordering = Ordering::SeqCst;
-
-fn alloc_bits(k: u64, v0: u64) -> Box<[AtomicU8]> {
-    (1..=k).map(|v| AtomicU8::new(u8::from(v == v0))).collect()
-}
-
-fn snapshot_bits(bits: &[AtomicU8]) -> Vec<u64> {
-    bits.iter().map(|b| u64::from(b.load(ORD))).collect()
-}
+use hi_core::cells::{
+    lowest_set, one_hot_bits as alloc_bits, snapshot_bits, zero_bits, CELL_ORD as ORD,
+};
 
 macro_rules! swsr_register_shell {
     ($(#[$doc:meta])* $name:ident, $writer:ident, $reader:ident) => {
@@ -42,6 +36,13 @@ macro_rules! swsr_register_shell {
                 snapshot_bits(&self.a)
             }
 
+            /// The current value, decoded from memory. Only meaningful at
+            /// quiescent points, where the smallest set index of `A` is
+            /// exactly what a solo reader would return.
+            pub fn current_value(&self) -> u64 {
+                lowest_set(&self.a).expect("invariant broken: no 1 in A at quiescence")
+            }
+
             /// Splits into the single writer and single reader handles.
             pub fn split(&mut self) -> ($writer<'_>, $reader<'_>) {
                 ($writer { reg: self, last_val: 0 }, $reader { reg: self })
@@ -63,7 +64,10 @@ impl AtomicVidyasankar {
     /// Creates a `K`-valued register with initial value `v0`.
     pub fn new(k: u64, v0: u64) -> Self {
         assert!(k >= 2 && (1..=k).contains(&v0));
-        AtomicVidyasankar { a: alloc_bits(k, v0), k }
+        AtomicVidyasankar {
+            a: alloc_bits(k, v0),
+            k,
+        }
     }
 }
 
@@ -125,7 +129,10 @@ impl AtomicLockFreeHi {
     /// Creates a `K`-valued register with initial value `v0`.
     pub fn new(k: u64, v0: u64) -> Self {
         assert!(k >= 2 && (1..=k).contains(&v0));
-        AtomicLockFreeHi { a: alloc_bits(k, v0), k }
+        AtomicLockFreeHi {
+            a: alloc_bits(k, v0),
+            k,
+        }
     }
 }
 
@@ -207,7 +214,7 @@ impl AtomicWaitFreeHi {
         assert!(k >= 2 && (1..=k).contains(&v0));
         AtomicWaitFreeHi {
             a: alloc_bits(k, v0),
-            b: alloc_bits(k, 0),
+            b: zero_bits(k as usize),
             flag1: AtomicU8::new(0),
             flag2: AtomicU8::new(0),
             k,
@@ -238,9 +245,32 @@ impl AtomicWaitFreeHi {
         snap
     }
 
-    /// Splits into the single writer and single reader handles.
+    /// The current value, decoded from memory. Only meaningful at quiescent
+    /// points, where `A` holds exactly one 1 (Lemma 12's canonicity).
+    pub fn current_value(&self) -> u64 {
+        lowest_set(&self.a).expect("invariant broken: no 1 in A at quiescence")
+    }
+
+    /// Splits into the single writer and single reader handles. `v0` must be
+    /// the last value written (the initial value on a fresh register): the
+    /// writer's backup protocol stashes it in `B` when it finds a reader in
+    /// trouble.
     pub fn split(&mut self, v0: u64) -> (WaitFreeHiWriter<'_>, WaitFreeHiReader<'_>) {
-        (WaitFreeHiWriter { reg: self, last_val: v0 }, WaitFreeHiReader { reg: self })
+        (
+            WaitFreeHiWriter {
+                reg: self,
+                last_val: v0,
+            },
+            WaitFreeHiReader { reg: self },
+        )
+    }
+
+    /// [`split`](AtomicWaitFreeHi::split) with the last-written value decoded
+    /// from the (quiescent) memory, so callers re-splitting mid-lifetime need
+    /// no bookkeeping of their own.
+    pub fn split_quiescent(&mut self) -> (WaitFreeHiWriter<'_>, WaitFreeHiReader<'_>) {
+        let v0 = self.current_value();
+        self.split(v0)
     }
 }
 
@@ -256,13 +286,12 @@ impl WaitFreeHiWriter<'_> {
     pub fn write(&mut self, v: u64) {
         let r = self.reg;
         let b_empty = (1..=r.k).all(|j| r.b[(j - 1) as usize].load(ORD) == 0);
-        if b_empty
-            && r.flag1.load(ORD) == 1 {
-                r.b[(self.last_val - 1) as usize].store(1, ORD);
-                if r.flag2.load(ORD) == 1 || r.flag1.load(ORD) == 0 {
-                    r.b[(self.last_val - 1) as usize].store(0, ORD);
-                }
+        if b_empty && r.flag1.load(ORD) == 1 {
+            r.b[(self.last_val - 1) as usize].store(1, ORD);
+            if r.flag2.load(ORD) == 1 || r.flag1.load(ORD) == 0 {
+                r.b[(self.last_val - 1) as usize].store(0, ORD);
             }
+        }
         r.a[(v - 1) as usize].store(1, ORD);
         for j in (1..v).rev() {
             r.a[(j - 1) as usize].store(0, ORD);

@@ -39,13 +39,22 @@ impl VidyasankarRegister {
 enum Pc {
     Idle,
     /// Line 7: write `A[v] <- 1`.
-    WriteSet { v: u64 },
+    WriteSet {
+        v: u64,
+    },
     /// Line 8: write `A[j] <- 0`, `j` descending to 1.
-    WriteClear { j: u64 },
+    WriteClear {
+        j: u64,
+    },
     /// Lines 1–2: scan up for the first `A[j] = 1`.
-    ScanUp { j: u64 },
+    ScanUp {
+        j: u64,
+    },
     /// Lines 4–5: scan down from `val - 1`, keeping the smallest 1.
-    ScanDown { j: u64, val: u64 },
+    ScanDown {
+        j: u64,
+        val: u64,
+    },
 }
 
 /// The per-process step machine of [`VidyasankarRegister`].
@@ -132,9 +141,7 @@ impl ProcessHandle<MultiRegisterSpec> for VidyasankarProcess {
         match &self.pc {
             Pc::Idle => None,
             Pc::WriteSet { v } => Some(self.cell(*v)),
-            Pc::WriteClear { j } | Pc::ScanUp { j } | Pc::ScanDown { j, .. } => {
-                Some(self.cell(*j))
-            }
+            Pc::WriteClear { j } | Pc::ScanUp { j } | Pc::ScanDown { j, .. } => Some(self.cell(*j)),
         }
     }
 }
@@ -201,7 +208,11 @@ mod tests {
         e1.run_op_solo(W, RegisterOp::Write(1), 100).unwrap();
         let mut e2 = Executor::new(imp);
         e2.run_op_solo(W, RegisterOp::Write(1), 100).unwrap();
-        assert_ne!(e1.snapshot(), e2.snapshot(), "Algorithm 1 must leak (paper §4)");
+        assert_ne!(
+            e1.snapshot(),
+            e2.snapshot(),
+            "Algorithm 1 must leak (paper §4)"
+        );
         // Yet both read back the same value.
         assert_eq!(
             e1.run_op_solo(R, RegisterOp::Read, 100).unwrap(),

@@ -37,11 +37,19 @@ impl WaitFreeHiRegister {
         let a: Vec<CellId> = (1..=k)
             .map(|v| mem.alloc(format!("A[{v}]"), CellDomain::Binary, u64::from(v == v0)))
             .collect();
-        let b: Vec<CellId> =
-            (1..=k).map(|v| mem.alloc(format!("B[{v}]"), CellDomain::Binary, 0)).collect();
+        let b: Vec<CellId> = (1..=k)
+            .map(|v| mem.alloc(format!("B[{v}]"), CellDomain::Binary, 0))
+            .collect();
         let flag1 = mem.alloc("flag[1]", CellDomain::Binary, 0);
         let flag2 = mem.alloc("flag[2]", CellDomain::Binary, 0);
-        WaitFreeHiRegister { spec, a, b, flag1, flag2, mem }
+        WaitFreeHiRegister {
+            spec,
+            a,
+            b,
+            flag1,
+            flag2,
+            mem,
+        }
     }
 
     /// The canonical memory representation of value `v`: `A[v] = 1`, all
@@ -59,23 +67,44 @@ impl WaitFreeHiRegister {
 enum WPc {
     Idle,
     /// Line 11: read `B[j]`, scanning for a non-zero cell.
-    CheckB { v: u64, j: u64 },
+    CheckB {
+        v: u64,
+        j: u64,
+    },
     /// Line 12: read `flag[1]`.
-    ReadFlag1 { v: u64 },
+    ReadFlag1 {
+        v: u64,
+    },
     /// Line 13: write `B[last-val] <- 1`.
-    WriteB { v: u64 },
+    WriteB {
+        v: u64,
+    },
     /// Line 14, first conjunct: read `flag[2]`.
-    ReadFlag2 { v: u64 },
+    ReadFlag2 {
+        v: u64,
+    },
     /// Line 14, second conjunct: read `flag[1]` again.
-    ReadFlag1Again { v: u64 },
+    ReadFlag1Again {
+        v: u64,
+    },
     /// Line 15: write `B[last-val] <- 0`.
-    ClearB { v: u64 },
+    ClearB {
+        v: u64,
+    },
     /// Line 16: write `A[v] <- 1`.
-    WriteA { v: u64 },
+    WriteA {
+        v: u64,
+    },
     /// Line 17: clear `A` downwards.
-    ClearDown { v: u64, j: u64 },
+    ClearDown {
+        v: u64,
+        j: u64,
+    },
     /// Line 18: clear `A` upwards.
-    ClearUp { v: u64, j: u64 },
+    ClearUp {
+        v: u64,
+        j: u64,
+    },
 }
 
 /// Reader program counter (Algorithm 4 lines 1–10; `TryRead` is Algorithm 3).
@@ -85,19 +114,38 @@ enum RPc {
     /// Line 1: write `flag[1] <- 1`.
     SetFlag1,
     /// Algorithm 3 scan up, in attempt `it` (1 or 2).
-    TryUp { it: u8, j: u64 },
+    TryUp {
+        it: u8,
+        j: u64,
+    },
     /// Algorithm 3 scan down.
-    TryDown { it: u8, j: u64, val: u64 },
+    TryDown {
+        it: u8,
+        j: u64,
+        val: u64,
+    },
     /// Lines 5–6: scan `B` keeping the *largest* index read as 1.
-    ScanB { j: u64, val: Option<u64> },
+    ScanB {
+        j: u64,
+        val: Option<u64>,
+    },
     /// Line 7: write `flag[2] <- 1`.
-    SetFlag2 { val: u64 },
+    SetFlag2 {
+        val: u64,
+    },
     /// Line 8: clear `B[j]`.
-    ClearB { val: u64, j: u64 },
+    ClearB {
+        val: u64,
+        j: u64,
+    },
     /// Line 9 first half: write `flag[1] <- 0`.
-    ClearFlag1 { val: u64 },
+    ClearFlag1 {
+        val: u64,
+    },
     /// Line 9 second half: write `flag[2] <- 0`.
-    ClearFlag2 { val: u64 },
+    ClearFlag2 {
+        val: u64,
+    },
 }
 
 /// The per-process step machine of [`WaitFreeHiRegister`].
@@ -198,8 +246,11 @@ impl WaitFreeHiProcess {
             }
             WPc::ClearUp { v, j } => {
                 ctx.write(self.a(j), 0);
-                self.wpc =
-                    if j < self.k { WPc::ClearUp { v, j: j + 1 } } else { WPc::Idle };
+                self.wpc = if j < self.k {
+                    WPc::ClearUp { v, j: j + 1 }
+                } else {
+                    WPc::Idle
+                };
                 self.finish_write(v)
             }
         }
@@ -227,7 +278,11 @@ impl WaitFreeHiProcess {
                     self.rpc = if j == 1 {
                         RPc::SetFlag2 { val: 1 }
                     } else {
-                        RPc::TryDown { it, j: j - 1, val: j }
+                        RPc::TryDown {
+                            it,
+                            j: j - 1,
+                            val: j,
+                        }
                     };
                 } else if j < self.k {
                     self.rpc = RPc::TryUp { it, j: j + 1 };
@@ -250,13 +305,18 @@ impl WaitFreeHiProcess {
                 None
             }
             RPc::ScanB { j, val } => {
-                let val = if ctx.read(self.b(j)) == 1 { Some(j) } else { val };
+                let val = if ctx.read(self.b(j)) == 1 {
+                    Some(j)
+                } else {
+                    val
+                };
                 self.rpc = if j < self.k {
                     RPc::ScanB { j: j + 1, val }
                 } else {
                     // Lemma 10: after two failed TryReads an overlapping
                     // write has published a value in B.
-                    let val = val.expect("Lemma 10 violated: no value in B after two failed TryReads");
+                    let val =
+                        val.expect("Lemma 10 violated: no value in B after two failed TryReads");
                     RPc::SetFlag2 { val }
                 };
                 None

@@ -142,7 +142,10 @@ impl<S: ObjectSpec, I: Implementation<S>> Executor<S, I> {
     ///
     /// Panics if `pid` already has a pending operation.
     pub fn invoke(&mut self, pid: Pid, op: S::Op) -> OpId {
-        assert!(self.pending[pid.0].is_none(), "{pid} already has a pending operation");
+        assert!(
+            self.pending[pid.0].is_none(),
+            "{pid} already has a pending operation"
+        );
         let id = self.history.invoke(pid, op.clone());
         let read_only = self.spec.is_read_only(&op);
         self.procs[pid.0].invoke(op.clone());
@@ -157,7 +160,10 @@ impl<S: ObjectSpec, I: Implementation<S>> Executor<S, I> {
     ///
     /// Panics if `pid` has no pending operation.
     pub fn step(&mut self, pid: Pid) -> Option<(OpId, S::Resp)> {
-        let pending = self.pending[pid.0].as_ref().expect("step of idle process").clone();
+        let pending = self.pending[pid.0]
+            .as_ref()
+            .expect("step of idle process")
+            .clone();
         let result = {
             let mut ctx = MemCtx::new(&mut self.mem, self.trace.as_mut(), pid, self.steps);
             self.procs[pid.0].step(&mut ctx)
@@ -186,7 +192,10 @@ impl<S: ObjectSpec, I: Implementation<S>> Executor<S, I> {
                 return Ok(done);
             }
         }
-        Err(RunError::StepLimit { pid, steps: max_steps })
+        Err(RunError::StepLimit {
+            pid,
+            steps: max_steps,
+        })
     }
 
     /// Invokes `op` on `pid` and runs it solo to completion.
@@ -195,7 +204,12 @@ impl<S: ObjectSpec, I: Implementation<S>> Executor<S, I> {
     ///
     /// Returns [`RunError::StepLimit`] if the operation does not return
     /// within `max_steps` steps.
-    pub fn run_op_solo(&mut self, pid: Pid, op: S::Op, max_steps: u64) -> Result<S::Resp, RunError> {
+    pub fn run_op_solo(
+        &mut self,
+        pid: Pid,
+        op: S::Op,
+        max_steps: u64,
+    ) -> Result<S::Resp, RunError> {
         self.invoke(pid, op);
         self.run_solo(pid, max_steps).map(|(_, resp)| resp)
     }

@@ -26,7 +26,12 @@ impl TwoStepRegister {
         let mut mem = SharedMem::new();
         let stage = mem.alloc("stage", CellDomain::Bounded(k + 1), 0);
         let value = mem.alloc("value", CellDomain::Bounded(k + 1), v0);
-        TwoStepRegister { spec, stage, value, mem }
+        TwoStepRegister {
+            spec,
+            stage,
+            value,
+            mem,
+        }
     }
 }
 
@@ -104,7 +109,11 @@ impl Implementation<MultiRegisterSpec> for TwoStepRegister {
     }
 
     fn make_process(&self, _pid: Pid) -> TwoStepProcess {
-        TwoStepProcess { stage: self.stage, value: self.value, pc: Pc::Idle }
+        TwoStepProcess {
+            stage: self.stage,
+            value: self.value,
+            pc: Pc::Idle,
+        }
     }
 }
 
@@ -114,7 +123,10 @@ fn quiescence_tracking() {
     assert!(exec.is_quiescent() && exec.is_state_quiescent());
     exec.invoke(Pid(1), RegisterOp::Read);
     assert!(!exec.is_quiescent());
-    assert!(exec.is_state_quiescent(), "pending read-only op keeps state-quiescence");
+    assert!(
+        exec.is_state_quiescent(),
+        "pending read-only op keeps state-quiescence"
+    );
     exec.invoke(Pid(0), RegisterOp::Write(2));
     assert!(!exec.is_state_quiescent());
     exec.step(Pid(0));
@@ -154,7 +166,10 @@ fn run_solo_budget() {
     exec.invoke(Pid(0), RegisterOp::Write(2));
     assert_eq!(
         exec.run_solo(Pid(0), 1),
-        Err(RunError::StepLimit { pid: Pid(0), steps: 1 })
+        Err(RunError::StepLimit {
+            pid: Pid(0),
+            steps: 1
+        })
     );
     // The step taken above counted; one more finishes.
     assert!(exec.run_solo(Pid(0), 1).is_ok());
@@ -212,7 +227,11 @@ fn scripted_schedule_reproduces_interleaving() {
     run_workload(&mut exec, w, &mut sched, &mut (), 100).unwrap();
     let recs = exec.history().records();
     let read = recs.iter().find(|r| r.op == RegisterOp::Read).unwrap();
-    assert_eq!(read.resp, Some(RegisterResp::Value(1)), "read ran before the commit");
+    assert_eq!(
+        read.resp,
+        Some(RegisterResp::Value(1)),
+        "read ran before the commit"
+    );
 }
 
 #[test]

@@ -70,7 +70,17 @@ mod tests {
         let mut t = Trace::new();
         t.record(0, Pid(0), a, PrimKind::Write, 1);
         t.record(1, Pid(1), b, PrimKind::Read, 0);
-        t.record(2, Pid(0), a, PrimKind::Cas { expected: 1, new: 0, ok: true }, 0);
+        t.record(
+            2,
+            Pid(0),
+            a,
+            PrimKind::Cas {
+                expected: 1,
+                new: 0,
+                ok: true,
+            },
+            0,
+        );
         let lanes = render_lanes(&t, &mem, 2);
         let lines: Vec<&str> = lanes.lines().collect();
         assert_eq!(lines.len(), 2);

@@ -100,8 +100,8 @@ pub mod sched;
 pub mod trace;
 
 pub use exec::{Executor, RunError};
-pub use lanes::render_lanes;
 pub use hi_core::{History, OpId, Pid};
+pub use lanes::render_lanes;
 pub use mem::{CellDomain, CellId, CellInfo, MemSnapshot, SharedMem};
 pub use process::{Implementation, MemCtx, ProcessHandle};
 pub use runner::{run_workload, StepObserver, Workload};

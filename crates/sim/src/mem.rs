@@ -102,7 +102,10 @@ impl SharedMem {
         assert!(domain.contains(init), "initial value out of domain");
         let id = CellId(self.cells.len());
         self.cells.push(init);
-        self.info.push(CellInfo { name: name.into(), domain });
+        self.info.push(CellInfo {
+            name: name.into(),
+            domain,
+        });
         id
     }
 
@@ -115,7 +118,9 @@ impl SharedMem {
         domain: CellDomain,
         init: u64,
     ) -> Vec<CellId> {
-        (0..n).map(|i| self.alloc(format!("{prefix}[{i}]"), domain, init)).collect()
+        (0..n)
+            .map(|i| self.alloc(format!("{prefix}[{i}]"), domain, init))
+            .collect()
     }
 
     /// Number of base objects.

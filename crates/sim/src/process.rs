@@ -29,7 +29,13 @@ impl<'a> MemCtx<'a> {
         pid: Pid,
         step: u64,
     ) -> Self {
-        MemCtx { mem, trace, pid, step, used: false }
+        MemCtx {
+            mem,
+            trace,
+            pid,
+            step,
+            used: false,
+        }
     }
 
     /// Whether this step already performed its primitive.
@@ -72,7 +78,11 @@ impl<'a> MemCtx<'a> {
     pub fn cas(&mut self, cell: CellId, expected: u64, new: u64) -> bool {
         self.use_primitive();
         let ok = self.mem.cas(cell, expected, new);
-        self.record(cell, PrimKind::Cas { expected, new, ok }, self.mem.read(cell));
+        self.record(
+            cell,
+            PrimKind::Cas { expected, new, ok },
+            self.mem.read(cell),
+        );
         ok
     }
 }

@@ -29,12 +29,16 @@ pub struct Workload<S: ObjectSpec> {
 impl<S: ObjectSpec> Workload<S> {
     /// Creates an empty workload for `n` processes.
     pub fn new(n: usize) -> Self {
-        Workload { queues: (0..n).map(|_| VecDeque::new()).collect() }
+        Workload {
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+        }
     }
 
     /// Creates a workload from per-process operation lists.
     pub fn from_vecs(queues: Vec<Vec<S::Op>>) -> Self {
-        Workload { queues: queues.into_iter().map(VecDeque::from).collect() }
+        Workload {
+            queues: queues.into_iter().map(VecDeque::from).collect(),
+        }
     }
 
     /// Appends `op` to process `pid`'s queue.
@@ -137,14 +141,19 @@ where
             return Ok(());
         }
         if transitions >= max_steps {
-            return Err(RunError::StepLimit { pid: enabled[0], steps: max_steps });
+            return Err(RunError::StepLimit {
+                pid: enabled[0],
+                steps: max_steps,
+            });
         }
         transitions += 1;
         let pid = sched.next_pid(&enabled);
         if exec.can_step(pid) {
             exec.step(pid);
         } else {
-            let op = workload.pop(pid).expect("scheduler chose a process with no work");
+            let op = workload
+                .pop(pid)
+                .expect("scheduler chose a process with no work");
             exec.invoke(pid, op);
         }
         observer.observe(exec);

@@ -34,10 +34,7 @@ impl Scheduler for RoundRobin {
         assert!(!enabled.is_empty(), "no enabled process");
         let next = match self.last {
             None => enabled[0],
-            Some(last) => *enabled
-                .iter()
-                .find(|p| p.0 > last.0)
-                .unwrap_or(&enabled[0]),
+            Some(last) => *enabled.iter().find(|p| p.0 > last.0).unwrap_or(&enabled[0]),
         };
         self.last = Some(next);
         next
@@ -56,7 +53,9 @@ pub struct Seeded {
 impl Seeded {
     /// Creates a seeded random scheduler.
     pub fn new(seed: u64) -> Self {
-        Seeded { rng: StdRng::seed_from_u64(seed) }
+        Seeded {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -82,7 +81,11 @@ pub struct Scripted {
 impl Scripted {
     /// Creates a scheduler following `script`.
     pub fn new(script: Vec<Pid>) -> Self {
-        Scripted { script, pos: 0, fallback: RoundRobin::new() }
+        Scripted {
+            script,
+            pos: 0,
+            fallback: RoundRobin::new(),
+        }
     }
 
     /// Convenience: a script of `(pid, repeat)` runs.
@@ -98,7 +101,7 @@ impl Scripted {
     pub fn runs(runs: &[(usize, usize)]) -> Self {
         let mut script = Vec::new();
         for &(pid, n) in runs {
-            script.extend(std::iter::repeat_n(Pid(pid), n));
+            script.extend(std::iter::repeat(Pid(pid)).take(n));
         }
         Scripted::new(script)
     }

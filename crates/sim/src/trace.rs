@@ -45,8 +45,14 @@ impl TraceEvent {
     pub fn render(&self, mem: &SharedMem) -> String {
         let name = mem.name(self.cell);
         match self.kind {
-            PrimKind::Read => format!("[{:>4}] {} read  {} -> {}", self.step, self.pid, name, self.value),
-            PrimKind::Write => format!("[{:>4}] {} write {} <- {}", self.step, self.pid, name, self.value),
+            PrimKind::Read => format!(
+                "[{:>4}] {} read  {} -> {}",
+                self.step, self.pid, name, self.value
+            ),
+            PrimKind::Write => format!(
+                "[{:>4}] {} write {} <- {}",
+                self.step, self.pid, name, self.value
+            ),
             PrimKind::Cas { expected, new, ok } => format!(
                 "[{:>4}] {} cas   {} ({} -> {}) {}",
                 self.step,
@@ -85,7 +91,13 @@ impl Trace {
 
     /// Appends an event.
     pub fn record(&mut self, step: u64, pid: Pid, cell: CellId, kind: PrimKind, value: u64) {
-        self.events.push(TraceEvent { step, pid, cell, kind, value });
+        self.events.push(TraceEvent {
+            step,
+            pid,
+            cell,
+            kind,
+            value,
+        });
     }
 
     /// The recorded events in order.
@@ -96,8 +108,7 @@ impl Trace {
     /// Iterates over the writes (including successful CAS) to `cell`.
     pub fn writes_to(&self, cell: CellId) -> impl Iterator<Item = &TraceEvent> {
         self.events.iter().filter(move |e| {
-            e.cell == cell
-                && matches!(e.kind, PrimKind::Write | PrimKind::Cas { ok: true, .. })
+            e.cell == cell && matches!(e.kind, PrimKind::Write | PrimKind::Cas { ok: true, .. })
         })
     }
 
@@ -125,7 +136,11 @@ impl Trace {
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for ev in &self.events {
-            writeln!(f, "[{:>4}] {} {:?} {} = {}", ev.step, ev.pid, ev.kind, ev.cell, ev.value)?;
+            writeln!(
+                f,
+                "[{:>4}] {} {:?} {} = {}",
+                ev.step, ev.pid, ev.kind, ev.cell, ev.value
+            )?;
         }
         Ok(())
     }
@@ -153,8 +168,28 @@ mod tests {
         let c = CellId(0);
         t.record(0, Pid(0), c, PrimKind::Read, 0);
         t.record(1, Pid(0), c, PrimKind::Write, 1);
-        t.record(2, Pid(0), c, PrimKind::Cas { expected: 0, new: 1, ok: false }, 1);
-        t.record(3, Pid(0), c, PrimKind::Cas { expected: 1, new: 0, ok: true }, 0);
+        t.record(
+            2,
+            Pid(0),
+            c,
+            PrimKind::Cas {
+                expected: 0,
+                new: 1,
+                ok: false,
+            },
+            1,
+        );
+        t.record(
+            3,
+            Pid(0),
+            c,
+            PrimKind::Cas {
+                expected: 1,
+                new: 0,
+                ok: true,
+            },
+            0,
+        );
         assert_eq!(t.writes_to(c).count(), 2);
     }
 }

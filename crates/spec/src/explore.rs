@@ -115,7 +115,10 @@ where
     F: FnMut(&Executor<S, I>),
     G: FnMut(&Executor<S, I>),
 {
-    ClosureVisitor { on_config, on_path_end }
+    ClosureVisitor {
+        on_config,
+        on_path_end,
+    }
 }
 
 /// The visitor type returned by [`visitor`].

@@ -94,7 +94,10 @@ where
     let mut exec = Executor::new(imp.clone());
     let mut monitor = HiMonitor::new(model);
     {
-        let mut observer = MonitorObserver::<S, _> { monitor: &mut monitor, oracle: &mut oracle };
+        let mut observer = MonitorObserver::<S, _> {
+            monitor: &mut monitor,
+            oracle: &mut oracle,
+        };
         run_workload(&mut exec, workload, sched, &mut observer, max_steps)
             .map_err(CheckError::Run)?;
     }
@@ -102,9 +105,14 @@ where
     if let Some(v) = monitor.violation() {
         return Err(CheckError::Hi(v.clone()));
     }
-    let lin = linearize(exec.spec(), exec.history(), &LinOptions::default())
-        .map_err(CheckError::Lin)?;
-    Ok(CheckReport { lin, hi_points, steps: exec.steps(), final_snapshot: exec.snapshot() })
+    let lin =
+        linearize(exec.spec(), exec.history(), &LinOptions::default()).map_err(CheckError::Lin)?;
+    Ok(CheckReport {
+        lin,
+        hi_points,
+        steps: exec.steps(),
+        final_snapshot: exec.snapshot(),
+    })
 }
 
 /// [`check_run`] specialized to single-mutator implementations (SWSR
@@ -124,7 +132,12 @@ where
     Sch: Scheduler,
 {
     let spec = imp.spec().clone();
-    check_run(imp, workload, sched, model, max_steps, move |exec: &Executor<S, I>| {
-        single_mutator_state(&spec, exec.history())
-    })
+    check_run(
+        imp,
+        workload,
+        sched,
+        model,
+        max_steps,
+        move |exec: &Executor<S, I>| single_mutator_state(&spec, exec.history()),
+    )
 }

@@ -60,7 +60,12 @@ pub struct HiMonitor<Q> {
 impl<Q: Clone + Eq + std::hash::Hash + std::fmt::Debug> HiMonitor<Q> {
     /// Creates a monitor for the given observation model.
     pub fn new(model: ObservationModel) -> Self {
-        HiMonitor { model, canon: CanonicalMap::new(), violation: None, points: 0 }
+        HiMonitor {
+            model,
+            canon: CanonicalMap::new(),
+            violation: None,
+            points: 0,
+        }
     }
 
     /// The observation model this monitor implements.
@@ -145,7 +150,10 @@ impl<Q: Clone + Eq + std::hash::Hash + std::fmt::Debug> HiMonitor<Q> {
 /// h.invoke(Pid(1), RegisterOp::Read); // pending read-only op: ignored
 /// assert_eq!(single_mutator_state(&spec, &h), 3);
 /// ```
-pub fn single_mutator_state<S: ObjectSpec>(spec: &S, history: &History<S::Op, S::Resp>) -> S::State {
+pub fn single_mutator_state<S: ObjectSpec>(
+    spec: &S,
+    history: &History<S::Op, S::Resp>,
+) -> S::State {
     let mut state = spec.initial_state();
     for rec in history.records() {
         if rec.is_complete() && !spec.is_read_only(&rec.op) {

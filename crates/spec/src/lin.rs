@@ -20,7 +20,9 @@ pub struct LinOptions {
 
 impl Default for LinOptions {
     fn default() -> Self {
-        LinOptions { node_budget: 10_000_000 }
+        LinOptions {
+            node_budget: 10_000_000,
+        }
     }
 }
 
@@ -54,7 +56,10 @@ impl fmt::Display for LinError {
         match self {
             LinError::NotLinearizable => write!(f, "history is not linearizable"),
             LinError::BudgetExhausted { nodes } => {
-                write!(f, "linearizability search exhausted its budget of {nodes} nodes")
+                write!(
+                    f,
+                    "linearizability search exhausted its budget of {nodes} nodes"
+                )
             }
         }
     }
@@ -71,7 +76,10 @@ struct DoneSet {
 
 impl DoneSet {
     fn new(n: usize) -> Self {
-        DoneSet { words: vec![0; n.div_ceil(64)], count: 0 }
+        DoneSet {
+            words: vec![0; n.div_ceil(64)],
+            count: 0,
+        }
     }
 
     fn contains(&self, i: usize) -> bool {
@@ -103,14 +111,23 @@ struct Search<'a, S: ObjectSpec> {
 impl<'a, S: ObjectSpec> Search<'a, S> {
     /// Returns the linearization order (indices into `records`) extending
     /// the current prefix, or `None` if this node cannot reach success.
-    fn dfs(&mut self, done: &mut DoneSet, state: &S::State) -> Result<Option<Vec<usize>>, LinError> {
+    fn dfs(
+        &mut self,
+        done: &mut DoneSet,
+        state: &S::State,
+    ) -> Result<Option<Vec<usize>>, LinError> {
         self.nodes += 1;
         if self.nodes > self.budget {
             return Err(LinError::BudgetExhausted { nodes: self.budget });
         }
         // Success: every *completed* operation has been linearized; remaining
         // pending operations are dropped (legal completions).
-        if self.records.iter().enumerate().all(|(i, r)| !r.is_complete() || done.contains(i)) {
+        if self
+            .records
+            .iter()
+            .enumerate()
+            .all(|(i, r)| !r.is_complete() || done.contains(i))
+        {
             return Ok(Some(Vec::new()));
         }
         if self.failed.contains(&(done.words.clone(), state.clone())) {
@@ -245,7 +262,10 @@ mod tests {
         // Read invoked after the write returned must not see the old value.
         let b = h.invoke(Pid(1), RegisterOp::Read);
         h.ret(b, RegisterResp::Value(1));
-        assert_eq!(linearize(&spec, &h, &opts()), Err(LinError::NotLinearizable));
+        assert_eq!(
+            linearize(&spec, &h, &opts()),
+            Err(LinError::NotLinearizable)
+        );
     }
 
     #[test]
@@ -257,7 +277,10 @@ mod tests {
             let b = h.invoke(Pid(1), RegisterOp::Read);
             h.ret(b, RegisterResp::Value(seen));
             h.ret(a, RegisterResp::Ack);
-            assert!(linearize(&spec, &h, &opts()).is_ok(), "value {seen} should be legal");
+            assert!(
+                linearize(&spec, &h, &opts()).is_ok(),
+                "value {seen} should be legal"
+            );
         }
     }
 
@@ -297,7 +320,10 @@ mod tests {
         h.ret(r1, RegisterResp::Value(3));
         let r2 = h.invoke(Pid(1), RegisterOp::Read);
         h.ret(r2, RegisterResp::Value(2));
-        assert_eq!(linearize(&spec, &h, &opts()), Err(LinError::NotLinearizable));
+        assert_eq!(
+            linearize(&spec, &h, &opts()),
+            Err(LinError::NotLinearizable)
+        );
     }
 
     #[test]
@@ -310,7 +336,10 @@ mod tests {
         h.ret(e2, QueueResp::Empty);
         let d = h.invoke(Pid(1), QueueOp::Dequeue);
         h.ret(d, QueueResp::Value(2)); // FIFO violation: 1 was first
-        assert_eq!(linearize(&spec, &h, &opts()), Err(LinError::NotLinearizable));
+        assert_eq!(
+            linearize(&spec, &h, &opts()),
+            Err(LinError::NotLinearizable)
+        );
     }
 
     #[test]
@@ -324,7 +353,10 @@ mod tests {
             h.ret(e2, QueueResp::Empty);
             let d = h.invoke(Pid(0), QueueOp::Dequeue);
             h.ret(d, QueueResp::Value(first));
-            assert!(linearize(&spec, &h, &opts()).is_ok(), "front {first} should be legal");
+            assert!(
+                linearize(&spec, &h, &opts()).is_ok(),
+                "front {first} should be legal"
+            );
         }
     }
 

@@ -85,10 +85,8 @@ fn sequential_ok(
 fn arbitrary_history() -> impl Strategy<Value = History<RegisterOp, RegisterResp>> {
     // Up to 5 operations across 2 processes; each op is a write or a read
     // with a random (possibly wrong) response; some ops stay pending.
-    let op_strategy = prop::collection::vec(
-        (0u8..2, 1u64..4, 1u64..4, prop::bool::ANY, 0u8..3),
-        1..5,
-    );
+    let op_strategy =
+        prop::collection::vec((0u8..2, 1u64..4, 1u64..4, prop::bool::ANY, 0u8..3), 1..5);
     op_strategy.prop_map(|ops| {
         let mut h: History<RegisterOp, RegisterResp> = History::new();
         let mut pending: Vec<(hi_core::OpId, RegisterResp)> = Vec::new();
@@ -101,9 +99,10 @@ fn arbitrary_history() -> impl Strategy<Value = History<RegisterOp, RegisterResp
             }
             // Alternate pids; skip if that pid already has a pending op.
             let pid = Pid((v % 2) as usize);
-            if h.pending_ids().iter().any(|id| {
-                h.records().iter().any(|r| r.id == *id && r.pid == pid)
-            }) {
+            if h.pending_ids()
+                .iter()
+                .any(|id| h.records().iter().any(|r| r.id == *id && r.pid == pid))
+            {
                 continue;
             }
             let (op, resp) = match kind {

@@ -36,7 +36,13 @@ impl<S: EnumerableSpec> CasUniversal<S> {
             CellDomain::Bounded(states.next_power_of_two().max(2)),
             codec.enc_head(&spec.initial_state(), None),
         );
-        CasUniversal { spec, codec, cell, mem, n }
+        CasUniversal {
+            spec,
+            codec,
+            cell,
+            mem,
+            n,
+        }
     }
 
     /// Decodes the abstract state from a snapshot.
@@ -55,9 +61,15 @@ impl<S: EnumerableSpec> CasUniversal<S> {
 enum Pc<O> {
     Idle,
     /// Read the cell (for a read-only op: compute and return).
-    Read { op: O },
+    Read {
+        op: O,
+    },
     /// CAS `old -> new`; on failure go back to `Read`.
-    Swap { op: O, old: u64, new: u64 },
+    Swap {
+        op: O,
+        old: u64,
+        new: u64,
+    },
 }
 
 /// The per-process step machine of [`CasUniversal`].

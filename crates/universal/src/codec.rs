@@ -89,12 +89,24 @@ impl<S: EnumerableSpec> Codec<S> {
         let states = spec.states();
         let ops = spec.ops();
         let resps = spec.responses();
-        let state_idx: HashMap<_, _> =
-            states.iter().cloned().enumerate().map(|(i, q)| (q, i as u64)).collect();
-        let op_idx: HashMap<_, _> =
-            ops.iter().cloned().enumerate().map(|(i, o)| (o, i as u64)).collect();
-        let resp_idx: HashMap<_, _> =
-            resps.iter().cloned().enumerate().map(|(i, r)| (r, i as u64)).collect();
+        let state_idx: HashMap<_, _> = states
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, q)| (q, i as u64))
+            .collect();
+        let op_idx: HashMap<_, _> = ops
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, o)| (o, i as u64))
+            .collect();
+        let resp_idx: HashMap<_, _> = resps
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, r)| (r, i as u64))
+            .collect();
         assert_eq!(state_idx.len(), states.len(), "duplicate states");
         assert_eq!(op_idx.len(), ops.len(), "duplicate ops");
         assert_eq!(resp_idx.len(), resps.len(), "duplicate responses");
@@ -224,7 +236,11 @@ mod tests {
             let v = codec.enc_head(&q, None);
             assert_eq!(codec.dec_head(v), (q, None));
             for pid in 0..3 {
-                for r in [CounterResp::Ack, CounterResp::Value(-2), CounterResp::Value(4)] {
+                for r in [
+                    CounterResp::Ack,
+                    CounterResp::Value(-2),
+                    CounterResp::Value(4),
+                ] {
                     let v = codec.enc_head(&q, Some((&r, pid)));
                     assert_eq!(codec.dec_head(v), (q, Some((r, pid))));
                 }

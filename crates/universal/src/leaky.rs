@@ -39,9 +39,17 @@ impl<S: EnumerableSpec> LeakyUniversal<S> {
             CellDomain::Bounded(states.next_power_of_two().max(2)),
             codec.enc_head(&spec.initial_state(), None),
         );
-        let ledger: Vec<CellId> =
-            (0..n).map(|i| mem.alloc(format!("ops[{i}]"), CellDomain::Word, 0)).collect();
-        LeakyUniversal { spec, codec, cell, ledger, mem, n }
+        let ledger: Vec<CellId> = (0..n)
+            .map(|i| mem.alloc(format!("ops[{i}]"), CellDomain::Word, 0))
+            .collect();
+        LeakyUniversal {
+            spec,
+            codec,
+            cell,
+            ledger,
+            mem,
+            n,
+        }
     }
 
     /// Decodes the abstract state from a snapshot.
@@ -59,10 +67,18 @@ impl<S: EnumerableSpec> LeakyUniversal<S> {
 #[derive(Clone, PartialEq, Eq, Debug)]
 enum Pc<O> {
     Idle,
-    Read { op: O },
-    Swap { op: O, old: u64, new: u64 },
+    Read {
+        op: O,
+    },
+    Swap {
+        op: O,
+        old: u64,
+        new: u64,
+    },
     /// The leak: record the completed operation in the invoker's ledger.
-    Bump { resp_new_count: u64 },
+    Bump {
+        resp_new_count: u64,
+    },
 }
 
 /// The per-process step machine of [`LeakyUniversal`].
@@ -110,7 +126,9 @@ impl<S: EnumerableSpec> ProcessHandle<S> for LeakyUniversalProcess<S> {
                 if q2 == q {
                     // Still bump the ledger: the op completed.
                     self.staged_resp = Some(rsp);
-                    self.pc = Pc::Bump { resp_new_count: self.applied + 1 };
+                    self.pc = Pc::Bump {
+                        resp_new_count: self.applied + 1,
+                    };
                     return None;
                 }
                 let new = self.codec.enc_head(&q2, None);
@@ -122,7 +140,9 @@ impl<S: EnumerableSpec> ProcessHandle<S> for LeakyUniversalProcess<S> {
                     let (q, _) = self.codec.dec_head(old);
                     let (_, rsp) = self.spec.apply(&q, &op);
                     self.staged_resp = Some(rsp);
-                    self.pc = Pc::Bump { resp_new_count: self.applied + 1 };
+                    self.pc = Pc::Bump {
+                        resp_new_count: self.applied + 1,
+                    };
                 } else {
                     self.pc = Pc::Read { op };
                 }

@@ -64,7 +64,12 @@ pub struct ModeTracker {
 impl ModeTracker {
     /// Creates a tracker from the initial head value.
     pub fn new(state: u64, has_resp: bool) -> Self {
-        ModeTracker { state, has_resp, transitions: 0, a_to_b: 0 }
+        ModeTracker {
+            state,
+            has_resp,
+            transitions: 0,
+            a_to_b: 0,
+        }
     }
 
     /// The current mode.

@@ -21,44 +21,109 @@ use crate::codec::{AnnValue, Codec};
 enum Pc<Q, O, R> {
     Idle,
     /// `ApplyReadOnly` lines 1–3: one `Load(head)`.
-    ReadOnly { op: O },
+    ReadOnly {
+        op: O,
+    },
     /// Line 4: `Store(announce[i], op)`.
-    Announce { op: O },
+    Announce {
+        op: O,
+    },
     /// Line 5: `Load(announce[i])`, loop while not a response.
-    LoopCheck { op: O },
+    LoopCheck {
+        op: O,
+    },
     /// Line 6: `LL(head)` ∥ response check.
-    Ll6 { op: O, sub: LlscOp, right: bool },
+    Ll6 {
+        op: O,
+        sub: LlscOp,
+        right: bool,
+    },
     /// Line 8: `Load(announce[priority])`.
-    LoadHelp { op: O, q: Q },
+    LoadHelp {
+        op: O,
+        q: Q,
+    },
     /// Line 11: `Load(announce[i])`.
-    LoadOwn { op: O, q: Q },
+    LoadOwn {
+        op: O,
+        q: Q,
+    },
     /// Line 14: `SC(head, ⟨state, ⟨rsp, j⟩⟩)`.
-    Sc14 { op: O, sub: LlscOp },
+    Sc14 {
+        op: O,
+        sub: LlscOp,
+    },
     /// Line 18: `LL(announce[j])` ∥ response check.
-    Ll18 { op: O, q: Q, j: usize, rsp: R, sub: LlscOp, right: bool },
+    Ll18 {
+        op: O,
+        q: Q,
+        j: usize,
+        rsp: R,
+        sub: LlscOp,
+        right: bool,
+    },
     /// Line 18R.2: `RL(announce[j])` before escaping to line 24.
-    Rl18 { op: O, sub: LlscOp },
+    Rl18 {
+        op: O,
+        sub: LlscOp,
+    },
     /// Line 19: `VL(head)` (one read), with `a ∈ O` so line 20 follows on
     /// success.
-    Vl19 { op: O, q: Q, j: usize, rsp: R },
+    Vl19 {
+        op: O,
+        q: Q,
+        j: usize,
+        rsp: R,
+    },
     /// Line 19 when `a ∉ O`: line 20 will be skipped either way.
-    Vl19NonOp { op: O, q: Q, j: usize, a_bot: bool },
+    Vl19NonOp {
+        op: O,
+        q: Q,
+        j: usize,
+        a_bot: bool,
+    },
     /// Line 20: `SC(announce[j], rsp)`.
-    Sc20 { op: O, q: Q, j: usize, a_bot: bool, sub: LlscOp },
+    Sc20 {
+        op: O,
+        q: Q,
+        j: usize,
+        a_bot: bool,
+        sub: LlscOp,
+    },
     /// Line 21: `SC(head, ⟨q, ⊥⟩)`.
-    Sc21 { op: O, j: usize, a_bot: bool, sub: LlscOp },
+    Sc21 {
+        op: O,
+        j: usize,
+        a_bot: bool,
+        sub: LlscOp,
+    },
     /// Line 22: `RL(announce[j])`.
-    Rl22 { op: O, sub: LlscOp },
+    Rl22 {
+        op: O,
+        sub: LlscOp,
+    },
     /// Line 24: `Load(announce[i])` — the response.
     ReadResp,
     /// Line 25: `LL(head)` ∥ "my response gone" check.
-    Ll25 { resp: R, sub: LlscOp, right: bool },
+    Ll25 {
+        resp: R,
+        sub: LlscOp,
+        right: bool,
+    },
     /// Line 26: `SC(head, ⟨q, ⊥⟩)` clearing our own response.
-    Sc26 { resp: R, sub: LlscOp },
+    Sc26 {
+        resp: R,
+        sub: LlscOp,
+    },
     /// Line 27: `RL(head)`.
-    Rl27 { resp: R, sub: LlscOp },
+    Rl27 {
+        resp: R,
+        sub: LlscOp,
+    },
     /// Line 28: `Store(announce[i], ⊥)`.
-    ClearAnn { resp: R },
+    ClearAnn {
+        resp: R,
+    },
 }
 
 /// Algorithm 5 over `n` processes: `head` plus `announce[0..n]`, all R-LLSC
@@ -90,12 +155,22 @@ impl<S: EnumerableSpec> SimUniversal<S> {
             Some(s) => CellDomain::Bounded(s),
             None => CellDomain::Word,
         };
-        let initial = codec.head_layout().reset(codec.initial_head(&spec.initial_state()));
+        let initial = codec
+            .head_layout()
+            .reset(codec.initial_head(&spec.initial_state()));
         let head = mem.alloc("head", head_domain, initial);
         let ann: Vec<CellId> = (0..n)
             .map(|i| mem.alloc(format!("announce[{i}]"), ann_domain, 0))
             .collect();
-        SimUniversal { spec, codec, head, ann, mem, n, release: true }
+        SimUniversal {
+            spec,
+            codec,
+            head,
+            ann,
+            mem,
+            n,
+            release: true,
+        }
     }
 
     /// The ablation of the paper's §6.1 red lines: Algorithm 5 *without*
@@ -149,11 +224,7 @@ impl<S: EnumerableSpec> SimUniversal<S> {
     }
 }
 
-type PcOf<S> = Pc<
-    <S as ObjectSpec>::State,
-    <S as ObjectSpec>::Op,
-    <S as ObjectSpec>::Resp,
->;
+type PcOf<S> = Pc<<S as ObjectSpec>::State, <S as ObjectSpec>::Op, <S as ObjectSpec>::Resp>;
 
 /// The per-process step machine of [`SimUniversal`].
 #[derive(Clone, Debug)]
@@ -236,7 +307,11 @@ impl<S: EnumerableSpec> ProcessHandle<S> for UniversalProcess<S> {
                 if self.load_ann(ctx, i).is_resp() {
                     self.pc = Pc::ReadResp;
                 } else {
-                    self.pc = Pc::Ll6 { op, sub: LlscOp::ll(i, self.head), right: false };
+                    self.pc = Pc::Ll6 {
+                        op,
+                        sub: LlscOp::ll(i, self.head),
+                        right: false,
+                    };
                 }
             }
 
@@ -245,7 +320,11 @@ impl<S: EnumerableSpec> ProcessHandle<S> for UniversalProcess<S> {
                     if self.load_ann(ctx, i).is_resp() {
                         self.pc = Pc::ReadResp; // 6R.2: goto line 24
                     } else {
-                        self.pc = Pc::Ll6 { op, sub, right: false };
+                        self.pc = Pc::Ll6 {
+                            op,
+                            sub,
+                            right: false,
+                        };
                     }
                 } else {
                     match sub.step(&self.hl(), ctx) {
@@ -263,7 +342,13 @@ impl<S: EnumerableSpec> ProcessHandle<S> for UniversalProcess<S> {
                                 },
                             };
                         }
-                        None => self.pc = Pc::Ll6 { op, sub, right: true },
+                        None => {
+                            self.pc = Pc::Ll6 {
+                                op,
+                                sub,
+                                right: true,
+                            }
+                        }
                     }
                 }
             }
@@ -272,7 +357,10 @@ impl<S: EnumerableSpec> ProcessHandle<S> for UniversalProcess<S> {
                 if let AnnValue::Op(help) = self.load_ann(ctx, self.priority) {
                     let (state, rsp) = self.spec.apply(&q, &help);
                     let new = self.codec.enc_head(&state, Some((&rsp, self.priority)));
-                    self.pc = Pc::Sc14 { op, sub: LlscOp::sc(i, self.head, new) };
+                    self.pc = Pc::Sc14 {
+                        op,
+                        sub: LlscOp::sc(i, self.head, new),
+                    };
                 } else {
                     self.pc = Pc::LoadOwn { op, q };
                 }
@@ -282,7 +370,10 @@ impl<S: EnumerableSpec> ProcessHandle<S> for UniversalProcess<S> {
                 if self.load_ann(ctx, i).is_op() {
                     let (state, rsp) = self.spec.apply(&q, &op);
                     let new = self.codec.enc_head(&state, Some((&rsp, i)));
-                    self.pc = Pc::Sc14 { op, sub: LlscOp::sc(i, self.head, new) };
+                    self.pc = Pc::Sc14 {
+                        op,
+                        sub: LlscOp::sc(i, self.head, new),
+                    };
                 } else {
                     self.pc = Pc::LoopCheck { op }; // line 11: continue
                 }
@@ -298,17 +389,34 @@ impl<S: EnumerableSpec> ProcessHandle<S> for UniversalProcess<S> {
                 None => self.pc = Pc::Sc14 { op, sub },
             },
 
-            Pc::Ll18 { op, q, j, rsp, mut sub, right } => {
+            Pc::Ll18 {
+                op,
+                q,
+                j,
+                rsp,
+                mut sub,
+                right,
+            } => {
                 if right {
                     if self.load_ann(ctx, i).is_resp() {
                         // 18R.2: RL(announce[j]), then goto line 24.
                         self.pc = if self.release {
-                            Pc::Rl18 { op, sub: LlscOp::rl(i, self.ann[j]) }
+                            Pc::Rl18 {
+                                op,
+                                sub: LlscOp::rl(i, self.ann[j]),
+                            }
                         } else {
                             Pc::ReadResp
                         };
                     } else {
-                        self.pc = Pc::Ll18 { op, q, j, rsp, sub, right: false };
+                        self.pc = Pc::Ll18 {
+                            op,
+                            q,
+                            j,
+                            rsp,
+                            sub,
+                            right: false,
+                        };
                     }
                 } else {
                     match sub.step(&self.al(), ctx) {
@@ -323,7 +431,16 @@ impl<S: EnumerableSpec> ProcessHandle<S> for UniversalProcess<S> {
                                 Pc::Vl19NonOp { op, q, j, a_bot }
                             };
                         }
-                        None => self.pc = Pc::Ll18 { op, q, j, rsp, sub, right: true },
+                        None => {
+                            self.pc = Pc::Ll18 {
+                                op,
+                                q,
+                                j,
+                                rsp,
+                                sub,
+                                right: true,
+                            }
+                        }
                     }
                 }
             }
@@ -355,26 +472,61 @@ impl<S: EnumerableSpec> ProcessHandle<S> for UniversalProcess<S> {
                 if self.hl().has(raw, i) {
                     // a ∉ O: skip line 20, go straight to line 21.
                     let new = self.codec.enc_head(&q, None);
-                    self.pc = Pc::Sc21 { op, j, a_bot, sub: LlscOp::sc(i, self.head, new) };
+                    self.pc = Pc::Sc21 {
+                        op,
+                        j,
+                        a_bot,
+                        sub: LlscOp::sc(i, self.head, new),
+                    };
                 } else if a_bot && self.release {
-                    self.pc = Pc::Rl22 { op, sub: LlscOp::rl(i, self.ann[j]) };
+                    self.pc = Pc::Rl22 {
+                        op,
+                        sub: LlscOp::rl(i, self.ann[j]),
+                    };
                 } else {
                     self.pc = Pc::LoopCheck { op };
                 }
             }
 
-            Pc::Sc20 { op, q, j, a_bot, mut sub } => match sub.step(&self.al(), ctx) {
+            Pc::Sc20 {
+                op,
+                q,
+                j,
+                a_bot,
+                mut sub,
+            } => match sub.step(&self.al(), ctx) {
                 Some(_) => {
                     let new = self.codec.enc_head(&q, None);
-                    self.pc = Pc::Sc21 { op, j, a_bot, sub: LlscOp::sc(i, self.head, new) };
+                    self.pc = Pc::Sc21 {
+                        op,
+                        j,
+                        a_bot,
+                        sub: LlscOp::sc(i, self.head, new),
+                    };
                 }
-                None => self.pc = Pc::Sc20 { op, q, j, a_bot, sub },
+                None => {
+                    self.pc = Pc::Sc20 {
+                        op,
+                        q,
+                        j,
+                        a_bot,
+                        sub,
+                    }
+                }
             },
 
-            Pc::Sc21 { op, j, a_bot, mut sub } => match sub.step(&self.hl(), ctx) {
+            Pc::Sc21 {
+                op,
+                j,
+                a_bot,
+                mut sub,
+            } => match sub.step(&self.hl(), ctx) {
                 Some(_) => {
                     self.pc = if a_bot && self.release {
-                        Pc::Rl22 { op, sub: LlscOp::rl(i, self.ann[j]) }
+                        Pc::Rl22 {
+                            op,
+                            sub: LlscOp::rl(i, self.ann[j]),
+                        }
                     } else {
                         Pc::LoopCheck { op }
                     };
@@ -389,24 +541,39 @@ impl<S: EnumerableSpec> ProcessHandle<S> for UniversalProcess<S> {
 
             Pc::ReadResp => match self.load_ann(ctx, i) {
                 AnnValue::Resp(resp) => {
-                    self.pc = Pc::Ll25 { resp, sub: LlscOp::ll(i, self.head), right: false };
+                    self.pc = Pc::Ll25 {
+                        resp,
+                        sub: LlscOp::ll(i, self.head),
+                        right: false,
+                    };
                 }
                 other => panic!("announce[{i}] held {other:?} at line 24, expected a response"),
             },
 
-            Pc::Ll25 { resp, mut sub, right } => {
+            Pc::Ll25 {
+                resp,
+                mut sub,
+                right,
+            } => {
                 if right {
                     let raw = ctx.read(self.head);
                     let (_, r) = self.codec.dec_head(self.hl().val(raw));
                     if !matches!(r, Some((_, j)) if j == i) {
                         // 25R.2: our response is gone; goto line 27.
                         self.pc = if self.release {
-                            Pc::Rl27 { resp, sub: LlscOp::rl(i, self.head) }
+                            Pc::Rl27 {
+                                resp,
+                                sub: LlscOp::rl(i, self.head),
+                            }
                         } else {
                             Pc::ClearAnn { resp }
                         };
                     } else {
-                        self.pc = Pc::Ll25 { resp, sub, right: false };
+                        self.pc = Pc::Ll25 {
+                            resp,
+                            sub,
+                            right: false,
+                        };
                     }
                 } else {
                     match sub.step(&self.hl(), ctx) {
@@ -414,14 +581,26 @@ impl<S: EnumerableSpec> ProcessHandle<S> for UniversalProcess<S> {
                             let (q, r) = self.codec.dec_head(res.val());
                             self.pc = if matches!(r, Some((_, j)) if j == i) {
                                 let new = self.codec.enc_head(&q, None);
-                                Pc::Sc26 { resp, sub: LlscOp::sc(i, self.head, new) }
+                                Pc::Sc26 {
+                                    resp,
+                                    sub: LlscOp::sc(i, self.head, new),
+                                }
                             } else if self.release {
-                                Pc::Rl27 { resp, sub: LlscOp::rl(i, self.head) }
+                                Pc::Rl27 {
+                                    resp,
+                                    sub: LlscOp::rl(i, self.head),
+                                }
                             } else {
                                 Pc::ClearAnn { resp }
                             };
                         }
-                        None => self.pc = Pc::Ll25 { resp, sub, right: true },
+                        None => {
+                            self.pc = Pc::Ll25 {
+                                resp,
+                                sub,
+                                right: true,
+                            }
+                        }
                     }
                 }
             }
@@ -579,8 +758,8 @@ mod tests {
         let mut exec = Executor::new(imp.clone());
         exec.invoke(Pid(0), CounterOp::Inc);
         exec.step(Pid(0)); // line 4: announce
-        // p1 runs a full Inc solo; since priority_1 = 1 initially it applies
-        // its own op first, but within bounded steps it must rotate and help.
+                           // p1 runs a full Inc solo; since priority_1 = 1 initially it applies
+                           // its own op first, but within bounded steps it must rotate and help.
         exec.run_op_solo(Pid(1), CounterOp::Inc, 500).unwrap();
         // After p1's operations, p0's op may or may not yet be applied; run
         // one more p1 op to force the rotation through p0.

@@ -51,7 +51,15 @@ impl<S: EnumerableSpec> AtomicUniversal<S> {
             .map(|_| PackedRLlsc::new(codec.ann_layout(), codec.enc_ann_bot()))
             .collect();
         let claimed = (0..n).map(|_| AtomicBool::new(false)).collect();
-        AtomicUniversal { spec, codec, head, ann, claimed, n, release: true }
+        AtomicUniversal {
+            spec,
+            codec,
+            head,
+            ann,
+            claimed,
+            n,
+            release: true,
+        }
     }
 
     /// The §6.1 ablation: Algorithm 5 without the red `RL` lines. Still
@@ -74,6 +82,12 @@ impl<S: EnumerableSpec> AtomicUniversal<S> {
         self.n
     }
 
+    /// Whether the `RL` clearing lines are enabled (false only for the
+    /// [`without_release`](AtomicUniversal::without_release) ablation).
+    pub fn releases(&self) -> bool {
+        self.release
+    }
+
     /// Claims the handle of process `pid` (each pid may be claimed once).
     ///
     /// # Panics
@@ -85,7 +99,22 @@ impl<S: EnumerableSpec> AtomicUniversal<S> {
             !self.claimed[pid].swap(true, Ordering::SeqCst),
             "handle for pid {pid} already claimed"
         );
-        UniversalHandle { u: self, pid, priority: pid }
+        UniversalHandle {
+            u: self,
+            pid,
+            priority: pid,
+        }
+    }
+
+    /// Claims all `n` handles at once, releasing any earlier claims first —
+    /// sound because the `&mut` receiver proves no handle is outstanding.
+    /// This is the construction surface the `hi-api` facade drives.
+    pub fn handles(&mut self) -> Vec<UniversalHandle<'_, S>> {
+        for c in &self.claimed {
+            c.store(false, Ordering::SeqCst);
+        }
+        let this: &Self = self;
+        (0..this.n).map(|pid| this.handle(pid)).collect()
     }
 
     /// Raw memory snapshot: the head word then the announce words. Only an
@@ -100,7 +129,7 @@ impl<S: EnumerableSpec> AtomicUniversal<S> {
     /// [`snapshot`](AtomicUniversal::snapshot).
     pub fn canonical(&self, q: &S::State) -> Vec<u64> {
         let mut snap = vec![self.codec.head_layout().reset(self.codec.enc_head(q, None))];
-        snap.extend(std::iter::repeat_n(0, self.n));
+        snap.extend(std::iter::repeat(0).take(self.n));
         snap
     }
 

@@ -46,7 +46,10 @@ fn main() {
     )
     .unwrap();
     match &report.verdict {
-        Verdict::Diverged { round, solo_outcomes } => {
+        Verdict::Diverged {
+            round,
+            solo_outcomes,
+        } => {
             println!("executions diverged in round {round}: the reader's flag write broke");
             println!("the adversary's canonical-memory assumption; solo completions:");
             for (i, out) in solo_outcomes.iter().enumerate() {
@@ -66,7 +69,10 @@ fn main() {
         100_000,
     )
     .unwrap();
-    println!("verdict: {:?} after {} rounds", report.verdict, report.rounds);
+    println!(
+        "verdict: {:?} after {} rounds",
+        report.verdict, report.rounds
+    );
     assert_eq!(report.verdict, Verdict::Starved);
     println!("=> Peek starves (Theorem 20)");
 }

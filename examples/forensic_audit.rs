@@ -64,8 +64,14 @@ fn main() {
     let imp = WaitFreeHiRegister::new(3, 1);
     let clean = memory_image(&imp, &history_clean);
     let tamper = memory_image(&imp, &history_tamper);
-    println!("image after [write 1]          : A,B,flags = [{}]", render(&clean));
-    println!("image after [write 3, write 1] : A,B,flags = [{}]", render(&tamper));
+    println!(
+        "image after [write 1]          : A,B,flags = [{}]",
+        render(&clean)
+    );
+    println!(
+        "image after [write 3, write 1] : A,B,flags = [{}]",
+        render(&tamper)
+    );
     assert_eq!(clean, tamper);
     println!("=> identical images *and* every operation finishes in bounded steps;");
     println!("   the price: the observer must catch the device fully idle");

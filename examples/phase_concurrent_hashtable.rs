@@ -67,10 +67,19 @@ fn main() {
         leaky_direct.insert(k);
     }
     println!("HI table after insert+delete of 200 : {:?}", hi.memory());
-    println!("HI table that never saw 200         : {:?}", hi_direct.memory());
+    println!(
+        "HI table that never saw 200         : {:?}",
+        hi_direct.memory()
+    );
     assert_eq!(hi.memory(), hi_direct.memory());
     println!("tombstone table after insert+delete : {:?}", leaky.memory());
-    println!("tombstone table that never saw 200  : {:?}", leaky_direct.memory());
+    println!(
+        "tombstone table that never saw 200  : {:?}",
+        leaky_direct.memory()
+    );
     assert_ne!(leaky.memory(), leaky_direct.memory());
-    println!("=> the tombstone (value {}) marks the grave of the deleted key", u32::MAX);
+    println!(
+        "=> the tombstone (value {}) marks the grave of the deleted key",
+        u32::MAX
+    );
 }

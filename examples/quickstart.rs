@@ -1,61 +1,78 @@
 //! Quickstart: history-independent objects in five minutes.
 //!
+//! Both objects below — a §4 register built from binary cells and the
+//! Algorithm 5 universal construction — are driven through the *same*
+//! `ConcurrentObject` facade: uniform handles, uniform snapshots, uniform
+//! canonical-form audits.
+//!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use hi_concurrent::registers::threaded::AtomicWaitFreeHi;
-use hi_concurrent::universal::AtomicUniversal;
-use hi_core::objects::{CounterOp, CounterSpec};
+use hi_concurrent::api::{ConcurrentObject, ObjectHandle, UniversalObject, WaitFreeHiObject};
+use hi_core::objects::{CounterOp, CounterSpec, MultiRegisterSpec, RegisterOp, RegisterResp};
 
 fn main() {
     // ------------------------------------------------------------------
     // 1. A wait-free quiescent-HI 5-valued register (paper Algorithm 4),
     //    one writer thread + one reader thread on real atomics.
     // ------------------------------------------------------------------
-    let mut reg = AtomicWaitFreeHi::new(5, 1);
+    let mut reg = WaitFreeHiObject::new(MultiRegisterSpec::new(5, 1));
     {
-        let (mut writer, mut reader) = reg.split(1);
+        let mut handles = reg.handles().into_iter();
+        let mut writer = handles.next().unwrap();
+        let mut reader = handles.next().unwrap();
         std::thread::scope(|s| {
             s.spawn(move || {
                 for v in [3, 5, 2, 4] {
-                    writer.write(v);
+                    writer.apply(RegisterOp::Write(v));
                 }
             });
             s.spawn(move || {
                 for _ in 0..4 {
-                    let v = reader.read();
+                    let RegisterResp::Value(v) = reader.apply(RegisterOp::Read) else {
+                        unreachable!("reads return values")
+                    };
                     assert!((1..=5).contains(&v));
                 }
             });
         });
     }
-    println!("register memory after the run : {:?}", reg.snapshot());
-    println!("canonical representation of 4 : {:?}", reg.canonical(4));
-    assert_eq!(reg.snapshot(), reg.canonical(4));
+    println!("register memory after the run : {:?}", reg.mem_snapshot());
+    println!(
+        "canonical representation of 4 : {:?}",
+        reg.canonical(&4).unwrap()
+    );
+    assert_eq!(Some(reg.mem_snapshot()), reg.canonical(&4));
     println!("=> the memory reveals the current value and nothing else\n");
 
     // ------------------------------------------------------------------
     // 2. The universal construction (paper Algorithm 5): *any* enumerable
     //    object becomes wait-free and history independent. Here: a counter.
+    //    Same facade, same audit.
     // ------------------------------------------------------------------
-    let counter = AtomicUniversal::new(CounterSpec::new(-100, 100, 0), 4);
-    std::thread::scope(|s| {
-        for pid in 0..4 {
-            let mut h = counter.handle(pid);
-            s.spawn(move || {
-                for _ in 0..25 {
-                    h.apply(CounterOp::Inc);
-                }
-                for _ in 0..25 {
-                    h.apply(CounterOp::Dec);
-                }
-            });
-        }
-    });
-    println!("counter state after 100 incs and 100 decs: {:?}", counter.abstract_state());
-    println!("counter memory: {:?}", counter.snapshot());
-    println!("canonical(0)  : {:?}", counter.canonical(&0));
-    assert_eq!(counter.snapshot(), counter.canonical(&0));
+    let mut counter = UniversalObject::new(CounterSpec::new(-100, 100, 0), 4);
+    {
+        let handles = counter.handles();
+        std::thread::scope(|s| {
+            for mut h in handles {
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        h.apply(CounterOp::Inc);
+                    }
+                    for _ in 0..25 {
+                        h.apply(CounterOp::Dec);
+                    }
+                });
+            }
+        });
+    }
+    println!(
+        "counter state after 100 incs and 100 decs: {:?}",
+        counter.abstract_state()
+    );
+    println!("counter memory: {:?}", counter.mem_snapshot());
+    println!("canonical(0)  : {:?}", counter.canonical(&0).unwrap());
+    assert_eq!(Some(counter.mem_snapshot()), counter.canonical(&0));
     println!("=> an observer cannot tell this counter ever moved");
 }

@@ -29,12 +29,15 @@ fn forced_b_read(exec: &mut Executor<hi_core::objects::MultiRegisterSpec, WaitFr
         if exec.step(R).is_some() {
             break;
         }
-        exec.run_op_solo(W, RegisterOp::Write(next), 10_000).unwrap();
+        exec.run_op_solo(W, RegisterOp::Write(next), 10_000)
+            .unwrap();
         next = if next == 1 { K } else { 1 };
     }
 }
 
-fn b_events(exec: &Executor<hi_core::objects::MultiRegisterSpec, WaitFreeHiRegister>) -> Vec<String> {
+fn b_events(
+    exec: &Executor<hi_core::objects::MultiRegisterSpec, WaitFreeHiRegister>,
+) -> Vec<String> {
     exec.trace()
         .map(|t| {
             t.events()

@@ -35,13 +35,25 @@ fn main() {
     while exec.can_step(Pid(1)) {
         exec.step(Pid(1));
         step_no += 1;
-        print_if_changed(&imp, &exec, &mut last, &mut tracker, &format!("p1 step {step_no}"));
+        print_if_changed(
+            &imp,
+            &exec,
+            &mut last,
+            &mut tracker,
+            &format!("p1 step {step_no}"),
+        );
     }
     // p0 finishes (its response was or will be delivered).
     while exec.can_step(Pid(0)) {
         exec.step(Pid(0));
         step_no += 1;
-        print_if_changed(&imp, &exec, &mut last, &mut tracker, &format!("p0 step {step_no}"));
+        print_if_changed(
+            &imp,
+            &exec,
+            &mut last,
+            &mut tracker,
+            &format!("p0 step {step_no}"),
+        );
     }
 
     let q = imp.abstract_state(&exec.snapshot());
@@ -53,7 +65,11 @@ fn main() {
     assert_eq!(q, 2);
     assert_eq!(tracker.linearized_ops(), 2);
     assert_eq!(tracker.mode(), Mode::A);
-    assert_eq!(exec.snapshot(), imp.canonical(&q), "memory is canonical again");
+    assert_eq!(
+        exec.snapshot(),
+        imp.canonical(&q),
+        "memory is canonical again"
+    );
 }
 
 fn print_if_changed(
@@ -69,7 +85,9 @@ fn print_if_changed(
     }
     *last = snap.clone();
     let (q, r) = imp.head_value(&snap);
-    tracker.observe(q as u64, r.is_some()).expect("Invariant 22");
+    tracker
+        .observe(q as u64, r.is_some())
+        .expect("Invariant 22");
     let head = match &r {
         None => format!("<{q:?}, ⊥>"),
         Some((resp, j)) => format!("<{q:?}, <{resp:?}, p{j}>>"),

@@ -31,7 +31,8 @@ fn main() {
         if let Some((_, resp)) = exec.step(R) {
             break resp;
         }
-        exec.run_op_solo(W, RegisterOp::Write(next), 10_000).unwrap();
+        exec.run_op_solo(W, RegisterOp::Write(next), 10_000)
+            .unwrap();
         next = if next == 1 { K } else { 1 };
         rounds += 1;
     };
@@ -58,5 +59,8 @@ fn main() {
     }
     // Wait-freedom with a concrete bound: one step per round, and the read
     // needs at most flag writes + two TryReads + the B scan + cleanup.
-    assert!(rounds <= 4 * K + 6, "read exceeded its wait-free step bound");
+    assert!(
+        rounds <= 4 * K + 6,
+        "read exceeded its wait-free step bound"
+    );
 }

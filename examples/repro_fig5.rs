@@ -51,7 +51,10 @@ fn main() {
     exec.run_op_solo(W, RegisterOp::Write(3), 10_000).unwrap();
     print_b_traffic(&exec);
     println!("  lanes (writer = p0, reader = p1):");
-    print!("{}", indent(&render_lanes(exec.trace().unwrap(), exec.mem(), 2)));
+    print!(
+        "{}",
+        indent(&render_lanes(exec.trace().unwrap(), exec.mem(), 2))
+    );
     while exec.can_step(R) {
         exec.step(R);
     }

@@ -32,8 +32,7 @@ where
     I: hi_concurrent::sim::Implementation<MultiRegisterSpec>,
 {
     (0..20u64).all(|seed| {
-        match check_run_single_mutator(imp, workload(), &mut Seeded::new(seed), model, MAX_STEPS)
-        {
+        match check_run_single_mutator(imp, workload(), &mut Seeded::new(seed), model, MAX_STEPS) {
             Ok(_) => true,
             Err(CheckError::Hi(_)) => false,
             Err(e) => panic!("unexpected failure: {e}"),
@@ -47,7 +46,9 @@ where
 {
     let script = CtScript::new(MultiRegisterSpec::new(K, 1));
     matches!(
-        run_adversary(imp, &script, ROUNDS, 100_000).unwrap().verdict,
+        run_adversary(imp, &script, ROUNDS, 100_000)
+            .unwrap()
+            .verdict,
         Verdict::Starved
     )
 }
@@ -62,8 +63,14 @@ fn main() {
     // --- Perfect HI row: impossible for both progress conditions.
     let alg2_perfect = holds(&alg2, ObservationModel::Perfect);
     let alg4_perfect = holds(&alg4, ObservationModel::Perfect);
-    println!("perfect HI        | wait-free: measured {} [Impossible, Prop. 14]", verdict(alg4_perfect));
-    println!("                  | lock-free: measured {} [Impossible, Prop. 14]", verdict(alg2_perfect));
+    println!(
+        "perfect HI        | wait-free: measured {} [Impossible, Prop. 14]",
+        verdict(alg4_perfect)
+    );
+    println!(
+        "                  | lock-free: measured {} [Impossible, Prop. 14]",
+        verdict(alg2_perfect)
+    );
 
     // --- State-quiescent HI row.
     let alg2_sq = holds(&alg2, ObservationModel::StateQuiescent);
@@ -82,14 +89,23 @@ fn main() {
     // --- Quiescent HI row.
     let alg2_q = holds(&alg2, ObservationModel::Quiescent);
     let alg4_q = holds(&alg4, ObservationModel::Quiescent);
-    println!("quiescent HI      | wait-free: Alg.4 measured {} [Possible, Alg. 4]", verdict(alg4_q));
-    println!("                  | lock-free: Alg.2 measured {} [Possible, Alg. 2 & 4]", verdict(alg2_q));
+    println!(
+        "quiescent HI      | wait-free: Alg.4 measured {} [Possible, Alg. 4]",
+        verdict(alg4_q)
+    );
+    println!(
+        "                  | lock-free: Alg.2 measured {} [Possible, Alg. 2 & 4]",
+        verdict(alg2_q)
+    );
 
     println!();
     assert!(!alg2_perfect && !alg4_perfect, "perfect HI must fail");
     assert!(alg2_sq && !alg4_sq, "state-quiescent: Alg.2 yes, Alg.4 no");
     assert!(alg2_q && alg4_q, "quiescent: both yes");
-    assert!(alg2_starves, "Alg.2's reader must starve (it is not wait-free)");
+    assert!(
+        alg2_starves,
+        "Alg.2's reader must starve (it is not wait-free)"
+    );
     println!("all six cells match the paper ✓");
 }
 

@@ -26,27 +26,49 @@ fn main() {
     // Device A: user stores a secret in slot 2, then securely deletes it,
     // then writes a public file into slot 1.
     let mut device_a = Executor::new(store.clone());
-    device_a.run_op_solo(Pid(0), MapOp::Put(2, 3), 10_000).unwrap(); // secret
-    device_a.run_op_solo(Pid(0), MapOp::Delete(2), 10_000).unwrap(); // shred
-    device_a.run_op_solo(Pid(1), MapOp::Put(1, 2), 10_000).unwrap(); // public
+    device_a
+        .run_op_solo(Pid(0), MapOp::Put(2, 3), 10_000)
+        .unwrap(); // secret
+    device_a
+        .run_op_solo(Pid(0), MapOp::Delete(2), 10_000)
+        .unwrap(); // shred
+    device_a
+        .run_op_solo(Pid(1), MapOp::Put(1, 2), 10_000)
+        .unwrap(); // public
 
     // Device B: only ever held the public file.
     let mut device_b = Executor::new(store.clone());
-    device_b.run_op_solo(Pid(1), MapOp::Put(1, 2), 10_000).unwrap();
+    device_b
+        .run_op_solo(Pid(1), MapOp::Put(1, 2), 10_000)
+        .unwrap();
 
-    println!("image of device A (secret written, then shredded): {:?}", device_a.snapshot());
-    println!("image of device B (never held the secret)        : {:?}", device_b.snapshot());
+    println!(
+        "image of device A (secret written, then shredded): {:?}",
+        device_a.snapshot()
+    );
+    println!(
+        "image of device B (never held the secret)        : {:?}",
+        device_b.snapshot()
+    );
     assert_eq!(device_a.snapshot(), device_b.snapshot());
     println!("=> identical images: the shredded secret is forensically gone\n");
 
     println!("== conventional store (keeps operation records) ==");
     let leaky = LeakyUniversal::new(spec, 2);
     let mut device_a = Executor::new(leaky.clone());
-    device_a.run_op_solo(Pid(0), MapOp::Put(2, 3), 10_000).unwrap();
-    device_a.run_op_solo(Pid(0), MapOp::Delete(2), 10_000).unwrap();
-    device_a.run_op_solo(Pid(1), MapOp::Put(1, 2), 10_000).unwrap();
+    device_a
+        .run_op_solo(Pid(0), MapOp::Put(2, 3), 10_000)
+        .unwrap();
+    device_a
+        .run_op_solo(Pid(0), MapOp::Delete(2), 10_000)
+        .unwrap();
+    device_a
+        .run_op_solo(Pid(1), MapOp::Put(1, 2), 10_000)
+        .unwrap();
     let mut device_b = Executor::new(leaky.clone());
-    device_b.run_op_solo(Pid(1), MapOp::Put(1, 2), 10_000).unwrap();
+    device_b
+        .run_op_solo(Pid(1), MapOp::Put(1, 2), 10_000)
+        .unwrap();
     println!("image of device A: {:?}", device_a.snapshot());
     println!("image of device B: {:?}", device_b.snapshot());
     assert_ne!(device_a.snapshot(), device_b.snapshot());

@@ -1,5 +1,6 @@
 //! A wait-free history-independent work queue via the universal
-//! construction (Algorithm 5), on real threads.
+//! construction (Algorithm 5), on real threads, driven through the unified
+//! `ConcurrentObject` facade.
 //!
 //! Two producers and one consumer share a bounded FIFO queue; afterwards the
 //! queue's memory is compared against a fresh queue driven directly to the
@@ -10,60 +11,69 @@
 //! cargo run --example universal_queue
 //! ```
 
-use hi_concurrent::universal::AtomicUniversal;
+use hi_concurrent::api::{ConcurrentObject, ObjectHandle, UniversalObject};
 use hi_core::objects::{BoundedQueueSpec, QueueOp, QueueResp};
 
 fn main() {
     let spec = BoundedQueueSpec::new(4, 6);
-    let queue = AtomicUniversal::new(spec, 3);
+    let mut queue = UniversalObject::new(spec, 3);
 
-    let consumed = std::thread::scope(|s| {
-        for pid in 0..2u32 {
-            let mut h = queue.handle(pid as usize);
-            s.spawn(move || {
-                for i in 0..60 {
-                    // Values 1..=4 tag the producing thread and batch.
-                    let v = (i % 2) * 2 + pid + 1;
-                    while let QueueResp::Full = h.apply(QueueOp::Enqueue(v)) {
-                        std::hint::spin_loop();
+    let consumed = {
+        let mut handles = queue.handles().into_iter();
+        let producers: Vec<_> = (0..2u32)
+            .map(|pid| (pid, handles.next().unwrap()))
+            .collect();
+        let mut consumer_handle = handles.next().unwrap();
+        std::thread::scope(|s| {
+            for (pid, mut h) in producers {
+                s.spawn(move || {
+                    for i in 0..60 {
+                        // Values 1..=4 tag the producing thread and batch.
+                        let v = (i % 2) * 2 + pid + 1;
+                        while let QueueResp::Full = h.apply(QueueOp::Enqueue(v)) {
+                            std::hint::spin_loop();
+                        }
                     }
-                }
-            });
-        }
-        let mut h = queue.handle(2);
-        let consumer = s.spawn(move || {
-            // Drain everything the producers made (120 items), so that no
-            // producer is left spinning against a full queue.
-            let mut got = Vec::new();
-            let mut dry = 0;
-            while got.len() < 120 && dry < 2_000_000 {
-                match h.apply(QueueOp::Dequeue) {
-                    QueueResp::Value(v) => {
-                        got.push(v);
-                        dry = 0;
-                    }
-                    _ => dry += 1,
-                }
+                });
             }
-            got
-        });
-        consumer.join().unwrap()
-    });
+            let consumer = s.spawn(move || {
+                // Drain everything the producers made (120 items), so that no
+                // producer is left spinning against a full queue.
+                let mut got = Vec::new();
+                let mut dry = 0;
+                while got.len() < 120 && dry < 2_000_000 {
+                    match consumer_handle.apply(QueueOp::Dequeue) {
+                        QueueResp::Value(v) => {
+                            got.push(v);
+                            dry = 0;
+                        }
+                        _ => dry += 1,
+                    }
+                }
+                got
+            });
+            consumer.join().unwrap()
+        })
+    };
 
-    println!("consumed {} items: {:?}...", consumed.len(), &consumed[..consumed.len().min(12)]);
+    println!(
+        "consumed {} items: {:?}...",
+        consumed.len(),
+        &consumed[..consumed.len().min(12)]
+    );
     let backlog = queue.abstract_state();
     println!("backlog left in the queue: {backlog:?}");
 
     // A fresh queue driven straight to the same backlog state:
-    let fresh = AtomicUniversal::new(spec, 3);
+    let mut fresh = UniversalObject::new(spec, 3);
     {
-        let mut h = fresh.handle(0);
+        let mut handles = fresh.handles();
         for v in &backlog {
-            h.apply(QueueOp::Enqueue(*v));
+            handles[0].apply(QueueOp::Enqueue(*v));
         }
     }
-    assert_eq!(queue.snapshot(), fresh.snapshot());
-    println!("memory of the worked queue : {:?}", queue.snapshot());
-    println!("memory of the fresh queue  : {:?}", fresh.snapshot());
+    assert_eq!(queue.mem_snapshot(), fresh.mem_snapshot());
+    println!("memory of the worked queue : {:?}", queue.mem_snapshot());
+    println!("memory of the fresh queue  : {:?}", fresh.mem_snapshot());
     println!("=> identical: 160+ operations of history left no trace");
 }

@@ -5,6 +5,10 @@
 //! integration tests and downstream users need a single dependency. The
 //! pieces:
 //!
+//! * [`api`] — the unified [`ConcurrentObject`](hi_api::ConcurrentObject)
+//!   facade over every threaded backend, with the generic
+//!   [`drive`](hi_api::drive()) stress/HI-audit driver and the scenario
+//!   [`registry`](hi_api::registry()).
 //! * [`core`] — abstract objects `(Q, q0, O, R, Δ)`, histories, the `C_t`
 //!   class and canonical-representation bookkeeping.
 //! * [`sim`] — a deterministic asynchronous shared-memory simulator whose
@@ -37,6 +41,7 @@
 //! assert_eq!(resp, hi_core::objects::RegisterResp::Value(4));
 //! ```
 
+pub use hi_api as api;
 pub use hi_core as core;
 pub use hi_hashtable as hashtable;
 pub use hi_llsc as llsc;

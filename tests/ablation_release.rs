@@ -114,19 +114,38 @@ fn ablated_variant_leaks_under_some_random_schedule() {
 
         let full = SimUniversal::new(spec, 3);
         let mut exec = Executor::new(full.clone());
-        run_workload(&mut exec, mk_workload(), &mut Seeded::new(seed), &mut (), MAX_STEPS)
-            .unwrap();
+        run_workload(
+            &mut exec,
+            mk_workload(),
+            &mut Seeded::new(seed),
+            &mut (),
+            MAX_STEPS,
+        )
+        .unwrap();
         let q = full.abstract_state(&exec.snapshot());
-        assert_eq!(exec.snapshot(), full.canonical(&q), "full variant, seed {seed}");
+        assert_eq!(
+            exec.snapshot(),
+            full.canonical(&q),
+            "full variant, seed {seed}"
+        );
 
         let ablated = SimUniversal::without_release(spec, 3);
         let mut exec = Executor::new(ablated.clone());
-        run_workload(&mut exec, mk_workload(), &mut Seeded::new(seed), &mut (), MAX_STEPS)
-            .unwrap();
+        run_workload(
+            &mut exec,
+            mk_workload(),
+            &mut Seeded::new(seed),
+            &mut (),
+            MAX_STEPS,
+        )
+        .unwrap();
         let q = ablated.abstract_state(&exec.snapshot());
         if exec.snapshot() != ablated.canonical(&q) {
             leaked = true;
         }
     }
-    assert!(leaked, "no random schedule exhibited the context leak — suspicious");
+    assert!(
+        leaked,
+        "no random schedule exhibited the context leak — suspicious"
+    );
 }

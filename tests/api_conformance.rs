@@ -1,0 +1,126 @@
+//! Cross-backend conformance: every scenario in `hi_api::registry()` is run
+//! through the generic threaded driver (`hi_api::drive`) *and* its simulator
+//! twin, and both must linearize against the same `ObjectSpec` — with the
+//! quiescent memory audit wherever the implementation promises a canonical
+//! form.
+//!
+//! New object×spec workloads get covered by adding a registry entry, not a
+//! new test.
+
+use hi_concurrent::api::{registry, DriveConfig, HiLevel, Roles};
+use hi_concurrent::api::{ConcurrentObject, ObjectHandle};
+
+/// Seeds exercised per scenario (each seed changes both the workload and
+/// the sim schedule).
+const SEEDS: [u64; 2] = [7, 0xfeed_beef];
+
+/// Operations per handle. Small enough that the Wing–Gong search settles
+/// every history quickly, large enough to mix roles thoroughly.
+const OPS: usize = 60;
+
+#[test]
+fn every_registry_entry_drives_threaded_and_sim() {
+    for scenario in registry() {
+        for seed in SEEDS {
+            let cfg = DriveConfig {
+                ops_per_handle: OPS,
+                seed,
+                ..DriveConfig::default()
+            };
+            let report = scenario
+                .run_threaded(&cfg)
+                .unwrap_or_else(|e| panic!("{} (threaded, seed {seed}): {e}", scenario.name));
+            assert!(
+                report.ops > 0,
+                "{} (threaded, seed {seed}): no operations completed",
+                scenario.name
+            );
+            scenario
+                .check_sim(seed, OPS / 2)
+                .unwrap_or_else(|e| panic!("{} (sim, seed {seed}): {e}", scenario.name));
+        }
+    }
+}
+
+#[test]
+fn audited_scenarios_match_their_hi_promise() {
+    // The registry carries both HI and deliberately non-HI entries; the
+    // driver must audit exactly the ones that fix a canonical form.
+    let cfg = DriveConfig {
+        ops_per_handle: 40,
+        seed: 3,
+        ..DriveConfig::default()
+    };
+    let mut audited = 0;
+    let mut unaudited = Vec::new();
+    for scenario in registry() {
+        let report = scenario
+            .run_threaded(&cfg)
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        if report.audited {
+            audited += 1;
+        } else {
+            unaudited.push(scenario.name);
+        }
+    }
+    assert!(
+        audited >= 6,
+        "expected most scenarios to be HI-audited, got {audited}"
+    );
+    assert_eq!(
+        unaudited,
+        vec!["register/vidyasankar-k5", "universal/counter-no-release"],
+        "exactly the two deliberately non-HI entries skip the audit"
+    );
+}
+
+#[test]
+fn roles_and_hi_levels_are_exposed_uniformly() {
+    use hi_concurrent::api::{LlscObject, QueueObject, UniversalObject, VidyasankarObject};
+    use hi_core::objects::{BoundedQueueSpec, CounterSpec, MultiRegisterSpec};
+    use hi_llsc::RLlscSpec;
+
+    let mut reg = VidyasankarObject::new(MultiRegisterSpec::new(3, 1));
+    assert_eq!(reg.roles(), Roles::SingleWriterSingleReader);
+    assert_eq!(reg.roles().num_handles(), reg.handles().len());
+    assert_eq!(reg.hi_level(), HiLevel::NotHi);
+    assert!(reg.canonical(&1).is_none());
+
+    let q = QueueObject::new(BoundedQueueSpec::new(3, 4));
+    assert_eq!(q.roles(), Roles::SingleWriterSingleReader);
+    assert_eq!(q.hi_level(), HiLevel::StateQuiescent);
+
+    let mut x = LlscObject::new(RLlscSpec::new(4, 0, 2));
+    assert_eq!(x.roles(), Roles::MultiProcess { n: 2 });
+    assert_eq!(x.hi_level(), HiLevel::Perfect);
+    assert_eq!(x.roles().num_handles(), x.handles().len());
+
+    let mut u = UniversalObject::new(CounterSpec::new(0, 5, 0), 3);
+    assert_eq!(u.roles(), Roles::MultiProcess { n: 3 });
+    assert_eq!(u.hi_level(), HiLevel::StateQuiescent);
+    assert_eq!(u.roles().num_handles(), u.handles().len());
+}
+
+#[test]
+fn resplitting_preserves_state_across_handle_generations() {
+    // The facade's `&mut self` handles() contract: a second generation of
+    // handles picks up exactly where the first left off.
+    use hi_concurrent::api::QueueObject;
+    use hi_core::objects::{BoundedQueueSpec, QueueOp, QueueResp};
+
+    let mut q = QueueObject::new(BoundedQueueSpec::new(4, 4));
+    {
+        let mut handles = q.handles();
+        assert_eq!(handles[0].apply(QueueOp::Enqueue(3)), QueueResp::Empty);
+        assert_eq!(handles[0].apply(QueueOp::Enqueue(1)), QueueResp::Empty);
+    }
+    assert_eq!(q.abstract_state(), vec![3, 1]);
+    {
+        let mut handles = q.handles();
+        assert_eq!(handles[1].apply(QueueOp::Peek), QueueResp::Value(3));
+        assert_eq!(handles[0].apply(QueueOp::Dequeue), QueueResp::Value(3));
+        assert_eq!(handles[0].apply(QueueOp::Dequeue), QueueResp::Value(1));
+        assert_eq!(handles[0].apply(QueueOp::Dequeue), QueueResp::Empty);
+    }
+    assert_eq!(q.abstract_state(), Vec::<u32>::new());
+}

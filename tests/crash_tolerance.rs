@@ -76,7 +76,11 @@ fn universal_survives_crash_at_every_point() {
         // under crashes: nothing p0 holds can block them).
         for round in 0..3 {
             for pid in [1, 2] {
-                let op = if round == 1 { CounterOp::Dec } else { CounterOp::Inc };
+                let op = if round == 1 {
+                    CounterOp::Dec
+                } else {
+                    CounterOp::Inc
+                };
                 exec.run_op_solo(Pid(pid), op, 10_000).unwrap_or_else(|e| {
                     panic!("survivor p{pid} blocked after crash at {crash_after}: {e}")
                 });
@@ -132,7 +136,7 @@ fn queue_peek_blocks_on_mutator_crash_mid_dequeue() {
     exec.invoke(W, QueueOp::Dequeue);
     exec.step(W); // LEN[1] <- 0
     exec.step(W); // Q[0][1] <- 0   (front gone, element 2 still in slot 1)
-    // Peek now spins: LEN[0] = 1 but slot 0 stays empty forever.
+                  // Peek now spins: LEN[0] = 1 but slot 0 stays empty forever.
     exec.invoke(R, QueueOp::Peek);
     for _ in 0..10_000 {
         assert!(
@@ -140,7 +144,10 @@ fn queue_peek_blocks_on_mutator_crash_mid_dequeue() {
             "Peek must not return while the front is in limbo"
         );
     }
-    assert!(exec.can_step(R), "Peek is stuck — the price of lock-freedom under crashes");
+    assert!(
+        exec.can_step(R),
+        "Peek is stuck — the price of lock-freedom under crashes"
+    );
 }
 
 /// Contrast: crashing the mutator at any point of an *enqueue* cannot block
@@ -156,9 +163,9 @@ fn queue_peek_survives_mutator_crash_mid_enqueue() {
                 exec.step(W);
             }
         }
-        let resp = exec.run_op_solo(R, QueueOp::Peek, 10_000).unwrap_or_else(|e| {
-            panic!("Peek blocked after enqueue crash at {crash_after}: {e}")
-        });
+        let resp = exec
+            .run_op_solo(R, QueueOp::Peek, 10_000)
+            .unwrap_or_else(|e| panic!("Peek blocked after enqueue crash at {crash_after}: {e}"));
         assert_eq!(resp, hi_core::objects::QueueResp::Value(2));
     }
 }

@@ -35,8 +35,16 @@ fn universal_run(seed: u64) -> (Vec<u64>, String) {
 #[test]
 fn equal_seeds_replay_identically() {
     for seed in [0u64, 7, 42, 0xdead_beef] {
-        assert_eq!(register_run(seed), register_run(seed), "register, seed {seed}");
-        assert_eq!(universal_run(seed), universal_run(seed), "universal, seed {seed}");
+        assert_eq!(
+            register_run(seed),
+            register_run(seed),
+            "register, seed {seed}"
+        );
+        assert_eq!(
+            universal_run(seed),
+            universal_run(seed),
+            "universal, seed {seed}"
+        );
     }
 }
 

@@ -9,9 +9,7 @@ use hi_concurrent::spec::{
     explore, linearize, single_mutator_state, ExploreVisitor, HiMonitor, LinOptions,
     ObservationModel,
 };
-use hi_core::objects::{
-    BoundedQueueSpec, MultiRegisterSpec, QueueOp, RegisterOp, SetOp, SetSpec,
-};
+use hi_core::objects::{BoundedQueueSpec, MultiRegisterSpec, QueueOp, RegisterOp, SetOp, SetSpec};
 use hi_core::ObjectSpec;
 
 /// Visitor that monitors HI at every configuration (single-mutator oracle)
@@ -24,7 +22,11 @@ struct FullCheck<S: ObjectSpec> {
 
 impl<S: ObjectSpec> FullCheck<S> {
     fn new(spec: S, model: ObservationModel) -> Self {
-        FullCheck { spec, monitor: HiMonitor::new(model), paths_checked: 0 }
+        FullCheck {
+            spec,
+            monitor: HiMonitor::new(model),
+            paths_checked: 0,
+        }
     }
 }
 
@@ -50,7 +52,10 @@ where
     }
 
     fn on_truncated(&mut self, exec: &Executor<S, I>) {
-        panic!("exploration truncated at {} steps — raise the bound", exec.steps());
+        panic!(
+            "exploration truncated at {} steps — raise the bound",
+            exec.steps()
+        );
     }
 }
 
@@ -68,7 +73,11 @@ fn lockfree_register_every_schedule() {
     let mut check = FullCheck::new(spec, ObservationModel::StateQuiescent);
     let exec = Executor::new(imp);
     let stats = explore(&exec, &w, 40, &mut check);
-    assert!(stats.paths > 50, "expected meaningful branching, got {}", stats.paths);
+    assert!(
+        stats.paths > 50,
+        "expected meaningful branching, got {}",
+        stats.paths
+    );
     assert_eq!(stats.truncated, 0);
     assert_eq!(check.paths_checked, stats.paths);
 }
@@ -104,7 +113,10 @@ fn waitfree_register_every_schedule() {
     let mut check = FullCheck::new(spec, ObservationModel::Quiescent);
     let exec = Executor::new(imp);
     let stats = explore(&exec, &w, 64, &mut check);
-    assert_eq!(stats.truncated, 0, "Algorithm 4 is wait-free: the tree is finite");
+    assert_eq!(
+        stats.truncated, 0,
+        "Algorithm 4 is wait-free: the tree is finite"
+    );
     assert!(stats.paths > 1_000);
 }
 

@@ -3,7 +3,8 @@
 //! lands, which is the property Algorithm 5's wait-freedom argument leans
 //! on.
 
-use hi_concurrent::llsc::{LlscLayout, PackedRLlsc, RLlscOp, RLlscResp, SimRLlsc};
+use hi_concurrent::api::{ConcurrentObject, LlscObject, ObjectHandle};
+use hi_concurrent::llsc::{RLlscOp, RLlscResp, RLlscSpec, SimRLlsc};
 use hi_concurrent::sim::{Executor, Pid};
 
 /// Lemma 30 for `SC`, simulated: an SC blocked by CAS interference fails
@@ -12,12 +13,14 @@ use hi_concurrent::sim::{Executor, Pid};
 fn pending_sc_completes_after_context_reset() {
     let mut exec = Executor::new(SimRLlsc::new(8, 0, 3));
     // p0 links.
-    exec.run_op_solo(Pid(0), RLlscOp::Ll { pid: 0 }, 10).unwrap();
+    exec.run_op_solo(Pid(0), RLlscOp::Ll { pid: 0 }, 10)
+        .unwrap();
     // p0 begins an SC: first step is the read observing its own bit.
     exec.invoke(Pid(0), RLlscOp::Sc { pid: 0, new: 5 });
     exec.step(Pid(0)); // read: bit present -> will try CAS next
-    // p1 Stores, resetting the context and changing the value.
-    exec.run_op_solo(Pid(1), RLlscOp::Store { new: 7 }, 10).unwrap();
+                       // p1 Stores, resetting the context and changing the value.
+    exec.run_op_solo(Pid(1), RLlscOp::Store { new: 7 }, 10)
+        .unwrap();
     // p0's CAS now fails, and its retry read sees the bit gone: definitive
     // failure in finitely many own steps.
     let (_, resp) = exec.run_solo(Pid(0), 5).unwrap();
@@ -29,39 +32,50 @@ fn pending_sc_completes_after_context_reset() {
 #[test]
 fn pending_rl_completes_after_context_reset() {
     let mut exec = Executor::new(SimRLlsc::new(8, 0, 3));
-    exec.run_op_solo(Pid(0), RLlscOp::Ll { pid: 0 }, 10).unwrap();
+    exec.run_op_solo(Pid(0), RLlscOp::Ll { pid: 0 }, 10)
+        .unwrap();
     exec.invoke(Pid(0), RLlscOp::Rl { pid: 0 });
     exec.step(Pid(0)); // read: bit present
-    // p1's successful SC resets the context (p1 links first).
-    exec.run_op_solo(Pid(1), RLlscOp::Ll { pid: 1 }, 10).unwrap();
-    exec.run_op_solo(Pid(1), RLlscOp::Sc { pid: 1, new: 3 }, 10).unwrap();
+                       // p1's successful SC resets the context (p1 links first).
+    exec.run_op_solo(Pid(1), RLlscOp::Ll { pid: 1 }, 10)
+        .unwrap();
+    exec.run_op_solo(Pid(1), RLlscOp::Sc { pid: 1, new: 3 }, 10)
+        .unwrap();
     let (_, resp) = exec.run_solo(Pid(0), 5).unwrap();
-    assert_eq!(resp, RLlscResp::Bool(true), "RL succeeds trivially once unlinked");
+    assert_eq!(
+        resp,
+        RLlscResp::Bool(true),
+        "RL succeeds trivially once unlinked"
+    );
 }
 
-/// Lemma 29's flavor on the threaded backend: an LL attempt under heavy
-/// interference still eventually lands because every interfering operation
-/// that *completes* either leaves the value alone (LL/RL by others — our
-/// CAS retries past them) or resets the context (SC/Store — after which our
-/// CAS has a stable target).
+/// Lemma 29's flavor on the threaded backend (driven through the unified
+/// facade): an LL attempt under heavy interference still eventually lands
+/// because every interfering operation that *completes* either leaves the
+/// value alone (LL/RL by others — our CAS retries past them) or resets the
+/// context (SC/Store — after which our CAS has a stable target).
 #[test]
 fn threaded_ll_lands_under_interference() {
-    let x = PackedRLlsc::new(LlscLayout::new(16, 8), 0);
+    let mut x = LlscObject::new(RLlscSpec::new(8, 0, 8));
     let stop = std::sync::atomic::AtomicBool::new(false);
+    let mut handles = x.handles().into_iter();
+    let mut h0 = handles.next().unwrap();
     std::thread::scope(|s| {
-        for pid in 1..4 {
-            let x = &x;
+        for (pid, mut h) in handles.take(3).enumerate().map(|(i, h)| (i + 1, h)) {
             let stop = &stop;
             s.spawn(move || {
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                    x.ll(pid);
-                    x.sc(pid, pid as u64);
+                    h.apply(RLlscOp::Ll { pid });
+                    h.apply(RLlscOp::Sc {
+                        pid,
+                        new: pid as u64,
+                    });
                 }
             });
         }
         for _ in 0..2_000 {
-            let _ = x.ll(0);
-            x.rl(0);
+            let _ = h0.apply(RLlscOp::Ll { pid: 0 });
+            h0.apply(RLlscOp::Rl { pid: 0 });
         }
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
     });
@@ -74,10 +88,18 @@ fn threaded_ll_lands_under_interference() {
 fn failed_sc_leaves_no_trace() {
     let imp = SimRLlsc::new(8, 2, 2);
     let mut exec = Executor::new(imp.clone());
-    exec.run_op_solo(Pid(0), RLlscOp::Ll { pid: 0 }, 10).unwrap();
-    exec.run_op_solo(Pid(1), RLlscOp::Store { new: 6 }, 10).unwrap();
+    exec.run_op_solo(Pid(0), RLlscOp::Ll { pid: 0 }, 10)
+        .unwrap();
+    exec.run_op_solo(Pid(1), RLlscOp::Store { new: 6 }, 10)
+        .unwrap();
     let before = exec.snapshot();
-    let resp = exec.run_op_solo(Pid(0), RLlscOp::Sc { pid: 0, new: 1 }, 10).unwrap();
+    let resp = exec
+        .run_op_solo(Pid(0), RLlscOp::Sc { pid: 0, new: 1 }, 10)
+        .unwrap();
     assert_eq!(resp, RLlscResp::Bool(false));
-    assert_eq!(exec.snapshot(), before, "failed SC must not disturb the memory");
+    assert_eq!(
+        exec.snapshot(),
+        before,
+        "failed SC must not disturb the memory"
+    );
 }

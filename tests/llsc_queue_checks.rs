@@ -22,10 +22,15 @@ fn llsc_workload(v: u64, n: usize, ops: usize, seed: u64) -> Workload<RLlscSpec>
             let op = match rng.gen_range(0..6) {
                 0 => RLlscOp::Ll { pid },
                 1 => RLlscOp::Vl { pid },
-                2 => RLlscOp::Sc { pid, new: rng.gen_range(0..v) },
+                2 => RLlscOp::Sc {
+                    pid,
+                    new: rng.gen_range(0..v),
+                },
                 3 => RLlscOp::Rl { pid },
                 4 => RLlscOp::Load,
-                _ => RLlscOp::Store { new: rng.gen_range(0..v) },
+                _ => RLlscOp::Store {
+                    new: rng.gen_range(0..v),
+                },
             };
             w.push(pid, op);
         }
@@ -76,7 +81,11 @@ fn rllsc_memory_is_a_bijection_of_state() {
             MAX_STEPS,
         )
         .unwrap();
-        assert!(monitor.violation().is_none(), "seed {seed}: {:?}", monitor.violation());
+        assert!(
+            monitor.violation().is_none(),
+            "seed {seed}: {:?}",
+            monitor.violation()
+        );
         monitor
             .canonical_map()
             .check_injective()
@@ -124,9 +133,11 @@ fn rllsc_context_reveals_nothing_after_release() {
     let imp = SimRLlsc::new(4, 2, 2);
     let mut exec = Executor::new(imp.clone());
     let before = exec.snapshot();
-    exec.run_op_solo(hi_core::Pid(0), RLlscOp::Ll { pid: 0 }, 10).unwrap();
+    exec.run_op_solo(hi_core::Pid(0), RLlscOp::Ll { pid: 0 }, 10)
+        .unwrap();
     assert_ne!(exec.snapshot(), before, "the link is visible while held");
-    exec.run_op_solo(hi_core::Pid(0), RLlscOp::Rl { pid: 0 }, 10).unwrap();
+    exec.run_op_solo(hi_core::Pid(0), RLlscOp::Rl { pid: 0 }, 10)
+        .unwrap();
     assert_eq!(exec.snapshot(), before, "released link leaves no trace");
 }
 
@@ -161,7 +172,8 @@ fn queue_peek_mid_shift_sees_old_or_new_front_only() {
         }
         let r = peek_resp.expect("peek completes once the dequeue finishes");
         assert!(
-            r == hi_core::objects::QueueResp::Value(2) || r == hi_core::objects::QueueResp::Value(3),
+            r == hi_core::objects::QueueResp::Value(2)
+                || r == hi_core::objects::QueueResp::Value(3),
             "pause {pause_after}: peek returned {r:?}"
         );
         // Finish everything and verify linearizability + canonical memory.

@@ -5,13 +5,10 @@ use hi_concurrent::llsc::{LlscLayout, RLlscOp, RLlscSpec, SimRLlsc};
 use hi_concurrent::queue::PositionalQueue;
 use hi_concurrent::registers::{LockFreeHiRegister, WaitFreeHiRegister};
 use hi_concurrent::sim::{run_workload, Executor, Pid, Seeded, Workload};
-use hi_concurrent::spec::{
-    check_run_single_mutator, linearize, LinOptions, ObservationModel,
-};
+use hi_concurrent::spec::{check_run_single_mutator, linearize, LinOptions, ObservationModel};
 use hi_concurrent::universal::{Codec, SimUniversal};
 use hi_core::objects::{
-    BoundedQueueSpec, CounterOp, CounterResp, CounterSpec, MultiRegisterSpec, QueueOp,
-    RegisterOp,
+    BoundedQueueSpec, CounterOp, CounterResp, CounterSpec, MultiRegisterSpec, QueueOp, RegisterOp,
 };
 use hi_core::{History, ObjectSpec};
 use proptest::prelude::*;

@@ -8,8 +8,8 @@ use hi_concurrent::registers::{
 };
 use hi_concurrent::sim::{Seeded, Workload};
 use hi_concurrent::spec::{check_run_single_mutator, CheckError, ObservationModel};
-use hi_core::objects::{MaxRegisterOp, MultiRegisterSpec, RegisterOp};
 use hi_core::objects::MaxRegisterSpec;
+use hi_core::objects::{MaxRegisterOp, MultiRegisterSpec, RegisterOp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -214,7 +214,10 @@ fn proposition19_algorithm4_reader_writes() {
         .iter()
         .filter(|e| e.pid == Pid(1) && matches!(e.kind, PrimKind::Write))
         .count();
-    assert!(reader_writes > 0, "Algorithm 4's reader must write (Prop. 19)");
+    assert!(
+        reader_writes > 0,
+        "Algorithm 4's reader must write (Prop. 19)"
+    );
 
     // ...while Algorithm 2's reader never writes — consistent with Prop. 19,
     // because Algorithm 2's reads are not wait-free.

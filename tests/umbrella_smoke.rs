@@ -5,8 +5,27 @@
 //! test failure here rather than a downstream user's build break.
 
 use hi_concurrent::{
-    core, hashtable, llsc, lowerbound, queue, randomized, registers, sim, spec, universal,
+    api, core, hashtable, llsc, lowerbound, queue, randomized, registers, sim, spec, universal,
 };
+
+#[test]
+fn api_reexport_drives_an_object() {
+    use api::{ConcurrentObject, ObjectHandle};
+    let mut reg = api::LockFreeHiObject::new(core::objects::MultiRegisterSpec::new(3, 1));
+    {
+        let mut handles = reg.handles();
+        assert_eq!(
+            handles[0].apply(core::objects::RegisterOp::Write(2)),
+            core::objects::RegisterResp::Ack
+        );
+        assert_eq!(
+            handles[1].apply(core::objects::RegisterOp::Read),
+            core::objects::RegisterResp::Value(2)
+        );
+    }
+    assert_eq!(Some(reg.mem_snapshot()), reg.canonical(&2));
+    assert_eq!(api::registry().len(), 9, "all backends registered");
+}
 
 #[test]
 fn core_reexport_builds_histories() {

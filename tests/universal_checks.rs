@@ -5,12 +5,10 @@
 
 use hi_concurrent::sim::{run_workload, Executor, Seeded, Workload};
 use hi_concurrent::spec::{linearize, HiMonitor, LinOptions, ObservationModel};
-use hi_concurrent::universal::{
-    CasUniversal, LeakyUniversal, ModeTracker, SimUniversal,
-};
+use hi_concurrent::universal::{CasUniversal, LeakyUniversal, ModeTracker, SimUniversal};
 use hi_core::objects::{
-    BoundedQueueSpec, CounterOp, CounterSpec, MapOp, MapSpec, QueueOp, SetOp, SetSpec,
-    SnapshotOp, SnapshotSpec, StackOp, StackSpec,
+    BoundedQueueSpec, CounterOp, CounterSpec, MapOp, MapSpec, QueueOp, SetOp, SetSpec, SnapshotOp,
+    SnapshotSpec, StackOp, StackSpec,
 };
 use hi_core::EnumerableSpec;
 use rand::prelude::*;
@@ -58,10 +56,20 @@ fn check_universal<S: EnumerableSpec>(
                 monitor.observe(e, q);
             }
         };
-        run_workload(&mut exec, workload, &mut Seeded::new(seed), &mut observer, MAX_STEPS)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        run_workload(
+            &mut exec,
+            workload,
+            &mut Seeded::new(seed),
+            &mut observer,
+            MAX_STEPS,
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
-    assert!(monitor.violation().is_none(), "seed {seed}: {:?}", monitor.violation());
+    assert!(
+        monitor.violation().is_none(),
+        "seed {seed}: {:?}",
+        monitor.violation()
+    );
     linearize(exec.spec(), exec.history(), &LinOptions::default())
         .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     exec.steps()
@@ -170,7 +178,11 @@ fn invariant22_mode_alternation() {
         // Lemma 23: each A->B transition linearizes exactly one
         // state-changing op; our workload has 15 ops, some read-only.
         assert!(tracker.linearized_ops() <= 15);
-        assert_eq!(tracker.mode(), hi_concurrent::universal::Mode::A, "final mode is A");
+        assert_eq!(
+            tracker.mode(),
+            hi_concurrent::universal::Mode::A,
+            "final mode is A"
+        );
     }
 }
 
@@ -193,7 +205,11 @@ fn cas_universal_is_perfect_hi() {
             MAX_STEPS,
         )
         .unwrap();
-        assert!(monitor.violation().is_none(), "seed {seed}: {:?}", monitor.violation());
+        assert!(
+            monitor.violation().is_none(),
+            "seed {seed}: {:?}",
+            monitor.violation()
+        );
         linearize(exec.spec(), exec.history(), &LinOptions::default()).unwrap();
     }
 }

@@ -61,7 +61,10 @@ fn announced_op_applied_exactly_once_despite_crash() {
         other => panic!("unexpected {other:?}"),
     };
     // 20 survivor increments + exactly one helped increment.
-    assert_eq!(value, 21, "crashed announcement must be applied exactly once");
+    assert_eq!(
+        value, 21,
+        "crashed announcement must be applied exactly once"
+    );
 }
 
 /// The helping priority rotates: after enough state changes by one process,
@@ -77,7 +80,11 @@ fn priority_rotates_through_all_processes() {
         exec.run_op_solo(Pid(1), CounterOp::Inc, 10_000).unwrap();
         seen.insert(exec.process(Pid(1)).priority());
     }
-    assert_eq!(seen.len(), n, "priority must cycle through all {n} processes");
+    assert_eq!(
+        seen.len(),
+        n,
+        "priority must cycle through all {n} processes"
+    );
 }
 
 /// Read-only operations are a single load even under pending state changes
@@ -92,5 +99,8 @@ fn reads_are_single_step_under_contention() {
     exec.invoke(Pid(1), CounterOp::Inc);
     exec.step(Pid(1));
     exec.invoke(Pid(2), CounterOp::Read);
-    assert!(exec.step(Pid(2)).is_some(), "read-only ops take exactly one step");
+    assert!(
+        exec.step(Pid(2)).is_some(),
+        "read-only ops take exactly one step"
+    );
 }

@@ -29,12 +29,18 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// A benchmark `name` at parameter value `parameter`.
     pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
-        BenchmarkId { name: name.into(), parameter: Some(parameter.to_string()) }
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
     }
 
     /// A benchmark identified only by a parameter value.
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        BenchmarkId { name: String::new(), parameter: Some(parameter.to_string()) }
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
     }
 
     fn render(&self) -> String {
@@ -48,13 +54,19 @@ impl BenchmarkId {
 
 impl From<&str> for BenchmarkId {
     fn from(name: &str) -> Self {
-        BenchmarkId { name: name.to_owned(), parameter: None }
+        BenchmarkId {
+            name: name.to_owned(),
+            parameter: None,
+        }
     }
 }
 
 impl From<String> for BenchmarkId {
     fn from(name: String) -> Self {
-        BenchmarkId { name, parameter: None }
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
     }
 }
 
@@ -130,7 +142,10 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut b = Bencher { last_ns_per_iter: 0.0, sample_size: self.sample_size };
+        let mut b = Bencher {
+            last_ns_per_iter: 0.0,
+            sample_size: self.sample_size,
+        };
         routine(&mut b);
         self.report(&id, b.last_ns_per_iter);
         self
@@ -147,7 +162,10 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
-        let mut b = Bencher { last_ns_per_iter: 0.0, sample_size: self.sample_size };
+        let mut b = Bencher {
+            last_ns_per_iter: 0.0,
+            sample_size: self.sample_size,
+        };
         routine(&mut b, input);
         self.report(&id, b.last_ns_per_iter);
         self
@@ -166,7 +184,9 @@ impl BenchmarkGroup<'_> {
             }
         }
         println!("{line}");
-        self.criterion.results.push((format!("{}/{}", self.name, id.render()), ns_per_iter));
+        self.criterion
+            .results
+            .push((format!("{}/{}", self.name, id.render()), ns_per_iter));
     }
 
     /// Ends the group.
@@ -254,7 +274,10 @@ mod tests {
         let mut c = Criterion::default();
         bench_addition(&mut c);
         assert_eq!(c.results.len(), 2);
-        assert!(c.results.iter().all(|(name, ns)| !name.is_empty() && *ns >= 0.0));
+        assert!(c
+            .results
+            .iter()
+            .all(|(name, ns)| !name.is_empty() && *ns >= 0.0));
     }
 
     criterion_group!(smoke, bench_addition);

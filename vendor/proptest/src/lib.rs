@@ -36,13 +36,19 @@ pub mod test_runner {
     impl Config {
         /// A config running `cases` cases.
         pub fn with_cases(cases: u32) -> Self {
-            Config { cases, ..Config::default() }
+            Config {
+                cases,
+                ..Config::default()
+            }
         }
     }
 
     impl Default for Config {
         fn default() -> Self {
-            Config { cases: 256, max_global_rejects: 1024 }
+            Config {
+                cases: 256,
+                max_global_rejects: 1024,
+            }
         }
     }
 
@@ -361,9 +367,7 @@ pub mod prelude {
 
     pub use crate::arbitrary::Arbitrary;
     pub use crate::strategy::{Just, Strategy};
-    pub use crate::test_runner::{
-        Config as ProptestConfig, TestCaseError, TestCaseResult,
-    };
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 
     /// Namespace alias matching `proptest::prelude::prop`.
@@ -573,7 +577,8 @@ mod tests {
             let set = prop::collection::hash_set(1u32..100, 0..8).sample(&mut rng);
             assert!(set.len() < 8);
             let (a, b) = (0u8..2, prop::bool::ANY).sample(&mut rng);
-            assert!(a < 2 || b || !b);
+            assert!(a < 2);
+            let _: bool = b;
         }
     }
 
@@ -588,7 +593,7 @@ mod tests {
             mut xs in prop::collection::vec(0u8..3, 1..4),
             seed: u64,
         ) {
-            prop_assert!(v >= 1 && v < 10);
+            prop_assert!((1..10).contains(&v));
             xs.push(0);
             prop_assert!(!xs.is_empty());
             let _ = seed;
