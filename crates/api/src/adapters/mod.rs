@@ -9,16 +9,21 @@
 //! | [`QueueObject`] | `AtomicPositionalQueue` | §5.4 companion | SWSR | state-quiescent |
 //! | [`LlscObject`] | `PackedRLlsc` | Algorithm 6 | `n` symmetric | perfect |
 //! | [`UniversalObject`] | `AtomicUniversal` | Algorithm 5 | `n` symmetric | state-quiescent |
+//! | [`MaxRegisterObject`] | `AtomicMaxRegister` | §5.1 | SWSR | state-quiescent |
+//! | [`HiSetObject`] | `AtomicHiSet` | §5.1 | `n` symmetric | perfect |
+//! | [`HashTableObject`] | `AtomicHiHashTable` | follow-up (2503.21016) | `n` symmetric | state-quiescent |
 
+pub mod hashtable;
 pub mod llsc;
 pub mod queue;
 pub mod registers;
 pub mod universal;
 
+pub use hashtable::{HashTableHandle, HashTableObject};
 pub use llsc::{LlscHandle, LlscObject};
 pub use queue::{QueueHandle, QueueObject};
 pub use registers::{
-    LockFreeHiHandle, LockFreeHiObject, VidyasankarHandle, VidyasankarObject, WaitFreeHiHandle,
-    WaitFreeHiObject,
+    HiSetHandle, HiSetObject, LockFreeHiHandle, LockFreeHiObject, MaxRegisterHandle,
+    MaxRegisterObject, VidyasankarHandle, VidyasankarObject, WaitFreeHiHandle, WaitFreeHiObject,
 };
 pub use universal::{UniversalObject, UniversalObjectHandle};

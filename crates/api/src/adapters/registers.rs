@@ -1,9 +1,14 @@
-//! [`ConcurrentObject`] adapters for the §4 SWSR register backends.
+//! [`ConcurrentObject`] adapters for the §4 SWSR register backends, the
+//! §5.1 max register and the §5.1 perfect-HI set.
 
-use hi_core::objects::{MultiRegisterSpec, RegisterOp, RegisterResp};
+use hi_core::objects::{
+    MaxRegisterOp, MaxRegisterSpec, MultiRegisterSpec, RegisterOp, RegisterResp, SetOp, SetResp,
+    SetSpec,
+};
 use hi_registers::threaded::{
-    AtomicLockFreeHi, AtomicVidyasankar, AtomicWaitFreeHi, LockFreeHiReader, LockFreeHiWriter,
-    VidyasankarReader, VidyasankarWriter, WaitFreeHiReader, WaitFreeHiWriter,
+    AtomicHiSet, AtomicLockFreeHi, AtomicMaxRegister, AtomicVidyasankar, AtomicWaitFreeHi,
+    LockFreeHiReader, LockFreeHiWriter, MaxRegisterReader, MaxRegisterWriter, VidyasankarReader,
+    VidyasankarWriter, WaitFreeHiReader, WaitFreeHiWriter,
 };
 
 use crate::object::{ConcurrentObject, HiLevel, ObjectHandle, Roles};
@@ -166,6 +171,183 @@ impl ConcurrentObject<MultiRegisterSpec> for LockFreeHiObject {
 
     fn abstract_state(&self) -> u64 {
         self.reg.current_value()
+    }
+}
+
+/// The §5.1 max register through the unified facade: wait-free on both
+/// roles, state-quiescent HI — the possibility result for objects outside
+/// `C_t`, sitting right next to the §4 registers it circumvents.
+#[derive(Debug)]
+pub struct MaxRegisterObject {
+    spec: MaxRegisterSpec,
+    reg: AtomicMaxRegister,
+}
+
+impl MaxRegisterObject {
+    /// Creates the max register implementing `spec` (initial maximum 1).
+    pub fn new(spec: MaxRegisterSpec) -> Self {
+        MaxRegisterObject {
+            spec,
+            reg: AtomicMaxRegister::new(spec.k()),
+        }
+    }
+
+    /// The underlying backend, for backend-specific inspection.
+    pub fn backend(&self) -> &AtomicMaxRegister {
+        &self.reg
+    }
+}
+
+/// Role handle of [`MaxRegisterObject`].
+#[derive(Debug)]
+pub enum MaxRegisterHandle<'a> {
+    /// Handle 0: the single writer.
+    Writer(MaxRegisterWriter<'a>),
+    /// Handle 1: the single reader.
+    Reader(MaxRegisterReader<'a>),
+}
+
+impl ObjectHandle<MaxRegisterSpec> for MaxRegisterHandle<'_> {
+    fn apply(&mut self, op: MaxRegisterOp) -> RegisterResp {
+        match (self, op) {
+            (MaxRegisterHandle::Writer(w), MaxRegisterOp::WriteMax(v)) => {
+                w.write_max(v);
+                RegisterResp::Ack
+            }
+            (MaxRegisterHandle::Reader(r), MaxRegisterOp::ReadMax) => {
+                RegisterResp::Value(r.read_max())
+            }
+            (MaxRegisterHandle::Writer(_), op) => panic!("the writer cannot invoke {op:?}"),
+            (MaxRegisterHandle::Reader(_), op) => panic!("the reader cannot invoke {op:?}"),
+        }
+    }
+
+    fn supports(&self, op: &MaxRegisterOp) -> bool {
+        matches!(
+            (self, op),
+            (MaxRegisterHandle::Writer(_), MaxRegisterOp::WriteMax(_))
+                | (MaxRegisterHandle::Reader(_), MaxRegisterOp::ReadMax)
+        )
+    }
+}
+
+impl ConcurrentObject<MaxRegisterSpec> for MaxRegisterObject {
+    type Handle<'a> = MaxRegisterHandle<'a>;
+
+    fn spec(&self) -> &MaxRegisterSpec {
+        &self.spec
+    }
+
+    fn roles(&self) -> Roles {
+        Roles::SingleWriterSingleReader
+    }
+
+    fn hi_level(&self) -> HiLevel {
+        HiLevel::StateQuiescent
+    }
+
+    fn handles(&mut self) -> Vec<MaxRegisterHandle<'_>> {
+        let (w, r) = self.reg.split();
+        vec![MaxRegisterHandle::Writer(w), MaxRegisterHandle::Reader(r)]
+    }
+
+    fn mem_snapshot(&self) -> Vec<u64> {
+        self.reg.snapshot_a()
+    }
+
+    fn canonical(&self, state: &u64) -> Option<Vec<u64>> {
+        Some(self.reg.canonical(*state))
+    }
+
+    fn abstract_state(&self) -> u64 {
+        self.reg.current_value()
+    }
+}
+
+/// The §5.1 perfect-HI set through the unified facade: `n` symmetric
+/// handles, every operation a single primitive, canonical memory in *every*
+/// configuration.
+#[derive(Debug)]
+pub struct HiSetObject {
+    spec: SetSpec,
+    n: usize,
+    set: AtomicHiSet,
+}
+
+impl HiSetObject {
+    /// Creates the set implementing `spec`, shared by `n` handles.
+    pub fn new(spec: SetSpec, n: usize) -> Self {
+        assert!(n >= 1, "at least one handle");
+        HiSetObject {
+            spec,
+            n,
+            set: AtomicHiSet::new(spec.t()),
+        }
+    }
+
+    /// The underlying backend, for backend-specific inspection.
+    pub fn backend(&self) -> &AtomicHiSet {
+        &self.set
+    }
+}
+
+/// Role handle of [`HiSetObject`]: all handles are symmetric.
+#[derive(Debug)]
+pub struct HiSetHandle<'a> {
+    set: &'a AtomicHiSet,
+}
+
+impl ObjectHandle<SetSpec> for HiSetHandle<'_> {
+    fn apply(&mut self, op: SetOp) -> SetResp {
+        match op {
+            SetOp::Insert(e) => {
+                self.set.insert(e);
+                SetResp::Ack
+            }
+            SetOp::Remove(e) => {
+                self.set.remove(e);
+                SetResp::Ack
+            }
+            SetOp::Contains(e) => SetResp::Bool(self.set.contains(e)),
+        }
+    }
+
+    fn supports(&self, _op: &SetOp) -> bool {
+        true
+    }
+}
+
+impl ConcurrentObject<SetSpec> for HiSetObject {
+    type Handle<'a> = HiSetHandle<'a>;
+
+    fn spec(&self) -> &SetSpec {
+        &self.spec
+    }
+
+    fn roles(&self) -> Roles {
+        Roles::MultiProcess { n: self.n }
+    }
+
+    fn hi_level(&self) -> HiLevel {
+        HiLevel::Perfect
+    }
+
+    fn handles(&mut self) -> Vec<HiSetHandle<'_>> {
+        (0..self.n)
+            .map(|_| HiSetHandle { set: &self.set })
+            .collect()
+    }
+
+    fn mem_snapshot(&self) -> Vec<u64> {
+        self.set.snapshot()
+    }
+
+    fn canonical(&self, state: &u64) -> Option<Vec<u64>> {
+        Some(self.set.canonical(*state))
+    }
+
+    fn abstract_state(&self) -> u64 {
+        self.set.decode_state()
     }
 }
 

@@ -48,7 +48,8 @@ pub mod object;
 pub mod registry;
 
 pub use adapters::{
-    LlscObject, LockFreeHiObject, QueueObject, UniversalObject, VidyasankarObject, WaitFreeHiObject,
+    HashTableObject, HiSetObject, LlscObject, LockFreeHiObject, MaxRegisterObject, QueueObject,
+    UniversalObject, VidyasankarObject, WaitFreeHiObject,
 };
 pub use drive::{drive, random_script, throughput, DriveConfig, DriveError, DriveReport};
 pub use object::{ConcurrentObject, HiLevel, ObjectHandle, Roles};

@@ -8,17 +8,24 @@
 //! keep their memory canonical. Adding a workload is one registry entry,
 //! not a new test file.
 
-use hi_core::objects::{BoundedQueueSpec, CounterSpec, MultiRegisterSpec, QueueOp, RegisterOp};
+use hi_core::objects::{
+    BoundedQueueSpec, CounterSpec, HashSetSpec, MaxRegisterOp, MaxRegisterSpec, MultiRegisterSpec,
+    QueueOp, RegisterOp, SetSpec,
+};
 use hi_core::{EnumerableSpec, ObjectSpec};
+use hi_hashtable::SimHiHashTable;
 use hi_llsc::{RLlscSpec, SimRLlsc};
 use hi_queue::PositionalQueue;
-use hi_registers::{LockFreeHiRegister, VidyasankarRegister, WaitFreeHiRegister};
-use hi_sim::{run_workload, Executor, Implementation, Seeded, Workload};
+use hi_registers::{
+    HiSet, LockFreeHiRegister, MaxRegister, VidyasankarRegister, WaitFreeHiRegister,
+};
+use hi_sim::{run_workload, Executor, Implementation, Seeded, StepObserver, Workload};
 use hi_spec::{check_run, check_run_single_mutator, linearize, LinOptions, ObservationModel};
 use hi_universal::SimUniversal;
 
 use crate::adapters::{
-    LlscObject, LockFreeHiObject, QueueObject, UniversalObject, VidyasankarObject, WaitFreeHiObject,
+    HashTableObject, HiSetObject, LlscObject, LockFreeHiObject, MaxRegisterObject, QueueObject,
+    UniversalObject, VidyasankarObject, WaitFreeHiObject,
 };
 use crate::drive::{drive, handle_seed, random_script, throughput, DriveConfig};
 use crate::object::ConcurrentObject;
@@ -169,6 +176,78 @@ where
         .map_err(|e| e.to_string())
 }
 
+/// State-quiescent canonical-slot audit of the hash table sim twin: at every
+/// state-quiescent point the slot array (the memory representation proper;
+/// cell 0 is the seqlock word) must equal the canonical Robin Hood layout of
+/// the decoded key set. This is a direct-canonicity check, strictly stronger
+/// than `HiMonitor`'s same-state-same-memory comparison, and it is what lets
+/// the audit exclude the synchronization word with the same justification as
+/// the threaded backend's `mem_snapshot`.
+struct CanonicalSlotsObserver {
+    imp: SimHiHashTable,
+    points: u64,
+    violation: Option<String>,
+}
+
+impl StepObserver<HashSetSpec, SimHiHashTable> for CanonicalSlotsObserver {
+    fn observe(&mut self, exec: &Executor<HashSetSpec, SimHiHashTable>) {
+        if self.violation.is_some() || !exec.is_state_quiescent() {
+            return;
+        }
+        self.points += 1;
+        let snap = exec.snapshot();
+        let state = self.imp.decode_state(&snap);
+        let canonical = self.imp.canonical_slots(state);
+        if self.imp.slots_of(&snap) != canonical.as_slice() {
+            self.violation = Some(format!(
+                "state-quiescent slots {:?} are not the canonical layout {:?} of state {:#b}",
+                self.imp.slots_of(&snap),
+                canonical,
+                state
+            ));
+        }
+    }
+}
+
+/// Sim twin of a hash-table scenario: the slot-level step machine under the
+/// seeded scheduler, audited for canonical slots at every state-quiescent
+/// point, then linearized against [`HashSetSpec`].
+fn sim_hashtable(
+    t: u32,
+    capacity: usize,
+    n: usize,
+    seed: u64,
+    ops_per_pid: usize,
+) -> Result<(), String> {
+    let imp = SimHiHashTable::new(t, capacity, n);
+    let spec = HashSetSpec::new(t);
+    let menus: Vec<Vec<_>> = (0..n).map(|_| spec.ops()).collect();
+    let workload = sim_workload::<HashSetSpec>(&menus, ops_per_pid, seed);
+    let mut exec = Executor::new(imp.clone());
+    let mut observer = CanonicalSlotsObserver {
+        imp,
+        points: 0,
+        violation: None,
+    };
+    run_workload(
+        &mut exec,
+        workload,
+        &mut Seeded::new(seed),
+        &mut observer,
+        SIM_MAX_STEPS,
+    )
+    .map_err(|e| e.to_string())?;
+    if let Some(v) = observer.violation {
+        return Err(v);
+    }
+    if observer.points == 0 {
+        return Err("no state-quiescent point was audited".to_string());
+    }
+    linearize(exec.spec(), exec.history(), &LinOptions::default())
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+}
+
 // ---------------------------------------------------------------------------
 // Scenario parameters (shared by both backends of each entry).
 // ---------------------------------------------------------------------------
@@ -182,6 +261,15 @@ const COUNTER_N: usize = 3;
 const UREG_K: u64 = 4;
 const UREG_N: usize = 2;
 const UQUEUE_N: usize = 3;
+const MAXREG_K: u64 = 6;
+const SET_T: u32 = 6;
+const SET_N: usize = 3;
+const HT_T: u32 = 8;
+const HT_CAP: usize = 13;
+const HT_N: usize = 3;
+const HT_DENSE_T: u32 = 6;
+const HT_DENSE_CAP: usize = 8;
+const HT_DENSE_N: usize = 2;
 
 fn reg_spec() -> MultiRegisterSpec {
     MultiRegisterSpec::new(REG_K, 1)
@@ -197,6 +285,15 @@ fn llsc_spec() -> RLlscSpec {
 
 fn counter_spec() -> CounterSpec {
     CounterSpec::new(-300, 300, 0)
+}
+
+/// The max-register menus under the SWSR role convention: pid 0 writes,
+/// pid 1 reads.
+fn max_register_menus(k: u64) -> [Vec<MaxRegisterOp>; 2] {
+    [
+        (1..=k).map(MaxRegisterOp::WriteMax).collect(),
+        vec![MaxRegisterOp::ReadMax],
+    ]
 }
 
 fn llsc_menus() -> Vec<Vec<hi_llsc::RLlscOp>> {
@@ -306,6 +403,103 @@ pub fn registry() -> Vec<Scenario> {
                     ops,
                 )
             },
+        },
+        Scenario {
+            name: "register/max-k6",
+            about: "§5.1 max register: wait-free, state-quiescent HI outside C_t",
+            threaded: |cfg| {
+                drive_report(
+                    &mut MaxRegisterObject::new(MaxRegisterSpec::new(MAXREG_K)),
+                    cfg,
+                )
+            },
+            throughput: |ops, seed| {
+                throughput(
+                    &mut MaxRegisterObject::new(MaxRegisterSpec::new(MAXREG_K)),
+                    ops,
+                    seed,
+                )
+            },
+            sim: |seed, ops| {
+                sim_single_mutator(
+                    &MaxRegister::new(MAXREG_K),
+                    &max_register_menus(MAXREG_K),
+                    ObservationModel::StateQuiescent,
+                    seed,
+                    ops,
+                )
+            },
+        },
+        Scenario {
+            name: "set/hi-t6-n3",
+            about: "§5.1 set: one primitive per op, perfect HI, every role symmetric",
+            threaded: |cfg| drive_report(&mut HiSetObject::new(SetSpec::new(SET_T), SET_N), cfg),
+            throughput: |ops, seed| {
+                throughput(&mut HiSetObject::new(SetSpec::new(SET_T), SET_N), ops, seed)
+            },
+            sim: |seed, ops| {
+                let imp = HiSet::new(SET_T, SET_N);
+                let workload = sim_workload::<SetSpec>(
+                    &universal_menus(&SetSpec::new(SET_T), SET_N),
+                    ops,
+                    seed,
+                );
+                check_run(
+                    &imp,
+                    workload,
+                    &mut Seeded::new(seed),
+                    ObservationModel::Perfect,
+                    SIM_MAX_STEPS,
+                    // Perfect HI: the characteristic vector *is* the state.
+                    |exec| hi_core::cells::mask_of_bits(&exec.snapshot()),
+                )
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+            },
+        },
+        Scenario {
+            name: "hashtable/robinhood-t8-n3",
+            about: "follow-up paper direction: phase-free Robin Hood HI hash table",
+            threaded: |cfg| {
+                drive_report(
+                    &mut HashTableObject::new(HashSetSpec::new(HT_T), HT_CAP, HT_N),
+                    cfg,
+                )
+            },
+            throughput: |ops, seed| {
+                throughput(
+                    &mut HashTableObject::new(HashSetSpec::new(HT_T), HT_CAP, HT_N),
+                    ops,
+                    seed,
+                )
+            },
+            sim: |seed, ops| sim_hashtable(HT_T, HT_CAP, HT_N, seed, ops),
+        },
+        Scenario {
+            name: "hashtable/robinhood-dense-t6-n2",
+            about: "the same table at 0.75 max load factor: long probe chains, heavy shifting",
+            threaded: |cfg| {
+                drive_report(
+                    &mut HashTableObject::new(
+                        HashSetSpec::new(HT_DENSE_T),
+                        HT_DENSE_CAP,
+                        HT_DENSE_N,
+                    ),
+                    cfg,
+                )
+            },
+            throughput: |ops, seed| {
+                throughput(
+                    &mut HashTableObject::new(
+                        HashSetSpec::new(HT_DENSE_T),
+                        HT_DENSE_CAP,
+                        HT_DENSE_N,
+                    ),
+                    ops,
+                    seed,
+                )
+            },
+            sim: |seed, ops| sim_hashtable(HT_DENSE_T, HT_DENSE_CAP, HT_DENSE_N, seed, ops),
         },
         Scenario {
             name: "llsc/packed-v8-n3",

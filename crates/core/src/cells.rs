@@ -43,6 +43,20 @@ pub fn lowest_set(bits: &[AtomicU8]) -> Option<u64> {
         .map(|i| i as u64 + 1)
 }
 
+/// Decodes a characteristic-vector snapshot (entry `e-1` holds element `e`'s
+/// bit) into the `SetSpec`/`HashSetSpec` state shape: a bitmask with bit `e`
+/// set iff element `e` is present. The one decode both the threaded HI-set
+/// backend and the registry's sim oracles share.
+pub fn mask_of_bits(snap: &[u64]) -> u64 {
+    snap.iter().enumerate().fold(0u64, |mask, (i, &b)| {
+        if b == 1 {
+            mask | (1 << (i as u64 + 1))
+        } else {
+            mask
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

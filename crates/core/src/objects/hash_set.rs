@@ -1,0 +1,165 @@
+//! The reporting hash set over `{1..t}` (the follow-up paper's workload).
+//!
+//! Unlike [`SetSpec`](crate::objects::SetSpec), whose updates are *blind*
+//! (they return `Ack`, which is what makes the one-bit-write perfect-HI
+//! implementation possible), this set **reports**: `Insert` returns whether
+//! the element was newly added, `Remove` whether it was present. This is the
+//! natural sequential specification of a hash table's membership interface,
+//! and the abstract object implemented by `hi_hashtable`'s Robin Hood
+//! tables — where the interesting memory representation is an *array*, not
+//! a characteristic vector.
+
+use crate::object::{EnumerableSpec, ObjectSpec};
+
+/// Operations of the reporting hash set over `{1..=t}`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum HashSetOp {
+    /// Add element `e`; reports whether it was newly added.
+    Insert(u32),
+    /// Remove element `e`; reports whether it was present.
+    Remove(u32),
+    /// Membership test; read-only.
+    Contains(u32),
+}
+
+/// Responses of the reporting hash set: every operation answers a boolean.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum HashSetResp {
+    /// `Insert` → newly added; `Remove` → was present; `Contains` → member.
+    Bool(bool),
+}
+
+/// A set over the domain `{1..=t}`, `t <= 63`, with reporting updates. The
+/// state is a bitmask (bit `e` set iff `e` is in the set), exactly as in
+/// [`SetSpec`](crate::objects::SetSpec).
+///
+/// # Example
+///
+/// ```
+/// use hi_core::ObjectSpec;
+/// use hi_core::objects::{HashSetSpec, HashSetOp, HashSetResp};
+///
+/// let s = HashSetSpec::new(5);
+/// let (q, r) = s.apply(&s.initial_state(), &HashSetOp::Insert(3));
+/// assert_eq!(r, HashSetResp::Bool(true), "newly added");
+/// assert_eq!(s.apply(&q, &HashSetOp::Insert(3)).1, HashSetResp::Bool(false));
+/// assert_eq!(s.apply(&q, &HashSetOp::Remove(3)).1, HashSetResp::Bool(true));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HashSetSpec {
+    t: u32,
+}
+
+impl HashSetSpec {
+    /// Creates a reporting set over `{1..=t}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= t <= 63`.
+    pub fn new(t: u32) -> Self {
+        assert!((1..=63).contains(&t), "domain size must be in 1..=63");
+        HashSetSpec { t }
+    }
+
+    /// The domain size `t`.
+    pub fn t(&self) -> u32 {
+        self.t
+    }
+
+    fn check_elem(&self, e: u32) {
+        assert!((1..=self.t).contains(&e), "element {e} out of domain");
+    }
+}
+
+impl ObjectSpec for HashSetSpec {
+    /// Bit `e` set iff element `e` is a member.
+    type State = u64;
+    type Op = HashSetOp;
+    type Resp = HashSetResp;
+
+    fn initial_state(&self) -> u64 {
+        0
+    }
+
+    fn apply(&self, state: &u64, op: &HashSetOp) -> (u64, HashSetResp) {
+        match op {
+            HashSetOp::Insert(e) => {
+                self.check_elem(*e);
+                let added = state & (1 << e) == 0;
+                (state | (1 << e), HashSetResp::Bool(added))
+            }
+            HashSetOp::Remove(e) => {
+                self.check_elem(*e);
+                let present = state & (1 << e) != 0;
+                (state & !(1 << e), HashSetResp::Bool(present))
+            }
+            HashSetOp::Contains(e) => {
+                self.check_elem(*e);
+                (*state, HashSetResp::Bool(state & (1 << e) != 0))
+            }
+        }
+    }
+
+    fn is_read_only(&self, op: &HashSetOp) -> bool {
+        matches!(op, HashSetOp::Contains(_))
+    }
+}
+
+impl EnumerableSpec for HashSetSpec {
+    fn states(&self) -> Vec<u64> {
+        // All subsets of {1..t}, as bitmasks over bits 1..=t.
+        (0..(1u64 << self.t)).map(|m| m << 1).collect()
+    }
+
+    fn ops(&self) -> Vec<HashSetOp> {
+        let mut ops = Vec::new();
+        for e in 1..=self.t {
+            ops.push(HashSetOp::Insert(e));
+            ops.push(HashSetOp::Remove(e));
+            ops.push(HashSetOp::Contains(e));
+        }
+        ops
+    }
+
+    fn responses(&self) -> Vec<HashSetResp> {
+        vec![HashSetResp::Bool(false), HashSetResp::Bool(true)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_is_closed() {
+        HashSetSpec::new(3).check_closed();
+    }
+
+    #[test]
+    fn reports_membership_transitions() {
+        let s = HashSetSpec::new(5);
+        let mut q = s.initial_state();
+        let (q2, r) = s.apply(&q, &HashSetOp::Insert(2));
+        assert_eq!(r, HashSetResp::Bool(true));
+        q = q2;
+        assert_eq!(
+            s.apply(&q, &HashSetOp::Insert(2)).1,
+            HashSetResp::Bool(false)
+        );
+        assert_eq!(
+            s.apply(&q, &HashSetOp::Remove(4)).1,
+            HashSetResp::Bool(false)
+        );
+        let (q3, r) = s.apply(&q, &HashSetOp::Remove(2));
+        assert_eq!(r, HashSetResp::Bool(true));
+        assert_eq!(q3, 0);
+    }
+
+    #[test]
+    fn contains_is_the_only_read_only_op() {
+        let s = HashSetSpec::new(3);
+        assert!(s.is_read_only(&HashSetOp::Contains(1)));
+        assert!(!s.is_read_only(&HashSetOp::Insert(1)));
+        assert!(!s.is_read_only(&HashSetOp::Remove(1)));
+    }
+}

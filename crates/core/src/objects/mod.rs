@@ -11,12 +11,16 @@
 //! * [`MaxRegisterSpec`] — the max register of §5.1, *not* in `C_t`.
 //! * [`SetSpec`] — the set over `{1..t}` of §5.1, *not* in `C_t`, with a
 //!   trivially perfect-HI implementation.
+//! * [`HashSetSpec`] — the *reporting* set over `{1..t}` (updates return
+//!   whether they changed membership): the abstract object of the
+//!   `hi_hashtable` Robin Hood tables.
 //! * [`BoundedQueueSpec`] — the queue with `Peek` of §5.4.
 //! * [`CounterSpec`], [`StackSpec`], [`MapSpec`] — additional objects
 //!   exercised by the universal construction (§6).
 
 mod cas;
 mod counter;
+mod hash_set;
 mod map;
 mod max_register;
 mod pqueue;
@@ -28,6 +32,7 @@ mod stack;
 
 pub use cas::{CasOp, CasResp, CasSpec};
 pub use counter::{CounterOp, CounterResp, CounterSpec};
+pub use hash_set::{HashSetOp, HashSetResp, HashSetSpec};
 pub use map::{MapOp, MapResp, MapSpec};
 pub use max_register::{MaxRegisterOp, MaxRegisterSpec};
 pub use pqueue::{PQueueOp, PQueueResp, PQueueSpec};

@@ -19,15 +19,27 @@
 //! universal construction (Algorithm 5) is exactly what removes this
 //! same-type restriction — at the cost of serializing through `head`.
 //!
+//! [`threaded::AtomicHiHashTable`] removes the restriction *natively*,
+//! following the authors' follow-up *History-Independent Concurrent Hash
+//! Tables* (arXiv:2503.21016): insert, remove and lookup interleave
+//! arbitrarily, lookups are lock-free, and the slot array is canonical at
+//! every state-quiescent point. [`sim::SimHiHashTable`] is its slot-level
+//! simulator twin, pluggable into `hi_sim`/`hi_spec` for scheduler-driven
+//! auditing.
+//!
 //! [`seq::TombstoneHashTable`] is the contrast: classic tombstone deletion
 //! leaks deleted keys' past presence — the table equivalent of the §4
 //! register leak.
 
 pub mod phase;
 pub mod seq;
+pub mod sim;
+pub mod threaded;
 
 pub use phase::AtomicHashTable;
 pub use seq::{HiHashTable, TombstoneHashTable};
+pub use sim::SimHiHashTable;
+pub use threaded::AtomicHiHashTable;
 
 /// The hash function shared by all tables: a fixed multiplicative hash.
 /// Fixed (not randomized) so the canonical layout is determined at
@@ -57,6 +69,66 @@ pub fn incumbent_wins(incumbent: u32, candidate: u32, slot: usize, capacity: usi
     di > dc || (di == dc && incumbent >= candidate)
 }
 
+/// The canonical Robin Hood layout of a key set: every key inserted into a
+/// fresh sequential [`HiHashTable`] — the unique representation the
+/// concurrent backends, their sim twin and the test oracles all compare
+/// against.
+///
+/// # Panics
+///
+/// Panics if any key is 0 or the keys do not fit in `capacity`.
+pub fn canonical_layout(capacity: usize, keys: impl IntoIterator<Item = u32>) -> Vec<u32> {
+    let mut oracle = HiHashTable::new(capacity);
+    for k in keys {
+        oracle.insert(k);
+    }
+    oracle.memory().to_vec()
+}
+
+/// [`canonical_layout`] of a `HashSetSpec`-style state bitmask (bit `e` set
+/// iff element `e` of `1..=t` is present), widened to the `Vec<u64>` shape
+/// all `mem(C)` snapshots use. The one oracle both the threaded facade
+/// adapter and the sim twin audit against.
+pub fn canonical_slots_of_mask(capacity: usize, t: u32, state: u64) -> Vec<u64> {
+    canonical_layout(capacity, (1..=t).filter(|e| state & (1 << e) != 0))
+        .into_iter()
+        .map(u64::from)
+        .collect()
+}
+
+/// The Robin Hood carry of `key` through the contiguous occupied `run`
+/// starting at slot `a` (the run must end just before an empty slot): the
+/// `(slot, value)` writes that turn the run into the post-insert layout.
+///
+/// The writes come **far-end first** — the duplicate-then-overwrite order:
+/// the carry moves each displaced incumbent strictly forward, so every write
+/// lands a key *before* the write that overwrites its old copy, and no
+/// present key is ever absent from memory mid-rewrite. Shared by the
+/// threaded backend and its sim twin so the two can never drift.
+pub fn carry_writes(key: u32, a: usize, run: &[u32], capacity: usize) -> Vec<(usize, u32)> {
+    // new[j] is the post-insert content of slot (a + j) % capacity.
+    let mut new = Vec::with_capacity(run.len() + 1);
+    let mut cur = key;
+    for (j, &occ) in run.iter().enumerate() {
+        let slot = (a + j) % capacity;
+        if incumbent_wins(occ, cur, slot, capacity) {
+            new.push(occ);
+        } else {
+            new.push(cur);
+            cur = occ;
+        }
+    }
+    new.push(cur); // lands in the empty slot after the run
+    let mut writes = Vec::new();
+    for j in (0..new.len()).rev() {
+        let old = if j < run.len() { run[j] } else { 0 };
+        if new[j] != old {
+            writes.push(((a + j) % capacity, new[j]));
+        }
+    }
+    writes
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,6 +140,34 @@ mod tests {
             let home = slot_of(key, cap);
             assert_eq!(displacement(key, home, cap), 0);
             assert_eq!(displacement(key, (home + 3) % cap, cap), 3);
+        }
+    }
+
+    #[test]
+    fn carry_writes_reproduce_the_sequential_insert() {
+        // Applying the shared carry to a canonical array must yield exactly
+        // the canonical array of the enlarged key set, for every insertion
+        // point the probe can find.
+        let cap = 16;
+        let keys = [7u32, 15, 23, 31, 2, 18, 34];
+        for new_key in (1..=40).filter(|k| !keys.contains(k)) {
+            let mut mem = canonical_layout(cap, keys.iter().copied());
+            // Find the insertion point and run exactly as the backends do.
+            let mut a = slot_of(new_key, cap);
+            while mem[a] != 0 && incumbent_wins(mem[a], new_key, a, cap) {
+                a = (a + 1) % cap;
+            }
+            let mut run = Vec::new();
+            let mut z = a;
+            while mem[z] != 0 {
+                run.push(mem[z]);
+                z = (z + 1) % cap;
+            }
+            for (slot, val) in carry_writes(new_key, a, &run, cap) {
+                mem[slot] = val;
+            }
+            let expected = canonical_layout(cap, keys.iter().copied().chain([new_key]));
+            assert_eq!(mem, expected, "inserting {new_key}");
         }
     }
 

@@ -52,11 +52,23 @@ impl AtomicHashTable {
     /// number of threads. Lock-free; the caller must ensure the table cannot
     /// fill (keys inserted < capacity), as a full table would spin.
     ///
+    /// # Contract (enforced in debug builds at phase boundaries)
+    ///
     /// Within one phase, each key must be inserted by at most one thread:
     /// a duplicate insert racing an eviction that momentarily holds the
     /// first copy out of memory could double-place the key. (Re-inserting a
     /// key in a later phase, or repeatedly from the same thread, is fine
-    /// and idempotent.)
+    /// and idempotent.) A violation cannot be detected reliably *during*
+    /// the phase — a slot-by-slot scan can sight a key twice while an
+    /// eviction legally moves it forward past the scan front — so
+    /// enforcement happens where the table is quiescent: every phase switch
+    /// through [`remove`](AtomicHashTable::remove) (whose `&mut self` proves
+    /// exclusivity) debug-checks the whole table, and drivers can call
+    /// [`debug_enforce_unique`](AtomicHashTable::debug_enforce_unique)
+    /// between phases. Callers that need racing duplicate inserts should
+    /// use the phase-free
+    /// [`threaded::AtomicHiHashTable`](crate::threaded::AtomicHiHashTable),
+    /// which serializes updates and handles them by construction.
     ///
     /// # Panics
     ///
@@ -99,6 +111,40 @@ impl AtomicHashTable {
         }
     }
 
+    /// The number of slots currently holding `key`. **Exact only while no
+    /// insert is in flight** (between phases): no instant ever has two
+    /// copies of a key in memory, but this is a slot-by-slot scan, and a
+    /// key legally evicted from behind the scan front and re-placed ahead
+    /// of it can be sighted twice mid-phase.
+    pub fn copies_of(&self, key: u32) -> usize {
+        assert!(key != 0);
+        self.slots.iter().filter(|s| s.load(ORD) == key).count()
+    }
+
+    /// Debug enforcement of the insert-phase contract: panics if `key` is
+    /// double-placed. Call **between phases** (no insert in flight), where
+    /// [`copies_of`](AtomicHashTable::copies_of) is exact;
+    /// [`remove`](AtomicHashTable::remove) runs the table-wide equivalent
+    /// automatically at every delete-phase entry in debug builds.
+    pub fn debug_enforce_unique(&self, key: u32) {
+        let copies = self.copies_of(key);
+        assert!(
+            copies <= 1,
+            "phase contract violated: key {key} occupies {copies} slots \
+             (racing duplicate inserts within one phase?)"
+        );
+    }
+
+    /// Table-wide duplicate check, used by the debug phase-boundary
+    /// enforcement: the first key occupying two slots, if any.
+    fn first_duplicate(&self) -> Option<u32> {
+        let mut seen = std::collections::HashSet::new();
+        self.slots
+            .iter()
+            .map(|s| s.load(ORD))
+            .find(|&k| k != 0 && !seen.insert(k))
+    }
+
     /// Lookup-phase operation: membership test, callable concurrently.
     ///
     /// Sound only within a lookup phase (no concurrent inserts/deletes),
@@ -121,7 +167,21 @@ impl AtomicHashTable {
 
     /// Delete-phase operation: sequential (requires `&mut self`), using the
     /// canonical backward-shift of the sequential table.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if the preceding insert phase double-placed a
+    /// key (the `&mut self` receiver proves the table is quiescent here, so
+    /// the table-wide scan is exact — see
+    /// [`insert`](AtomicHashTable::insert)'s contract).
     pub fn remove(&mut self, key: u32) -> bool {
+        #[cfg(debug_assertions)]
+        if let Some(dup) = self.first_duplicate() {
+            panic!(
+                "phase contract violated: key {dup} occupies multiple slots \
+                 (racing duplicate inserts in the preceding phase?)"
+            );
+        }
         let mut seq = self.to_sequential();
         let removed = seq.remove(key);
         if removed {
@@ -229,6 +289,87 @@ mod tests {
             reference.insert(k);
         }
         assert_eq!(table.memory(), reference.memory());
+    }
+
+    #[test]
+    fn copies_of_counts_and_the_debug_check_accepts_unique_keys() {
+        let table = AtomicHashTable::new(16);
+        for k in [3u32, 7, 11] {
+            table.insert(k);
+        }
+        assert_eq!(table.copies_of(3), 1);
+        assert_eq!(table.copies_of(5), 0);
+        for k in [3u32, 7, 11] {
+            table.debug_enforce_unique(k); // must not panic
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "phase contract violated")]
+    fn debug_check_detects_a_double_placed_key() {
+        // Regression test for the documented duplicate-insert hazard: build
+        // the corrupted layout a racing duplicate insert can produce (the
+        // same key placed in two slots) and verify the detector fires.
+        let table = AtomicHashTable::new(8);
+        table.slots[1].store(7, ORD);
+        table.slots[5].store(7, ORD);
+        table.debug_enforce_unique(7);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase contract violated")]
+    fn delete_phase_rejects_a_double_placed_table() {
+        // The automatic boundary enforcement: entering a delete phase with
+        // a double-placed key must refuse rather than bake the corruption
+        // into a "canonical" rebuild.
+        let mut table = AtomicHashTable::new(8);
+        table.slots[1].store(7, ORD);
+        table.slots[5].store(7, ORD);
+        table.remove(7);
+    }
+
+    #[test]
+    fn racing_duplicate_inserts_never_corrupt_silently() {
+        // Hammer the exact race the contract forbids: two threads inserting
+        // the same fresh key amid contract-clean filler inserts. At the
+        // phase boundary (threads joined, so the scan is exact) the outcome
+        // must be accounted for: either the key sits in exactly one slot,
+        // or it was double-placed — and then both the explicit check and
+        // the delete-phase entry must report the violation rather than let
+        // it corrupt the canonical layout silently.
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        for round in 0..200u32 {
+            let mut table = AtomicHashTable::new(16);
+            let dup_key = 4 + (round % 3); // vary collision patterns
+            std::thread::scope(|s| {
+                for t in 0..2 {
+                    let table = &table;
+                    s.spawn(move || {
+                        // Per-thread distinct filler keys (contract-clean),
+                        // then the contested duplicate.
+                        let base = 20 + t * 8;
+                        for k in base..base + 3 {
+                            table.insert(k);
+                        }
+                        table.insert(dup_key);
+                    });
+                }
+            });
+            let copies = table.copies_of(dup_key);
+            if copies > 1 {
+                assert!(
+                    catch_unwind(AssertUnwindSafe(|| table.debug_enforce_unique(dup_key))).is_err(),
+                    "round {round}: double-place of {dup_key} went undetected"
+                );
+                assert!(
+                    catch_unwind(AssertUnwindSafe(|| table.remove(dup_key))).is_err(),
+                    "round {round}: the delete phase accepted a double-placed table"
+                );
+            } else {
+                assert_eq!(copies, 1, "round {round}: key {dup_key} lost entirely");
+            }
+        }
     }
 
     #[test]

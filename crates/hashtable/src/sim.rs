@@ -1,0 +1,494 @@
+//! Simulator twin of [`AtomicHiHashTable`](crate::threaded::AtomicHiHashTable):
+//! the same phase-free protocol — seqlock-serialized updates with
+//! duplicate-then-overwrite shifting, lock-free seqlock-validated lookups —
+//! as a slot-level step machine over [`hi_sim`]'s shared memory, one
+//! primitive per step, so the seeded scheduler can interleave it arbitrarily
+//! and `hi_spec` can audit linearizability and canonical memory.
+//!
+//! Memory layout: cell 0 is the seqlock word, cells `1..=capacity` are the
+//! slots (0 = empty, else a key in `1..=t`). As in the threaded backend, the
+//! seqlock word is synchronization state, not part of the canonical
+//! representation; use [`SimHiHashTable::slots_of`] to project a snapshot
+//! onto the slot array before comparing against
+//! [`SimHiHashTable::canonical_slots`].
+
+use hi_core::objects::{HashSetOp, HashSetResp, HashSetSpec};
+use hi_core::Pid;
+use hi_sim::{CellDomain, CellId, Implementation, MemCtx, ProcessHandle, SharedMem};
+
+use crate::{carry_writes, displacement, incumbent_wins, slot_of};
+
+/// The phase-free HI hash table as a simulator implementation of
+/// [`HashSetSpec`]. Any of the `n` processes may run any operation.
+#[derive(Clone, Debug)]
+pub struct SimHiHashTable {
+    spec: HashSetSpec,
+    capacity: usize,
+    n: usize,
+    seq: CellId,
+    slots: Vec<CellId>,
+    mem: SharedMem,
+}
+
+impl SimHiHashTable {
+    /// Creates a table over `{1..=t}` with `capacity` slots, shared by `n`
+    /// processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `capacity > t` (the domain must never fill the table).
+    pub fn new(t: u32, capacity: usize, n: usize) -> Self {
+        assert!(
+            capacity > t as usize,
+            "capacity {capacity} must exceed the domain size {t}"
+        );
+        let spec = HashSetSpec::new(t);
+        let mut mem = SharedMem::new();
+        let seq = mem.alloc("seq", CellDomain::Word, 0);
+        let slots = (0..capacity)
+            .map(|i| mem.alloc(format!("H[{i}]"), CellDomain::Bounded(u64::from(t) + 1), 0))
+            .collect();
+        SimHiHashTable {
+            spec,
+            capacity,
+            n,
+            seq,
+            slots,
+            mem,
+        }
+    }
+
+    /// Capacity in slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Projects a full memory snapshot onto the slot array (drops the
+    /// seqlock word).
+    pub fn slots_of<'a>(&self, snap: &'a [u64]) -> &'a [u64] {
+        &snap[1..]
+    }
+
+    /// The abstract state (bitmask) decoded from a snapshot's slot array.
+    /// Only meaningful at state-quiescent points, where the array holds
+    /// exactly the present keys.
+    pub fn decode_state(&self, snap: &[u64]) -> u64 {
+        self.slots_of(snap)
+            .iter()
+            .filter(|&&k| k != 0)
+            .fold(0u64, |mask, &k| mask | (1 << k))
+    }
+
+    /// The canonical slot array of abstract state `state`, via the
+    /// sequential oracle.
+    pub fn canonical_slots(&self, state: u64) -> Vec<u64> {
+        crate::canonical_slots_of_mask(self.capacity, self.spec.t(), state)
+    }
+}
+
+/// What an update does once it finds its probe verdict.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum UpdateKind {
+    Insert(u32),
+    Remove(u32),
+}
+
+impl UpdateKind {
+    fn key(&self) -> u32 {
+        match self {
+            UpdateKind::Insert(k) | UpdateKind::Remove(k) => *k,
+        }
+    }
+}
+
+/// Program counter of one table operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Pc {
+    Idle,
+    /// Update path: read `seq`, hoping for an even value.
+    AcquireRead {
+        op: UpdateKind,
+    },
+    /// Update path: CAS `seq` from even `s` to `s + 1`.
+    AcquireCas {
+        op: UpdateKind,
+        s: u64,
+    },
+    /// Update path: probe walk under the held lock.
+    Probe {
+        op: UpdateKind,
+        s: u64,
+        i: usize,
+        travelled: usize,
+    },
+    /// Insert: collect the occupied run from the insertion point.
+    Collect {
+        key: u32,
+        s: u64,
+        a: usize,
+        run: Vec<u32>,
+    },
+    /// Remove: collect the backward-shift run after the hole.
+    ShiftScan {
+        s: u64,
+        hole: usize,
+        writes: Vec<(usize, u32)>,
+    },
+    /// Apply the precomputed slot writes, one per step.
+    Write {
+        s: u64,
+        writes: Vec<(usize, u32)>,
+        idx: usize,
+        resp: bool,
+    },
+    /// Store `s + 1` into `seq` and respond.
+    Release {
+        s: u64,
+        resp: bool,
+    },
+    /// Lookup: read `seq` to open the validation window.
+    LookSeq {
+        key: u32,
+    },
+    /// Lookup: probe walk.
+    LookScan {
+        key: u32,
+        s1: u64,
+        i: usize,
+        travelled: usize,
+    },
+    /// Lookup: re-read `seq`; absent verdict stands only if unchanged+even.
+    LookValidate {
+        key: u32,
+        s1: u64,
+    },
+}
+
+/// The per-process step machine of [`SimHiHashTable`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SimHiHashTableProcess {
+    capacity: usize,
+    seq: CellId,
+    slots: Vec<CellId>,
+    pc: Pc,
+}
+
+impl SimHiHashTableProcess {
+    fn slot(&self, i: usize) -> CellId {
+        self.slots[i]
+    }
+}
+
+impl ProcessHandle<HashSetSpec> for SimHiHashTableProcess {
+    fn invoke(&mut self, op: HashSetOp) {
+        assert!(self.is_idle(), "operation already pending");
+        self.pc = match op {
+            HashSetOp::Insert(e) => Pc::AcquireRead {
+                op: UpdateKind::Insert(e),
+            },
+            HashSetOp::Remove(e) => Pc::AcquireRead {
+                op: UpdateKind::Remove(e),
+            },
+            HashSetOp::Contains(e) => Pc::LookSeq { key: e },
+        };
+    }
+
+    fn is_idle(&self) -> bool {
+        self.pc == Pc::Idle
+    }
+
+    fn step(&mut self, ctx: &mut MemCtx<'_>) -> Option<HashSetResp> {
+        let cap = self.capacity;
+        match self.pc.clone() {
+            Pc::Idle => panic!("step of idle process"),
+            Pc::AcquireRead { op } => {
+                let s = ctx.read(self.seq);
+                self.pc = if s % 2 == 0 {
+                    Pc::AcquireCas { op, s }
+                } else {
+                    Pc::AcquireRead { op }
+                };
+                None
+            }
+            Pc::AcquireCas { op, s } => {
+                self.pc = if ctx.cas(self.seq, s, s + 1) {
+                    Pc::Probe {
+                        op,
+                        s: s + 1,
+                        i: slot_of(op.key(), cap),
+                        travelled: 0,
+                    }
+                } else {
+                    Pc::AcquireRead { op }
+                };
+                None
+            }
+            Pc::Probe {
+                op,
+                s,
+                i,
+                travelled,
+            } => {
+                assert!(travelled < cap, "locked probe found no terminator");
+                let occ = ctx.read(self.slot(i)) as u32;
+                let key = op.key();
+                if occ == key {
+                    // Present: an insert is a duplicate, a remove starts its
+                    // backward shift at this hole.
+                    self.pc = match op {
+                        UpdateKind::Insert(_) => Pc::Release { s, resp: false },
+                        UpdateKind::Remove(_) => Pc::ShiftScan {
+                            s,
+                            hole: i,
+                            writes: Vec::new(),
+                        },
+                    };
+                } else if occ == 0 || !incumbent_wins(occ, key, i, cap) {
+                    // Absent: an insert starts collecting its run here, a
+                    // remove is a no-op.
+                    self.pc = match op {
+                        UpdateKind::Insert(_) => Pc::Collect {
+                            key,
+                            s,
+                            a: i,
+                            run: Vec::new(),
+                        },
+                        UpdateKind::Remove(_) => Pc::Release { s, resp: false },
+                    };
+                } else {
+                    self.pc = Pc::Probe {
+                        op,
+                        s,
+                        i: (i + 1) % cap,
+                        travelled: travelled + 1,
+                    };
+                }
+                None
+            }
+            Pc::Collect { key, s, a, mut run } => {
+                assert!(run.len() < cap, "insert found no empty slot: table full");
+                let occ = ctx.read(self.slot((a + run.len()) % cap)) as u32;
+                if occ == 0 {
+                    let writes = carry_writes(key, a, &run, cap);
+                    self.pc = Pc::Write {
+                        s,
+                        writes,
+                        idx: 0,
+                        resp: true,
+                    };
+                } else {
+                    run.push(occ);
+                    self.pc = Pc::Collect { key, s, a, run };
+                }
+                None
+            }
+            Pc::ShiftScan {
+                s,
+                hole,
+                mut writes,
+            } => {
+                let next = (hole + 1) % cap;
+                let occ = ctx.read(self.slot(next)) as u32;
+                if occ == 0 || displacement(occ, next, cap) == 0 {
+                    writes.push((hole, 0));
+                    self.pc = Pc::Write {
+                        s,
+                        writes,
+                        idx: 0,
+                        resp: true,
+                    };
+                } else {
+                    writes.push((hole, occ));
+                    self.pc = Pc::ShiftScan {
+                        s,
+                        hole: next,
+                        writes,
+                    };
+                }
+                None
+            }
+            Pc::Write {
+                s,
+                writes,
+                idx,
+                resp,
+            } => {
+                if idx < writes.len() {
+                    let (slot, val) = writes[idx];
+                    ctx.write(self.slot(slot), u64::from(val));
+                    self.pc = Pc::Write {
+                        s,
+                        writes,
+                        idx: idx + 1,
+                        resp,
+                    };
+                    None
+                } else {
+                    // No primitive left to batch with the release; fall
+                    // through to the release store on this step.
+                    ctx.write(self.seq, s + 1);
+                    self.pc = Pc::Idle;
+                    Some(HashSetResp::Bool(resp))
+                }
+            }
+            Pc::Release { s, resp } => {
+                ctx.write(self.seq, s + 1);
+                self.pc = Pc::Idle;
+                Some(HashSetResp::Bool(resp))
+            }
+            Pc::LookSeq { key } => {
+                let s1 = ctx.read(self.seq);
+                self.pc = Pc::LookScan {
+                    key,
+                    s1,
+                    i: slot_of(key, cap),
+                    travelled: 0,
+                };
+                None
+            }
+            Pc::LookScan {
+                key,
+                s1,
+                i,
+                travelled,
+            } => {
+                if travelled >= cap {
+                    // Full turn without a terminator: interference; retry.
+                    self.pc = Pc::LookSeq { key };
+                    return None;
+                }
+                let occ = ctx.read(self.slot(i)) as u32;
+                if occ == key {
+                    self.pc = Pc::Idle;
+                    return Some(HashSetResp::Bool(true));
+                }
+                if occ == 0 || !incumbent_wins(occ, key, i, cap) {
+                    self.pc = Pc::LookValidate { key, s1 };
+                } else {
+                    self.pc = Pc::LookScan {
+                        key,
+                        s1,
+                        i: (i + 1) % cap,
+                        travelled: travelled + 1,
+                    };
+                }
+                None
+            }
+            Pc::LookValidate { key, s1 } => {
+                let s2 = ctx.read(self.seq);
+                if s1 % 2 == 0 && s2 == s1 {
+                    self.pc = Pc::Idle;
+                    Some(HashSetResp::Bool(false))
+                } else {
+                    self.pc = Pc::LookSeq { key };
+                    None
+                }
+            }
+        }
+    }
+
+    fn peeked_cell(&self) -> Option<CellId> {
+        match &self.pc {
+            Pc::Idle => None,
+            Pc::AcquireRead { .. }
+            | Pc::AcquireCas { .. }
+            | Pc::Release { .. }
+            | Pc::LookSeq { .. }
+            | Pc::LookValidate { .. } => Some(self.seq),
+            Pc::Probe { i, .. } | Pc::LookScan { i, .. } => Some(self.slot(*i)),
+            Pc::Collect { a, run, .. } => Some(self.slot((a + run.len()) % self.capacity)),
+            Pc::ShiftScan { hole, .. } => Some(self.slot((hole + 1) % self.capacity)),
+            Pc::Write { writes, idx, .. } => Some(if *idx < writes.len() {
+                self.slot(writes[*idx].0)
+            } else {
+                self.seq
+            }),
+        }
+    }
+}
+
+impl Implementation<HashSetSpec> for SimHiHashTable {
+    type Process = SimHiHashTableProcess;
+
+    fn spec(&self) -> &HashSetSpec {
+        &self.spec
+    }
+
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn init_memory(&self) -> SharedMem {
+        self.mem.clone()
+    }
+
+    fn make_process(&self, _pid: Pid) -> SimHiHashTableProcess {
+        SimHiHashTableProcess {
+            capacity: self.capacity,
+            seq: self.seq,
+            slots: self.slots.clone(),
+            pc: Pc::Idle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hi_core::ObjectSpec;
+    use hi_sim::Executor;
+
+    #[test]
+    fn solo_ops_match_the_sequential_oracle() {
+        let imp = SimHiHashTable::new(6, 8, 2);
+        let mut exec = Executor::new(imp.clone());
+        let script = [
+            (HashSetOp::Insert(3), true),
+            (HashSetOp::Insert(3), false),
+            (HashSetOp::Insert(5), true),
+            (HashSetOp::Contains(5), true),
+            (HashSetOp::Remove(3), true),
+            (HashSetOp::Remove(3), false),
+            (HashSetOp::Contains(3), false),
+        ];
+        let mut state = 0u64;
+        for (op, expect) in script {
+            let resp = exec.run_op_solo(Pid(0), op, 1_000).unwrap();
+            assert_eq!(resp, HashSetResp::Bool(expect), "{op:?}");
+            state = exec.spec().apply(&state, &op).0;
+            assert_eq!(
+                imp.slots_of(&exec.snapshot()),
+                imp.canonical_slots(state),
+                "state-quiescent memory canonical after {op:?}"
+            );
+            assert_eq!(imp.decode_state(&exec.snapshot()), state);
+        }
+    }
+
+    #[test]
+    fn lookup_retries_while_an_update_is_in_flight() {
+        let imp = SimHiHashTable::new(6, 8, 2);
+        let mut exec = Executor::new(imp);
+        exec.run_op_solo(Pid(0), HashSetOp::Insert(2), 1_000)
+            .unwrap();
+        // Start an insert on pid 0 and stall it right after lock acquisition.
+        exec.invoke(Pid(0), HashSetOp::Insert(5));
+        for _ in 0..3 {
+            assert!(exec.step(Pid(0)).is_none());
+        }
+        // A lookup for an absent key cannot produce a verdict while the
+        // seqlock is odd: it keeps cycling through its retry loop.
+        exec.invoke(Pid(1), HashSetOp::Contains(4));
+        for _ in 0..40 {
+            assert!(
+                exec.step(Pid(1)).is_none(),
+                "absent verdict accepted while an update was in flight"
+            );
+        }
+        // Present keys are still sighted mid-update.
+        let resp = exec.run_solo(Pid(0), 1_000).unwrap().1;
+        assert_eq!(resp, HashSetResp::Bool(true));
+        let resp = exec.run_solo(Pid(1), 1_000).unwrap().1;
+        assert_eq!(resp, HashSetResp::Bool(false));
+    }
+}

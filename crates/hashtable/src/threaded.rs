@@ -1,0 +1,471 @@
+//! The phase-free concurrent HI hash table: `insert`, `remove` and
+//! `contains` may be invoked concurrently, in any mix, from any number of
+//! threads — the restriction the paper points out in the phase-concurrent
+//! tables of [42] is gone from the API, following the direction of the
+//! authors' follow-up *History-Independent Concurrent Hash Tables*
+//! (arXiv:2503.21016).
+//!
+//! # Design
+//!
+//! The memory representation is the same canonical Robin Hood array as
+//! [`HiHashTable`](crate::seq::HiHashTable): linear probing, the fixed
+//! priority rule of [`incumbent_wins`](crate::incumbent_wins), backward-shift
+//! deletion, no tombstones. Unique representability makes the slot array a
+//! function of the abstract key set, so the table is **state-quiescent HI**:
+//! whenever no update is in flight, `memory()` equals the canonical layout.
+//!
+//! Concurrency is split by operation kind:
+//!
+//! * **Lookups never block and never write.** A `contains` walks the probe
+//!   sequence; sighting the key anywhere is a valid *present* verdict at the
+//!   instant of that read. An *absent* verdict is accepted only if a seqlock
+//!   word (`seq`) is even and unchanged across the whole walk — i.e. the walk
+//!   ran inside an update-free window, where the array is canonical and the
+//!   Robin Hood terminator genuinely proves absence. Otherwise the walk
+//!   retries; it can be starved only while updates keep completing, so
+//!   lookups are lock-free.
+//! * **Updates serialize through `seq`** (CAS even→odd to acquire, store +2
+//!   to release) and perform their multi-slot rewrites in a
+//!   *duplicate-then-overwrite* order chosen so that **no present key is
+//!   ever absent from the array mid-update** — an insert's displacement
+//!   chain is written far-end first, a removal's backward shift near-end
+//!   first. A concurrent lookup can therefore never miss a present key
+//!   without the seqlock also telling it to retry, and never sights a key
+//!   that was not (at that instant) either present or mid-operation.
+//!
+//! This is an engineering reduction of the follow-up paper: their table
+//! makes *updates* lock-free as well (a substantially more intricate
+//! protocol); here updates are mutually exclusive and only lookups are
+//! lock-free. One further honest caveat: the seqlock word is an operation
+//! counter, so while the slot array — the memory representation proper,
+//! what [`memory`](AtomicHiHashTable::memory) exposes — is canonical at
+//! state-quiescent points, the synchronization word leaks an update count
+//! (the paper's bounded-timestamp machinery would be needed to remove it).
+//! Both gaps are recorded in the ROADMAP.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use crate::seq::HiHashTable;
+use crate::{carry_writes, displacement, incumbent_wins, slot_of};
+
+const ORD: Ordering = Ordering::SeqCst;
+
+/// The phase-free concurrent HI hash set over nonzero `u32` keys. All
+/// operations take `&self` and may run from any number of threads in any
+/// mix; see the module docs for the concurrency contract.
+#[derive(Debug)]
+pub struct AtomicHiHashTable {
+    slots: Box<[AtomicU32]>,
+    /// Seqlock over updates: odd while an update is rewriting slots.
+    seq: AtomicU64,
+    /// Number of stored keys; only updated under the seqlock. The table
+    /// keeps at least one slot empty (see [`insert`](Self::insert)) so that
+    /// every probe walk terminates.
+    len: AtomicUsize,
+}
+
+impl AtomicHiHashTable {
+    /// Creates an empty table with `capacity` slots. The table stores at
+    /// most `capacity - 1` keys (one slot always stays empty so probe walks
+    /// terminate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2, "a probe-terminating table needs 2+ slots");
+        AtomicHiHashTable {
+            slots: (0..capacity).map(|_| AtomicU32::new(0)).collect(),
+            seq: AtomicU64::new(0),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Capacity in slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of keys stored. Exact at state-quiescent points.
+    pub fn len(&self) -> usize {
+        self.len.load(ORD)
+    }
+
+    /// Whether the table is empty. Exact at state-quiescent points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The memory representation: the slot array (0 = empty). A consistent
+    /// snapshot only at state-quiescent points (no update in flight), where
+    /// it equals the canonical layout of the abstract key set.
+    pub fn memory(&self) -> Vec<u32> {
+        self.slots.iter().map(|s| s.load(ORD)).collect()
+    }
+
+    /// The keys currently stored, sorted (the abstract state). Only
+    /// meaningful at state-quiescent points.
+    pub fn keys(&self) -> Vec<u32> {
+        let mut keys: Vec<u32> = self.memory().into_iter().filter(|&k| k != 0).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Copies the current contents into a sequential [`HiHashTable`] (at
+    /// state-quiescent points the layouts agree bit for bit).
+    pub fn to_sequential(&self) -> HiHashTable {
+        let mut seq = HiHashTable::new(self.capacity());
+        for k in self.memory() {
+            if k != 0 {
+                seq.insert(k);
+            }
+        }
+        seq
+    }
+
+    /// Acquires the update seqlock; returns the odd value now in `seq`.
+    fn acquire(&self) -> u64 {
+        loop {
+            let s = self.seq.load(ORD);
+            if s % 2 == 0 && self.seq.compare_exchange(s, s + 1, ORD, ORD).is_ok() {
+                return s + 1;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Releases the update seqlock acquired at odd value `s`.
+    fn release(&self, s: u64) {
+        self.seq.store(s + 1, ORD);
+    }
+
+    /// Walks `key`'s probe sequence under the held update lock. Returns
+    /// `Ok(i)` if `key` sits at slot `i`, or `Err(i)` with the first slot at
+    /// which `key` would be stored (empty, or an incumbent that loses).
+    fn probe_locked(&self, key: u32) -> Result<usize, usize> {
+        let cap = self.slots.len();
+        let mut i = slot_of(key, cap);
+        for _ in 0..cap {
+            let occ = self.slots[i].load(ORD);
+            if occ == key {
+                return Ok(i);
+            }
+            if occ == 0 || !incumbent_wins(occ, key, i, cap) {
+                return Err(i);
+            }
+            i = (i + 1) % cap;
+        }
+        panic!("probe of {key} found no terminator: table full?");
+    }
+
+    /// Adds `key`. Returns `true` if it was newly added, `false` if already
+    /// present. Callable concurrently with any other operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == 0`, or if the insert would fill the last empty
+    /// slot — the table keeps one slot free so that every probe walk (its
+    /// own, and every concurrent lookup's) terminates.
+    pub fn insert(&self, key: u32) -> bool {
+        assert!(key != 0, "key 0 is reserved");
+        let cap = self.slots.len();
+        let s = self.acquire();
+        let a = match self.probe_locked(key) {
+            Ok(_) => {
+                self.release(s);
+                return false;
+            }
+            Err(a) => a,
+        };
+        if self.len.load(ORD) + 1 >= cap {
+            self.release(s);
+            panic!(
+                "insert of {key}: table of capacity {cap} already holds {} keys \
+                 and must keep one slot empty",
+                self.len.load(ORD)
+            );
+        }
+        // Collect the contiguous occupied run from the insertion point to
+        // the first empty slot (one exists: len < cap - 1), then apply the
+        // shared Robin Hood carry in its duplicate-then-overwrite order, so
+        // no present key is ever absent.
+        let mut run = Vec::new();
+        let mut z = a;
+        loop {
+            let occ = self.slots[z].load(ORD);
+            if occ == 0 {
+                break;
+            }
+            run.push(occ);
+            z = (z + 1) % cap;
+        }
+        for (slot, val) in carry_writes(key, a, &run, cap) {
+            self.slots[slot].store(val, ORD);
+        }
+        self.len.fetch_add(1, ORD);
+        self.release(s);
+        true
+    }
+
+    /// Removes `key`. Returns `true` if it was present. Callable
+    /// concurrently with any other operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == 0`.
+    pub fn remove(&self, key: u32) -> bool {
+        assert!(key != 0, "key 0 is reserved");
+        let cap = self.slots.len();
+        let s = self.acquire();
+        let p = match self.probe_locked(key) {
+            Ok(p) => p,
+            Err(_) => {
+                self.release(s);
+                return false;
+            }
+        };
+        // Backward shift, near-end first: each displaced successor is
+        // written one slot back (duplicating it) before its old copy is
+        // overwritten by the next step; the final slot of the shifted run
+        // is cleared last. No present key is ever absent.
+        let mut hole = p;
+        loop {
+            let next = (hole + 1) % cap;
+            let occ = self.slots[next].load(ORD);
+            if occ == 0 || displacement(occ, next, cap) == 0 {
+                break;
+            }
+            self.slots[hole].store(occ, ORD);
+            hole = next;
+        }
+        self.slots[hole].store(0, ORD);
+        self.len.fetch_sub(1, ORD);
+        self.release(s);
+        true
+    }
+
+    /// Membership test: lock-free, never blocks updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == 0`.
+    pub fn contains(&self, key: u32) -> bool {
+        assert!(key != 0, "key 0 is reserved");
+        let cap = self.slots.len();
+        'retry: loop {
+            let s1 = self.seq.load(ORD);
+            let mut i = slot_of(key, cap);
+            for _ in 0..cap {
+                let occ = self.slots[i].load(ORD);
+                if occ == key {
+                    // A sighting is a valid linearization point on its own:
+                    // at the instant of this load the key was in memory.
+                    return true;
+                }
+                if occ == 0 || !incumbent_wins(occ, key, i, cap) {
+                    // Absence is provable only from a canonical array; the
+                    // walk must have run inside an update-free window.
+                    if s1 % 2 == 0 && self.seq.load(ORD) == s1 {
+                        return false;
+                    }
+                    std::hint::spin_loop();
+                    continue 'retry;
+                }
+                i = (i + 1) % cap;
+            }
+            // Walked a full turn without a terminator: an update was
+            // rewriting under us (or the table is over-full). Retry.
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn sequential_equivalence_single_thread() {
+        let table = AtomicHiHashTable::new(32);
+        let mut reference = HiHashTable::new(32);
+        for k in [5u32, 21, 37, 9, 13, 45] {
+            assert!(table.insert(k));
+            reference.insert(k);
+        }
+        assert!(!table.insert(21), "duplicate rejected");
+        assert_eq!(table.memory(), reference.memory());
+        assert!(table.contains(37));
+        assert!(!table.contains(99));
+        assert!(table.remove(21));
+        assert!(!table.remove(21));
+        reference.remove(21);
+        assert_eq!(table.memory(), reference.memory());
+    }
+
+    #[test]
+    fn len_tracks_the_key_count() {
+        let table = AtomicHiHashTable::new(8);
+        assert!(table.is_empty());
+        for (i, k) in [4u32, 9, 13].into_iter().enumerate() {
+            table.insert(k);
+            assert_eq!(table.len(), i + 1);
+        }
+        table.insert(9); // duplicate: no growth
+        assert_eq!(table.len(), 3);
+        table.remove(4);
+        table.remove(4); // absent: no shrink
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must keep one slot empty")]
+    fn filling_the_last_slot_is_rejected() {
+        // The table must never become full: a full array has no probe
+        // terminator, which would livelock concurrent lookups and leave
+        // probe_locked without an answer. The last empty slot is reserved.
+        let table = AtomicHiHashTable::new(4);
+        for k in 1..=4u32 {
+            table.insert(k);
+        }
+    }
+
+    #[test]
+    fn capacity_minus_one_keys_still_work() {
+        let table = AtomicHiHashTable::new(4);
+        for k in 1..=3u32 {
+            assert!(table.insert(k));
+        }
+        assert!(table.contains(2));
+        assert!(
+            !table.contains(9),
+            "absent lookup terminates at the reserved empty slot"
+        );
+        assert!(table.remove(2));
+        assert!(table.insert(9));
+        let mem = table.memory();
+        assert_eq!(mem.iter().filter(|&&k| k == 0).count(), 1);
+    }
+
+    #[test]
+    fn mixed_concurrent_workload_converges_to_canonical() {
+        // The phase-free headline: inserts, removes and lookups from all
+        // threads at once, no phase discipline anywhere; afterwards the
+        // memory is the canonical layout of the surviving key set.
+        for seed in 0..12u64 {
+            let table = AtomicHiHashTable::new(64);
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let table = &table;
+                    s.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(seed * 13 + t);
+                        for _ in 0..400 {
+                            let k = rng.gen_range(1u32..40);
+                            match rng.gen_range(0u8..3) {
+                                0 => {
+                                    table.insert(k);
+                                }
+                                1 => {
+                                    table.remove(k);
+                                }
+                                _ => {
+                                    table.contains(k);
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            let mem = table.memory();
+            let canonical = crate::canonical_layout(64, mem.iter().copied().filter(|&k| k != 0));
+            assert_eq!(
+                mem, canonical,
+                "seed {seed}: quiescent memory is not canonical for its own key set"
+            );
+        }
+    }
+
+    #[test]
+    fn racing_duplicate_inserts_place_exactly_one_copy() {
+        // The hazard the phase-concurrent table documents (and can only
+        // debug-assert about) is handled here by construction: updates
+        // serialize, so exactly one of the racing inserts reports success.
+        for _ in 0..50 {
+            let table = AtomicHiHashTable::new(16);
+            let successes = std::sync::atomic::AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let table = &table;
+                    let successes = &successes;
+                    s.spawn(move || {
+                        if table.insert(7) {
+                            successes.fetch_add(1, ORD);
+                        }
+                    });
+                }
+            });
+            assert_eq!(successes.load(ORD), 1, "exactly one insert wins");
+            let copies = table.memory().iter().filter(|&&k| k == 7).count();
+            assert_eq!(copies, 1, "exactly one copy in memory");
+        }
+    }
+
+    #[test]
+    fn lookups_never_miss_a_stable_key() {
+        // Key 1 is inserted once and never removed; all other keys churn.
+        // Every contains(1) must return true, however the updates shift the
+        // array around it.
+        let table = AtomicHiHashTable::new(32);
+        assert!(table.insert(1));
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let table = &table;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(99);
+                while !stop.load(ORD) {
+                    let k = rng.gen_range(2u32..24);
+                    if rng.gen_bool(0.5) {
+                        table.insert(k);
+                    } else {
+                        table.remove(k);
+                    }
+                }
+            });
+            s.spawn(move || {
+                for _ in 0..20_000 {
+                    assert!(table.contains(1), "a present key was missed");
+                }
+                stop.store(true, ORD);
+            });
+        });
+    }
+
+    #[test]
+    fn detour_histories_share_memory() {
+        // History independence across real-thread histories: a table that
+        // took detours (inserted and removed extra keys, concurrently) ends
+        // with the same memory as one built directly.
+        let direct = AtomicHiHashTable::new(32);
+        for k in [3u32, 11, 19, 27] {
+            direct.insert(k);
+        }
+        let detour = AtomicHiHashTable::new(32);
+        std::thread::scope(|s| {
+            let detour = &detour;
+            s.spawn(move || {
+                for k in [3u32, 11, 19, 27] {
+                    detour.insert(k);
+                }
+            });
+            s.spawn(move || {
+                for k in 40u32..60 {
+                    detour.insert(k);
+                    detour.remove(k);
+                }
+            });
+        });
+        assert_eq!(direct.memory(), detour.memory());
+    }
+}

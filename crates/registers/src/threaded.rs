@@ -14,6 +14,25 @@ use hi_core::cells::{
     lowest_set, one_hot_bits as alloc_bits, snapshot_bits, zero_bits, CELL_ORD as ORD,
 };
 
+/// The two-pass read shared by Algorithm 1's reader and the §5.1 max
+/// register's reader: scan up to the first set cell, then rescan down
+/// keeping the smallest set index (stale 1s above the smallest are from
+/// writes this read overlaps, so the smallest linearizes correctly).
+fn scan_smallest_set(a: &[AtomicU8], k: u64, invariant: &str) -> u64 {
+    let mut j = 1u64;
+    while a[(j - 1) as usize].load(ORD) == 0 {
+        j += 1;
+        assert!(j <= k, "{invariant}: no 1 in A");
+    }
+    let mut val = j;
+    for j2 in (1..val).rev() {
+        if a[(j2 - 1) as usize].load(ORD) == 1 {
+            val = j2;
+        }
+    }
+    val
+}
+
 macro_rules! swsr_register_shell {
     ($(#[$doc:meta])* $name:ident, $writer:ident, $reader:ident) => {
         $(#[$doc])*
@@ -99,19 +118,7 @@ pub struct VidyasankarReader<'a> {
 impl VidyasankarReader<'_> {
     /// `Read()`: scan up to the first 1, then down keeping the smallest 1.
     pub fn read(&mut self) -> u64 {
-        let a = &self.reg.a;
-        let mut j = 1u64;
-        while a[(j - 1) as usize].load(ORD) == 0 {
-            j += 1;
-            assert!(j <= self.reg.k, "Algorithm 1 invariant broken: no 1 in A");
-        }
-        let mut val = j;
-        for j in (1..val).rev() {
-            if a[(j - 1) as usize].load(ORD) == 1 {
-                val = j;
-            }
-        }
-        val
+        scan_smallest_set(&self.reg.a, self.reg.k, "Algorithm 1 invariant broken")
     }
 }
 
@@ -357,6 +364,182 @@ impl WaitFreeHiReader<'_> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// §5.1: the max register
+// ---------------------------------------------------------------------------
+
+/// Threaded §5.1 max register: wait-free, state-quiescent HI. The writer
+/// only touches `A` when the value exceeds its running maximum (set `A[v]`,
+/// clear downwards), so no stale 1s can survive above — at every
+/// state-quiescent point exactly `A[max] = 1`.
+#[derive(Debug)]
+pub struct AtomicMaxRegister {
+    a: Box<[AtomicU8]>,
+    k: u64,
+}
+
+impl AtomicMaxRegister {
+    /// Creates a max register over `1..=k` (initial maximum 1).
+    pub fn new(k: u64) -> Self {
+        assert!(k >= 2, "a max register needs at least two values");
+        AtomicMaxRegister {
+            a: alloc_bits(k, 1),
+            k,
+        }
+    }
+
+    /// The number of values, `K`.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// `mem(C)` of the `A` array (see the SWSR registers' caveat).
+    pub fn snapshot_a(&self) -> Vec<u64> {
+        snapshot_bits(&self.a)
+    }
+
+    /// The canonical memory representation of maximum `m`: one-hot at `m`.
+    pub fn canonical(&self, m: u64) -> Vec<u64> {
+        (1..=self.k).map(|i| u64::from(i == m)).collect()
+    }
+
+    /// The current maximum, decoded from memory. Only meaningful at
+    /// state-quiescent points, where `A` holds exactly one 1.
+    pub fn current_value(&self) -> u64 {
+        lowest_set(&self.a).expect("invariant broken: no 1 in A at quiescence")
+    }
+
+    /// Splits into the single writer and single reader handles, rebuilding
+    /// the writer's running maximum from the (state-quiescent) memory.
+    pub fn split(&mut self) -> (MaxRegisterWriter<'_>, MaxRegisterReader<'_>) {
+        let local_max = self.current_value();
+        (
+            MaxRegisterWriter {
+                reg: self,
+                local_max,
+            },
+            MaxRegisterReader { reg: self },
+        )
+    }
+}
+
+/// Writer handle of [`AtomicMaxRegister`].
+#[derive(Debug)]
+pub struct MaxRegisterWriter<'a> {
+    reg: &'a AtomicMaxRegister,
+    local_max: u64,
+}
+
+impl MaxRegisterWriter<'_> {
+    /// `WriteMax(v)`: a no-op unless `v` exceeds the running maximum, else
+    /// set `A[v]` and clear downwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside `1..=k`.
+    pub fn write_max(&mut self, v: u64) {
+        assert!(
+            (1..=self.reg.k).contains(&v),
+            "write of out-of-range value {v}"
+        );
+        if v <= self.local_max {
+            return;
+        }
+        let a = &self.reg.a;
+        a[(v - 1) as usize].store(1, ORD);
+        for j in (1..v).rev() {
+            a[(j - 1) as usize].store(0, ORD);
+        }
+        self.local_max = v;
+    }
+}
+
+/// Reader handle of [`AtomicMaxRegister`].
+#[derive(Debug)]
+pub struct MaxRegisterReader<'a> {
+    reg: &'a AtomicMaxRegister,
+}
+
+impl MaxRegisterReader<'_> {
+    /// `ReadMax()`: scan up to the first 1, then down keeping the smallest 1
+    /// (values below a mid-write pair linearize before the write).
+    pub fn read_max(&mut self) -> u64 {
+        scan_smallest_set(&self.reg.a, self.reg.k, "max register invariant broken")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §5.1: the perfect-HI set
+// ---------------------------------------------------------------------------
+
+/// Threaded §5.1 set over `{1..=t}`: every operation is a single primitive
+/// on one binary cell, from any number of threads, so every reachable
+/// configuration's memory is the characteristic vector of the abstract
+/// state — *perfect* HI, with nothing to restrict.
+#[derive(Debug)]
+pub struct AtomicHiSet {
+    s: Box<[AtomicU8]>,
+    t: u32,
+}
+
+impl AtomicHiSet {
+    /// Creates an empty set over `{1..=t}`.
+    pub fn new(t: u32) -> Self {
+        assert!((1..=63).contains(&t), "domain size must be in 1..=63");
+        AtomicHiSet {
+            s: zero_bits(t as usize),
+            t,
+        }
+    }
+
+    /// The domain size `t`.
+    pub fn t(&self) -> u32 {
+        self.t
+    }
+
+    /// The cell of element `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is outside `1..=t`.
+    fn cell(&self, e: u32) -> &AtomicU8 {
+        assert!((1..=self.t).contains(&e), "element {e} out of domain");
+        &self.s[(e - 1) as usize]
+    }
+
+    /// `Insert(e)`: one store.
+    pub fn insert(&self, e: u32) {
+        self.cell(e).store(1, ORD);
+    }
+
+    /// `Remove(e)`: one store.
+    pub fn remove(&self, e: u32) {
+        self.cell(e).store(0, ORD);
+    }
+
+    /// `Contains(e)`: one load.
+    pub fn contains(&self, e: u32) -> bool {
+        self.cell(e).load(ORD) == 1
+    }
+
+    /// `mem(C)`: the characteristic vector.
+    pub fn snapshot(&self) -> Vec<u64> {
+        snapshot_bits(&self.s)
+    }
+
+    /// The canonical representation of a state (bitmask over bits `1..=t`).
+    pub fn canonical(&self, state: u64) -> Vec<u64> {
+        (1..=self.t)
+            .map(|e| u64::from(state & (1 << e) != 0))
+            .collect()
+    }
+
+    /// The abstract state (bitmask), decoded from memory.
+    pub fn decode_state(&self) -> u64 {
+        hi_core::cells::mask_of_bits(&self.snapshot())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,6 +611,84 @@ mod tests {
         let (mut w, _r) = reg.split(1);
         w.write(3);
         assert_eq!(reg.snapshot(), reg.canonical(3));
+    }
+
+    #[test]
+    fn max_register_is_monotone_and_canonical() {
+        let mut reg = AtomicMaxRegister::new(6);
+        {
+            let (mut w, mut r) = reg.split();
+            for (write, expect) in [(3, 3), (2, 3), (5, 5), (1, 5)] {
+                w.write_max(write);
+                assert_eq!(r.read_max(), expect);
+            }
+        }
+        assert_eq!(reg.snapshot_a(), reg.canonical(5));
+        assert_eq!(reg.current_value(), 5);
+        // Re-splitting rebuilds the running maximum from memory.
+        let (mut w, mut r) = reg.split();
+        w.write_max(4);
+        assert_eq!(r.read_max(), 5, "stale smaller write is a no-op");
+    }
+
+    #[test]
+    fn max_register_concurrent_reads_stay_in_range() {
+        let mut reg = AtomicMaxRegister::new(8);
+        {
+            let (mut w, mut r) = reg.split();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    for v in [3u64, 5, 2, 7, 8] {
+                        w.write_max(v);
+                    }
+                });
+                s.spawn(move || {
+                    let mut last = 1;
+                    for _ in 0..2_000 {
+                        let v = r.read_max();
+                        assert!((1..=8).contains(&v));
+                        assert!(v >= last, "max register went backwards");
+                        last = v;
+                    }
+                });
+            });
+        }
+        assert_eq!(reg.snapshot_a(), reg.canonical(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn max_register_rejects_out_of_domain_writes() {
+        let mut reg = AtomicMaxRegister::new(4);
+        reg.split().0.write_max(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of domain")]
+    fn hi_set_rejects_out_of_domain_elements() {
+        AtomicHiSet::new(4).insert(5);
+    }
+
+    #[test]
+    fn hi_set_every_configuration_is_canonical() {
+        let set = AtomicHiSet::new(5);
+        std::thread::scope(|s| {
+            let set = &set;
+            s.spawn(move || {
+                for e in [1u32, 3, 5] {
+                    set.insert(e);
+                }
+                set.remove(3);
+            });
+            s.spawn(move || {
+                for e in 1..=5 {
+                    set.contains(e);
+                }
+            });
+        });
+        assert_eq!(set.snapshot(), set.canonical(set.decode_state()));
+        assert!(set.contains(1) && set.contains(5) && !set.contains(3));
+        assert_eq!(set.decode_state(), (1 << 1) | (1 << 5));
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //!   from atomic CAS.
 //! * [`universal`] — Algorithm 5: the wait-free state-quiescent HI universal
 //!   construction, plus baselines.
+//! * [`hashtable`] — HI hash tables: the sequential canonical Robin Hood
+//!   table, the phase-concurrent table of [42], and the phase-free
+//!   concurrent table (arXiv:2503.21016 direction) with its simulator twin.
 //! * [`lowerbound`] — the executable §5.2/§5.4 impossibility adversaries.
 //!
 //! # Quickstart

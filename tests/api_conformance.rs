@@ -64,13 +64,84 @@ fn audited_scenarios_match_their_hi_promise() {
         }
     }
     assert!(
-        audited >= 6,
+        audited >= 10,
         "expected most scenarios to be HI-audited, got {audited}"
     );
     assert_eq!(
         unaudited,
         vec!["register/vidyasankar-k5", "universal/counter-no-release"],
         "exactly the two deliberately non-HI entries skip the audit"
+    );
+}
+
+#[test]
+fn registry_covers_the_big_state_workloads() {
+    // PR 4's additions: the phase-free hash table (threaded + sim pair),
+    // the max register and the perfect-HI set are all registry entries.
+    let names: Vec<&str> = registry().iter().map(|s| s.name).collect();
+    for required in [
+        "hashtable/robinhood-t8-n3",
+        "hashtable/robinhood-dense-t6-n2",
+        "register/max-k6",
+        "set/hi-t6-n3",
+    ] {
+        assert!(
+            names.contains(&required),
+            "registry is missing {required}: {names:?}"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "out of domain")]
+fn hash_table_handles_enforce_the_spec_domain() {
+    // The backend accepts any nonzero u32, but the facade must reject
+    // elements outside the spec's domain exactly as `HashSetSpec::apply`
+    // does — an out-of-domain key would corrupt the mask decode.
+    use hi_concurrent::api::HashTableObject;
+    use hi_core::objects::{HashSetOp, HashSetSpec};
+
+    let mut table = HashTableObject::new(HashSetSpec::new(8), 13, 2);
+    table.handles()[0].apply(HashSetOp::Insert(70));
+}
+
+#[test]
+fn hash_table_facade_exposes_array_valued_memory() {
+    use hi_concurrent::api::HashTableObject;
+    use hi_core::objects::{HashSetOp, HashSetResp, HashSetSpec};
+
+    let mut table = HashTableObject::new(HashSetSpec::new(8), 13, 3);
+    assert_eq!(table.roles(), Roles::MultiProcess { n: 3 });
+    assert_eq!(table.hi_level(), HiLevel::StateQuiescent);
+    assert_eq!(table.roles().num_handles(), table.handles().len());
+    {
+        let mut handles = table.handles();
+        assert_eq!(
+            handles[0].apply(HashSetOp::Insert(5)),
+            HashSetResp::Bool(true)
+        );
+        assert_eq!(
+            handles[1].apply(HashSetOp::Insert(5)),
+            HashSetResp::Bool(false)
+        );
+        assert_eq!(
+            handles[2].apply(HashSetOp::Contains(5)),
+            HashSetResp::Bool(true)
+        );
+        assert_eq!(
+            handles[1].apply(HashSetOp::Remove(5)),
+            HashSetResp::Bool(true)
+        );
+        assert_eq!(
+            handles[0].apply(HashSetOp::Insert(3)),
+            HashSetResp::Bool(true)
+        );
+    }
+    assert_eq!(table.abstract_state(), 1 << 3);
+    assert_eq!(
+        Some(table.mem_snapshot()),
+        table.canonical(&(1 << 3)),
+        "quiescent slot array is the canonical Robin Hood layout"
     );
 }
 

@@ -24,7 +24,7 @@ fn api_reexport_drives_an_object() {
         );
     }
     assert_eq!(Some(reg.mem_snapshot()), reg.canonical(&2));
-    assert_eq!(api::registry().len(), 9, "all backends registered");
+    assert_eq!(api::registry().len(), 13, "all backends registered");
 }
 
 #[test]
