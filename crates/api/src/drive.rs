@@ -18,8 +18,14 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use hi_core::{EnumerableSpec, History, ObjectSpec, Pid};
+use hi_core::{menus_for, EnumerableSpec, History, ObjectSpec, Pid};
 use hi_spec::{linearize, LinError, LinOptions, Linearization};
+
+// The workload generation (script RNG, per-role seeds) lives in
+// `hi_core::workload`, shared verbatim with the sim checker so both worlds
+// face mirrored workloads; re-exported here for the facade's historical
+// paths.
+pub use hi_core::workload::{handle_seed, random_script};
 
 use crate::object::{ConcurrentObject, ObjectHandle};
 
@@ -96,45 +102,6 @@ impl<S: ObjectSpec> fmt::Display for DriveError<S> {
 
 impl<S: ObjectSpec> Error for DriveError<S> {}
 
-/// A minimal splitmix64 generator: deterministic per-handle workloads
-/// without a dependency on the vendored `rand` stub.
-#[derive(Clone, Debug)]
-pub(crate) struct SplitMix64(u64);
-
-impl SplitMix64 {
-    pub(crate) fn new(seed: u64) -> Self {
-        SplitMix64(seed)
-    }
-
-    pub(crate) fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform in `0..bound` (bound > 0).
-    pub(crate) fn below(&mut self, bound: usize) -> usize {
-        (self.next_u64() % bound as u64) as usize
-    }
-}
-
-/// Builds a deterministic random script of `len` operations drawn from
-/// `menu`. Shared by the threaded driver and the registry's sim twins so
-/// both backends face the same workload distribution.
-pub fn random_script<Op: Clone>(menu: &[Op], len: usize, seed: u64) -> Vec<Op> {
-    let mut rng = SplitMix64::new(seed);
-    (0..len)
-        .map(|_| menu[rng.below(menu.len())].clone())
-        .collect()
-}
-
-/// The seed of handle `i`'s script under a [`DriveConfig`] seed.
-pub fn handle_seed(seed: u64, i: usize) -> u64 {
-    seed ^ (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
-}
-
 /// An invocation/response pair stamped from the global sequence counter.
 struct StampedOp<O, R> {
     pid: usize,
@@ -190,23 +157,29 @@ where
     O: ConcurrentObject<S>,
 {
     let spec = obj.spec().clone();
-    let all_ops = spec.ops();
+    // The same role-aware menus the sim checker derives for the twin
+    // scenario: both worlds are workload-mirrored by construction.
+    let menus = menus_for(&spec, obj.roles());
     let audit = obj.hi_level().auditable();
     let log = {
         let handles = obj.handles();
+        assert_eq!(
+            handles.len(),
+            menus.len(),
+            "handles() disagrees with the declared role discipline"
+        );
         let clock = AtomicU64::new(0);
         let log: Mutex<Vec<StampedOp<S::Op, S::Resp>>> = Mutex::new(Vec::new());
         std::thread::scope(|s| {
-            for (i, mut h) in handles.into_iter().enumerate() {
-                let menu: Vec<S::Op> = all_ops
-                    .iter()
-                    .filter(|op| h.supports(op))
-                    .cloned()
-                    .collect();
+            for ((i, mut h), menu) in handles.into_iter().enumerate().zip(&menus) {
+                assert!(
+                    menu.iter().all(|op| h.supports(op)),
+                    "handle {i} does not support its role menu"
+                );
                 if menu.is_empty() {
                     continue; // a role with nothing to do
                 }
-                let script = random_script(&menu, cfg.ops_per_handle, handle_seed(cfg.seed, i));
+                let script = random_script(menu, cfg.ops_per_handle, handle_seed(cfg.seed, i));
                 let clock = &clock;
                 let log = &log;
                 s.spawn(move || {
@@ -265,21 +238,21 @@ where
     O: ConcurrentObject<S>,
 {
     let spec = obj.spec().clone();
-    let all_ops = spec.ops();
+    let menus = menus_for(&spec, obj.roles());
     let handles = obj.handles();
+    assert_eq!(
+        handles.len(),
+        menus.len(),
+        "handles() disagrees with the declared role discipline"
+    );
     let mut total = 0;
     std::thread::scope(|s| {
         let mut joins = Vec::new();
-        for (i, mut h) in handles.into_iter().enumerate() {
-            let menu: Vec<S::Op> = all_ops
-                .iter()
-                .filter(|op| h.supports(op))
-                .cloned()
-                .collect();
+        for ((i, mut h), menu) in handles.into_iter().enumerate().zip(&menus) {
             if menu.is_empty() {
                 continue;
             }
-            let script = random_script(&menu, ops_per_handle, handle_seed(seed, i));
+            let script = random_script(menu, ops_per_handle, handle_seed(seed, i));
             joins.push(s.spawn(move || {
                 let n = script.len();
                 for op in script {

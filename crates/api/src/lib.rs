@@ -22,9 +22,11 @@
 //!   role-respecting workload in, linearizability verdict plus quiescent
 //!   memory audit out.
 //! * [`registry`](crate::registry()) — named object×spec scenarios, each
-//!   pairing a threaded backend with its simulator twin so conformance
-//!   suites and benches iterate a list instead of accreting per-object
-//!   glue.
+//!   declared once from shared data ([`Scenario::of`]): a threaded backend
+//!   behind [`ConcurrentObject`] next to its simulator twin behind
+//!   `hi_spec::SimObject`, both driven by one generic checker pair on
+//!   mirrored role-aware workloads, so conformance suites and benches
+//!   iterate a list instead of accreting per-object glue.
 //!
 //! # Example
 //!
@@ -53,4 +55,4 @@ pub use adapters::{
 };
 pub use drive::{drive, random_script, throughput, DriveConfig, DriveError, DriveReport};
 pub use object::{ConcurrentObject, HiLevel, ObjectHandle, Roles};
-pub use registry::{registry, scenario, Scenario, ScenarioReport};
+pub use registry::{registry, scenario, Scenario, ScenarioMeta, ScenarioReport};

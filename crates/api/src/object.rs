@@ -2,62 +2,11 @@
 
 use hi_core::ObjectSpec;
 
-/// How many handles an object hands out, and what each may do.
-///
-/// The paper's algorithms fall into two disciplines: the §4/§5 constructions
-/// are *single-writer single-reader* (their correctness proofs lean on the
-/// mutator being alone), while Algorithm 5 is symmetric over `n` processes.
-/// The facade keeps the by-construction discipline visible so generic
-/// drivers route operations only to handles that may perform them.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Roles {
-    /// Exactly two handles: handle 0 is the single mutator (writer), handle
-    /// 1 the single observer (reader). Covers the SWSR registers and the
-    /// positional queue (whose "writer" is the enqueue/dequeue mutator and
-    /// "reader" the peeker).
-    SingleWriterSingleReader,
-    /// `n` symmetric handles; every handle may invoke every operation.
-    MultiProcess {
-        /// The number of processes sharing the object.
-        n: usize,
-    },
-}
-
-impl Roles {
-    /// The number of handles [`ConcurrentObject::handles`] returns.
-    pub fn num_handles(&self) -> usize {
-        match self {
-            Roles::SingleWriterSingleReader => 2,
-            Roles::MultiProcess { n } => *n,
-        }
-    }
-}
-
-/// The history-independence guarantee a backend provides, i.e. at which
-/// configurations [`ConcurrentObject::mem_snapshot`] must equal
-/// [`ConcurrentObject::canonical`] of the abstract state.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
-pub enum HiLevel {
-    /// No guarantee: the memory may leak operation history (Algorithm 1).
-    NotHi,
-    /// Canonical whenever no operation at all is pending (Definition 8,
-    /// Algorithm 4).
-    Quiescent,
-    /// Canonical whenever no *state-changing* operation is pending
-    /// (Definition 7; Algorithms 2+3, the positional queue, Algorithm 5).
-    StateQuiescent,
-    /// Canonical in every configuration (Definition 5, Algorithm 6).
-    Perfect,
-}
-
-impl HiLevel {
-    /// Whether a quiescent-point audit (`mem_snapshot == canonical`) is
-    /// meaningful for this level. Every level except [`HiLevel::NotHi`]
-    /// promises canonical memory at full quiescence.
-    pub fn auditable(&self) -> bool {
-        *self != HiLevel::NotHi
-    }
-}
+// The role discipline and HI classification now live in `hi_core`, where
+// the simulator twin (`hi_spec::SimObject`) shares them; re-exported here
+// so the facade's historical paths (`hi_api::Roles`, `hi_api::HiLevel`)
+// keep working.
+pub use hi_core::{HiLevel, Roles};
 
 /// One process's capability on a [`ConcurrentObject`]: apply operations of
 /// the object's [`ObjectSpec`] and get responses back.

@@ -1,33 +1,35 @@
-//! A registry of named object×spec scenarios, each drivable through the
-//! unified facade *and* cross-checkable against its simulator twin.
+//! A registry of named object×spec scenarios, each declared **once** from
+//! shared data and drivable in both worlds: the threaded backend through
+//! the unified [`ConcurrentObject`] facade and the simulator twin through
+//! [`hi_spec::SimObject`].
 //!
-//! A scenario bundles a threaded backend (driven via [`crate::drive`]) with
-//! the matching `hi_sim` implementation of the *same* [`hi_core::ObjectSpec`]
-//! (driven through `hi_spec`'s harness), so one parameterized suite can
-//! assert that both backends linearize against the same specification and
-//! keep their memory canonical. Adding a workload is one registry entry,
-//! not a new test file.
+//! Every [`Scenario`] is built by one generic constructor ([`Scenario::of`])
+//! from a name, a description and the two constructors; the threaded run,
+//! the sim check and the throughput run all derive from the same generic
+//! driver pair ([`crate::drive`] / [`hi_spec::check_sim_object`]) and the
+//! same role-aware workload generation ([`hi_core::menus_for`]), so the two
+//! worlds are workload-mirrored *by construction* — there is no per-family
+//! driver or menu glue to keep in sync. Adding a workload is one registry
+//! entry, not a new test file.
 
 use hi_core::objects::{
-    BoundedQueueSpec, CounterSpec, HashSetSpec, MaxRegisterOp, MaxRegisterSpec, MultiRegisterSpec,
-    QueueOp, RegisterOp, SetSpec,
+    BoundedQueueSpec, CounterSpec, HashSetSpec, MaxRegisterSpec, MultiRegisterSpec, SetSpec,
 };
-use hi_core::{EnumerableSpec, ObjectSpec};
+use hi_core::{EnumerableSpec, HiLevel, Roles};
 use hi_hashtable::SimHiHashTable;
 use hi_llsc::{RLlscSpec, SimRLlsc};
 use hi_queue::PositionalQueue;
 use hi_registers::{
     HiSet, LockFreeHiRegister, MaxRegister, VidyasankarRegister, WaitFreeHiRegister,
 };
-use hi_sim::{run_workload, Executor, Implementation, Seeded, StepObserver, Workload};
-use hi_spec::{check_run, check_run_single_mutator, linearize, LinOptions, ObservationModel};
+use hi_spec::{check_sim_object, SimObject, SimObjectReport};
 use hi_universal::SimUniversal;
 
 use crate::adapters::{
     HashTableObject, HiSetObject, LlscObject, LockFreeHiObject, MaxRegisterObject, QueueObject,
     UniversalObject, VidyasankarObject, WaitFreeHiObject,
 };
-use crate::drive::{drive, handle_seed, random_script, throughput, DriveConfig};
+use crate::drive::{drive, throughput, DriveConfig};
 use crate::object::ConcurrentObject;
 
 /// Step budget of the simulator twins (generous: the seeded scheduler must
@@ -45,21 +47,128 @@ pub struct ScenarioReport {
     pub audited: bool,
 }
 
+/// The uniform metadata of one world of a scenario, surfaced so suites can
+/// assert the threaded backend and the sim twin implement the *same*
+/// abstract object under the same discipline without running either.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ScenarioMeta {
+    /// The role discipline.
+    pub roles: Roles,
+    /// The history-independence guarantee.
+    pub hi_level: HiLevel,
+    /// Rendered spec parameters (the `Debug` form of the `ObjectSpec`).
+    pub params: String,
+    /// The adapter's Rust type, for registry-completeness suites.
+    pub adapter: &'static str,
+}
+
+/// The monomorphic threaded driver of a scenario (captures only the entry's
+/// constructor, a fn pointer).
+type ThreadedDriver = Box<dyn Fn(&DriveConfig) -> Result<ScenarioReport, String> + Send + Sync>;
+/// The monomorphic sim driver of a scenario.
+type SimDriver = Box<dyn Fn(u64, usize) -> Result<SimObjectReport, String> + Send + Sync>;
+/// The monomorphic throughput runner of a scenario.
+type ThroughputDriver = Box<dyn Fn(usize, u64) -> usize + Send + Sync>;
+
 /// A named object×spec configuration: a threaded backend behind
-/// [`ConcurrentObject`] plus its simulator twin.
+/// [`ConcurrentObject`] plus its simulator twin behind
+/// [`hi_spec::SimObject`], declared once from shared data.
 pub struct Scenario {
     /// Stable name, `family/variant` style (e.g. `"register/waitfree-hi-k5"`).
     pub name: &'static str,
     /// One-line description.
     pub about: &'static str,
-    threaded: fn(&DriveConfig) -> Result<ScenarioReport, String>,
-    sim: fn(u64, usize) -> Result<(), String>,
-    throughput: fn(usize, u64) -> usize,
+    threaded_meta: ScenarioMeta,
+    sim_meta: ScenarioMeta,
+    threaded: ThreadedDriver,
+    sim: SimDriver,
+    throughput: ThroughputDriver,
 }
 
 impl Scenario {
-    /// Drives the threaded backend through [`drive`]: random workload,
-    /// linearizability check, quiescent memory audit.
+    /// Declares a scenario from its shared data: the two worlds'
+    /// constructors. Everything else — workloads, oracles, menus, checks,
+    /// metadata — derives generically.
+    pub fn of<S, T, M>(
+        name: &'static str,
+        about: &'static str,
+        threaded: fn() -> T,
+        sim: fn() -> M,
+    ) -> Scenario
+    where
+        S: EnumerableSpec + 'static,
+        S::Op: Send,
+        S::Resp: Send,
+        T: ConcurrentObject<S> + 'static,
+        M: SimObject<S> + 'static,
+    {
+        let threaded_meta = {
+            let obj = threaded();
+            ScenarioMeta {
+                roles: obj.roles(),
+                hi_level: obj.hi_level(),
+                params: format!("{:?}", obj.spec()),
+                adapter: std::any::type_name::<T>(),
+            }
+        };
+        let sim_meta = {
+            let obj = sim();
+            ScenarioMeta {
+                roles: obj.roles(),
+                hi_level: obj.hi_level(),
+                params: format!("{:?}", SimObject::spec(&obj)),
+                adapter: std::any::type_name::<M>(),
+            }
+        };
+        Scenario {
+            name,
+            about,
+            threaded_meta,
+            sim_meta,
+            threaded: Box::new(move |cfg| {
+                let report = drive(&mut threaded(), cfg).map_err(|e| e.to_string())?;
+                Ok(ScenarioReport {
+                    ops: report.history.records().len(),
+                    audited: report.audited,
+                })
+            }),
+            sim: Box::new(move |seed, ops_per_pid| {
+                check_sim_object(&sim(), seed, ops_per_pid, SIM_MAX_STEPS)
+            }),
+            throughput: Box::new(move |ops, seed| throughput(&mut threaded(), ops, seed)),
+        }
+    }
+
+    /// The role discipline of the scenario (as declared by the threaded
+    /// adapter; the conformance suite asserts the sim twin agrees).
+    pub fn roles(&self) -> Roles {
+        self.threaded_meta.roles
+    }
+
+    /// The history-independence guarantee of the scenario (as declared by
+    /// the threaded adapter; the conformance suite asserts the sim twin
+    /// agrees).
+    pub fn hi_level(&self) -> HiLevel {
+        self.threaded_meta.hi_level
+    }
+
+    /// Rendered spec parameters of the scenario.
+    pub fn params(&self) -> &str {
+        &self.threaded_meta.params
+    }
+
+    /// The threaded world's metadata.
+    pub fn threaded_meta(&self) -> &ScenarioMeta {
+        &self.threaded_meta
+    }
+
+    /// The sim world's metadata.
+    pub fn sim_meta(&self) -> &ScenarioMeta {
+        &self.sim_meta
+    }
+
+    /// Drives the threaded backend through [`drive`]: random role-aware
+    /// workload, linearizability check, quiescent memory audit.
     ///
     /// # Errors
     ///
@@ -68,14 +177,15 @@ impl Scenario {
         (self.threaded)(cfg)
     }
 
-    /// Runs the simulator twin on an equivalent workload under a seeded
-    /// scheduler and checks it linearizes against the same spec (with HI
-    /// monitoring where the implementation promises it).
+    /// Runs the simulator twin through [`check_sim_object`] on the mirrored
+    /// workload under a seeded scheduler: HI audit per the twin's declared
+    /// [`SimAudit`](hi_spec::SimAudit) strategy, then linearizability
+    /// against the same spec.
     ///
     /// # Errors
     ///
     /// The rendered check failure, if any.
-    pub fn check_sim(&self, seed: u64, ops_per_pid: usize) -> Result<(), String> {
+    pub fn check_sim(&self, seed: u64, ops_per_pid: usize) -> Result<SimObjectReport, String> {
         (self.sim)(seed, ops_per_pid)
     }
 
@@ -87,169 +197,8 @@ impl Scenario {
     }
 }
 
-/// Runs `drive` on any facade object and flattens the report.
-fn drive_report<S, O>(obj: &mut O, cfg: &DriveConfig) -> Result<ScenarioReport, String>
-where
-    S: EnumerableSpec,
-    S::Op: Send,
-    S::Resp: Send,
-    O: ConcurrentObject<S>,
-{
-    let report = drive(obj, cfg).map_err(|e| e.to_string())?;
-    Ok(ScenarioReport {
-        ops: report.history.records().len(),
-        audited: report.audited,
-    })
-}
-
-/// The register menus under the SWSR role convention: pid 0 writes, pid 1
-/// reads.
-fn register_menus(k: u64) -> [Vec<RegisterOp>; 2] {
-    [
-        (1..=k).map(RegisterOp::Write).collect(),
-        vec![RegisterOp::Read],
-    ]
-}
-
-/// The queue menus under the mutator/observer convention.
-fn queue_menus(t: u32) -> [Vec<QueueOp>; 2] {
-    let mut mutate: Vec<QueueOp> = (1..=t).map(QueueOp::Enqueue).collect();
-    mutate.push(QueueOp::Dequeue);
-    [mutate, vec![QueueOp::Peek]]
-}
-
-/// Builds the sim workload whose per-pid scripts mirror the threaded
-/// driver's generation (same menus, same per-handle seeds).
-fn sim_workload<S: ObjectSpec>(menus: &[Vec<S::Op>], ops_per_pid: usize, seed: u64) -> Workload<S> {
-    let mut w = Workload::new(menus.len());
-    for (pid, menu) in menus.iter().enumerate() {
-        for op in random_script(menu, ops_per_pid, handle_seed(seed, pid)) {
-            w.push(pid, op);
-        }
-    }
-    w
-}
-
-/// Linearizability-only sim check (for non-HI implementations where memory
-/// monitoring would be meaningless).
-fn sim_lin_only<S, I>(
-    imp: &I,
-    menus: &[Vec<S::Op>],
-    seed: u64,
-    ops_per_pid: usize,
-) -> Result<(), String>
-where
-    S: ObjectSpec,
-    I: Implementation<S>,
-{
-    let mut exec = Executor::new(imp.clone());
-    let workload = sim_workload::<S>(menus, ops_per_pid, seed);
-    run_workload(
-        &mut exec,
-        workload,
-        &mut Seeded::new(seed),
-        &mut (),
-        SIM_MAX_STEPS,
-    )
-    .map_err(|e| e.to_string())?;
-    linearize(exec.spec(), exec.history(), &LinOptions::default())
-        .map(|_| ())
-        .map_err(|e| e.to_string())
-}
-
-/// Full single-mutator sim check: linearizability + HI monitoring under
-/// `model`.
-fn sim_single_mutator<S, I>(
-    imp: &I,
-    menus: &[Vec<S::Op>],
-    model: ObservationModel,
-    seed: u64,
-    ops_per_pid: usize,
-) -> Result<(), String>
-where
-    S: ObjectSpec,
-    I: Implementation<S>,
-{
-    let workload = sim_workload::<S>(menus, ops_per_pid, seed);
-    check_run_single_mutator(imp, workload, &mut Seeded::new(seed), model, SIM_MAX_STEPS)
-        .map(|_| ())
-        .map_err(|e| e.to_string())
-}
-
-/// State-quiescent canonical-slot audit of the hash table sim twin: at every
-/// state-quiescent point the slot array (the memory representation proper;
-/// cell 0 is the seqlock word) must equal the canonical Robin Hood layout of
-/// the decoded key set. This is a direct-canonicity check, strictly stronger
-/// than `HiMonitor`'s same-state-same-memory comparison, and it is what lets
-/// the audit exclude the synchronization word with the same justification as
-/// the threaded backend's `mem_snapshot`.
-struct CanonicalSlotsObserver {
-    imp: SimHiHashTable,
-    points: u64,
-    violation: Option<String>,
-}
-
-impl StepObserver<HashSetSpec, SimHiHashTable> for CanonicalSlotsObserver {
-    fn observe(&mut self, exec: &Executor<HashSetSpec, SimHiHashTable>) {
-        if self.violation.is_some() || !exec.is_state_quiescent() {
-            return;
-        }
-        self.points += 1;
-        let snap = exec.snapshot();
-        let state = self.imp.decode_state(&snap);
-        let canonical = self.imp.canonical_slots(state);
-        if self.imp.slots_of(&snap) != canonical.as_slice() {
-            self.violation = Some(format!(
-                "state-quiescent slots {:?} are not the canonical layout {:?} of state {:#b}",
-                self.imp.slots_of(&snap),
-                canonical,
-                state
-            ));
-        }
-    }
-}
-
-/// Sim twin of a hash-table scenario: the slot-level step machine under the
-/// seeded scheduler, audited for canonical slots at every state-quiescent
-/// point, then linearized against [`HashSetSpec`].
-fn sim_hashtable(
-    t: u32,
-    capacity: usize,
-    n: usize,
-    seed: u64,
-    ops_per_pid: usize,
-) -> Result<(), String> {
-    let imp = SimHiHashTable::new(t, capacity, n);
-    let spec = HashSetSpec::new(t);
-    let menus: Vec<Vec<_>> = (0..n).map(|_| spec.ops()).collect();
-    let workload = sim_workload::<HashSetSpec>(&menus, ops_per_pid, seed);
-    let mut exec = Executor::new(imp.clone());
-    let mut observer = CanonicalSlotsObserver {
-        imp,
-        points: 0,
-        violation: None,
-    };
-    run_workload(
-        &mut exec,
-        workload,
-        &mut Seeded::new(seed),
-        &mut observer,
-        SIM_MAX_STEPS,
-    )
-    .map_err(|e| e.to_string())?;
-    if let Some(v) = observer.violation {
-        return Err(v);
-    }
-    if observer.points == 0 {
-        return Err("no state-quiescent point was audited".to_string());
-    }
-    linearize(exec.spec(), exec.history(), &LinOptions::default())
-        .map(|_| ())
-        .map_err(|e| e.to_string())
-}
-
 // ---------------------------------------------------------------------------
-// Scenario parameters (shared by both backends of each entry).
+// Scenario parameters (shared by both worlds of each entry).
 // ---------------------------------------------------------------------------
 
 const REG_K: u64 = 5;
@@ -260,6 +209,8 @@ const LLSC_N: usize = 3;
 const COUNTER_N: usize = 3;
 const UREG_K: u64 = 4;
 const UREG_N: usize = 2;
+const UQUEUE_T: u32 = 3;
+const UQUEUE_CAP: usize = 4;
 const UQUEUE_N: usize = 3;
 const MAXREG_K: u64 = 6;
 const SET_T: u32 = 6;
@@ -287,317 +238,94 @@ fn counter_spec() -> CounterSpec {
     CounterSpec::new(-300, 300, 0)
 }
 
-/// The max-register menus under the SWSR role convention: pid 0 writes,
-/// pid 1 reads.
-fn max_register_menus(k: u64) -> [Vec<MaxRegisterOp>; 2] {
-    [
-        (1..=k).map(MaxRegisterOp::WriteMax).collect(),
-        vec![MaxRegisterOp::ReadMax],
-    ]
-}
-
-fn llsc_menus() -> Vec<Vec<hi_llsc::RLlscOp>> {
-    let spec = llsc_spec();
-    let all = spec.ops();
-    (0..LLSC_N)
-        .map(|pid| {
-            all.iter()
-                .filter(|op| op.pid().map_or(true, |p| p == pid))
-                .copied()
-                .collect()
-        })
-        .collect()
-}
-
-fn universal_menus<S: EnumerableSpec>(spec: &S, n: usize) -> Vec<Vec<S::Op>> {
-    (0..n).map(|_| spec.ops()).collect()
-}
-
-/// Sim twin of a universal scenario: Algorithm 5 step machines, HI
-/// monitored at state-quiescent points with the head-decode oracle.
-fn sim_universal<S: EnumerableSpec>(
-    spec: S,
-    n: usize,
-    seed: u64,
-    ops_per_pid: usize,
-) -> Result<(), String> {
-    let imp = SimUniversal::new(spec.clone(), n);
-    let workload = sim_workload::<S>(&universal_menus(&spec, n), ops_per_pid, seed);
-    let oracle_imp = imp.clone();
-    check_run(
-        &imp,
-        workload,
-        &mut Seeded::new(seed),
-        ObservationModel::StateQuiescent,
-        SIM_MAX_STEPS,
-        move |exec| oracle_imp.abstract_state(&exec.snapshot()),
-    )
-    .map(|_| ())
-    .map_err(|e| e.to_string())
-}
-
 // ---------------------------------------------------------------------------
 // The registry.
 // ---------------------------------------------------------------------------
 
 /// All registered scenarios. Every threaded backend in the workspace is
-/// represented; conformance tests, stress tests and the throughput bench
-/// iterate this list instead of hand-writing per-object drivers.
+/// represented, each next to its simulator twin; conformance tests, stress
+/// tests and the throughput bench iterate this list instead of hand-writing
+/// per-object drivers.
 pub fn registry() -> Vec<Scenario> {
     vec![
-        Scenario {
-            name: "register/vidyasankar-k5",
-            about: "Algorithm 1: wait-free SWSR register, linearizable, not HI",
-            threaded: |cfg| drive_report(&mut VidyasankarObject::new(reg_spec()), cfg),
-            throughput: |ops, seed| throughput(&mut VidyasankarObject::new(reg_spec()), ops, seed),
-            sim: |seed, ops| {
-                sim_lin_only(
-                    &VidyasankarRegister::new(REG_K, 1),
-                    &register_menus(REG_K),
-                    seed,
-                    ops,
-                )
-            },
-        },
-        Scenario {
-            name: "register/lockfree-hi-k5",
-            about: "Algorithms 2+3: state-quiescent HI SWSR register, reader lock-free",
-            threaded: |cfg| drive_report(&mut LockFreeHiObject::new(reg_spec()), cfg),
-            throughput: |ops, seed| throughput(&mut LockFreeHiObject::new(reg_spec()), ops, seed),
-            sim: |seed, ops| {
-                sim_single_mutator(
-                    &LockFreeHiRegister::new(REG_K, 1),
-                    &register_menus(REG_K),
-                    ObservationModel::StateQuiescent,
-                    seed,
-                    ops,
-                )
-            },
-        },
-        Scenario {
-            name: "register/waitfree-hi-k5",
-            about: "Algorithm 4: quiescent HI SWSR register, wait-free",
-            threaded: |cfg| drive_report(&mut WaitFreeHiObject::new(reg_spec()), cfg),
-            throughput: |ops, seed| throughput(&mut WaitFreeHiObject::new(reg_spec()), ops, seed),
-            sim: |seed, ops| {
-                sim_single_mutator(
-                    &WaitFreeHiRegister::new(REG_K, 1),
-                    &register_menus(REG_K),
-                    ObservationModel::Quiescent,
-                    seed,
-                    ops,
-                )
-            },
-        },
-        Scenario {
-            name: "queue/positional-t3",
-            about: "§5.4 companion: state-quiescent HI queue with lock-free Peek",
-            threaded: |cfg| drive_report(&mut QueueObject::new(queue_spec()), cfg),
-            throughput: |ops, seed| throughput(&mut QueueObject::new(queue_spec()), ops, seed),
-            sim: |seed, ops| {
-                sim_single_mutator(
-                    &PositionalQueue::new(QUEUE_T, QUEUE_CAP),
-                    &queue_menus(QUEUE_T),
-                    ObservationModel::StateQuiescent,
-                    seed,
-                    ops,
-                )
-            },
-        },
-        Scenario {
-            name: "register/max-k6",
-            about: "§5.1 max register: wait-free, state-quiescent HI outside C_t",
-            threaded: |cfg| {
-                drive_report(
-                    &mut MaxRegisterObject::new(MaxRegisterSpec::new(MAXREG_K)),
-                    cfg,
-                )
-            },
-            throughput: |ops, seed| {
-                throughput(
-                    &mut MaxRegisterObject::new(MaxRegisterSpec::new(MAXREG_K)),
-                    ops,
-                    seed,
-                )
-            },
-            sim: |seed, ops| {
-                sim_single_mutator(
-                    &MaxRegister::new(MAXREG_K),
-                    &max_register_menus(MAXREG_K),
-                    ObservationModel::StateQuiescent,
-                    seed,
-                    ops,
-                )
-            },
-        },
-        Scenario {
-            name: "set/hi-t6-n3",
-            about: "§5.1 set: one primitive per op, perfect HI, every role symmetric",
-            threaded: |cfg| drive_report(&mut HiSetObject::new(SetSpec::new(SET_T), SET_N), cfg),
-            throughput: |ops, seed| {
-                throughput(&mut HiSetObject::new(SetSpec::new(SET_T), SET_N), ops, seed)
-            },
-            sim: |seed, ops| {
-                let imp = HiSet::new(SET_T, SET_N);
-                let workload = sim_workload::<SetSpec>(
-                    &universal_menus(&SetSpec::new(SET_T), SET_N),
-                    ops,
-                    seed,
-                );
-                check_run(
-                    &imp,
-                    workload,
-                    &mut Seeded::new(seed),
-                    ObservationModel::Perfect,
-                    SIM_MAX_STEPS,
-                    // Perfect HI: the characteristic vector *is* the state.
-                    |exec| hi_core::cells::mask_of_bits(&exec.snapshot()),
-                )
-                .map(|_| ())
-                .map_err(|e| e.to_string())
-            },
-        },
-        Scenario {
-            name: "hashtable/robinhood-t8-n3",
-            about: "follow-up paper direction: phase-free Robin Hood HI hash table",
-            threaded: |cfg| {
-                drive_report(
-                    &mut HashTableObject::new(HashSetSpec::new(HT_T), HT_CAP, HT_N),
-                    cfg,
-                )
-            },
-            throughput: |ops, seed| {
-                throughput(
-                    &mut HashTableObject::new(HashSetSpec::new(HT_T), HT_CAP, HT_N),
-                    ops,
-                    seed,
-                )
-            },
-            sim: |seed, ops| sim_hashtable(HT_T, HT_CAP, HT_N, seed, ops),
-        },
-        Scenario {
-            name: "hashtable/robinhood-dense-t6-n2",
-            about: "the same table at 0.75 max load factor: long probe chains, heavy shifting",
-            threaded: |cfg| {
-                drive_report(
-                    &mut HashTableObject::new(
-                        HashSetSpec::new(HT_DENSE_T),
-                        HT_DENSE_CAP,
-                        HT_DENSE_N,
-                    ),
-                    cfg,
-                )
-            },
-            throughput: |ops, seed| {
-                throughput(
-                    &mut HashTableObject::new(
-                        HashSetSpec::new(HT_DENSE_T),
-                        HT_DENSE_CAP,
-                        HT_DENSE_N,
-                    ),
-                    ops,
-                    seed,
-                )
-            },
-            sim: |seed, ops| sim_hashtable(HT_DENSE_T, HT_DENSE_CAP, HT_DENSE_N, seed, ops),
-        },
-        Scenario {
-            name: "llsc/packed-v8-n3",
-            about: "Algorithm 6: releasable LL/SC on one word, perfect HI",
-            threaded: |cfg| drive_report(&mut LlscObject::new(llsc_spec()), cfg),
-            throughput: |ops, seed| throughput(&mut LlscObject::new(llsc_spec()), ops, seed),
-            sim: |seed, ops| {
-                let imp = SimRLlsc::new(LLSC_V, 0, LLSC_N);
-                let oracle_imp = imp.clone();
-                let workload = sim_workload::<RLlscSpec>(&llsc_menus(), ops, seed);
-                check_run(
-                    &imp,
-                    workload,
-                    &mut Seeded::new(seed),
-                    ObservationModel::Perfect,
-                    SIM_MAX_STEPS,
-                    move |exec| oracle_imp.decode(&exec.snapshot()),
-                )
-                .map(|_| ())
-                .map_err(|e| e.to_string())
-            },
-        },
-        Scenario {
-            name: "universal/counter-n3",
-            about: "Algorithm 5 over a bounded counter: wait-free, state-quiescent HI",
-            threaded: |cfg| drive_report(&mut UniversalObject::new(counter_spec(), COUNTER_N), cfg),
-            throughput: |ops, seed| {
-                throughput(
-                    &mut UniversalObject::new(counter_spec(), COUNTER_N),
-                    ops,
-                    seed,
-                )
-            },
-            sim: |seed, ops| sim_universal(counter_spec(), COUNTER_N, seed, ops),
-        },
-        Scenario {
-            name: "universal/register-k4-n2",
-            about: "Algorithm 5 over a multi-valued register (multi-writer, unlike §4)",
-            threaded: |cfg| {
-                drive_report(
-                    &mut UniversalObject::new(MultiRegisterSpec::new(UREG_K, 1), UREG_N),
-                    cfg,
-                )
-            },
-            throughput: |ops, seed| {
-                throughput(
-                    &mut UniversalObject::new(MultiRegisterSpec::new(UREG_K, 1), UREG_N),
-                    ops,
-                    seed,
-                )
-            },
-            sim: |seed, ops| sim_universal(MultiRegisterSpec::new(UREG_K, 1), UREG_N, seed, ops),
-        },
-        Scenario {
-            name: "universal/queue-t3-n3",
-            about: "Algorithm 5 over the bounded queue: every role symmetric",
-            threaded: |cfg| {
-                drive_report(
-                    &mut UniversalObject::new(BoundedQueueSpec::new(3, 4), UQUEUE_N),
-                    cfg,
-                )
-            },
-            throughput: |ops, seed| {
-                throughput(
-                    &mut UniversalObject::new(BoundedQueueSpec::new(3, 4), UQUEUE_N),
-                    ops,
-                    seed,
-                )
-            },
-            sim: |seed, ops| sim_universal(BoundedQueueSpec::new(3, 4), UQUEUE_N, seed, ops),
-        },
-        Scenario {
-            name: "universal/counter-no-release",
-            about: "§6.1 ablation: Algorithm 5 without RL — linearizable but not HI",
-            threaded: |cfg| {
-                drive_report(
-                    &mut UniversalObject::without_release(counter_spec(), COUNTER_N),
-                    cfg,
-                )
-            },
-            throughput: |ops, seed| {
-                throughput(
-                    &mut UniversalObject::without_release(counter_spec(), COUNTER_N),
-                    ops,
-                    seed,
-                )
-            },
-            sim: |seed, ops| {
-                // The ablation leaks memory, so only linearizability is checked.
-                let imp = SimUniversal::without_release(counter_spec(), COUNTER_N);
-                sim_lin_only(
-                    &imp,
-                    &universal_menus(&counter_spec(), COUNTER_N),
-                    seed,
-                    ops,
-                )
-            },
-        },
+        Scenario::of(
+            "register/vidyasankar-k5",
+            "Algorithm 1: wait-free SWSR register, linearizable, not HI",
+            || VidyasankarObject::new(reg_spec()),
+            || VidyasankarRegister::new(REG_K, 1),
+        ),
+        Scenario::of(
+            "register/lockfree-hi-k5",
+            "Algorithms 2+3: state-quiescent HI SWSR register, reader lock-free",
+            || LockFreeHiObject::new(reg_spec()),
+            || LockFreeHiRegister::new(REG_K, 1),
+        ),
+        Scenario::of(
+            "register/waitfree-hi-k5",
+            "Algorithm 4: quiescent HI SWSR register, wait-free",
+            || WaitFreeHiObject::new(reg_spec()),
+            || WaitFreeHiRegister::new(REG_K, 1),
+        ),
+        Scenario::of(
+            "queue/positional-t3",
+            "§5.4 companion: state-quiescent HI queue with lock-free Peek",
+            || QueueObject::new(queue_spec()),
+            || PositionalQueue::new(QUEUE_T, QUEUE_CAP),
+        ),
+        Scenario::of(
+            "register/max-k6",
+            "§5.1 max register: wait-free, state-quiescent HI outside C_t",
+            || MaxRegisterObject::new(MaxRegisterSpec::new(MAXREG_K)),
+            || MaxRegister::new(MAXREG_K),
+        ),
+        Scenario::of(
+            "set/hi-t6-n3",
+            "§5.1 set: one primitive per op, perfect HI, every role symmetric",
+            || HiSetObject::new(SetSpec::new(SET_T), SET_N),
+            || HiSet::new(SET_T, SET_N),
+        ),
+        Scenario::of(
+            "hashtable/robinhood-t8-n3",
+            "follow-up paper direction: phase-free Robin Hood HI hash table",
+            || HashTableObject::new(HashSetSpec::new(HT_T), HT_CAP, HT_N),
+            || SimHiHashTable::new(HT_T, HT_CAP, HT_N),
+        ),
+        Scenario::of(
+            "hashtable/robinhood-dense-t6-n2",
+            "the same table at 0.75 max load factor: long probe chains, heavy shifting",
+            || HashTableObject::new(HashSetSpec::new(HT_DENSE_T), HT_DENSE_CAP, HT_DENSE_N),
+            || SimHiHashTable::new(HT_DENSE_T, HT_DENSE_CAP, HT_DENSE_N),
+        ),
+        Scenario::of(
+            "llsc/packed-v8-n3",
+            "Algorithm 6: releasable LL/SC on one word, perfect HI",
+            || LlscObject::new(llsc_spec()),
+            || SimRLlsc::new(LLSC_V, 0, LLSC_N),
+        ),
+        Scenario::of(
+            "universal/counter-n3",
+            "Algorithm 5 over a bounded counter: wait-free, state-quiescent HI",
+            || UniversalObject::new(counter_spec(), COUNTER_N),
+            || SimUniversal::new(counter_spec(), COUNTER_N),
+        ),
+        Scenario::of(
+            "universal/register-k4-n2",
+            "Algorithm 5 over a multi-valued register (multi-writer, unlike §4)",
+            || UniversalObject::new(MultiRegisterSpec::new(UREG_K, 1), UREG_N),
+            || SimUniversal::new(MultiRegisterSpec::new(UREG_K, 1), UREG_N),
+        ),
+        Scenario::of(
+            "universal/queue-t3-n3",
+            "Algorithm 5 over the bounded queue: every role symmetric",
+            || UniversalObject::new(BoundedQueueSpec::new(UQUEUE_T, UQUEUE_CAP), UQUEUE_N),
+            || SimUniversal::new(BoundedQueueSpec::new(UQUEUE_T, UQUEUE_CAP), UQUEUE_N),
+        ),
+        Scenario::of(
+            "universal/counter-no-release",
+            "§6.1 ablation: Algorithm 5 without RL — linearizable but not HI",
+            || UniversalObject::without_release(counter_spec(), COUNTER_N),
+            || SimUniversal::without_release(counter_spec(), COUNTER_N),
+        ),
     ]
 }
 

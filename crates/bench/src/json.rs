@@ -41,11 +41,52 @@ fn escape(s: &str) -> String {
         .collect()
 }
 
+/// The git revision of the working tree (short hash, `-dirty` suffixed when
+/// the tree has uncommitted changes), or `"unknown"` outside a repository.
+/// Recorded in every summary so `BENCH_*.json` files can be compared across
+/// PRs — the perf trajectory.
+///
+/// Note the committed snapshot at the workspace root is necessarily stamped
+/// `<parent>-dirty`: it is regenerated *before* the commit that ships it
+/// exists, so its revision names the commit it was built on top of. The CI
+/// artifact, regenerated from a clean checkout, carries the exact stamp.
+pub fn git_revision() -> String {
+    let rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(workspace_root())
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty());
+    let Some(rev) = rev else {
+        return "unknown".to_string();
+    };
+    let dirty = std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .current_dir(workspace_root())
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .is_some_and(|o| !o.stdout.is_empty());
+    if dirty {
+        format!("{rev}-dirty")
+    } else {
+        rev
+    }
+}
+
 /// Renders the summary document.
 pub fn render(bench: &str, records: &[BenchRecord]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"bench\": \"{}\",\n", escape(bench)));
+    out.push_str(&format!(
+        "  \"revision\": \"{}\",\n",
+        escape(&git_revision())
+    ));
+    out.push_str(&format!("  \"scenarios\": {},\n", records.len()));
     out.push_str("  \"unit\": \"ops_per_sec\",\n");
     out.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
@@ -103,9 +144,19 @@ mod tests {
         ];
         let doc = render("smoke", &records);
         assert!(doc.contains("\"bench\": \"smoke\""));
+        assert!(
+            doc.contains("\"revision\": \""),
+            "perf trajectory is keyed by revision"
+        );
+        assert!(doc.contains("\"scenarios\": 2"));
         assert!(doc.contains("\"scenario\": \"a/b\""));
         assert!(doc.contains("c\\\"d"), "quotes are escaped");
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn git_revision_is_nonempty() {
+        assert!(!git_revision().is_empty());
     }
 
     #[test]

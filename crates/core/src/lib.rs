@@ -22,6 +22,10 @@
 //!   impossibility results (§5) apply to (module [`ct`]).
 //! * [`CanonicalMap`] — the `state → memory representation` bookkeeping used
 //!   by every history-independence checker (module [`canonical`]).
+//! * [`Roles`] / [`HiLevel`] — the role discipline and HI guarantee shared
+//!   by the threaded facade (`hi_api::ConcurrentObject`) and its simulator
+//!   twin (`hi_spec::SimObject`), plus the role-aware workload generation
+//!   both drive with (module [`workload`]).
 //!
 //! # Example
 //!
@@ -45,8 +49,10 @@ pub mod ct;
 pub mod history;
 pub mod object;
 pub mod objects;
+pub mod workload;
 
 pub use canonical::{CanonicalMap, HiViolation};
 pub use ct::CtObject;
 pub use history::{Event, History, OpId, OpRecord, Pid, SequentialHistory};
-pub use object::{EnumerableSpec, ObjectSpec};
+pub use object::{EnumerableSpec, HiLevel, ObjectSpec, Roles};
+pub use workload::{handle_seed, menus_for, random_script, SplitMix64};

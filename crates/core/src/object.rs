@@ -47,6 +47,31 @@ pub trait ObjectSpec: Clone + fmt::Debug {
     /// configurations (Definition 7): no state-changing operation pending.
     fn is_read_only(&self, op: &Self::Op) -> bool;
 
+    /// Whether `op` belongs to the *mutator* role under a single-writer
+    /// discipline ([`Roles::SingleWriterSingleReader`]).
+    ///
+    /// Defaults to "every state-changing operation". Override only for
+    /// operations that are write-shaped yet provably never change state —
+    /// `WriteMax(1)` of the max register is read-only in the paper's sense
+    /// (it can never raise the state above the minimum) but still belongs
+    /// to the writer.
+    fn is_mutator_op(&self, op: &Self::Op) -> bool {
+        !self.is_read_only(op)
+    }
+
+    /// The process that owns `op`, if the operation set is process-relative
+    /// (`None` means any process may invoke it).
+    ///
+    /// Most objects are process-agnostic and keep the default. The R-LLSC
+    /// object of §6.1 is the exception: `LL`/`VL`/`SC`/`RL` carry the
+    /// invoking process because their semantics reference *the caller's*
+    /// reservation. Role-aware workload builders
+    /// ([`workload::menus_for`](crate::workload::menus_for)) use this to
+    /// hand each process exactly the operations it may invoke.
+    fn op_owner(&self, _op: &Self::Op) -> Option<usize> {
+        None
+    }
+
     /// Applies a sequence of operations from the initial state and returns
     /// the resulting state, discarding responses.
     fn run<'a, I>(&self, ops: I) -> Self::State
@@ -59,6 +84,67 @@ pub trait ObjectSpec: Clone + fmt::Debug {
             q = self.apply(&q, op).0;
         }
         q
+    }
+}
+
+/// How many handles (threaded world) or processes (simulated world) an
+/// implementation serves, and what each may do.
+///
+/// The paper's algorithms fall into two disciplines: the §4/§5 constructions
+/// are *single-writer single-reader* (their correctness proofs lean on the
+/// mutator being alone), while Algorithm 5 is symmetric over `n` processes.
+/// Keeping the by-construction discipline visible lets generic drivers route
+/// operations only to the roles that may perform them — identically for a
+/// `ConcurrentObject` on real threads and a `SimObject` in the simulator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Roles {
+    /// Exactly two roles: role 0 is the single mutator (writer), role 1 the
+    /// single observer (reader). Covers the SWSR registers and the
+    /// positional queue (whose "writer" is the enqueue/dequeue mutator and
+    /// "reader" the peeker).
+    SingleWriterSingleReader,
+    /// `n` symmetric roles; every role may invoke every operation it owns
+    /// (see [`ObjectSpec::op_owner`]).
+    MultiProcess {
+        /// The number of processes sharing the object.
+        n: usize,
+    },
+}
+
+impl Roles {
+    /// The number of handles (threaded) or processes (simulated) of this
+    /// role discipline.
+    pub fn num_handles(&self) -> usize {
+        match self {
+            Roles::SingleWriterSingleReader => 2,
+            Roles::MultiProcess { n } => *n,
+        }
+    }
+}
+
+/// The history-independence guarantee an implementation provides, i.e. at
+/// which configurations its memory representation must equal the canonical
+/// representation of its abstract state.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum HiLevel {
+    /// No guarantee: the memory may leak operation history (Algorithm 1).
+    NotHi,
+    /// Canonical whenever no operation at all is pending (Definition 8,
+    /// Algorithm 4).
+    Quiescent,
+    /// Canonical whenever no *state-changing* operation is pending
+    /// (Definition 7; Algorithms 2+3, the positional queue, Algorithm 5).
+    StateQuiescent,
+    /// Canonical in every configuration (Definition 5, Algorithm 6).
+    Perfect,
+}
+
+impl HiLevel {
+    /// Whether a quiescent-point audit (`memory == canonical`) is
+    /// meaningful for this level. Every level except [`HiLevel::NotHi`]
+    /// promises canonical memory at full quiescence.
+    pub fn auditable(&self) -> bool {
+        *self != HiLevel::NotHi
     }
 }
 

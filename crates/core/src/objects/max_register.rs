@@ -88,6 +88,12 @@ impl ObjectSpec for MaxRegisterSpec {
         // read-only in the paper's sense; larger writes are state-changing.
         matches!(op, MaxRegisterOp::ReadMax | MaxRegisterOp::WriteMax(1))
     }
+
+    fn is_mutator_op(&self, op: &MaxRegisterOp) -> bool {
+        // WriteMax(1) is read-only yet still a *write*: it belongs to the
+        // single writer, not to the reader role.
+        matches!(op, MaxRegisterOp::WriteMax(_))
+    }
 }
 
 impl EnumerableSpec for MaxRegisterSpec {

@@ -1,0 +1,157 @@
+//! Role-aware workload generation, shared by the threaded driver
+//! (`hi_api::drive`) and the simulator checker (`hi_spec::check_sim_object`).
+//!
+//! Both worlds draw their per-role operation scripts from the same menus
+//! ([`menus_for`]) with the same generator ([`random_script`]) and the same
+//! per-role seed derivation ([`handle_seed`]), so a scenario's threaded
+//! backend and its simulator twin face mirrored workloads *by construction*
+//! rather than by per-scenario convention.
+
+use crate::object::{EnumerableSpec, Roles};
+
+/// A minimal splitmix64 generator: deterministic workloads without a
+/// dependency on the vendored `rand` stub.
+#[derive(Clone, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Creates the generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..bound` (bound > 0).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Builds a deterministic random script of `len` operations drawn from
+/// `menu`.
+pub fn random_script<Op: Clone>(menu: &[Op], len: usize, seed: u64) -> Vec<Op> {
+    let mut rng = SplitMix64::new(seed);
+    (0..len)
+        .map(|_| menu[rng.below(menu.len())].clone())
+        .collect()
+}
+
+/// The seed of role `i`'s script under a driver seed.
+pub fn handle_seed(seed: u64, i: usize) -> u64 {
+    seed ^ (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// The per-role operation menus of `spec` under a role discipline: entry
+/// `i` lists the operations role `i` may invoke, in `spec.ops()` order.
+///
+/// * [`Roles::SingleWriterSingleReader`]: the mutator (role 0) owns every
+///   mutator operation (`ObjectSpec::is_mutator_op`), the observer (role 1)
+///   the rest.
+/// * [`Roles::MultiProcess`]: every role gets every operation it owns under
+///   [`ObjectSpec::op_owner`](crate::ObjectSpec::op_owner) (process-agnostic operations go to everyone).
+///
+/// # Example
+///
+/// ```
+/// use hi_core::objects::{MultiRegisterSpec, RegisterOp};
+/// use hi_core::{menus_for, Roles};
+///
+/// let menus = menus_for(&MultiRegisterSpec::new(2, 1), Roles::SingleWriterSingleReader);
+/// assert_eq!(menus[0], vec![RegisterOp::Write(1), RegisterOp::Write(2)]);
+/// assert_eq!(menus[1], vec![RegisterOp::Read]);
+/// ```
+pub fn menus_for<S: EnumerableSpec>(spec: &S, roles: Roles) -> Vec<Vec<S::Op>> {
+    let all = spec.ops();
+    match roles {
+        Roles::SingleWriterSingleReader => vec![
+            all.iter()
+                .filter(|op| spec.is_mutator_op(op))
+                .cloned()
+                .collect(),
+            all.iter()
+                .filter(|op| !spec.is_mutator_op(op))
+                .cloned()
+                .collect(),
+        ],
+        Roles::MultiProcess { n } => (0..n)
+            .map(|pid| {
+                all.iter()
+                    .filter(|op| spec.op_owner(op).map_or(true, |owner| owner == pid))
+                    .cloned()
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectSpec;
+    use crate::objects::{BoundedQueueSpec, CounterOp, CounterSpec, MultiRegisterSpec, QueueOp};
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(42);
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(42);
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scripts_draw_only_from_the_menu() {
+        let menu = vec![1u8, 2, 3];
+        let script = random_script(&menu, 100, 7);
+        assert_eq!(script.len(), 100);
+        assert!(script.iter().all(|v| menu.contains(v)));
+    }
+
+    #[test]
+    fn handle_seeds_differ_per_role() {
+        assert_ne!(handle_seed(9, 0), handle_seed(9, 1));
+    }
+
+    #[test]
+    fn swsr_menus_split_by_read_onlyness() {
+        let spec = BoundedQueueSpec::new(2, 3);
+        let menus = menus_for(&spec, Roles::SingleWriterSingleReader);
+        assert_eq!(menus.len(), 2);
+        assert!(menus[0].iter().all(|op| !spec.is_read_only(op)));
+        assert!(menus[0].contains(&QueueOp::Dequeue));
+        assert_eq!(menus[1], vec![QueueOp::Peek]);
+    }
+
+    #[test]
+    fn multiprocess_menus_are_symmetric_without_owners() {
+        let spec = CounterSpec::new(0, 3, 0);
+        let menus = menus_for(&spec, Roles::MultiProcess { n: 3 });
+        assert_eq!(menus.len(), 3);
+        for menu in &menus {
+            assert_eq!(*menu, vec![CounterOp::Inc, CounterOp::Dec, CounterOp::Read]);
+        }
+    }
+
+    #[test]
+    fn menus_cover_every_op_exactly_per_role_discipline() {
+        let spec = MultiRegisterSpec::new(3, 1);
+        let menus = menus_for(&spec, Roles::SingleWriterSingleReader);
+        let mut flat: Vec<_> = menus.concat();
+        flat.sort_by_key(|op| format!("{op:?}"));
+        let mut all = spec.ops();
+        all.sort_by_key(|op| format!("{op:?}"));
+        assert_eq!(flat, all, "SWSR menus partition the operation set");
+    }
+}

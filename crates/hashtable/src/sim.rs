@@ -13,8 +13,9 @@
 //! [`SimHiHashTable::canonical_slots`].
 
 use hi_core::objects::{HashSetOp, HashSetResp, HashSetSpec};
-use hi_core::Pid;
+use hi_core::{HiLevel, Pid, Roles};
 use hi_sim::{CellDomain, CellId, Implementation, MemCtx, ProcessHandle, SharedMem};
+use hi_spec::{CanonicalView, ObservationModel, SimAudit, SimObject};
 
 use crate::{carry_writes, displacement, incumbent_wins, slot_of};
 
@@ -429,6 +430,44 @@ impl Implementation<HashSetSpec> for SimHiHashTable {
             slots: self.slots.clone(),
             pc: Pc::Idle,
         }
+    }
+}
+
+impl SimObject<HashSetSpec> for SimHiHashTable {
+    type Machine = Self;
+
+    fn spec(&self) -> &HashSetSpec {
+        &self.spec
+    }
+
+    fn roles(&self) -> Roles {
+        Roles::MultiProcess { n: self.n }
+    }
+
+    fn hi_level(&self) -> HiLevel {
+        HiLevel::StateQuiescent
+    }
+
+    fn implementation(&self) -> &Self {
+        self
+    }
+
+    /// Direct canonicity over the slot array: at every state-quiescent
+    /// point the slots (the memory representation proper; cell 0 is the
+    /// seqlock word) must equal the canonical Robin Hood layout of the
+    /// decoded key set. Strictly stronger than same-state-same-memory
+    /// monitoring, and what justifies excluding the synchronization word —
+    /// the same exclusion the threaded adapter's `mem_snapshot` makes.
+    fn hi_audit(&self) -> SimAudit<HashSetSpec, Self> {
+        let oracle = self.clone();
+        SimAudit::direct_canonical(ObservationModel::StateQuiescent, move |snap| {
+            let state = oracle.decode_state(snap);
+            CanonicalView {
+                observed: oracle.slots_of(snap).to_vec(),
+                canonical: oracle.canonical_slots(state),
+                state: format!("{state:#b}"),
+            }
+        })
     }
 }
 

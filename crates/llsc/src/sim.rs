@@ -5,8 +5,9 @@
 //! (to check Algorithm 6 itself against [`RLlscSpec`]) and embedded by
 //! `hi-universal` inside Algorithm 5's apply loop.
 
-use hi_core::Pid;
+use hi_core::{HiLevel, Pid, Roles};
 use hi_sim::{CellDomain, CellId, Implementation, MemCtx, ProcessHandle, SharedMem};
+use hi_spec::{ObservationModel, SimAudit, SimObject};
 
 use crate::pack::LlscLayout;
 use crate::spec::{RLlscOp, RLlscResp, RLlscSpec};
@@ -352,6 +353,33 @@ impl Implementation<RLlscSpec> for SimRLlsc {
             layout: self.layout,
             pending: None,
         }
+    }
+}
+
+impl SimObject<RLlscSpec> for SimRLlsc {
+    type Machine = Self;
+
+    fn spec(&self) -> &RLlscSpec {
+        &self.spec
+    }
+
+    fn roles(&self) -> Roles {
+        Roles::MultiProcess { n: self.spec.n() }
+    }
+
+    fn hi_level(&self) -> HiLevel {
+        HiLevel::Perfect
+    }
+
+    fn implementation(&self) -> &Self {
+        self
+    }
+
+    fn hi_audit(&self) -> SimAudit<RLlscSpec, Self> {
+        // The packed word is a bijection of `(val, context)`: decode it at
+        // every configuration.
+        let oracle = self.clone();
+        SimAudit::from_snapshot(ObservationModel::Perfect, move |snap| oracle.decode(snap))
     }
 }
 

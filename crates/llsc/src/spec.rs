@@ -149,6 +149,12 @@ impl ObjectSpec for RLlscSpec {
     fn is_read_only(&self, op: &RLlscOp) -> bool {
         matches!(op, RLlscOp::Vl { .. } | RLlscOp::Load)
     }
+
+    fn op_owner(&self, op: &RLlscOp) -> Option<usize> {
+        // LL/VL/SC/RL reference the caller's reservation: only the tagged
+        // process may invoke them. Load/Store belong to everyone.
+        op.pid()
+    }
 }
 
 impl EnumerableSpec for RLlscSpec {

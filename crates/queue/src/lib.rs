@@ -34,8 +34,9 @@
 pub mod threaded;
 
 use hi_core::objects::{BoundedQueueSpec, QueueOp, QueueResp};
-use hi_core::Pid;
+use hi_core::{HiLevel, Pid, Roles};
 use hi_sim::{CellDomain, CellId, Implementation, MemCtx, ProcessHandle, SharedMem};
+use hi_spec::{ObservationModel, SimAudit, SimObject};
 
 /// The positional HI queue. pid 0 is the mutator (`Enqueue`/`Dequeue`,
 /// wait-free), pid 1 the observer (`Peek`, lock-free). State-quiescent HI.
@@ -337,6 +338,30 @@ impl Implementation<BoundedQueueSpec> for PositionalQueue {
             mpc: MutPc::Idle,
             rpc: ReadPc::Idle,
         }
+    }
+}
+
+impl SimObject<BoundedQueueSpec> for PositionalQueue {
+    type Machine = Self;
+
+    fn spec(&self) -> &BoundedQueueSpec {
+        &self.spec
+    }
+
+    fn roles(&self) -> Roles {
+        Roles::SingleWriterSingleReader
+    }
+
+    fn hi_level(&self) -> HiLevel {
+        HiLevel::StateQuiescent
+    }
+
+    fn implementation(&self) -> &Self {
+        self
+    }
+
+    fn hi_audit(&self) -> SimAudit<BoundedQueueSpec, Self> {
+        SimAudit::single_mutator(ObservationModel::StateQuiescent, self.spec)
     }
 }
 

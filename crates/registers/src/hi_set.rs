@@ -7,8 +7,9 @@
 //! abstract state, with no intermediate representations at all.
 
 use hi_core::objects::{SetOp, SetResp, SetSpec};
-use hi_core::Pid;
+use hi_core::{HiLevel, Pid, Roles};
 use hi_sim::{CellDomain, CellId, Implementation, MemCtx, ProcessHandle, SharedMem};
+use hi_spec::{ObservationModel, SimAudit, SimObject};
 
 /// The §5.1 set: `S[e] = 1` iff `e` is a member. Any process may run any
 /// operation; all operations are single-primitive, wait-free and perfect HI.
@@ -103,6 +104,33 @@ impl Implementation<SetSpec> for HiSet {
             s: self.s.clone(),
             pending: None,
         }
+    }
+}
+
+impl SimObject<SetSpec> for HiSet {
+    type Machine = Self;
+
+    fn spec(&self) -> &SetSpec {
+        &self.spec
+    }
+
+    fn roles(&self) -> Roles {
+        Roles::MultiProcess { n: self.n }
+    }
+
+    fn hi_level(&self) -> HiLevel {
+        HiLevel::Perfect
+    }
+
+    fn implementation(&self) -> &Self {
+        self
+    }
+
+    fn hi_audit(&self) -> SimAudit<SetSpec, Self> {
+        // Perfect HI: the characteristic vector *is* the state.
+        SimAudit::from_snapshot(ObservationModel::Perfect, |snap| {
+            hi_core::cells::mask_of_bits(snap)
+        })
     }
 }
 

@@ -9,8 +9,9 @@
 //! exactly the trade-off cell of Table 1 row 2.
 
 use hi_core::objects::{MultiRegisterSpec, RegisterOp, RegisterResp};
-use hi_core::Pid;
+use hi_core::{HiLevel, Pid, Roles};
 use hi_sim::{CellDomain, CellId, Implementation, MemCtx, ProcessHandle, SharedMem};
+use hi_spec::{ObservationModel, SimAudit, SimObject};
 
 use crate::Role;
 
@@ -200,6 +201,30 @@ impl Implementation<MultiRegisterSpec> for LockFreeHiRegister {
             a: self.a.clone(),
             pc: Pc::Idle,
         }
+    }
+}
+
+impl SimObject<MultiRegisterSpec> for LockFreeHiRegister {
+    type Machine = Self;
+
+    fn spec(&self) -> &MultiRegisterSpec {
+        &self.spec
+    }
+
+    fn roles(&self) -> Roles {
+        Roles::SingleWriterSingleReader
+    }
+
+    fn hi_level(&self) -> HiLevel {
+        HiLevel::StateQuiescent
+    }
+
+    fn implementation(&self) -> &Self {
+        self
+    }
+
+    fn hi_audit(&self) -> SimAudit<MultiRegisterSpec, Self> {
+        SimAudit::single_mutator(ObservationModel::StateQuiescent, self.spec)
     }
 }
 

@@ -9,8 +9,9 @@
 //! every state-quiescent point, with no retry loop anywhere.
 
 use hi_core::objects::{MaxRegisterOp, MaxRegisterSpec, RegisterResp};
-use hi_core::Pid;
+use hi_core::{HiLevel, Pid, Roles};
 use hi_sim::{CellDomain, CellId, Implementation, MemCtx, ProcessHandle, SharedMem};
+use hi_spec::{ObservationModel, SimAudit, SimObject};
 
 use crate::Role;
 
@@ -192,6 +193,30 @@ impl Implementation<MaxRegisterSpec> for MaxRegister {
             pc: Pc::Idle,
             trivial_ack: false,
         }
+    }
+}
+
+impl SimObject<MaxRegisterSpec> for MaxRegister {
+    type Machine = Self;
+
+    fn spec(&self) -> &MaxRegisterSpec {
+        &self.spec
+    }
+
+    fn roles(&self) -> Roles {
+        Roles::SingleWriterSingleReader
+    }
+
+    fn hi_level(&self) -> HiLevel {
+        HiLevel::StateQuiescent
+    }
+
+    fn implementation(&self) -> &Self {
+        self
+    }
+
+    fn hi_audit(&self) -> SimAudit<MaxRegisterSpec, Self> {
+        SimAudit::single_mutator(ObservationModel::StateQuiescent, self.spec)
     }
 }
 

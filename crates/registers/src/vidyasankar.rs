@@ -8,8 +8,9 @@
 //! sequential executions (paper §4).
 
 use hi_core::objects::{MultiRegisterSpec, RegisterOp, RegisterResp};
-use hi_core::Pid;
+use hi_core::{HiLevel, Pid, Roles};
 use hi_sim::{CellDomain, CellId, Implementation, MemCtx, ProcessHandle, SharedMem};
+use hi_spec::{SimAudit, SimObject};
 
 use crate::Role;
 
@@ -168,6 +169,31 @@ impl Implementation<MultiRegisterSpec> for VidyasankarRegister {
             a: self.a.clone(),
             pc: Pc::Idle,
         }
+    }
+}
+
+impl SimObject<MultiRegisterSpec> for VidyasankarRegister {
+    type Machine = Self;
+
+    fn spec(&self) -> &MultiRegisterSpec {
+        &self.spec
+    }
+
+    fn roles(&self) -> Roles {
+        Roles::SingleWriterSingleReader
+    }
+
+    fn hi_level(&self) -> HiLevel {
+        HiLevel::NotHi
+    }
+
+    fn implementation(&self) -> &Self {
+        self
+    }
+
+    fn hi_audit(&self) -> SimAudit<MultiRegisterSpec, Self> {
+        // Algorithm 1 leaks history; only linearizability is checkable.
+        SimAudit::LinOnly
     }
 }
 

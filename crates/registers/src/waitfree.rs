@@ -11,8 +11,9 @@
 //! this implementation is quiescent HI and not state-quiescent HI.
 
 use hi_core::objects::{MultiRegisterSpec, RegisterOp, RegisterResp};
-use hi_core::Pid;
+use hi_core::{HiLevel, Pid, Roles};
 use hi_sim::{CellDomain, CellId, Implementation, MemCtx, ProcessHandle, SharedMem};
+use hi_spec::{ObservationModel, SimAudit, SimObject};
 
 use crate::Role;
 
@@ -419,6 +420,31 @@ impl Implementation<MultiRegisterSpec> for WaitFreeHiRegister {
             wpc: WPc::Idle,
             rpc: RPc::Idle,
         }
+    }
+}
+
+impl SimObject<MultiRegisterSpec> for WaitFreeHiRegister {
+    type Machine = Self;
+
+    fn spec(&self) -> &MultiRegisterSpec {
+        &self.spec
+    }
+
+    fn roles(&self) -> Roles {
+        Roles::SingleWriterSingleReader
+    }
+
+    fn hi_level(&self) -> HiLevel {
+        // Pending reads leave announcement footprints: quiescent HI only.
+        HiLevel::Quiescent
+    }
+
+    fn implementation(&self) -> &Self {
+        self
+    }
+
+    fn hi_audit(&self) -> SimAudit<MultiRegisterSpec, Self> {
+        SimAudit::single_mutator(ObservationModel::Quiescent, self.spec)
     }
 }
 

@@ -19,7 +19,11 @@
 //!   for the algorithms' trickiest interleavings.
 //!
 //! The [`harness`] module bundles the three into one-call checks used
-//! throughout the workspace's test suites.
+//! throughout the workspace's test suites, and the [`sim_object`] module
+//! defines [`SimObject`] — the simulator twin of the threaded
+//! `ConcurrentObject` facade — together with [`check_sim_object`], the one
+//! generic role-aware driver every sim twin in the scenario registry runs
+//! through.
 //!
 //! [`History`]: hi_core::History
 //! [`ObjectSpec`]: hi_core::ObjectSpec
@@ -28,8 +32,13 @@ pub mod explore;
 pub mod harness;
 pub mod hi;
 pub mod lin;
+pub mod sim_object;
 
 pub use explore::{explore, ExploreStats, ExploreVisitor};
 pub use harness::{check_run, check_run_single_mutator, CheckError, CheckReport};
 pub use hi::{single_mutator_state, HiMonitor, ObservationModel};
 pub use lin::{linearize, LinError, LinOptions, Linearization};
+pub use sim_object::{
+    check_sim_object, model_for, sim_workload, CanonicalOracle, CanonicalView,
+    DirectCanonicalObserver, SimAudit, SimObject, SimObjectReport, StateOracle,
+};

@@ -9,9 +9,10 @@
 
 use std::sync::Arc;
 
-use hi_core::{EnumerableSpec, ObjectSpec, Pid};
+use hi_core::{EnumerableSpec, HiLevel, ObjectSpec, Pid, Roles};
 use hi_llsc::{LlscLayout, LlscOp};
 use hi_sim::{CellDomain, CellId, Implementation, MemCtx, MemSnapshot, ProcessHandle, SharedMem};
+use hi_spec::{ObservationModel, SimAudit, SimObject};
 
 use crate::codec::{AnnValue, Codec};
 
@@ -694,6 +695,42 @@ impl<S: EnumerableSpec> Implementation<S> for SimUniversal<S> {
             release: self.release,
             pc: Pc::Idle,
         }
+    }
+}
+
+impl<S: EnumerableSpec + 'static> SimObject<S> for SimUniversal<S> {
+    type Machine = Self;
+
+    fn spec(&self) -> &S {
+        &self.spec
+    }
+
+    fn roles(&self) -> Roles {
+        Roles::MultiProcess { n: self.n }
+    }
+
+    fn hi_level(&self) -> HiLevel {
+        // `without_release` drops the RL clearing that buys HI (§6.1).
+        if self.release {
+            HiLevel::StateQuiescent
+        } else {
+            HiLevel::NotHi
+        }
+    }
+
+    fn implementation(&self) -> &Self {
+        self
+    }
+
+    fn hi_audit(&self) -> SimAudit<S, Self> {
+        if !self.release {
+            return SimAudit::LinOnly;
+        }
+        // Lemma 25: the state component of `head` is the abstract state.
+        let oracle = self.clone();
+        SimAudit::from_snapshot(ObservationModel::StateQuiescent, move |snap| {
+            oracle.abstract_state(snap)
+        })
     }
 }
 

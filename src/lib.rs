@@ -13,8 +13,11 @@
 //!   class and canonical-representation bookkeeping.
 //! * [`sim`] — a deterministic asynchronous shared-memory simulator whose
 //!   configurations and `mem(C)` snapshots match the paper's model exactly.
-//! * [`spec`] — linearizability and history-independence checkers plus a
-//!   bounded exhaustive schedule explorer.
+//! * [`spec`] — linearizability and history-independence checkers, a
+//!   bounded exhaustive schedule explorer, and the
+//!   [`SimObject`](hi_spec::SimObject) facade with its generic
+//!   [`check_sim_object`](hi_spec::check_sim_object) driver — the
+//!   simulator twin of [`api`]'s threaded surface.
 //! * [`registers`] — Algorithms 1–4 of the paper (Vidyasankar's register,
 //!   the lock-free state-quiescent HI register, the wait-free quiescent HI
 //!   register), the max register and the perfect-HI set.

@@ -1,18 +1,39 @@
 //! Cross-backend conformance: every scenario in `hi_api::registry()` is run
 //! through the generic threaded driver (`hi_api::drive`) *and* its simulator
-//! twin, and both must linearize against the same `ObjectSpec` — with the
-//! quiescent memory audit wherever the implementation promises a canonical
-//! form.
+//! twin (`hi_spec::check_sim_object`), and both must linearize against the
+//! same `ObjectSpec` — with the HI audit wherever the implementation
+//! promises a canonical form.
 //!
 //! New object×spec workloads get covered by adding a registry entry, not a
-//! new test.
+//! new test. The suite also enforces the dual-world contract itself: the
+//! threaded adapter and the sim adapter of every entry must agree on role
+//! discipline, HI level and spec parameters, every adapter exported from
+//! `hi_api::adapters` must appear in the registry, and `check_sim` must be
+//! deterministic under a fixed seed.
+//!
+//! Set `HI_CONFORMANCE_SEED=<u64>` to add one more seed to every loop — the
+//! CI seed matrix drives this.
 
 use hi_concurrent::api::{registry, DriveConfig, HiLevel, Roles};
 use hi_concurrent::api::{ConcurrentObject, ObjectHandle};
 
-/// Seeds exercised per scenario (each seed changes both the workload and
-/// the sim schedule).
-const SEEDS: [u64; 2] = [7, 0xfeed_beef];
+/// Base seeds exercised per scenario (each seed changes both the workload
+/// and the sim schedule), extended by `HI_CONFORMANCE_SEED` if set.
+fn seeds() -> Vec<u64> {
+    let mut seeds = vec![7, 0xfeed_beef];
+    if let Ok(raw) = std::env::var("HI_CONFORMANCE_SEED") {
+        // Panic rather than skip: a CI matrix job whose seed does not parse
+        // must fail loudly, not silently rerun the base seeds.
+        let extra: u64 = raw
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("HI_CONFORMANCE_SEED={raw:?} is not a u64: {e}"));
+        if !seeds.contains(&extra) {
+            seeds.push(extra);
+        }
+    }
+    seeds
+}
 
 /// Operations per handle. Small enough that the Wing–Gong search settles
 /// every history quickly, large enough to mix roles thoroughly.
@@ -21,7 +42,7 @@ const OPS: usize = 60;
 #[test]
 fn every_registry_entry_drives_threaded_and_sim() {
     for scenario in registry() {
-        for seed in SEEDS {
+        for seed in seeds() {
             let cfg = DriveConfig {
                 ops_per_handle: OPS,
                 seed,
@@ -35,9 +56,120 @@ fn every_registry_entry_drives_threaded_and_sim() {
                 "{} (threaded, seed {seed}): no operations completed",
                 scenario.name
             );
-            scenario
+            let sim = scenario
                 .check_sim(seed, OPS / 2)
                 .unwrap_or_else(|e| panic!("{} (sim, seed {seed}): {e}", scenario.name));
+            assert!(
+                sim.ops > 0,
+                "{} (sim, seed {seed}): no operations completed",
+                scenario.name
+            );
+            assert_eq!(
+                sim.audited,
+                scenario.hi_level().auditable(),
+                "{} (sim, seed {seed}): audit ran iff the level promises one",
+                scenario.name
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_and_sim_worlds_agree_on_every_contract() {
+    // The dual-world contract: each entry is one abstract object, so its
+    // two adapters must declare the same role discipline, the same HI
+    // guarantee and the same spec parameters — asserted here, not assumed.
+    for scenario in registry() {
+        let t = scenario.threaded_meta();
+        let s = scenario.sim_meta();
+        assert_eq!(
+            t.roles, s.roles,
+            "{}: threaded and sim roles disagree",
+            scenario.name
+        );
+        assert_eq!(
+            t.hi_level, s.hi_level,
+            "{}: threaded and sim HI levels disagree",
+            scenario.name
+        );
+        assert_eq!(
+            t.params, s.params,
+            "{}: threaded and sim specs disagree",
+            scenario.name
+        );
+        // And the scenario-level accessors surface the (agreed) metadata.
+        assert_eq!(scenario.roles(), t.roles);
+        assert_eq!(scenario.hi_level(), t.hi_level);
+        assert_eq!(scenario.params(), t.params);
+        assert!(
+            !scenario.params().is_empty(),
+            "{}: parameter summary is empty",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn every_exported_adapter_appears_in_the_registry() {
+    // Registry completeness: every adapter type exported from
+    // `hi_api::adapters` (and every sim machine with a SimObject impl)
+    // backs at least one entry, so nothing is drivable-but-unregistered.
+    let threaded: Vec<&str> = registry()
+        .iter()
+        .map(|s| s.threaded_meta().adapter)
+        .collect();
+    for adapter in [
+        "VidyasankarObject",
+        "LockFreeHiObject",
+        "WaitFreeHiObject",
+        "QueueObject",
+        "MaxRegisterObject",
+        "HiSetObject",
+        "HashTableObject",
+        "LlscObject",
+        "UniversalObject",
+    ] {
+        assert!(
+            threaded.iter().any(|t| t.contains(adapter)),
+            "no registry entry uses threaded adapter {adapter}: {threaded:?}"
+        );
+    }
+    let sims: Vec<&str> = registry().iter().map(|s| s.sim_meta().adapter).collect();
+    for machine in [
+        "VidyasankarRegister",
+        "LockFreeHiRegister",
+        "WaitFreeHiRegister",
+        "PositionalQueue",
+        "MaxRegister",
+        "HiSet",
+        "SimHiHashTable",
+        "SimRLlsc",
+        "SimUniversal",
+    ] {
+        assert!(
+            sims.iter().any(|s| s.contains(machine)),
+            "no registry entry uses sim machine {machine}: {sims:?}"
+        );
+    }
+}
+
+#[test]
+fn check_sim_is_deterministic_per_seed() {
+    // The sim twin is a deterministic function of the seed: same seed, same
+    // schedule, same history, same audit — byte-for-byte equal reports.
+    for seed in [3u64, 41, 0xdead_cafe] {
+        for scenario in registry() {
+            let a = scenario
+                .check_sim(seed, OPS / 3)
+                .unwrap_or_else(|e| panic!("{} (seed {seed}): {e}", scenario.name));
+            let b = scenario
+                .check_sim(seed, OPS / 3)
+                .unwrap_or_else(|e| panic!("{} (seed {seed}, rerun): {e}", scenario.name));
+            assert_eq!(
+                a, b,
+                "{} (seed {seed}): two runs under the same seed diverged",
+                scenario.name
+            );
         }
     }
 }
@@ -57,6 +189,12 @@ fn audited_scenarios_match_their_hi_promise() {
         let report = scenario
             .run_threaded(&cfg)
             .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        assert_eq!(
+            report.audited,
+            scenario.hi_level().auditable(),
+            "{}: surfaced HI level must predict the audit",
+            scenario.name
+        );
         if report.audited {
             audited += 1;
         } else {
