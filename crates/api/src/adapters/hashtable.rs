@@ -5,7 +5,7 @@
 use hi_core::objects::{HashSetOp, HashSetResp, HashSetSpec};
 use hi_hashtable::threaded::AtomicHiHashTable;
 
-use crate::object::{ConcurrentObject, HiLevel, ObjectHandle, Roles};
+use crate::object::{ConcurrentObject, HiLevel, ObjectHandle, Progress, Roles};
 
 /// The phase-free Robin Hood HI hash table through the unified facade:
 /// `n` symmetric handles, each free to insert, remove and look up
@@ -93,6 +93,15 @@ impl ConcurrentObject<HashSetSpec> for HashTableObject {
 
     fn hi_level(&self) -> HiLevel {
         HiLevel::StateQuiescent
+    }
+
+    fn progress(&self) -> Progress {
+        // Updates serialize through the global seqlock: an updater crashed
+        // mid-critical-section leaves the sequence word odd forever and
+        // wedges every later lookup's validation loop. The ROADMAP's
+        // lock-free-updates migration is exactly the move of this class to
+        // `LockFree`.
+        Progress::Blocking
     }
 
     fn handles(&mut self) -> Vec<HashTableHandle<'_>> {

@@ -5,7 +5,7 @@
 use hi_core::ObjectSpec;
 use hi_llsc::{LlscLayout, PackedRLlsc, RLlscOp, RLlscResp, RLlscSpec};
 
-use crate::object::{ConcurrentObject, HiLevel, ObjectHandle, Roles};
+use crate::object::{ConcurrentObject, HiLevel, ObjectHandle, Progress, Roles};
 
 /// Algorithm 6 through the unified facade: one packed word, `n` symmetric
 /// handles, perfect HI (the word *is* a fixed bijection of the abstract
@@ -85,6 +85,12 @@ impl ConcurrentObject<RLlscSpec> for LlscObject {
 
     fn hi_level(&self) -> HiLevel {
         HiLevel::Perfect
+    }
+
+    fn progress(&self) -> Progress {
+        // Every LL/VL/SC/RL is a bounded number of primitives; SC fails
+        // fast instead of retrying.
+        Progress::WaitFree
     }
 
     fn handles(&mut self) -> Vec<LlscHandle<'_>> {

@@ -4,7 +4,7 @@
 use hi_core::objects::{BoundedQueueSpec, QueueOp, QueueResp};
 use hi_queue::threaded::{AtomicPositionalQueue, QueueMutator, QueuePeeker};
 
-use crate::object::{ConcurrentObject, HiLevel, ObjectHandle, Roles};
+use crate::object::{ConcurrentObject, HiLevel, ObjectHandle, Progress, Roles};
 
 /// The positional HI queue through the unified facade: single mutator
 /// (`Enqueue`/`Dequeue`, wait-free), single observer (`Peek`, lock-free),
@@ -86,6 +86,12 @@ impl ConcurrentObject<BoundedQueueSpec> for QueueObject {
 
     fn hi_level(&self) -> HiLevel {
         HiLevel::StateQuiescent
+    }
+
+    fn progress(&self) -> Progress {
+        // Peek spins while LEN claims a non-empty queue whose front slot is
+        // still clear: a mutator crashed mid-Enqueue/Dequeue wedges it.
+        Progress::Blocking
     }
 
     fn handles(&mut self) -> Vec<QueueHandle<'_>> {

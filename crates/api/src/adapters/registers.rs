@@ -11,7 +11,7 @@ use hi_registers::threaded::{
     VidyasankarWriter, WaitFreeHiReader, WaitFreeHiWriter,
 };
 
-use crate::object::{ConcurrentObject, HiLevel, ObjectHandle, Roles};
+use crate::object::{ConcurrentObject, HiLevel, ObjectHandle, Progress, Roles};
 
 /// Generates the adapter object + role-enum handle for one SWSR register
 /// backend; the `ConcurrentObject` impls differ per algorithm (snapshot
@@ -123,6 +123,10 @@ impl ConcurrentObject<MultiRegisterSpec> for VidyasankarObject {
         HiLevel::NotHi
     }
 
+    fn progress(&self) -> Progress {
+        Progress::WaitFree
+    }
+
     fn handles(&mut self) -> Vec<VidyasankarHandle<'_>> {
         let (w, r) = self.reg.split();
         vec![VidyasankarHandle::Writer(w), VidyasankarHandle::Reader(r)]
@@ -154,6 +158,12 @@ impl ConcurrentObject<MultiRegisterSpec> for LockFreeHiObject {
 
     fn hi_level(&self) -> HiLevel {
         HiLevel::StateQuiescent
+    }
+
+    fn progress(&self) -> Progress {
+        // The reader retries only while the writer keeps landing writes; a
+        // crashed (static) writer cannot starve it.
+        Progress::LockFree
     }
 
     fn handles(&mut self) -> Vec<LockFreeHiHandle<'_>> {
@@ -246,6 +256,10 @@ impl ConcurrentObject<MaxRegisterSpec> for MaxRegisterObject {
         HiLevel::StateQuiescent
     }
 
+    fn progress(&self) -> Progress {
+        Progress::WaitFree
+    }
+
     fn handles(&mut self) -> Vec<MaxRegisterHandle<'_>> {
         let (w, r) = self.reg.split();
         vec![MaxRegisterHandle::Writer(w), MaxRegisterHandle::Reader(r)]
@@ -332,6 +346,10 @@ impl ConcurrentObject<SetSpec> for HiSetObject {
         HiLevel::Perfect
     }
 
+    fn progress(&self) -> Progress {
+        Progress::WaitFree // one primitive per operation
+    }
+
     fn handles(&mut self) -> Vec<HiSetHandle<'_>> {
         (0..self.n)
             .map(|_| HiSetHandle { set: &self.set })
@@ -364,6 +382,10 @@ impl ConcurrentObject<MultiRegisterSpec> for WaitFreeHiObject {
 
     fn hi_level(&self) -> HiLevel {
         HiLevel::Quiescent
+    }
+
+    fn progress(&self) -> Progress {
+        Progress::WaitFree
     }
 
     fn handles(&mut self) -> Vec<WaitFreeHiHandle<'_>> {

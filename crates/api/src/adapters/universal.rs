@@ -4,7 +4,7 @@
 use hi_core::EnumerableSpec;
 use hi_universal::{AtomicUniversal, UniversalHandle};
 
-use crate::object::{ConcurrentObject, HiLevel, ObjectHandle, Roles};
+use crate::object::{ConcurrentObject, HiLevel, ObjectHandle, Progress, Roles};
 
 /// Algorithm 5 over any [`EnumerableSpec`], through the unified facade:
 /// `n` symmetric wait-free handles, state-quiescent HI.
@@ -77,6 +77,12 @@ where
 
     fn roles(&self) -> Roles {
         Roles::MultiProcess { n: self.u.n() }
+    }
+
+    fn progress(&self) -> Progress {
+        // Announce-and-help: every process helps the whole announce array
+        // before swinging the head, with or without the release step.
+        Progress::Helping
     }
 
     fn hi_level(&self) -> HiLevel {

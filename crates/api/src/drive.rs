@@ -13,10 +13,13 @@
 //! [`HiLevel`](crate::HiLevel) fixes a
 //! canonical form.
 
+use std::any::Any;
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use hi_core::{menus_for, EnumerableSpec, History, ObjectSpec, Pid};
 use hi_spec::{linearize, LinError, LinOptions, Linearization};
@@ -38,6 +41,10 @@ pub struct DriveConfig {
     pub seed: u64,
     /// Options of the final linearizability search.
     pub lin: LinOptions,
+    /// Wall-clock budget of a [`drive_watchdogged`] run; on expiry the run
+    /// resolves to [`DriveError::Wedged`] instead of hanging. Ignored by the
+    /// plain (borrowing) [`drive`], which cannot abandon its workers.
+    pub deadline: Duration,
 }
 
 impl Default for DriveConfig {
@@ -46,6 +53,7 @@ impl Default for DriveConfig {
             ops_per_handle: 100,
             seed: 0x5eed,
             lin: LinOptions::default(),
+            deadline: Duration::from_secs(30),
         }
     }
 }
@@ -67,6 +75,19 @@ pub struct DriveReport<S: ObjectSpec> {
     pub audited: bool,
 }
 
+/// How far one handle's worker got before the run ended — the per-handle
+/// diagnostic a [`DriveError::Wedged`] carries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HandleProgress {
+    /// The handle index (role order, as returned by
+    /// [`ConcurrentObject::handles`]).
+    pub handle: usize,
+    /// Operations the worker completed.
+    pub applied: usize,
+    /// Operations its script planned.
+    pub planned: usize,
+}
+
 /// Why a [`drive`] run failed.
 #[derive(Clone, Debug)]
 pub enum DriveError<S: ObjectSpec> {
@@ -82,6 +103,31 @@ pub enum DriveError<S: ObjectSpec> {
         /// The expected canonical representation.
         canonical: Vec<u64>,
     },
+    /// The watchdog fired: the workers did not finish within the deadline.
+    /// The wedged driver thread is abandoned (its memory is reclaimed at
+    /// process exit), and this diagnostic is what CI reports instead of a
+    /// hang.
+    Wedged {
+        /// The expired deadline.
+        after: Duration,
+        /// The handles that had not drained their scripts, with how far
+        /// each got. Empty only if the run wedged before the object handed
+        /// out handles.
+        stalled: Vec<HandleProgress>,
+        /// The object's memory at drive start (the canonical initial
+        /// memory). The wedge-time memory of a live threaded object is not
+        /// observable without aliasing it; the registry appends the sim
+        /// twin's lane rendering for the mid-run view.
+        mem: Vec<u64>,
+    },
+    /// A worker (or the driver itself) panicked.
+    Panicked {
+        /// The panicking handle index, when a worker; `None` when the
+        /// driver thread itself panicked (e.g. during construction).
+        handle: Option<usize>,
+        /// The rendered panic payload.
+        message: String,
+    },
 }
 
 impl<S: ObjectSpec> fmt::Display for DriveError<S> {
@@ -96,11 +142,43 @@ impl<S: ObjectSpec> fmt::Display for DriveError<S> {
                 f,
                 "quiescent memory of state {state:?} is {mem:?}, expected canonical {canonical:?}"
             ),
+            DriveError::Wedged {
+                after,
+                stalled,
+                mem,
+            } => {
+                write!(f, "drive wedged: workers still running after {after:?};")?;
+                if stalled.is_empty() {
+                    write!(f, " no handle ever reported progress;")?;
+                } else {
+                    write!(f, " stalled handles:")?;
+                    for hp in stalled {
+                        write!(f, " {} ({}/{} ops)", hp.handle, hp.applied, hp.planned)?;
+                    }
+                    write!(f, ";")?;
+                }
+                write!(f, " memory at drive start: {mem:?}")
+            }
+            DriveError::Panicked { handle, message } => match handle {
+                Some(i) => write!(f, "worker thread of handle {i} panicked: {message}"),
+                None => write!(f, "driver thread panicked: {message}"),
+            },
         }
     }
 }
 
 impl<S: ObjectSpec> Error for DriveError<S> {}
+
+/// Renders a panic payload the way the default hook would.
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// An invocation/response pair stamped from the global sequence counter.
 struct StampedOp<O, R> {
@@ -156,11 +234,38 @@ where
     S::Resp: Send,
     O: ConcurrentObject<S>,
 {
+    drive_core(obj, cfg, None)
+}
+
+/// The shared drive core: what [`drive`] runs directly and what the
+/// [`drive_watchdogged`] driver thread runs behind the watchdog. When
+/// `progress` is given (one counter per handle, role order), workers bump
+/// their counter after every completed operation so the watchdog can report
+/// *which* handles stalled.
+fn drive_core<S, O>(
+    obj: &mut O,
+    cfg: &DriveConfig,
+    progress: Option<&[AtomicUsize]>,
+) -> Result<DriveReport<S>, DriveError<S>>
+where
+    S: EnumerableSpec,
+    S::Op: Send,
+    S::Resp: Send,
+    O: ConcurrentObject<S>,
+{
     let spec = obj.spec().clone();
     // The same role-aware menus the sim checker derives for the twin
     // scenario: both worlds are workload-mirrored by construction.
     let menus = menus_for(&spec, obj.roles());
+    if let Some(p) = progress {
+        assert_eq!(p.len(), menus.len(), "one progress counter per handle");
+    }
     let audit = obj.hi_level().auditable();
+    // Worker panics are caught, not propagated: a propagated panic would
+    // abort the scope join and lose the handle index, and under the
+    // watchdog it must surface as a structured DriveError, not a dead
+    // channel.
+    let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
     let log = {
         let handles = obj.handles();
         assert_eq!(
@@ -182,26 +287,43 @@ where
                 let script = random_script(menu, cfg.ops_per_handle, handle_seed(cfg.seed, i));
                 let clock = &clock;
                 let log = &log;
+                let panics = &panics;
                 s.spawn(move || {
-                    let mut local = Vec::with_capacity(script.len());
-                    for op in script {
-                        let invoked = clock.fetch_add(1, Ordering::SeqCst);
-                        let resp = h.apply(op.clone());
-                        let returned = clock.fetch_add(1, Ordering::SeqCst);
-                        local.push(StampedOp {
-                            pid: i,
-                            invoked,
-                            returned,
-                            op,
-                            resp,
-                        });
+                    let body = catch_unwind(AssertUnwindSafe(|| {
+                        let mut local = Vec::with_capacity(script.len());
+                        for op in script {
+                            let invoked = clock.fetch_add(1, Ordering::SeqCst);
+                            let resp = h.apply(op.clone());
+                            let returned = clock.fetch_add(1, Ordering::SeqCst);
+                            local.push(StampedOp {
+                                pid: i,
+                                invoked,
+                                returned,
+                                op,
+                                resp,
+                            });
+                            if let Some(p) = progress {
+                                p[i].fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        local
+                    }));
+                    match body {
+                        Ok(local) => log.lock().unwrap().extend(local),
+                        Err(payload) => panics.lock().unwrap().push((i, panic_message(payload))),
                     }
-                    log.lock().unwrap().extend(local);
                 });
             }
         });
         log.into_inner().unwrap()
     };
+
+    if let Some((handle, message)) = panics.into_inner().unwrap().into_iter().next() {
+        return Err(DriveError::Panicked {
+            handle: Some(handle),
+            message,
+        });
+    }
 
     let history = rebuild_history(log);
     let lin = linearize(&spec, &history, &cfg.lin).map_err(DriveError::Lin)?;
@@ -226,6 +348,111 @@ where
         mem,
         audited: audit,
     })
+}
+
+/// What the watchdogged driver thread reports before driving: enough for
+/// the watchdog to diagnose a wedge from outside.
+struct Preflight {
+    /// Planned operations per handle (0 for roles with an empty menu).
+    planned: Vec<usize>,
+    /// The object's memory at drive start.
+    mem0: Vec<u64>,
+    /// Live per-handle completion counters, shared with the workers.
+    progress: Arc<Vec<AtomicUsize>>,
+}
+
+/// [`drive`], but un-hangable: the object is constructed and driven inside
+/// a detached driver thread, and the caller waits at most `cfg.deadline`
+/// for the verdict.
+///
+/// - On time: the ordinary [`DriveReport`] / [`DriveError`].
+/// - A worker or the driver panics: [`DriveError::Panicked`] with the
+///   handle index and rendered payload.
+/// - The deadline expires (a wedged backend, e.g. a blocking algorithm
+///   whose lock holder a test deliberately stalled): [`DriveError::Wedged`]
+///   carrying each stalled handle's progress and the drive-start memory.
+///   The wedged thread is *abandoned*, not killed — its handles may spin
+///   until process exit — so CI gets a structured diagnostic instead of a
+///   hang, at the cost of a leaked thread in the failing process.
+///
+/// Takes a constructor rather than a `&mut` borrow because the object must
+/// move into (and possibly die with) the driver thread.
+pub fn drive_watchdogged<S, O>(
+    make: impl FnOnce() -> O + Send + 'static,
+    cfg: &DriveConfig,
+) -> Result<DriveReport<S>, DriveError<S>>
+where
+    S: EnumerableSpec + 'static,
+    S::Op: Send,
+    S::Resp: Send,
+    S::State: Send,
+    O: ConcurrentObject<S>,
+{
+    let (pre_tx, pre_rx) = mpsc::channel::<Preflight>();
+    let (done_tx, done_rx) = mpsc::channel::<Result<DriveReport<S>, DriveError<S>>>();
+    let cfg = *cfg;
+    std::thread::Builder::new()
+        .name("hi-drive-watchdogged".into())
+        .spawn(move || {
+            let verdict = catch_unwind(AssertUnwindSafe(|| {
+                let mut obj = make();
+                let menus = menus_for(&obj.spec().clone(), obj.roles());
+                let planned: Vec<usize> = menus
+                    .iter()
+                    .map(|m| if m.is_empty() { 0 } else { cfg.ops_per_handle })
+                    .collect();
+                let progress: Arc<Vec<AtomicUsize>> =
+                    Arc::new(menus.iter().map(|_| AtomicUsize::new(0)).collect());
+                let _ = pre_tx.send(Preflight {
+                    planned,
+                    mem0: obj.mem_snapshot(),
+                    progress: Arc::clone(&progress),
+                });
+                drive_core(&mut obj, &cfg, Some(&progress))
+            }));
+            let _ = done_tx.send(verdict.unwrap_or_else(|payload| {
+                Err(DriveError::Panicked {
+                    handle: None,
+                    message: panic_message(payload),
+                })
+            }));
+        })
+        .expect("spawn watchdogged driver thread");
+
+    let start = Instant::now();
+    let pre = pre_rx.recv_timeout(cfg.deadline).ok();
+    let remaining = cfg.deadline.saturating_sub(start.elapsed());
+    match done_rx.recv_timeout(remaining) {
+        Ok(verdict) => verdict,
+        Err(mpsc::RecvTimeoutError::Disconnected) => Err(DriveError::Panicked {
+            handle: None,
+            message: "driver thread died without reporting".into(),
+        }),
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            let (stalled, mem) = match pre {
+                Some(p) => {
+                    let stalled = p
+                        .progress
+                        .iter()
+                        .enumerate()
+                        .map(|(i, done)| HandleProgress {
+                            handle: i,
+                            applied: done.load(Ordering::Relaxed),
+                            planned: p.planned[i],
+                        })
+                        .filter(|hp| hp.applied < hp.planned)
+                        .collect();
+                    (stalled, p.mem0)
+                }
+                None => (Vec::new(), Vec::new()),
+            };
+            Err(DriveError::Wedged {
+                after: cfg.deadline,
+                stalled,
+                mem,
+            })
+        }
+    }
 }
 
 /// Pure throughput run: one thread per handle applies `ops_per_handle`

@@ -53,6 +53,9 @@ pub use adapters::{
     HashTableObject, HiSetObject, LlscObject, LockFreeHiObject, MaxRegisterObject, QueueObject,
     UniversalObject, VidyasankarObject, WaitFreeHiObject,
 };
-pub use drive::{drive, random_script, throughput, DriveConfig, DriveError, DriveReport};
-pub use object::{ConcurrentObject, HiLevel, ObjectHandle, Roles};
-pub use registry::{registry, scenario, Scenario, ScenarioMeta, ScenarioReport};
+pub use drive::{
+    drive, drive_watchdogged, random_script, throughput, DriveConfig, DriveError, DriveReport,
+    HandleProgress,
+};
+pub use object::{ConcurrentObject, HiLevel, ObjectHandle, Progress, Roles};
+pub use registry::{registry, repro_command, scenario, Scenario, ScenarioMeta, ScenarioReport};

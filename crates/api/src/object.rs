@@ -2,11 +2,11 @@
 
 use hi_core::ObjectSpec;
 
-// The role discipline and HI classification now live in `hi_core`, where
-// the simulator twin (`hi_spec::SimObject`) shares them; re-exported here
-// so the facade's historical paths (`hi_api::Roles`, `hi_api::HiLevel`)
-// keep working.
-pub use hi_core::{HiLevel, Roles};
+// The role discipline, HI classification and progress classification now
+// live in `hi_core`, where the simulator twin (`hi_spec::SimObject`) shares
+// them; re-exported here so the facade's historical paths (`hi_api::Roles`,
+// `hi_api::HiLevel`) keep working.
+pub use hi_core::{HiLevel, Progress, Roles};
 
 /// One process's capability on a [`ConcurrentObject`]: apply operations of
 /// the object's [`ObjectSpec`] and get responses back.
@@ -77,6 +77,12 @@ pub trait ConcurrentObject<S: ObjectSpec> {
 
     /// The history-independence guarantee of this implementation.
     fn hi_level(&self) -> HiLevel;
+
+    /// The progress guarantee of this implementation — what a crashed
+    /// process is allowed to break. The fault checker enforces the declared
+    /// class on the simulator twin (`hi_spec::check_sim_object_faults`), and
+    /// the conformance suite asserts both worlds declare the same class.
+    fn progress(&self) -> Progress;
 
     /// Hands out one handle per role ([`Roles::num_handles`] of them, in
     /// role order). The `&mut` receiver proves quiescence — no handle from

@@ -15,26 +15,42 @@
 use hi_core::objects::{
     BoundedQueueSpec, CounterSpec, HashSetSpec, MaxRegisterSpec, MultiRegisterSpec, SetSpec,
 };
-use hi_core::{EnumerableSpec, HiLevel, Roles};
+use hi_core::{EnumerableSpec, HiLevel, Progress, Roles};
 use hi_hashtable::SimHiHashTable;
 use hi_llsc::{RLlscSpec, SimRLlsc};
 use hi_queue::PositionalQueue;
 use hi_registers::{
     HiSet, LockFreeHiRegister, MaxRegister, VidyasankarRegister, WaitFreeHiRegister,
 };
-use hi_spec::{check_sim_object, SimObject, SimObjectReport};
+use hi_sim::{render_lanes, run_workload, Executor, Seeded};
+use hi_spec::{
+    check_sim_object, check_sim_object_faults, sim_workload, FaultSweepConfig, FaultSweepReport,
+    SimObject, SimObjectReport,
+};
 use hi_universal::SimUniversal;
 
 use crate::adapters::{
     HashTableObject, HiSetObject, LlscObject, LockFreeHiObject, MaxRegisterObject, QueueObject,
     UniversalObject, VidyasankarObject, WaitFreeHiObject,
 };
-use crate::drive::{drive, throughput, DriveConfig};
+use crate::drive::{drive_watchdogged, throughput, DriveConfig, DriveError};
 use crate::object::ConcurrentObject;
 
 /// Step budget of the simulator twins (generous: the seeded scheduler must
 /// get every lock-free retry loop through a bounded workload).
 const SIM_MAX_STEPS: u64 = 2_000_000;
+
+/// Transition cap of the sim-twin diagnostic rendered when a threaded run
+/// wedges: enough lanes to see the shape of the schedule without drowning
+/// the failure message.
+const DIAGNOSE_TRANSITIONS: u64 = 120;
+
+/// The one-line reproduction command printed with every seeded
+/// conformance/fault-check failure. The vendored proptest stand-in does no
+/// shrinking, so replaying the seed is the debugging path.
+pub fn repro_command(test: &str, seed: u64) -> String {
+    format!("HI_CONFORMANCE_SEED={seed} cargo test --test {test}")
+}
 
 /// Summary of one threaded scenario run, monomorphic so the registry can be
 /// iterated without knowing each scenario's spec types.
@@ -56,6 +72,8 @@ pub struct ScenarioMeta {
     pub roles: Roles,
     /// The history-independence guarantee.
     pub hi_level: HiLevel,
+    /// The progress guarantee — what the fault checker lets a crash break.
+    pub progress: Progress,
     /// Rendered spec parameters (the `Debug` form of the `ObjectSpec`).
     pub params: String,
     /// The adapter's Rust type, for registry-completeness suites.
@@ -69,6 +87,9 @@ type ThreadedDriver = Box<dyn Fn(&DriveConfig) -> Result<ScenarioReport, String>
 type SimDriver = Box<dyn Fn(u64, usize) -> Result<SimObjectReport, String> + Send + Sync>;
 /// The monomorphic throughput runner of a scenario.
 type ThroughputDriver = Box<dyn Fn(usize, u64) -> usize + Send + Sync>;
+/// The monomorphic fault-sweep driver of a scenario (crash/stall plans over
+/// the simulator twin).
+type FaultDriver = Box<dyn Fn(u64, usize) -> Result<FaultSweepReport, String> + Send + Sync>;
 
 /// A named object×spec configuration: a threaded backend behind
 /// [`ConcurrentObject`] plus its simulator twin behind
@@ -83,6 +104,7 @@ pub struct Scenario {
     threaded: ThreadedDriver,
     sim: SimDriver,
     throughput: ThroughputDriver,
+    fault: FaultDriver,
 }
 
 impl Scenario {
@@ -99,6 +121,7 @@ impl Scenario {
         S: EnumerableSpec + 'static,
         S::Op: Send,
         S::Resp: Send,
+        S::State: Send,
         T: ConcurrentObject<S> + 'static,
         M: SimObject<S> + 'static,
     {
@@ -107,6 +130,7 @@ impl Scenario {
             ScenarioMeta {
                 roles: obj.roles(),
                 hi_level: obj.hi_level(),
+                progress: obj.progress(),
                 params: format!("{:?}", obj.spec()),
                 adapter: std::any::type_name::<T>(),
             }
@@ -116,6 +140,7 @@ impl Scenario {
             ScenarioMeta {
                 roles: obj.roles(),
                 hi_level: obj.hi_level(),
+                progress: obj.progress(),
                 params: format!("{:?}", SimObject::spec(&obj)),
                 adapter: std::any::type_name::<M>(),
             }
@@ -126,16 +151,35 @@ impl Scenario {
             threaded_meta,
             sim_meta,
             threaded: Box::new(move |cfg| {
-                let report = drive(&mut threaded(), cfg).map_err(|e| e.to_string())?;
-                Ok(ScenarioReport {
-                    ops: report.history.records().len(),
-                    audited: report.audited,
-                })
+                // Watchdogged: a wedged backend resolves to a structured
+                // error within cfg.deadline instead of hanging the suite;
+                // the sim twin's lane rendering is appended as the mid-run
+                // diagnostic the leaked threaded object cannot give.
+                match drive_watchdogged(threaded, cfg) {
+                    Ok(report) => Ok(ScenarioReport {
+                        ops: report.history.records().len(),
+                        audited: report.audited,
+                    }),
+                    Err(e) => {
+                        let mut msg = e.to_string();
+                        if matches!(e, DriveError::Wedged { .. }) {
+                            msg.push_str("\nsim twin under the same seed:\n");
+                            msg.push_str(&diagnose_sim(sim, cfg.seed, cfg.ops_per_handle));
+                        }
+                        Err(msg)
+                    }
+                }
             }),
             sim: Box::new(move |seed, ops_per_pid| {
                 check_sim_object(&sim(), seed, ops_per_pid, SIM_MAX_STEPS)
             }),
             throughput: Box::new(move |ops, seed| throughput(&mut threaded(), ops, seed)),
+            fault: Box::new(move |seed, ops_per_pid| {
+                check_sim_object_faults(
+                    &sim(),
+                    &FaultSweepConfig::new(seed, ops_per_pid, SIM_MAX_STEPS),
+                )
+            }),
         }
     }
 
@@ -150,6 +194,12 @@ impl Scenario {
     /// agrees).
     pub fn hi_level(&self) -> HiLevel {
         self.threaded_meta.hi_level
+    }
+
+    /// The progress guarantee of the scenario (as declared by the threaded
+    /// adapter; the conformance suite asserts the sim twin agrees).
+    pub fn progress(&self) -> Progress {
+        self.threaded_meta.progress
     }
 
     /// Rendered spec parameters of the scenario.
@@ -195,6 +245,57 @@ impl Scenario {
     pub fn run_throughput(&self, ops_per_handle: usize, seed: u64) -> usize {
         (self.throughput)(ops_per_handle, seed)
     }
+
+    /// Runs the crash/stall sweep ([`hi_spec::check_sim_object_faults`])
+    /// over the simulator twin: every role crashed at sampled points of its
+    /// own transition count, every role as the sole survivor, every role
+    /// stalled mid-run — with the declared [`Progress`] class enforced and
+    /// the HI audit re-run at the post-crash observation points.
+    ///
+    /// # Errors
+    ///
+    /// The rendered sweep failure, if any.
+    pub fn run_fault_sweep(
+        &self,
+        seed: u64,
+        ops_per_pid: usize,
+    ) -> Result<FaultSweepReport, String> {
+        (self.fault)(seed, ops_per_pid)
+    }
+}
+
+/// Renders a bounded sim-twin run as the diagnostic attached to a wedged
+/// threaded drive: the per-process lanes of the first transitions under the
+/// same seed, plus the final sim memory.
+fn diagnose_sim<S, M>(sim: fn() -> M, seed: u64, ops_per_pid: usize) -> String
+where
+    S: EnumerableSpec,
+    M: SimObject<S>,
+{
+    let obj = sim();
+    let n = obj.roles().num_handles();
+    let mut exec = Executor::new(obj.implementation().clone());
+    exec.enable_trace();
+    let workload = sim_workload(SimObject::spec(&obj), obj.roles(), ops_per_pid, seed);
+    let mut sched = Seeded::new(seed);
+    let mut out = String::new();
+    match run_workload(
+        &mut exec,
+        workload,
+        &mut sched,
+        &mut (),
+        DIAGNOSE_TRANSITIONS,
+    ) {
+        Ok(()) => out.push_str("sim twin drained the mirrored workload under this seed\n"),
+        Err(e) => out.push_str(&format!(
+            "sim twin stopped after {DIAGNOSE_TRANSITIONS} transitions ({e})\n"
+        )),
+    }
+    if let Some(trace) = exec.trace() {
+        out.push_str(&render_lanes(trace, exec.mem(), n));
+    }
+    out.push_str(&format!("\nfinal sim memory: {:?}", exec.snapshot()));
+    out
 }
 
 // ---------------------------------------------------------------------------

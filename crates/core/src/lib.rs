@@ -54,5 +54,5 @@ pub mod workload;
 pub use canonical::{CanonicalMap, HiViolation};
 pub use ct::CtObject;
 pub use history::{Event, History, OpId, OpRecord, Pid, SequentialHistory};
-pub use object::{EnumerableSpec, HiLevel, ObjectSpec, Roles};
+pub use object::{EnumerableSpec, HiLevel, ObjectSpec, Progress, Roles};
 pub use workload::{handle_seed, menus_for, random_script, SplitMix64};

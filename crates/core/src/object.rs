@@ -148,6 +148,57 @@ impl HiLevel {
     }
 }
 
+/// The progress guarantee an implementation provides, i.e. what a crash of
+/// some processes is allowed to break for the survivors.
+///
+/// In the asynchronous model a crashed process is one that never takes
+/// another step; its memory contribution stays static. The fault checkers
+/// use this class to decide how hard to push an implementation:
+///
+/// - wait-free operations must complete within a bounded step budget even
+///   with *every* other process crashed mid-operation;
+/// - lock-free operations must complete once the crashed peers are static
+///   (a static memory cannot starve a retry loop);
+/// - helping constructions additionally promise that a crashed process's
+///   announced operation is applied *exactly once* by the survivors;
+/// - blocking operations may wedge forever when a crash lands inside a
+///   critical section — a crash may legitimately prevent completion, and
+///   the checker only verifies that whatever did complete linearizes and
+///   that the memory stays canonical at the permitted observation points.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Progress {
+    /// Every operation completes in a bounded number of its own steps,
+    /// regardless of what other processes do — including crashing
+    /// (Algorithms 3, 4, 6; the max register; the HI set).
+    WaitFree,
+    /// Some operation may be starved by *active* interference, but every
+    /// operation completes once all other processes are static
+    /// (Algorithm 2's reader loop).
+    LockFree,
+    /// Lock-free via announce-and-help (Algorithm 5): survivors complete a
+    /// crashed process's announced operation on its behalf, exactly once.
+    Helping,
+    /// A crash inside a critical section can block other operations forever
+    /// (the positional queue's Peek across a crashed dequeue; the hash
+    /// table's seqlock held by a crashed updater).
+    Blocking,
+}
+
+impl Progress {
+    /// Whether survivors are guaranteed to complete after peers crash:
+    /// `true` for every class except [`Progress::Blocking`].
+    pub fn completes_under_crashes(&self) -> bool {
+        *self != Progress::Blocking
+    }
+
+    /// Whether the implementation helps crashed peers' announced operations
+    /// to completion (the exactly-once obligation the fault checker
+    /// enforces for [`Progress::Helping`]).
+    pub fn helps(&self) -> bool {
+        *self == Progress::Helping
+    }
+}
+
 /// An [`ObjectSpec`] whose state, operation and response spaces are finite
 /// and enumerable.
 ///

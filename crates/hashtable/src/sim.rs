@@ -13,7 +13,7 @@
 //! [`SimHiHashTable::canonical_slots`].
 
 use hi_core::objects::{HashSetOp, HashSetResp, HashSetSpec};
-use hi_core::{HiLevel, Pid, Roles};
+use hi_core::{HiLevel, Pid, Progress, Roles};
 use hi_sim::{CellDomain, CellId, Implementation, MemCtx, ProcessHandle, SharedMem};
 use hi_spec::{CanonicalView, ObservationModel, SimAudit, SimObject};
 
@@ -446,6 +446,15 @@ impl SimObject<HashSetSpec> for SimHiHashTable {
 
     fn hi_level(&self) -> HiLevel {
         HiLevel::StateQuiescent
+    }
+
+    fn progress(&self) -> Progress {
+        // An updater crashing inside the seqlock critical section leaves
+        // the sequence word odd forever: every later update and every
+        // absent-verdict lookup wedges. Migrating updates to lock-free
+        // helping (arXiv:2503.21016) is the ROADMAP follow-up this class
+        // will graduate from.
+        Progress::Blocking
     }
 
     fn implementation(&self) -> &Self {

@@ -5,7 +5,7 @@
 //! (to check Algorithm 6 itself against [`RLlscSpec`]) and embedded by
 //! `hi-universal` inside Algorithm 5's apply loop.
 
-use hi_core::{HiLevel, Pid, Roles};
+use hi_core::{HiLevel, Pid, Progress, Roles};
 use hi_sim::{CellDomain, CellId, Implementation, MemCtx, ProcessHandle, SharedMem};
 use hi_spec::{ObservationModel, SimAudit, SimObject};
 
@@ -369,6 +369,12 @@ impl SimObject<RLlscSpec> for SimRLlsc {
 
     fn hi_level(&self) -> HiLevel {
         HiLevel::Perfect
+    }
+
+    fn progress(&self) -> Progress {
+        // Every R-LLSC operation is a bounded number of primitives on the
+        // packed word; a failed SC reports failure instead of retrying.
+        Progress::WaitFree
     }
 
     fn implementation(&self) -> &Self {

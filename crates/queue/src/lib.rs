@@ -34,7 +34,7 @@
 pub mod threaded;
 
 use hi_core::objects::{BoundedQueueSpec, QueueOp, QueueResp};
-use hi_core::{HiLevel, Pid, Roles};
+use hi_core::{HiLevel, Pid, Progress, Roles};
 use hi_sim::{CellDomain, CellId, Implementation, MemCtx, ProcessHandle, SharedMem};
 use hi_spec::{ObservationModel, SimAudit, SimObject};
 
@@ -354,6 +354,13 @@ impl SimObject<BoundedQueueSpec> for PositionalQueue {
 
     fn hi_level(&self) -> HiLevel {
         HiLevel::StateQuiescent
+    }
+
+    fn progress(&self) -> Progress {
+        // Peek spins while LEN says non-empty but the front slot is clear:
+        // a mutator crash between the front clear and the move-up wedges it
+        // forever (see `tests/crash_tolerance.rs`).
+        Progress::Blocking
     }
 
     fn implementation(&self) -> &Self {

@@ -7,7 +7,7 @@
 //! abstract state, with no intermediate representations at all.
 
 use hi_core::objects::{SetOp, SetResp, SetSpec};
-use hi_core::{HiLevel, Pid, Roles};
+use hi_core::{HiLevel, Pid, Progress, Roles};
 use hi_sim::{CellDomain, CellId, Implementation, MemCtx, ProcessHandle, SharedMem};
 use hi_spec::{ObservationModel, SimAudit, SimObject};
 
@@ -120,6 +120,11 @@ impl SimObject<SetSpec> for HiSet {
 
     fn hi_level(&self) -> HiLevel {
         HiLevel::Perfect
+    }
+
+    fn progress(&self) -> Progress {
+        // One primitive per operation.
+        Progress::WaitFree
     }
 
     fn implementation(&self) -> &Self {

@@ -9,7 +9,7 @@
 //! exactly the trade-off cell of Table 1 row 2.
 
 use hi_core::objects::{MultiRegisterSpec, RegisterOp, RegisterResp};
-use hi_core::{HiLevel, Pid, Roles};
+use hi_core::{HiLevel, Pid, Progress, Roles};
 use hi_sim::{CellDomain, CellId, Implementation, MemCtx, ProcessHandle, SharedMem};
 use hi_spec::{ObservationModel, SimAudit, SimObject};
 
@@ -217,6 +217,13 @@ impl SimObject<MultiRegisterSpec> for LockFreeHiRegister {
 
     fn hi_level(&self) -> HiLevel {
         HiLevel::StateQuiescent
+    }
+
+    fn progress(&self) -> Progress {
+        // Algorithm 2: an *active* writer can starve the reader's scan
+        // loop, but a static (crashed) writer cannot — the array always
+        // contains a 1.
+        Progress::LockFree
     }
 
     fn implementation(&self) -> &Self {

@@ -9,7 +9,7 @@
 //! every state-quiescent point, with no retry loop anywhere.
 
 use hi_core::objects::{MaxRegisterOp, MaxRegisterSpec, RegisterResp};
-use hi_core::{HiLevel, Pid, Roles};
+use hi_core::{HiLevel, Pid, Progress, Roles};
 use hi_sim::{CellDomain, CellId, Implementation, MemCtx, ProcessHandle, SharedMem};
 use hi_spec::{ObservationModel, SimAudit, SimObject};
 
@@ -209,6 +209,11 @@ impl SimObject<MaxRegisterSpec> for MaxRegister {
 
     fn hi_level(&self) -> HiLevel {
         HiLevel::StateQuiescent
+    }
+
+    fn progress(&self) -> Progress {
+        // One primitive per WriteMax step and a bounded scan per ReadMax.
+        Progress::WaitFree
     }
 
     fn implementation(&self) -> &Self {

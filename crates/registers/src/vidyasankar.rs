@@ -8,7 +8,7 @@
 //! sequential executions (paper §4).
 
 use hi_core::objects::{MultiRegisterSpec, RegisterOp, RegisterResp};
-use hi_core::{HiLevel, Pid, Roles};
+use hi_core::{HiLevel, Pid, Progress, Roles};
 use hi_sim::{CellDomain, CellId, Implementation, MemCtx, ProcessHandle, SharedMem};
 use hi_spec::{SimAudit, SimObject};
 
@@ -185,6 +185,11 @@ impl SimObject<MultiRegisterSpec> for VidyasankarRegister {
 
     fn hi_level(&self) -> HiLevel {
         HiLevel::NotHi
+    }
+
+    fn progress(&self) -> Progress {
+        // Both roles take a bounded number of steps per operation.
+        Progress::WaitFree
     }
 
     fn implementation(&self) -> &Self {

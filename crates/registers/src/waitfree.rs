@@ -11,7 +11,7 @@
 //! this implementation is quiescent HI and not state-quiescent HI.
 
 use hi_core::objects::{MultiRegisterSpec, RegisterOp, RegisterResp};
-use hi_core::{HiLevel, Pid, Roles};
+use hi_core::{HiLevel, Pid, Progress, Roles};
 use hi_sim::{CellDomain, CellId, Implementation, MemCtx, ProcessHandle, SharedMem};
 use hi_spec::{ObservationModel, SimAudit, SimObject};
 
@@ -437,6 +437,12 @@ impl SimObject<MultiRegisterSpec> for WaitFreeHiRegister {
     fn hi_level(&self) -> HiLevel {
         // Pending reads leave announcement footprints: quiescent HI only.
         HiLevel::Quiescent
+    }
+
+    fn progress(&self) -> Progress {
+        // Algorithm 4: the announcement handshake bounds both roles' steps
+        // regardless of the peer, crashed or not.
+        Progress::WaitFree
     }
 
     fn implementation(&self) -> &Self {

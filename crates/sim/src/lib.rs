@@ -104,6 +104,6 @@ pub use hi_core::{History, OpId, Pid};
 pub use lanes::render_lanes;
 pub use mem::{CellDomain, CellId, CellInfo, MemSnapshot, SharedMem};
 pub use process::{Implementation, MemCtx, ProcessHandle};
-pub use runner::{run_workload, StepObserver, Workload};
-pub use sched::{RoundRobin, Scheduler, Scripted, Seeded};
+pub use runner::{run_workload, run_workload_with_faults, StepObserver, Workload};
+pub use sched::{Fault, FaultPlan, Faulty, RoundRobin, Scheduler, Scripted, Seeded};
 pub use trace::{PrimKind, Trace, TraceEvent};

@@ -6,7 +6,7 @@ use hi_core::{ObjectSpec, Pid};
 
 use crate::exec::{Executor, RunError};
 use crate::process::Implementation;
-use crate::sched::Scheduler;
+use crate::sched::{Faulty, Scheduler};
 
 /// A per-process queue of operations to run.
 ///
@@ -157,5 +157,76 @@ where
             exec.invoke(pid, op);
         }
         observer.observe(exec);
+    }
+}
+
+/// Drives `exec` like [`run_workload`], injecting the faults of `faulty`'s
+/// [`FaultPlan`](crate::FaultPlan).
+///
+/// The differences from the fault-free loop:
+///
+/// - a crashed process is *not* enabled: its queued operations are
+///   abandoned and a pending operation stays pending forever (its memory
+///   contribution is frozen — the paper's crash model);
+/// - the run terminates successfully once every **non-crashed** process is
+///   idle with an empty queue, even if crashed processes still hold pending
+///   operations;
+/// - the observer also sees the fault state, so HI checkers can tell which
+///   observation points lie in the post-crash world.
+///
+/// Until the first fault activates, the schedule is identical to
+/// `run_workload` under the same base scheduler, so a crash point sampled
+/// from a fault-free baseline run lands exactly where intended.
+///
+/// # Errors
+///
+/// Returns [`RunError::StepLimit`] after `max_steps` transitions — for
+/// blocking implementations a crash inside a critical section legitimately
+/// wedges the survivors, and the caller decides whether that is tolerable
+/// for the declared progress class.
+pub fn run_workload_with_faults<S, I, Sch, F>(
+    exec: &mut Executor<S, I>,
+    mut workload: Workload<S>,
+    faulty: &mut Faulty<Sch>,
+    mut observer: F,
+    max_steps: u64,
+) -> Result<(), RunError>
+where
+    S: ObjectSpec,
+    I: Implementation<S>,
+    Sch: Scheduler,
+    F: FnMut(&Executor<S, I>, &Faulty<Sch>),
+{
+    assert_eq!(
+        workload.num_processes(),
+        exec.num_processes(),
+        "workload/process count mismatch"
+    );
+    let mut transitions = 0u64;
+    loop {
+        let enabled: Vec<Pid> = (0..exec.num_processes())
+            .map(Pid)
+            .filter(|&p| !faulty.crashed(p) && (exec.can_step(p) || workload.has_next(p)))
+            .collect();
+        if enabled.is_empty() {
+            return Ok(());
+        }
+        if transitions >= max_steps {
+            return Err(RunError::StepLimit {
+                pid: enabled[0],
+                steps: max_steps,
+            });
+        }
+        transitions += 1;
+        let pid = faulty.next_pid(&enabled);
+        if exec.can_step(pid) {
+            exec.step(pid);
+        } else {
+            let op = workload
+                .pop(pid)
+                .expect("scheduler chose a process with no work");
+            exec.invoke(pid, op);
+        }
+        observer(exec, faulty);
     }
 }

@@ -23,21 +23,29 @@
 //! defines [`SimObject`] — the simulator twin of the threaded
 //! `ConcurrentObject` facade — together with [`check_sim_object`], the one
 //! generic role-aware driver every sim twin in the scenario registry runs
-//! through.
+//! through. The [`fault`] module is that driver's adversarial sibling:
+//! [`check_sim_object_faults`] crashes and stalls every role at sampled
+//! points and enforces each object's declared [`Progress`](hi_core::Progress)
+//! class, audits the post-crash memory, and checks helped operations apply
+//! exactly once.
 //!
 //! [`History`]: hi_core::History
 //! [`ObjectSpec`]: hi_core::ObjectSpec
 
 pub mod explore;
+pub mod fault;
 pub mod harness;
 pub mod hi;
 pub mod lin;
 pub mod sim_object;
 
 pub use explore::{explore, ExploreStats, ExploreVisitor};
+pub use fault::{
+    check_sim_object_faults, run_fault_plan, FaultSweepConfig, FaultSweepReport, PlanOutcome,
+};
 pub use harness::{check_run, check_run_single_mutator, CheckError, CheckReport};
 pub use hi::{single_mutator_state, HiMonitor, ObservationModel};
-pub use lin::{linearize, LinError, LinOptions, Linearization};
+pub use lin::{linearize, linearize_to, LinError, LinOptions, Linearization};
 pub use sim_object::{
     check_sim_object, model_for, sim_workload, CanonicalOracle, CanonicalView,
     DirectCanonicalObserver, SimAudit, SimObject, SimObjectReport, StateOracle,

@@ -106,6 +106,8 @@ struct Search<'a, S: ObjectSpec> {
     failed: HashSet<(Vec<u64>, S::State)>,
     nodes: u64,
     budget: u64,
+    /// If set, a linearization only succeeds when it ends in this state.
+    target: Option<&'a S::State>,
 }
 
 impl<'a, S: ObjectSpec> Search<'a, S> {
@@ -121,12 +123,15 @@ impl<'a, S: ObjectSpec> Search<'a, S> {
             return Err(LinError::BudgetExhausted { nodes: self.budget });
         }
         // Success: every *completed* operation has been linearized; remaining
-        // pending operations are dropped (legal completions).
+        // pending operations are dropped (legal completions). Under a target
+        // state, the prefix must also land exactly there — otherwise the
+        // search keeps going, completing pending operations if that helps.
         if self
             .records
             .iter()
             .enumerate()
             .all(|(i, r)| !r.is_complete() || done.contains(i))
+            && self.target.map_or(true, |t| state == t)
         {
             return Ok(Some(Vec::new()));
         }
@@ -203,6 +208,39 @@ pub fn linearize<S: ObjectSpec>(
     history: &History<S::Op, S::Resp>,
     opts: &LinOptions,
 ) -> Result<Linearization<S::State>, LinError> {
+    linearize_impl(spec, history, opts, None)
+}
+
+/// Like [`linearize`], but only accepts linearizations whose final abstract
+/// state is exactly `target`.
+///
+/// This is the *exactly-once* oracle for helping constructions: after a
+/// crash, decode the implementation's final memory into an abstract state
+/// and demand a linearization of the (truncated) history ending there. A
+/// crashed process's announced operation may be completed (applied once by
+/// a helper) or dropped (never applied) — but a state reachable only by
+/// applying some operation *twice*, or by losing a completed one, admits no
+/// such linearization and is rejected.
+///
+/// # Errors
+///
+/// [`LinError::NotLinearizable`] if no linearization ends in `target`;
+/// [`LinError::BudgetExhausted`] if the search gave up.
+pub fn linearize_to<S: ObjectSpec>(
+    spec: &S,
+    history: &History<S::Op, S::Resp>,
+    target: &S::State,
+    opts: &LinOptions,
+) -> Result<Linearization<S::State>, LinError> {
+    linearize_impl(spec, history, opts, Some(target))
+}
+
+fn linearize_impl<S: ObjectSpec>(
+    spec: &S,
+    history: &History<S::Op, S::Resp>,
+    opts: &LinOptions,
+    target: Option<&S::State>,
+) -> Result<Linearization<S::State>, LinError> {
     let records = history.records();
     let mut search = Search {
         spec,
@@ -210,6 +248,7 @@ pub fn linearize<S: ObjectSpec>(
         failed: HashSet::new(),
         nodes: 0,
         budget: opts.node_budget,
+        target,
     };
     let mut done = DoneSet::new(records.len());
     let initial = spec.initial_state();
@@ -369,6 +408,44 @@ mod tests {
         }
         let res = linearize(&spec, &h, &LinOptions { node_budget: 2 });
         assert!(matches!(res, Err(LinError::BudgetExhausted { .. })) || res.is_ok());
+    }
+
+    #[test]
+    fn linearize_to_accepts_completed_or_dropped_pending_op() {
+        use hi_core::objects::{CounterOp, CounterResp, CounterSpec};
+        let spec = CounterSpec::new(0, 8, 0);
+        let mut h = History::new();
+        let _pending = h.invoke(Pid(0), CounterOp::Inc); // crashed mid-op
+        let a = h.invoke(Pid(1), CounterOp::Inc);
+        h.ret(a, CounterResp::Ack);
+        // Helper applied the announced Inc once → 2. Never applied → 1.
+        for target in [1i64, 2i64] {
+            linearize_to(&spec, &h, &target, &opts())
+                .unwrap_or_else(|e| panic!("target {target} should be reachable: {e}"));
+        }
+        // Applied twice → 3, or the completed op lost → 0: both rejected.
+        for target in [0i64, 3i64] {
+            assert_eq!(
+                linearize_to(&spec, &h, &target, &opts()),
+                Err(LinError::NotLinearizable),
+                "target {target} must be unreachable"
+            );
+        }
+    }
+
+    #[test]
+    fn linearize_to_agrees_with_linearize_on_complete_histories() {
+        let spec = MultiRegisterSpec::new(4, 1);
+        let mut h = History::new();
+        let a = h.invoke(Pid(0), RegisterOp::Write(3));
+        h.ret(a, RegisterResp::Ack);
+        let lin = linearize(&spec, &h, &opts()).unwrap();
+        let to = linearize_to(&spec, &h, &lin.final_state, &opts()).unwrap();
+        assert_eq!(to.final_state, 3);
+        assert_eq!(
+            linearize_to(&spec, &h, &1, &opts()),
+            Err(LinError::NotLinearizable)
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //!
 //! ```
 //! use hi_core::objects::{MultiRegisterSpec, RegisterOp, RegisterResp};
-//! use hi_core::{HiLevel, Roles};
+//! use hi_core::{HiLevel, Progress, Roles};
 //! use hi_sim::{
 //!     CellDomain, CellId, Implementation, MemCtx, Pid, ProcessHandle, SharedMem,
 //! };
@@ -74,6 +74,7 @@
 //!     fn spec(&self) -> &MultiRegisterSpec { &self.spec }
 //!     fn roles(&self) -> Roles { Roles::SingleWriterSingleReader }
 //!     fn hi_level(&self) -> HiLevel { HiLevel::Perfect }
+//!     fn progress(&self) -> Progress { Progress::WaitFree }
 //!     fn implementation(&self) -> &Self { self }
 //!     fn hi_audit(&self) -> SimAudit<MultiRegisterSpec, Self> {
 //!         // The cell *is* the state: audit it at every configuration.
@@ -91,7 +92,9 @@
 
 use std::fmt;
 
-use hi_core::{handle_seed, menus_for, random_script, EnumerableSpec, HiLevel, ObjectSpec, Roles};
+use hi_core::{
+    handle_seed, menus_for, random_script, EnumerableSpec, HiLevel, ObjectSpec, Progress, Roles,
+};
 use hi_sim::{run_workload, Executor, Implementation, MemSnapshot, Seeded, StepObserver, Workload};
 
 use crate::hi::{single_mutator_state, HiMonitor, ObservationModel};
@@ -244,6 +247,13 @@ pub trait SimObject<S: ObjectSpec> {
     /// The history-independence guarantee of this implementation. Must
     /// agree with the threaded twin of the same scenario.
     fn hi_level(&self) -> HiLevel;
+
+    /// The progress guarantee of this implementation — what a crash of some
+    /// processes may break for the survivors. Must agree with the threaded
+    /// twin of the same scenario; the fault-sweep checker
+    /// ([`check_sim_object_faults`](crate::check_sim_object_faults))
+    /// enforces it.
+    fn progress(&self) -> Progress;
 
     /// The step machine to execute.
     fn implementation(&self) -> &Self::Machine;
@@ -577,6 +587,10 @@ mod tests {
             self.claim
         }
 
+        fn progress(&self) -> Progress {
+            Progress::WaitFree
+        }
+
         fn implementation(&self) -> &Self {
             self
         }
@@ -647,6 +661,9 @@ mod tests {
             }
             fn hi_level(&self) -> HiLevel {
                 HiLevel::Perfect
+            }
+            fn progress(&self) -> Progress {
+                Progress::WaitFree
             }
             fn implementation(&self) -> &LeakyRegister {
                 &self.0

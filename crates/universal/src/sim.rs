@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use hi_core::{EnumerableSpec, HiLevel, ObjectSpec, Pid, Roles};
+use hi_core::{EnumerableSpec, HiLevel, ObjectSpec, Pid, Progress, Roles};
 use hi_llsc::{LlscLayout, LlscOp};
 use hi_sim::{CellDomain, CellId, Implementation, MemCtx, MemSnapshot, ProcessHandle, SharedMem};
 use hi_spec::{ObservationModel, SimAudit, SimObject};
@@ -716,6 +716,14 @@ impl<S: EnumerableSpec + 'static> SimObject<S> for SimUniversal<S> {
         } else {
             HiLevel::NotHi
         }
+    }
+
+    fn progress(&self) -> Progress {
+        // Algorithm 5 announces every operation and helps the whole
+        // announce array before swinging the head: a crashed process's
+        // announced operation is completed (exactly once) by any survivor,
+        // with or without the RL clearing.
+        Progress::Helping
     }
 
     fn implementation(&self) -> &Self {

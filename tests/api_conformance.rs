@@ -7,14 +7,15 @@
 //! New object×spec workloads get covered by adding a registry entry, not a
 //! new test. The suite also enforces the dual-world contract itself: the
 //! threaded adapter and the sim adapter of every entry must agree on role
-//! discipline, HI level and spec parameters, every adapter exported from
+//! discipline, HI level, progress class and spec parameters, every adapter
+//! exported from
 //! `hi_api::adapters` must appear in the registry, and `check_sim` must be
 //! deterministic under a fixed seed.
 //!
 //! Set `HI_CONFORMANCE_SEED=<u64>` to add one more seed to every loop — the
 //! CI seed matrix drives this.
 
-use hi_concurrent::api::{registry, DriveConfig, HiLevel, Roles};
+use hi_concurrent::api::{registry, repro_command, DriveConfig, HiLevel, Roles};
 use hi_concurrent::api::{ConcurrentObject, ObjectHandle};
 
 /// Base seeds exercised per scenario (each seed changes both the workload
@@ -48,17 +49,25 @@ fn every_registry_entry_drives_threaded_and_sim() {
                 seed,
                 ..DriveConfig::default()
             };
-            let report = scenario
-                .run_threaded(&cfg)
-                .unwrap_or_else(|e| panic!("{} (threaded, seed {seed}): {e}", scenario.name));
+            let report = scenario.run_threaded(&cfg).unwrap_or_else(|e| {
+                panic!(
+                    "{} (threaded, seed {seed}): {e}\n  repro: {}",
+                    scenario.name,
+                    repro_command("api_conformance", seed)
+                )
+            });
             assert!(
                 report.ops > 0,
                 "{} (threaded, seed {seed}): no operations completed",
                 scenario.name
             );
-            let sim = scenario
-                .check_sim(seed, OPS / 2)
-                .unwrap_or_else(|e| panic!("{} (sim, seed {seed}): {e}", scenario.name));
+            let sim = scenario.check_sim(seed, OPS / 2).unwrap_or_else(|e| {
+                panic!(
+                    "{} (sim, seed {seed}): {e}\n  repro: {}",
+                    scenario.name,
+                    repro_command("api_conformance", seed)
+                )
+            });
             assert!(
                 sim.ops > 0,
                 "{} (sim, seed {seed}): no operations completed",
@@ -93,6 +102,11 @@ fn threaded_and_sim_worlds_agree_on_every_contract() {
             scenario.name
         );
         assert_eq!(
+            t.progress, s.progress,
+            "{}: threaded and sim progress classes disagree",
+            scenario.name
+        );
+        assert_eq!(
             t.params, s.params,
             "{}: threaded and sim specs disagree",
             scenario.name
@@ -100,6 +114,7 @@ fn threaded_and_sim_worlds_agree_on_every_contract() {
         // And the scenario-level accessors surface the (agreed) metadata.
         assert_eq!(scenario.roles(), t.roles);
         assert_eq!(scenario.hi_level(), t.hi_level);
+        assert_eq!(scenario.progress(), t.progress);
         assert_eq!(scenario.params(), t.params);
         assert!(
             !scenario.params().is_empty(),

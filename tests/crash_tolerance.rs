@@ -4,168 +4,204 @@
 //! absence of *activity* (a static memory cannot starve a retry loop); and
 //! helping structures (Algorithm 5) must complete a crashed process's
 //! announced operation exactly once.
+//!
+//! Since the generic fault layer landed, these are regressions *of that
+//! API*: crash plans ([`FaultPlan`]) realized by the [`Faulty`] scheduler
+//! combinator, single plans checked by [`run_fault_plan`] (progress
+//! enforcement + truncated-history linearization + post-crash HI audit),
+//! and scripted corner cases driven by `run_workload_with_faults`. The
+//! full per-scenario sweep lives in `tests/fault_conformance.rs`.
 
 use hi_concurrent::queue::PositionalQueue;
 use hi_concurrent::registers::{LockFreeHiRegister, WaitFreeHiRegister};
-use hi_concurrent::sim::{Executor, Pid};
-use hi_concurrent::spec::{linearize, LinOptions};
+use hi_concurrent::sim::{
+    run_workload_with_faults, Executor, FaultPlan, Faulty, Pid, RunError, Scripted, Workload,
+};
+use hi_concurrent::spec::{linearize, run_fault_plan, FaultSweepConfig, LinOptions};
 use hi_concurrent::universal::{CasUniversal, SimUniversal};
-use hi_core::objects::{CounterOp, CounterResp, CounterSpec, QueueOp, RegisterOp, RegisterResp};
+use hi_core::objects::{CounterOp, CounterResp, CounterSpec, QueueOp, QueueResp};
 
 const W: Pid = Pid(0);
 const R: Pid = Pid(1);
 
-/// For every possible crash point of a `Write(v)`, the reader must still
-/// complete and the history must linearize (Algorithm 4 *and* Algorithm 2:
-/// with the writer static, even the lock-free reader terminates, because a
-/// static array always contains a 1).
+/// A small per-plan config: the seed fixes the workload and base schedule.
+fn cfg(seed: u64) -> FaultSweepConfig {
+    FaultSweepConfig::new(seed, 6, 200_000)
+}
+
+/// For every possible crash point of the writer, the reader must still
+/// complete and the truncated history must linearize (Algorithm 4 *and*
+/// Algorithm 2: with the writer static, even the lock-free reader
+/// terminates, because a static array always contains a 1). One
+/// `FaultPlan::crash` per point, all enforcement inside `run_fault_plan`:
+/// the declared classes (LockFree / WaitFree) forbid wedging, and the HI
+/// audit re-runs at the post-crash observation points — the adversary's
+/// memory snapshot.
 #[test]
 fn register_reader_survives_writer_crash_at_every_point() {
     let k = 4;
+    let mut mid_op_crashes = 0;
     for crash_after in 0..=(2 * k + 4) {
-        // Algorithm 2.
-        let mut exec = Executor::new(LockFreeHiRegister::new(k, 2));
-        exec.invoke(W, RegisterOp::Write(3));
-        for _ in 0..crash_after {
-            if exec.can_step(W) {
-                exec.step(W);
-            }
-        }
-        // Writer crashes here; reader runs alone.
-        let resp = exec.run_op_solo(R, RegisterOp::Read, 10_000).unwrap();
-        assert!(matches!(resp, RegisterResp::Value(v) if (1..=k).contains(&v)));
-        linearize(exec.spec(), exec.history(), &LinOptions::default())
-            .unwrap_or_else(|e| panic!("Algorithm 2, crash at {crash_after}: {e}"));
+        let plan = FaultPlan::crash(W, crash_after);
 
-        // Algorithm 4.
-        let mut exec = Executor::new(WaitFreeHiRegister::new(k, 2));
-        exec.invoke(W, RegisterOp::Write(3));
-        for _ in 0..crash_after {
-            if exec.can_step(W) {
-                exec.step(W);
-            }
-        }
-        let resp = exec.run_op_solo(R, RegisterOp::Read, 10_000).unwrap();
-        assert!(matches!(resp, RegisterResp::Value(v) if (1..=k).contains(&v)));
-        linearize(exec.spec(), exec.history(), &LinOptions::default())
+        // Algorithm 2 (reader lock-free).
+        let obj = LockFreeHiRegister::new(k, 1);
+        let outcome = run_fault_plan(&obj, &plan, &cfg(9), 200_000)
+            .unwrap_or_else(|e| panic!("Algorithm 2, crash at {crash_after}: {e}"));
+        assert!(outcome.completed, "lock-free survivors must drain");
+        mid_op_crashes += usize::from(outcome.crashed_mid_op);
+
+        // Algorithm 4 (wait-free).
+        let obj = WaitFreeHiRegister::new(k, 1);
+        let outcome = run_fault_plan(&obj, &plan, &cfg(9), 200_000)
             .unwrap_or_else(|e| panic!("Algorithm 4, crash at {crash_after}: {e}"));
+        assert!(outcome.completed, "wait-free survivors must drain");
     }
+    assert!(
+        mid_op_crashes > 0,
+        "the sweep must land at least one crash mid-write"
+    );
 }
 
 /// Algorithm 5's helping makes it crash-tolerant: crash p0 at *every* point
-/// inside an Inc; p1 and p2 keep operating and must (a) complete their own
-/// operations and (b) apply p0's announced operation at most once.
+/// of its transition count; the survivors must complete (Helping forbids
+/// wedging), and — the class's tooth — the final memory must decode to a
+/// state some linearization of the truncated history reaches, so p0's
+/// announced operation is applied exactly once, never twice and never
+/// dropped after a completed response.
 #[test]
 fn universal_survives_crash_at_every_point() {
     let spec = CounterSpec::new(0, 32, 0);
-    // An Inc under this spec takes a bounded number of steps; probe them all.
+    let mut mid_op_crashes = 0;
+    let mut exactly_once_checks = 0;
     for crash_after in 0..40 {
-        let imp = SimUniversal::new(spec, 3);
-        let mut exec = Executor::new(imp.clone());
-        exec.invoke(Pid(0), CounterOp::Inc);
-        let mut crashed_mid_op = false;
-        for _ in 0..crash_after {
-            if exec.can_step(Pid(0)) {
-                exec.step(Pid(0));
-            }
-        }
-        if exec.can_step(Pid(0)) {
-            crashed_mid_op = true; // p0's op still pending at the crash
-        }
-        // Survivors run several ops each, all solo-complete (wait-freedom
-        // under crashes: nothing p0 holds can block them).
-        for round in 0..3 {
-            for pid in [1, 2] {
-                let op = if round == 1 {
-                    CounterOp::Dec
-                } else {
-                    CounterOp::Inc
-                };
-                exec.run_op_solo(Pid(pid), op, 10_000).unwrap_or_else(|e| {
-                    panic!("survivor p{pid} blocked after crash at {crash_after}: {e}")
-                });
-            }
-        }
-        let value = match exec.run_op_solo(Pid(1), CounterOp::Read, 10_000).unwrap() {
-            CounterResp::Value(v) => v,
-            other => panic!("unexpected {other:?}"),
-        };
-        // Survivors contributed 2×(+1) + 2×(-1) + 2×(+1) = +2; p0's Inc may
-        // or may not have been applied (helped), but never twice.
-        assert!(
-            value == 2 || value == 3,
-            "crash at {crash_after}: value {value} implies lost or duplicated ops"
-        );
-        if !crashed_mid_op {
-            assert_eq!(value, 3, "a completed op must be counted");
-        }
-        // The full history (with p0's op possibly pending) linearizes.
-        linearize(exec.spec(), exec.history(), &LinOptions::default())
+        let obj = SimUniversal::new(spec, 3);
+        let plan = FaultPlan::crash(Pid(0), crash_after);
+        let outcome = run_fault_plan(&obj, &plan, &cfg(11), 200_000)
             .unwrap_or_else(|e| panic!("crash at {crash_after}: {e}"));
+        assert!(outcome.completed, "helping survivors must drain");
+        mid_op_crashes += usize::from(outcome.crashed_mid_op);
+        exactly_once_checks += usize::from(outcome.exactly_once_checked);
     }
+    assert!(mid_op_crashes > 0, "some crash must land mid-op");
+    assert!(
+        exactly_once_checks > 0,
+        "Helping plans must run the state-targeted linearization"
+    );
 }
 
 /// The CAS baseline is lock-free: a crashed process between read and CAS
-/// holds nothing, so survivors proceed.
+/// holds nothing, so survivors proceed. Scripted through the fault runner:
+/// p0 invokes an Inc and takes one step (the read), then its crash point
+/// hits; p1 drains three Incs and a Read against the static memory.
 #[test]
 fn cas_universal_survives_mid_op_crash() {
     let imp = CasUniversal::new(CounterSpec::new(0, 8, 0), 2);
     let mut exec = Executor::new(imp);
-    exec.invoke(Pid(0), CounterOp::Inc);
-    exec.step(Pid(0)); // p0 read the cell, then crashed before its CAS
-    for _ in 0..3 {
-        exec.run_op_solo(Pid(1), CounterOp::Inc, 100).unwrap();
-    }
+    let workload: Workload<CounterSpec> = Workload::from_vecs(vec![
+        vec![CounterOp::Inc],
+        vec![
+            CounterOp::Inc,
+            CounterOp::Inc,
+            CounterOp::Inc,
+            CounterOp::Read,
+        ],
+    ]);
+    // p0 first (invoke + read step), then the crash freezes it mid-op.
+    let mut faulty = Faulty::new(Scripted::runs(&[(0, 2)]), FaultPlan::crash(Pid(0), 2), 2);
+    run_workload_with_faults(&mut exec, workload, &mut faulty, |_e, _f| {}, 10_000)
+        .expect("survivor must drain against the static crashed peer");
+    assert!(faulty.crashed(Pid(0)));
+    assert!(exec.can_step(Pid(0)), "p0's Inc is frozen mid-op");
+    let read = exec
+        .history()
+        .records()
+        .into_iter()
+        .rev()
+        .find(|r| r.op == CounterOp::Read)
+        .expect("p1's Read completed");
     assert_eq!(
-        exec.run_op_solo(Pid(1), CounterOp::Read, 100).unwrap(),
-        CounterResp::Value(3)
+        read.resp,
+        Some(CounterResp::Value(3)),
+        "p0's un-CASed Inc must not be visible"
     );
+    linearize(exec.spec(), exec.history(), &LinOptions::default()).unwrap();
 }
 
-/// The positional queue's Peek is *not* crash-tolerant: a mutator crash
-/// between clearing the front slot and moving the next element up leaves a
-/// static memory in which Peek spins forever — the lock-free/wait-free gap,
-/// exhibited by a single crash instead of an adversary.
+/// The positional queue's Peek is *not* crash-tolerant: crash the mutator
+/// at every one of its transitions through an Enqueue/Enqueue/Dequeue
+/// script. Some crash points wedge the reader forever (mid-dequeue, the
+/// front slot in limbo — the lock-free/wait-free gap the queue's declared
+/// `Progress::Blocking` tolerates); the rest must drain and linearize.
 #[test]
 fn queue_peek_blocks_on_mutator_crash_mid_dequeue() {
-    let mut exec = Executor::new(PositionalQueue::new(3, 3));
-    exec.run_op_solo(W, QueueOp::Enqueue(1), 100).unwrap();
-    exec.run_op_solo(W, QueueOp::Enqueue(2), 100).unwrap();
-    // Dequeue steps: LEN clear, front clear, move, clear-old. Crash after
-    // the front clear: slot 0 empty, LEN[0] still 1.
-    exec.invoke(W, QueueOp::Dequeue);
-    exec.step(W); // LEN[1] <- 0
-    exec.step(W); // Q[0][1] <- 0   (front gone, element 2 still in slot 1)
-                  // Peek now spins: LEN[0] = 1 but slot 0 stays empty forever.
-    exec.invoke(R, QueueOp::Peek);
-    for _ in 0..10_000 {
-        assert!(
-            exec.step(R).is_none(),
-            "Peek must not return while the front is in limbo"
+    let mut wedged_points = 0;
+    let mut drained_points = 0;
+    for crash_after in 0..=12 {
+        let mut exec = Executor::new(PositionalQueue::new(3, 3));
+        let workload: Workload<_> = Workload::from_vecs(vec![
+            vec![QueueOp::Enqueue(1), QueueOp::Enqueue(2), QueueOp::Dequeue],
+            vec![QueueOp::Peek],
+        ]);
+        // The mutator runs its whole script first (until the crash point
+        // freezes it); the peeker goes afterwards.
+        let mut faulty = Faulty::new(
+            Scripted::runs(&[(0, 16)]),
+            FaultPlan::crash(W, crash_after),
+            2,
         );
+        match run_workload_with_faults(&mut exec, workload, &mut faulty, |_e, _f| {}, 20_000) {
+            Ok(()) => {
+                drained_points += 1;
+                linearize(exec.spec(), exec.history(), &LinOptions::default())
+                    .unwrap_or_else(|e| panic!("crash at {crash_after}: {e}"));
+            }
+            Err(RunError::StepLimit { .. }) => {
+                wedged_points += 1;
+                assert!(
+                    exec.can_step(R),
+                    "crash at {crash_after}: only a spinning Peek may exhaust the budget"
+                );
+            }
+        }
     }
     assert!(
-        exec.can_step(R),
-        "Peek is stuck — the price of lock-freedom under crashes"
+        wedged_points > 0,
+        "some mid-dequeue crash must wedge Peek — the price of lock-freedom under crashes"
     );
+    assert!(drained_points > 0, "most crash points must drain");
 }
 
 /// Contrast: crashing the mutator at any point of an *enqueue* cannot block
-/// Peek, because enqueue never makes the front slot transiently empty.
+/// Peek, because enqueue never makes the front slot transiently empty. The
+/// first enqueue completes (3 mutator transitions), the crash sweeps the
+/// second; Peek must return the committed front element every time.
 #[test]
 fn queue_peek_survives_mutator_crash_mid_enqueue() {
-    for crash_after in 0..=2 {
+    for crash_after in 3..=6 {
         let mut exec = Executor::new(PositionalQueue::new(3, 3));
-        exec.run_op_solo(W, QueueOp::Enqueue(2), 100).unwrap();
-        exec.invoke(W, QueueOp::Enqueue(3));
-        for _ in 0..crash_after {
-            if exec.can_step(W) {
-                exec.step(W);
-            }
-        }
-        let resp = exec
-            .run_op_solo(R, QueueOp::Peek, 10_000)
+        let workload: Workload<_> = Workload::from_vecs(vec![
+            vec![QueueOp::Enqueue(2), QueueOp::Enqueue(3)],
+            vec![QueueOp::Peek],
+        ]);
+        let mut faulty = Faulty::new(
+            Scripted::runs(&[(0, 8)]),
+            FaultPlan::crash(W, crash_after),
+            2,
+        );
+        run_workload_with_faults(&mut exec, workload, &mut faulty, |_e, _f| {}, 20_000)
             .unwrap_or_else(|e| panic!("Peek blocked after enqueue crash at {crash_after}: {e}"));
-        assert_eq!(resp, hi_core::objects::QueueResp::Value(2));
+        let peek = exec
+            .history()
+            .records()
+            .into_iter()
+            .find(|r| r.op == QueueOp::Peek)
+            .expect("Peek ran");
+        assert_eq!(
+            peek.resp,
+            Some(QueueResp::Value(2)),
+            "crash at {crash_after}: the committed front element must be visible"
+        );
+        linearize(exec.spec(), exec.history(), &LinOptions::default()).unwrap();
     }
 }
