@@ -57,5 +57,6 @@ pub use drive::{
     drive, drive_watchdogged, random_script, throughput, DriveConfig, DriveError, DriveReport,
     HandleProgress,
 };
+pub use hi_spec::{ExhaustiveConfig, ExhaustiveReport};
 pub use object::{ConcurrentObject, HiLevel, ObjectHandle, Progress, Roles};
 pub use registry::{registry, repro_command, scenario, Scenario, ScenarioMeta, ScenarioReport};

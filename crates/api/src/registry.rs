@@ -24,8 +24,9 @@ use hi_registers::{
 };
 use hi_sim::{render_lanes, run_workload, Executor, Seeded};
 use hi_spec::{
-    check_sim_object, check_sim_object_faults, sim_workload, FaultSweepConfig, FaultSweepReport,
-    SimObject, SimObjectReport,
+    check_sim_object, check_sim_object_exhaustive, check_sim_object_faults, sim_workload,
+    ExhaustiveConfig, ExhaustiveReport, FaultSweepConfig, FaultSweepReport, SimObject,
+    SimObjectReport,
 };
 use hi_universal::SimUniversal;
 
@@ -90,6 +91,10 @@ type ThroughputDriver = Box<dyn Fn(usize, u64) -> usize + Send + Sync>;
 /// The monomorphic fault-sweep driver of a scenario (crash/stall plans over
 /// the simulator twin).
 type FaultDriver = Box<dyn Fn(u64, usize) -> Result<FaultSweepReport, String> + Send + Sync>;
+/// The monomorphic exhaustive-certification driver of a scenario (the
+/// schedule-space model checker over the downsized sim instance).
+type ExhaustiveDriver =
+    Box<dyn Fn(&ExhaustiveConfig) -> Result<ExhaustiveReport, String> + Send + Sync>;
 
 /// A named object×spec configuration: a threaded backend behind
 /// [`ConcurrentObject`] plus its simulator twin behind
@@ -101,21 +106,26 @@ pub struct Scenario {
     pub about: &'static str,
     threaded_meta: ScenarioMeta,
     sim_meta: ScenarioMeta,
+    small_params: String,
     threaded: ThreadedDriver,
     sim: SimDriver,
     throughput: ThroughputDriver,
     fault: FaultDriver,
+    exhaustive: ExhaustiveDriver,
 }
 
 impl Scenario {
     /// Declares a scenario from its shared data: the two worlds'
-    /// constructors. Everything else — workloads, oracles, menus, checks,
-    /// metadata — derives generically.
+    /// constructors, plus a *downsized* sim instance (`small_sim`, same
+    /// machine type at exhaustively explorable parameters — t ≤ 3, n ≤ 2)
+    /// for the schedule-space model checker. Everything else — workloads,
+    /// oracles, menus, checks, metadata — derives generically.
     pub fn of<S, T, M>(
         name: &'static str,
         about: &'static str,
         threaded: fn() -> T,
         sim: fn() -> M,
+        small_sim: fn() -> M,
     ) -> Scenario
     where
         S: EnumerableSpec + 'static,
@@ -145,11 +155,13 @@ impl Scenario {
                 adapter: std::any::type_name::<M>(),
             }
         };
+        let small_params = format!("{:?}", SimObject::spec(&small_sim()));
         Scenario {
             name,
             about,
             threaded_meta,
             sim_meta,
+            small_params,
             threaded: Box::new(move |cfg| {
                 // Watchdogged: a wedged backend resolves to a structured
                 // error within cfg.deadline instead of hanging the suite;
@@ -180,6 +192,7 @@ impl Scenario {
                     &FaultSweepConfig::new(seed, ops_per_pid, SIM_MAX_STEPS),
                 )
             }),
+            exhaustive: Box::new(move |cfg| check_sim_object_exhaustive(&small_sim(), cfg)),
         }
     }
 
@@ -244,6 +257,26 @@ impl Scenario {
     /// completed. The unit the `api_throughput` bench measures.
     pub fn run_throughput(&self, ops_per_handle: usize, seed: u64) -> usize {
         (self.throughput)(ops_per_handle, seed)
+    }
+
+    /// Rendered spec parameters of the downsized exhaustive instance.
+    pub fn small_params(&self) -> &str {
+        &self.small_params
+    }
+
+    /// Exhaustively certifies the scenario's *downsized* sim instance with
+    /// the schedule-space model checker
+    /// ([`hi_spec::check_sim_object_exhaustive`]): every schedule of a
+    /// small role-mirrored workload, HI-audited at every reachable
+    /// permitted configuration and linearized at every distinct maximal
+    /// path, with partial-order reduction and configuration dedup doing
+    /// the heavy lifting.
+    ///
+    /// # Errors
+    ///
+    /// The rendered certification failure, if any.
+    pub fn check_exhaustive(&self, cfg: &ExhaustiveConfig) -> Result<ExhaustiveReport, String> {
+        (self.exhaustive)(cfg)
     }
 
     /// Runs the crash/stall sweep ([`hi_spec::check_sim_object_faults`])
@@ -323,6 +356,27 @@ const HT_DENSE_T: u32 = 6;
 const HT_DENSE_CAP: usize = 8;
 const HT_DENSE_N: usize = 2;
 
+// Downsized parameters of the exhaustive (model-checked) instances: value
+// domains of 2–3 and at most two processes keep every scenario's full
+// schedule space within the explorer's budget while still exercising the
+// algorithms' real interleavings (overwrites, duplicate rewrites, failed
+// CAS retries, helping).
+const SMALL_REG_K: u64 = 2;
+const SMALL_QUEUE_T: u32 = 2;
+const SMALL_QUEUE_CAP: usize = 2;
+const SMALL_LLSC_V: u64 = 2;
+const SMALL_LLSC_N: usize = 2;
+const SMALL_U_N: usize = 2;
+const SMALL_UREG_K: u64 = 2;
+const SMALL_MAXREG_K: u64 = 2;
+const SMALL_SET_T: u32 = 2;
+const SMALL_SET_N: usize = 2;
+const SMALL_HT_T: u32 = 2;
+const SMALL_HT_CAP: usize = 5;
+const SMALL_HT_N: usize = 2;
+const SMALL_HT_DENSE_T: u32 = 3;
+const SMALL_HT_DENSE_CAP: usize = 4;
+
 fn reg_spec() -> MultiRegisterSpec {
     MultiRegisterSpec::new(REG_K, 1)
 }
@@ -337,6 +391,10 @@ fn llsc_spec() -> RLlscSpec {
 
 fn counter_spec() -> CounterSpec {
     CounterSpec::new(-300, 300, 0)
+}
+
+fn small_counter_spec() -> CounterSpec {
+    CounterSpec::new(-2, 2, 0)
 }
 
 // ---------------------------------------------------------------------------
@@ -354,78 +412,96 @@ pub fn registry() -> Vec<Scenario> {
             "Algorithm 1: wait-free SWSR register, linearizable, not HI",
             || VidyasankarObject::new(reg_spec()),
             || VidyasankarRegister::new(REG_K, 1),
+            || VidyasankarRegister::new(SMALL_REG_K, 1),
         ),
         Scenario::of(
             "register/lockfree-hi-k5",
             "Algorithms 2+3: state-quiescent HI SWSR register, reader lock-free",
             || LockFreeHiObject::new(reg_spec()),
             || LockFreeHiRegister::new(REG_K, 1),
+            || LockFreeHiRegister::new(SMALL_REG_K, 1),
         ),
         Scenario::of(
             "register/waitfree-hi-k5",
             "Algorithm 4: quiescent HI SWSR register, wait-free",
             || WaitFreeHiObject::new(reg_spec()),
             || WaitFreeHiRegister::new(REG_K, 1),
+            || WaitFreeHiRegister::new(SMALL_REG_K, 1),
         ),
         Scenario::of(
             "queue/positional-t3",
             "§5.4 companion: state-quiescent HI queue with lock-free Peek",
             || QueueObject::new(queue_spec()),
             || PositionalQueue::new(QUEUE_T, QUEUE_CAP),
+            || PositionalQueue::new(SMALL_QUEUE_T, SMALL_QUEUE_CAP),
         ),
         Scenario::of(
             "register/max-k6",
             "§5.1 max register: wait-free, state-quiescent HI outside C_t",
             || MaxRegisterObject::new(MaxRegisterSpec::new(MAXREG_K)),
             || MaxRegister::new(MAXREG_K),
+            || MaxRegister::new(SMALL_MAXREG_K),
         ),
         Scenario::of(
             "set/hi-t6-n3",
             "§5.1 set: one primitive per op, perfect HI, every role symmetric",
             || HiSetObject::new(SetSpec::new(SET_T), SET_N),
             || HiSet::new(SET_T, SET_N),
+            || HiSet::new(SMALL_SET_T, SMALL_SET_N),
         ),
         Scenario::of(
             "hashtable/robinhood-t8-n3",
             "follow-up paper direction: phase-free Robin Hood HI hash table",
             || HashTableObject::new(HashSetSpec::new(HT_T), HT_CAP, HT_N),
             || SimHiHashTable::new(HT_T, HT_CAP, HT_N),
+            || SimHiHashTable::new(SMALL_HT_T, SMALL_HT_CAP, SMALL_HT_N),
         ),
         Scenario::of(
             "hashtable/robinhood-dense-t6-n2",
             "the same table at 0.75 max load factor: long probe chains, heavy shifting",
             || HashTableObject::new(HashSetSpec::new(HT_DENSE_T), HT_DENSE_CAP, HT_DENSE_N),
             || SimHiHashTable::new(HT_DENSE_T, HT_DENSE_CAP, HT_DENSE_N),
+            || SimHiHashTable::new(SMALL_HT_DENSE_T, SMALL_HT_DENSE_CAP, SMALL_HT_N),
         ),
         Scenario::of(
             "llsc/packed-v8-n3",
             "Algorithm 6: releasable LL/SC on one word, perfect HI",
             || LlscObject::new(llsc_spec()),
             || SimRLlsc::new(LLSC_V, 0, LLSC_N),
+            || SimRLlsc::new(SMALL_LLSC_V, 0, SMALL_LLSC_N),
         ),
         Scenario::of(
             "universal/counter-n3",
             "Algorithm 5 over a bounded counter: wait-free, state-quiescent HI",
             || UniversalObject::new(counter_spec(), COUNTER_N),
             || SimUniversal::new(counter_spec(), COUNTER_N),
+            || SimUniversal::new(small_counter_spec(), SMALL_U_N),
         ),
         Scenario::of(
             "universal/register-k4-n2",
             "Algorithm 5 over a multi-valued register (multi-writer, unlike §4)",
             || UniversalObject::new(MultiRegisterSpec::new(UREG_K, 1), UREG_N),
             || SimUniversal::new(MultiRegisterSpec::new(UREG_K, 1), UREG_N),
+            || SimUniversal::new(MultiRegisterSpec::new(SMALL_UREG_K, 1), SMALL_U_N),
         ),
         Scenario::of(
             "universal/queue-t3-n3",
             "Algorithm 5 over the bounded queue: every role symmetric",
             || UniversalObject::new(BoundedQueueSpec::new(UQUEUE_T, UQUEUE_CAP), UQUEUE_N),
             || SimUniversal::new(BoundedQueueSpec::new(UQUEUE_T, UQUEUE_CAP), UQUEUE_N),
+            || {
+                SimUniversal::new(
+                    BoundedQueueSpec::new(SMALL_QUEUE_T, SMALL_QUEUE_CAP),
+                    SMALL_U_N,
+                )
+            },
         ),
         Scenario::of(
             "universal/counter-no-release",
             "§6.1 ablation: Algorithm 5 without RL — linearizable but not HI",
             || UniversalObject::without_release(counter_spec(), COUNTER_N),
             || SimUniversal::without_release(counter_spec(), COUNTER_N),
+            || SimUniversal::without_release(small_counter_spec(), SMALL_U_N),
         ),
     ]
 }

@@ -46,6 +46,7 @@
 pub mod canonical;
 pub mod cells;
 pub mod ct;
+pub mod fingerprint;
 pub mod history;
 pub mod object;
 pub mod objects;
@@ -53,6 +54,7 @@ pub mod workload;
 
 pub use canonical::{CanonicalMap, HiViolation};
 pub use ct::CtObject;
+pub use fingerprint::{Fingerprint, FingerprintWriter};
 pub use history::{Event, History, OpId, OpRecord, Pid, SequentialHistory};
 pub use object::{EnumerableSpec, HiLevel, ObjectSpec, Progress, Roles};
 pub use workload::{handle_seed, menus_for, random_script, SplitMix64};

@@ -6,7 +6,7 @@ use std::fmt;
 use hi_core::{History, ObjectSpec, OpId, Pid};
 
 use crate::mem::{MemSnapshot, SharedMem};
-use crate::process::{Implementation, MemCtx, ProcessHandle};
+use crate::process::{Footprint, Implementation, MemCtx, ProcessHandle};
 use crate::trace::Trace;
 
 /// A pending high-level operation of one process.
@@ -38,6 +38,7 @@ pub struct Executor<S: ObjectSpec, I: Implementation<S>> {
     history: History<S::Op, S::Resp>,
     steps: u64,
     trace: Option<Trace>,
+    last_access: Option<Footprint>,
 }
 
 impl<S: ObjectSpec, I: Implementation<S>> Executor<S, I> {
@@ -52,6 +53,7 @@ impl<S: ObjectSpec, I: Implementation<S>> Executor<S, I> {
             history: History::new(),
             steps: 0,
             trace: None,
+            last_access: None,
             imp,
         }
     }
@@ -94,6 +96,18 @@ impl<S: ObjectSpec, I: Implementation<S>> Executor<S, I> {
     /// Total number of steps taken.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// The single memory access of the most recent [`step`](Executor::step),
+    /// if that step performed a primitive (`None` after a purely local step,
+    /// after an invocation, or before any step).
+    ///
+    /// The `MemCtx` discipline guarantees one primitive per step, so this
+    /// footprint is exactly the independence information the schedule-space
+    /// model checker (`hi_spec::explore`) needs about the transition it
+    /// just executed.
+    pub fn last_access(&self) -> Option<Footprint> {
+        self.last_access
     }
 
     /// Starts recording a [`Trace`] of all primitives.
@@ -150,6 +164,7 @@ impl<S: ObjectSpec, I: Implementation<S>> Executor<S, I> {
         let read_only = self.spec.is_read_only(&op);
         self.procs[pid.0].invoke(op.clone());
         self.pending[pid.0] = Some(Pending { id, op, read_only });
+        self.last_access = None;
         id
     }
 
@@ -166,7 +181,9 @@ impl<S: ObjectSpec, I: Implementation<S>> Executor<S, I> {
             .clone();
         let result = {
             let mut ctx = MemCtx::new(&mut self.mem, self.trace.as_mut(), pid, self.steps);
-            self.procs[pid.0].step(&mut ctx)
+            let result = self.procs[pid.0].step(&mut ctx);
+            self.last_access = ctx.footprint();
+            result
         };
         self.steps += 1;
         match result {

@@ -103,7 +103,7 @@ pub use exec::{Executor, RunError};
 pub use hi_core::{History, OpId, Pid};
 pub use lanes::render_lanes;
 pub use mem::{CellDomain, CellId, CellInfo, MemSnapshot, SharedMem};
-pub use process::{Implementation, MemCtx, ProcessHandle};
+pub use process::{AccessKind, Footprint, Implementation, MemCtx, ProcessHandle};
 pub use runner::{run_workload, run_workload_with_faults, StepObserver, Workload};
 pub use sched::{Fault, FaultPlan, Faulty, RoundRobin, Scheduler, Scripted, Seeded};
 pub use trace::{PrimKind, Trace, TraceEvent};

@@ -5,13 +5,42 @@ use hi_core::{ObjectSpec, Pid};
 use crate::mem::{CellId, SharedMem};
 use crate::trace::{PrimKind, Trace};
 
+/// How a step touched its base object, as far as the memory is concerned.
+///
+/// This is the independence relation's raw material: two steps of different
+/// processes commute when their footprints are compatible (see
+/// `hi_spec::explore`). A failed CAS leaves the cell unchanged, so it
+/// counts as a [`AccessKind::Read`]; a successful CAS counts as a
+/// [`AccessKind::Write`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// The step observed the cell without changing it (read, failed CAS).
+    Read,
+    /// The step changed — or may have changed — the cell (write,
+    /// successful CAS).
+    Write,
+}
+
+/// The single memory access of one step: which base object, and whether it
+/// was mutated. The `MemCtx` one-primitive-per-step discipline guarantees
+/// every step has at most one footprint; steps that perform only local
+/// computation have none.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Footprint {
+    /// The base object accessed.
+    pub cell: CellId,
+    /// Whether the access mutated the cell.
+    pub kind: AccessKind,
+}
+
 /// A step context handed to [`ProcessHandle::step`]. It wraps the shared
 /// memory and enforces the model's "one primitive per step" rule: at most
 /// one of [`read`](MemCtx::read), [`write`](MemCtx::write) or
 /// [`cas`](MemCtx::cas) may be called per step.
 ///
 /// All primitives are recorded in the executor's [`Trace`] when tracing is
-/// enabled.
+/// enabled, and the step's [`Footprint`] is exposed to the executor for
+/// the model checker's independence relation.
 #[derive(Debug)]
 pub struct MemCtx<'a> {
     mem: &'a mut SharedMem,
@@ -19,6 +48,7 @@ pub struct MemCtx<'a> {
     pid: Pid,
     step: u64,
     used: bool,
+    footprint: Option<Footprint>,
 }
 
 impl<'a> MemCtx<'a> {
@@ -35,12 +65,18 @@ impl<'a> MemCtx<'a> {
             pid,
             step,
             used: false,
+            footprint: None,
         }
     }
 
     /// Whether this step already performed its primitive.
     pub fn primitive_used(&self) -> bool {
         self.used
+    }
+
+    /// The memory access this step performed, if any.
+    pub fn footprint(&self) -> Option<Footprint> {
+        self.footprint
     }
 
     /// The stepping process.
@@ -63,6 +99,10 @@ impl<'a> MemCtx<'a> {
     pub fn read(&mut self, cell: CellId) -> u64 {
         self.use_primitive();
         let v = self.mem.read(cell);
+        self.footprint = Some(Footprint {
+            cell,
+            kind: AccessKind::Read,
+        });
         self.record(cell, PrimKind::Read, v);
         v
     }
@@ -71,6 +111,10 @@ impl<'a> MemCtx<'a> {
     pub fn write(&mut self, cell: CellId, value: u64) {
         self.use_primitive();
         self.mem.write(cell, value);
+        self.footprint = Some(Footprint {
+            cell,
+            kind: AccessKind::Write,
+        });
         self.record(cell, PrimKind::Write, value);
     }
 
@@ -78,6 +122,15 @@ impl<'a> MemCtx<'a> {
     pub fn cas(&mut self, cell: CellId, expected: u64, new: u64) -> bool {
         self.use_primitive();
         let ok = self.mem.cas(cell, expected, new);
+        self.footprint = Some(Footprint {
+            cell,
+            // A failed CAS is observationally a read: the cell is unchanged.
+            kind: if ok {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+        });
         self.record(
             cell,
             PrimKind::Cas { expected, new, ok },
@@ -173,6 +226,40 @@ mod tests {
         let mut ctx = MemCtx::new(&mut mem, None, Pid(0), 0);
         ctx.write(c, 3);
         assert!(ctx.primitive_used());
+    }
+
+    #[test]
+    fn ctx_exposes_footprints() {
+        let mut mem = SharedMem::new();
+        let c = mem.alloc("x", CellDomain::Word, 0);
+        {
+            let mut ctx = MemCtx::new(&mut mem, None, Pid(0), 0);
+            assert_eq!(ctx.footprint(), None, "no primitive yet");
+            ctx.write(c, 3);
+            assert_eq!(
+                ctx.footprint(),
+                Some(Footprint {
+                    cell: c,
+                    kind: AccessKind::Write
+                })
+            );
+        }
+        {
+            let mut ctx = MemCtx::new(&mut mem, None, Pid(0), 1);
+            ctx.read(c);
+            assert_eq!(ctx.footprint().unwrap().kind, AccessKind::Read);
+        }
+        {
+            // Failed CAS leaves the cell unchanged: a read footprint.
+            let mut ctx = MemCtx::new(&mut mem, None, Pid(0), 2);
+            assert!(!ctx.cas(c, 99, 1));
+            assert_eq!(ctx.footprint().unwrap().kind, AccessKind::Read);
+        }
+        {
+            let mut ctx = MemCtx::new(&mut mem, None, Pid(0), 3);
+            assert!(ctx.cas(c, 3, 1));
+            assert_eq!(ctx.footprint().unwrap().kind, AccessKind::Write);
+        }
     }
 
     #[test]

@@ -71,6 +71,13 @@ impl<S: ObjectSpec> Workload<S> {
     pub fn has_next(&self, pid: Pid) -> bool {
         !self.queues[pid.0].is_empty()
     }
+
+    /// The operations `pid` has yet to invoke, in invocation order — the
+    /// workload *cursor*, which the model checker folds into configuration
+    /// fingerprints.
+    pub fn remaining_of(&self, pid: Pid) -> impl Iterator<Item = &S::Op> {
+        self.queues[pid.0].iter()
+    }
 }
 
 /// Observes the execution after every transition (invocation or step).

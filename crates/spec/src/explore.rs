@@ -1,52 +1,211 @@
-//! Bounded exhaustive exploration of schedules (small-scope model checking).
+//! Schedule-space model checking: exhaustive exploration of all schedules
+//! of a small workload, with partial-order reduction and configuration
+//! deduplication.
 //!
 //! For a small workload, the explorer enumerates *every* interleaving of
-//! invocations and steps up to a depth bound, forking the executor at each
-//! choice point. Combined with the HI monitors and the linearizability
-//! checker this gives exhaustive verification of the paper's algorithms on
-//! small instances — the regime where their subtle interleavings (e.g.
-//! Algorithm 4's flag/B protocol) actually live.
+//! invocations and steps, forking the executor at each choice point.
+//! Combined with the HI monitors and the linearizability checker this gives
+//! exhaustive verification of the paper's algorithms on small instances —
+//! the regime where their subtle interleavings (e.g. Algorithm 4's flag/B
+//! protocol, the hash table's duplicate-then-overwrite rewrites) actually
+//! live.
+//!
+//! Two reductions turn the schedule tree from `O(paths)` into `O(distinct
+//! behaviors)` without weakening what is certified:
+//!
+//! * **Sleep sets** over step *footprints*. Each executed step exposes its
+//!   single memory access ([`hi_sim::Footprint`], guaranteed unique by the
+//!   `MemCtx` one-primitive-per-step discipline). Two transitions are
+//!   treated as independent only when both are plain mid-operation steps
+//!   (no invocation, no response) of different processes and their
+//!   footprints commute **with at most one write**: invocations and
+//!   returning steps are history events, so commuting them would change
+//!   the induced history's precedence order, and commuting two writes —
+//!   even to different cells — would change the *intermediate* memory
+//!   snapshot, which is exactly what an HI audit observes. Under this
+//!   deliberately strengthened dependence relation, every pruned schedule
+//!   is adjacent-swap-equivalent to an explored one with the **identical
+//!   history event sequence** and the **identical set of visited memory
+//!   snapshots and audited (state, mem) observations** — so linearizing
+//!   the explored paths and auditing the explored configurations certifies
+//!   the pruned ones too.
+//! * **Configuration fingerprinting**. A node is fingerprinted by its
+//!   memory snapshot, every process's control state, the pending-operation
+//!   table, the workload cursors, the crash set, the sleeping-process set,
+//!   the remaining depth budget *and the induced history* (stable 128-bit
+//!   FNV-1a, [`hi_core::fingerprint`]). Two nodes with equal fingerprints
+//!   have byte-for-byte identical futures *and identical observable
+//!   pasts*, so the second is pruned and credited with the first's
+//!   memoized counts — this is what collapses write-write schedule
+//!   diamonds (kept dependent above) at their join, and what closes
+//!   lock-free retry loops into finite cycles: a retry that returns to an
+//!   identical configuration without emitting a history event hits its
+//!   own ancestor's fingerprint and is reported in
+//!   [`ExploreStats::cycles`] instead of unwinding forever.
+//!
+//! Because merges happen only on identical pasts, the reduced exploration
+//! certifies the *same* set of maximal-path histories and visits the
+//! *same* set of memory snapshots as the naive DFS (the
+//! `explore_differential` suite pins this), while executing strictly fewer
+//! transitions.
 
-use hi_core::{ObjectSpec, Pid};
-use hi_sim::{Executor, Implementation, Workload};
+use std::collections::HashMap;
+
+use hi_core::{Fingerprint, FingerprintWriter, ObjectSpec, Pid};
+use hi_sim::{AccessKind, Executor, Footprint, Implementation, Workload};
 
 /// Statistics of one exploration.
+///
+/// The path counters are **disjoint**: a schedule ends in exactly one of
+/// [`paths`](ExploreStats::paths) (ran to quiescence; its history was
+/// handed to [`ExploreVisitor::on_path_end`]),
+/// [`truncated`](ExploreStats::truncated) (cut by the depth bound) or
+/// [`cycles`](ExploreStats::cycles) (closed back onto a configuration
+/// still on the DFS stack — only possible with deduplication on). Headline
+/// sums never double-count.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct ExploreStats {
-    /// Number of maximal paths enumerated.
+    /// Maximal paths *executed*: the workload drained and every operation
+    /// returned. Disjoint from [`truncated`](ExploreStats::truncated).
     pub paths: u64,
-    /// Number of transitions (invocations + steps) taken across all paths.
-    pub transitions: u64,
-    /// Number of paths cut off by the depth bound.
+    /// Paths cut off by the depth bound (never counted in
+    /// [`paths`](ExploreStats::paths)).
     pub truncated: u64,
+    /// Transitions (invocations + steps) actually executed.
+    pub transitions: u64,
+    /// Maximal paths certified, including the multiplicities of subtrees
+    /// merged by deduplication (saturating; equals
+    /// [`paths`](ExploreStats::paths) when dedup is off).
+    pub certified_paths: u64,
+    /// Truncated paths certified, including merged multiplicities.
+    pub certified_truncated: u64,
+    /// Distinct fingerprinted configurations (0 when dedup is off).
+    pub distinct_configs: u64,
+    /// Interior nodes pruned because their fingerprint was already fully
+    /// explored.
+    pub dedup_hits: u64,
+    /// Nodes that closed a cycle: their fingerprint was still on the DFS
+    /// stack. A cycle is a schedule that can repeat a configuration forever
+    /// without completing an operation (a starved retry loop, or survivors
+    /// spinning behind a crashed lock holder).
+    pub cycles: u64,
+    /// Scheduling choices skipped by sleep sets.
+    pub sleep_skips: u64,
+    /// Single-crash branches taken (crash mode only).
+    pub crash_branches: u64,
+    /// Whether the visitor aborted the exploration early (e.g. on a
+    /// recorded violation).
+    pub aborted: bool,
 }
+
+/// How an exploration is bounded and reduced. Start from
+/// [`ExploreConfig::naive`] or [`ExploreConfig::reduced`] and override
+/// fields as needed.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    /// Per-path transition bound; paths that exceed it are reported via
+    /// [`ExploreVisitor::on_truncated`]. `None` explores without a depth
+    /// bound — with dedup on, retry cycles close instead of unwinding, so
+    /// finite-behavior instances terminate exactly.
+    pub max_path_transitions: Option<usize>,
+    /// Hard cap on *executed* transitions across the whole exploration —
+    /// the safety valve that turns an oversized instance into
+    /// [`ExploreError::TransitionValve`] instead of a lost CI job.
+    pub max_total_transitions: u64,
+    /// Enable sleep-set partial-order reduction.
+    pub sleep_sets: bool,
+    /// Enable configuration fingerprinting and subtree memoization.
+    pub dedup: bool,
+    /// Additionally branch, at every configuration on the fault-free
+    /// prefix, into a variant where one mid-operation process crashes and
+    /// never steps again (the paper's adversary). Implies sleep sets are
+    /// ignored: crash branches are schedule events our commuting argument
+    /// does not cover.
+    pub single_crash: bool,
+}
+
+impl ExploreConfig {
+    /// The naive full DFS: no reduction, per-path depth bound only —
+    /// the baseline the differential suite compares against.
+    pub fn naive(max_path_transitions: usize) -> Self {
+        ExploreConfig {
+            max_path_transitions: Some(max_path_transitions),
+            max_total_transitions: u64::MAX,
+            sleep_sets: false,
+            dedup: false,
+            single_crash: false,
+        }
+    }
+
+    /// The reduced exploration used for certification: sleep sets + dedup,
+    /// no depth bound (cycles close), with a generous transition valve.
+    pub fn reduced() -> Self {
+        ExploreConfig {
+            max_path_transitions: None,
+            max_total_transitions: 20_000_000,
+            sleep_sets: true,
+            dedup: true,
+            single_crash: false,
+        }
+    }
+}
+
+/// Why an exploration could not run to completion.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExploreError {
+    /// The global transition valve tripped: the instance is too large for
+    /// exhaustive certification at this budget — shrink the workload or
+    /// raise [`ExploreConfig::max_total_transitions`].
+    TransitionValve {
+        /// Transitions executed when the valve tripped.
+        executed: u64,
+    },
+}
+
+impl std::fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreError::TransitionValve { executed } => write!(
+                f,
+                "exploration exceeded its transition valve after {executed} executed \
+                 transitions — the instance is too large for exhaustive certification"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
 
 /// Callbacks invoked during exploration.
 pub trait ExploreVisitor<S: ObjectSpec, I: Implementation<S>> {
-    /// Called at every reachable configuration (after each transition).
+    /// Called at every executed transition (after each invocation or step).
     fn on_config(&mut self, exec: &Executor<S, I>);
 
-    /// Called at the end of every maximal path (workload exhausted and all
-    /// operations returned).
+    /// Called at the end of every executed maximal path (workload exhausted
+    /// and all non-crashed operations returned).
     fn on_path_end(&mut self, exec: &Executor<S, I>);
 
     /// Called when a path is truncated by the depth bound. Default: ignore.
     fn on_truncated(&mut self, _exec: &Executor<S, I>) {}
+
+    /// Polled after every callback; returning `true` stops the exploration
+    /// (the stats are returned with [`ExploreStats::aborted`] set). Default:
+    /// never abort.
+    fn abort(&self) -> bool {
+        false
+    }
 }
 
 /// Explores all schedules of `workload` from the initial configuration of
-/// `exec`, up to `max_transitions` transitions per path.
+/// `exec`, up to `max_transitions` transitions per path — the naive
+/// baseline, kept for differential testing and tiny instances.
 ///
-/// Lock-free (but not wait-free) loops make the full schedule tree infinite;
-/// the depth bound turns it into a finite tree whose truncated paths are
-/// reported via [`ExploreVisitor::on_truncated`]. For wait-free algorithms a
-/// generous bound explores the tree exactly.
-///
-/// # Example
-///
-/// Counting schedules of two single-step operations: the two interleavings
-/// of their invocations times one order of their steps each — see the
-/// crate's tests for concrete numbers.
+/// Lock-free (but not wait-free) loops make the full schedule tree
+/// infinite; the depth bound turns it into a finite tree whose truncated
+/// paths are reported via [`ExploreVisitor::on_truncated`]. For wait-free
+/// algorithms a generous bound explores the tree exactly. Use
+/// [`explore_with`] with [`ExploreConfig::reduced`] for anything larger
+/// than a toy workload.
 pub fn explore<S, I, V>(
     exec: &Executor<S, I>,
     workload: &Workload<S>,
@@ -58,50 +217,429 @@ where
     I: Implementation<S>,
     V: ExploreVisitor<S, I>,
 {
-    let mut stats = ExploreStats::default();
-    dfs(exec, workload, max_transitions, visitor, &mut stats);
-    stats
+    explore_with(
+        exec,
+        workload,
+        &ExploreConfig::naive(max_transitions),
+        visitor,
+    )
+    .expect("naive exploration has no transition valve")
 }
 
-fn dfs<S, I, V>(
+/// One scheduling decision at a node.
+#[derive(Clone, Copy, Debug)]
+enum Choice {
+    /// Let `pid` take its next transition (invoke if idle, step otherwise).
+    Go(Pid),
+    /// Crash `pid` mid-operation: it never takes another step.
+    Crash(Pid),
+}
+
+impl Choice {
+    fn pid(&self) -> Pid {
+        match self {
+            Choice::Go(p) | Choice::Crash(p) => *p,
+        }
+    }
+}
+
+/// What an executed transition did, as far as commuting is concerned.
+#[derive(Clone, Copy, Debug)]
+enum TransRecord {
+    /// An invocation: a history event, dependent with everything.
+    Invoke,
+    /// A step, with its memory footprint and whether it returned the
+    /// pending operation (a response is a history event).
+    Step {
+        footprint: Option<Footprint>,
+        returned: bool,
+    },
+    /// A crash branch: dependent with everything.
+    Crash,
+}
+
+/// The independence relation: `true` iff adjacent executions of `a` and
+/// `b` (by different processes) commute while preserving the history event
+/// sequence, every intermediate memory snapshot, and every audited
+/// observation — see the module docs for the argument.
+fn independent(a: &TransRecord, b: &TransRecord) -> bool {
+    let (
+        TransRecord::Step {
+            footprint: fa,
+            returned: false,
+        },
+        TransRecord::Step {
+            footprint: fb,
+            returned: false,
+        },
+    ) = (a, b)
+    else {
+        return false;
+    };
+    match (fa, fb) {
+        // A purely local step touches no shared cell.
+        (None, _) | (_, None) => true,
+        (Some(x), Some(y)) => {
+            if x.cell == y.cell {
+                // Same cell: only two observations commute.
+                x.kind == AccessKind::Read && y.kind == AccessKind::Read
+            } else {
+                // Different cells: commuting two writes would change the
+                // intermediate snapshot an HI audit may observe, so only
+                // pairs with at most one write are independent.
+                !(x.kind == AccessKind::Write && y.kind == AccessKind::Write)
+            }
+        }
+    }
+}
+
+/// Memoized outcome of a fully explored fingerprint.
+struct Entry {
+    /// `false` while the node is still on the DFS stack (cycle detection).
+    done: bool,
+    paths: u64,
+    truncated: u64,
+}
+
+/// One node of the explicit DFS stack: the pre-state plus the iteration
+/// cursor over its scheduling choices. The pre-state is *moved* (not
+/// cloned) into the last child, so each node costs `children - 1` clones —
+/// and a chain of forced single-child nodes costs none.
+struct Frame<S: ObjectSpec, I: Implementation<S>> {
+    exec: Option<Executor<S, I>>,
+    workload: Option<Workload<S>>,
+    crashed: u64,
+    budget: Option<usize>,
+    choices: Vec<Choice>,
+    next: usize,
+    /// Records of the choices explored from this node so far (for sleep
+    /// sets: later siblings put independent earlier siblings to sleep).
+    explored: Vec<(Pid, TransRecord)>,
+    /// Processes asleep at this node, with the transition record observed
+    /// when they were put to sleep.
+    sleep: Vec<(Pid, TransRecord)>,
+    fp: Option<Fingerprint>,
+    paths: u64,
+    truncated: u64,
+}
+
+enum Entered<S: ObjectSpec, I: Implementation<S>> {
+    /// The node resolved without expansion: `(certified paths, certified
+    /// truncated)`.
+    Resolved(u64, u64),
+    Frame(Box<Frame<S, I>>),
+    Abort,
+}
+
+/// The fingerprint of a configuration: everything that determines both the
+/// future of the node and its observable past (see the module docs).
+fn fingerprint<S, I>(
     exec: &Executor<S, I>,
     workload: &Workload<S>,
-    budget: usize,
-    visitor: &mut V,
+    crashed: u64,
+    sleep_mask: u64,
+    budget: Option<usize>,
+) -> Fingerprint
+where
+    S: ObjectSpec,
+    I: Implementation<S>,
+{
+    let mut w = FingerprintWriter::new();
+    w.write_u64s(&exec.snapshot());
+    for pid in (0..exec.num_processes()).map(Pid) {
+        w.write_debug(exec.process(pid));
+        w.write_debug(&exec.pending_op(pid));
+        w.write_u64(workload.remaining_of(pid).count() as u64);
+        for op in workload.remaining_of(pid) {
+            w.write_debug(op);
+        }
+    }
+    w.write_debug(&exec.history().events());
+    w.write_u64(crashed);
+    w.write_u64(sleep_mask);
+    w.write_u64(budget.map_or(u64::MAX, |b| b as u64));
+    w.finish()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enter<S, I, V>(
+    exec: Executor<S, I>,
+    workload: Workload<S>,
+    crashed: u64,
+    budget: Option<usize>,
+    sleep: Vec<(Pid, TransRecord)>,
+    cfg: &ExploreConfig,
+    sleep_on: bool,
+    table: &mut HashMap<Fingerprint, Entry>,
     stats: &mut ExploreStats,
-) where
+    visitor: &mut V,
+) -> Entered<S, I>
+where
     S: ObjectSpec,
     I: Implementation<S>,
     V: ExploreVisitor<S, I>,
 {
     let enabled: Vec<Pid> = (0..exec.num_processes())
         .map(Pid)
-        .filter(|&p| exec.can_step(p) || workload.has_next(p))
+        .filter(|&p| crashed & (1 << p.0) == 0 && (exec.can_step(p) || workload.has_next(p)))
         .collect();
     if enabled.is_empty() {
         stats.paths += 1;
-        visitor.on_path_end(exec);
-        return;
-    }
-    if budget == 0 {
-        stats.paths += 1;
-        stats.truncated += 1;
-        visitor.on_truncated(exec);
-        return;
-    }
-    for pid in enabled {
-        let mut exec2 = exec.clone();
-        let mut workload2 = workload.clone();
-        if exec2.can_step(pid) {
-            exec2.step(pid);
-        } else {
-            let op = workload2.pop(pid).expect("enabled process has no work");
-            exec2.invoke(pid, op);
+        visitor.on_path_end(&exec);
+        if visitor.abort() {
+            return Entered::Abort;
         }
-        stats.transitions += 1;
-        visitor.on_config(&exec2);
-        dfs(&exec2, &workload2, budget - 1, visitor, stats);
+        return Entered::Resolved(1, 0);
     }
+    if budget == Some(0) {
+        stats.truncated += 1;
+        visitor.on_truncated(&exec);
+        if visitor.abort() {
+            return Entered::Abort;
+        }
+        return Entered::Resolved(0, 1);
+    }
+    let fp = if cfg.dedup {
+        let sleep_mask = sleep.iter().fold(0u64, |m, (p, _)| m | (1 << p.0));
+        let fp = fingerprint(&exec, &workload, crashed, sleep_mask, budget);
+        match table.get(&fp) {
+            Some(e) if e.done => {
+                stats.dedup_hits += 1;
+                return Entered::Resolved(e.paths, e.truncated);
+            }
+            Some(_) => {
+                stats.cycles += 1;
+                return Entered::Resolved(0, 0);
+            }
+            None => {
+                table.insert(
+                    fp,
+                    Entry {
+                        done: false,
+                        paths: 0,
+                        truncated: 0,
+                    },
+                );
+                Some(fp)
+            }
+        }
+    } else {
+        None
+    };
+    let mut choices = Vec::with_capacity(enabled.len());
+    for &p in &enabled {
+        if sleep_on && sleep.iter().any(|(sp, _)| *sp == p) {
+            stats.sleep_skips += 1;
+        } else {
+            choices.push(Choice::Go(p));
+        }
+    }
+    if cfg.single_crash && crashed == 0 {
+        // Crash branches only for mid-operation processes: crashing an
+        // idle process merely truncates its workload, which shorter
+        // workloads already cover.
+        choices.extend(
+            enabled
+                .iter()
+                .filter(|&&p| exec.can_step(p))
+                .map(|&p| Choice::Crash(p)),
+        );
+    }
+    Entered::Frame(Box::new(Frame {
+        exec: Some(exec),
+        workload: Some(workload),
+        crashed,
+        budget,
+        choices,
+        next: 0,
+        explored: Vec::new(),
+        sleep,
+        fp,
+        paths: 0,
+        truncated: 0,
+    }))
+}
+
+/// Explores the schedule space of `workload` from the initial configuration
+/// of `exec` under `cfg`, driving `visitor` at every executed transition
+/// and maximal path.
+///
+/// The exploration is an explicit-stack DFS (deep bounds cannot overflow
+/// the thread stack) that clones the executor once per *extra* child — the
+/// last child of each node receives the parent's state by move.
+///
+/// # Errors
+///
+/// [`ExploreError::TransitionValve`] if more than
+/// [`ExploreConfig::max_total_transitions`] transitions execute.
+pub fn explore_with<S, I, V>(
+    exec: &Executor<S, I>,
+    workload: &Workload<S>,
+    cfg: &ExploreConfig,
+    visitor: &mut V,
+) -> Result<ExploreStats, ExploreError>
+where
+    S: ObjectSpec,
+    I: Implementation<S>,
+    V: ExploreVisitor<S, I>,
+{
+    assert!(
+        exec.num_processes() <= 64,
+        "the explorer's crash/sleep masks support at most 64 processes"
+    );
+    // Crash branches are schedule events the commuting argument does not
+    // cover, so they disable sleep sets (dedup remains sound: the crash
+    // set is part of the fingerprint).
+    let sleep_on = cfg.sleep_sets && !cfg.single_crash;
+    let mut stats = ExploreStats::default();
+    let mut table: HashMap<Fingerprint, Entry> = HashMap::new();
+    let mut stack: Vec<Box<Frame<S, I>>> = Vec::new();
+    let mut root = (0u64, 0u64);
+
+    let add_to_parent =
+        |stack: &mut Vec<Box<Frame<S, I>>>, root: &mut (u64, u64), paths: u64, truncated: u64| {
+            match stack.last_mut() {
+                Some(parent) => {
+                    parent.paths = parent.paths.saturating_add(paths);
+                    parent.truncated = parent.truncated.saturating_add(truncated);
+                }
+                None => {
+                    root.0 = root.0.saturating_add(paths);
+                    root.1 = root.1.saturating_add(truncated);
+                }
+            }
+        };
+
+    match enter(
+        exec.clone(),
+        workload.clone(),
+        0,
+        cfg.max_path_transitions,
+        Vec::new(),
+        cfg,
+        sleep_on,
+        &mut table,
+        &mut stats,
+        visitor,
+    ) {
+        Entered::Resolved(p, t) => root = (p, t),
+        Entered::Abort => stats.aborted = true,
+        Entered::Frame(f) => stack.push(f),
+    }
+
+    'dfs: while let Some(top) = stack.last_mut() {
+        if top.next >= top.choices.len() {
+            let f = stack.pop().expect("stack top exists");
+            if let Some(fp) = f.fp {
+                table.insert(
+                    fp,
+                    Entry {
+                        done: true,
+                        paths: f.paths,
+                        truncated: f.truncated,
+                    },
+                );
+            }
+            add_to_parent(&mut stack, &mut root, f.paths, f.truncated);
+            continue;
+        }
+        let idx = top.next;
+        top.next += 1;
+        let is_last = top.next == top.choices.len();
+        let choice = top.choices[idx];
+        let pid = choice.pid();
+        // The pre-state: cloned for all children but the last, which takes
+        // it by move.
+        let (mut exec2, mut workload2) = if is_last {
+            (
+                top.exec.take().expect("pre-state present"),
+                top.workload.take().expect("pre-state present"),
+            )
+        } else {
+            (
+                top.exec.as_ref().expect("pre-state present").clone(),
+                top.workload.as_ref().expect("pre-state present").clone(),
+            )
+        };
+        let mut crashed2 = top.crashed;
+        let budget2;
+        let record;
+        match choice {
+            Choice::Crash(p) => {
+                crashed2 |= 1 << p.0;
+                stats.crash_branches += 1;
+                record = TransRecord::Crash;
+                budget2 = top.budget;
+            }
+            Choice::Go(p) => {
+                if exec2.can_step(p) {
+                    let done = exec2.step(p);
+                    record = TransRecord::Step {
+                        footprint: exec2.last_access(),
+                        returned: done.is_some(),
+                    };
+                } else {
+                    let op = workload2.pop(p).expect("enabled process has no work");
+                    exec2.invoke(p, op);
+                    record = TransRecord::Invoke;
+                }
+                stats.transitions += 1;
+                if stats.transitions > cfg.max_total_transitions {
+                    return Err(ExploreError::TransitionValve {
+                        executed: stats.transitions,
+                    });
+                }
+                visitor.on_config(&exec2);
+                if visitor.abort() {
+                    stats.aborted = true;
+                    break 'dfs;
+                }
+                budget2 = top.budget.map(|b| b - 1);
+            }
+        }
+        let child_sleep: Vec<(Pid, TransRecord)> = if sleep_on {
+            top.sleep
+                .iter()
+                .chain(top.explored.iter())
+                .filter(|(p2, r2)| *p2 != pid && independent(r2, &record))
+                .cloned()
+                .collect()
+        } else {
+            Vec::new()
+        };
+        top.explored.push((pid, record));
+        match enter(
+            exec2,
+            workload2,
+            crashed2,
+            budget2,
+            child_sleep,
+            cfg,
+            sleep_on,
+            &mut table,
+            &mut stats,
+            visitor,
+        ) {
+            Entered::Resolved(p, t) => {
+                add_to_parent(&mut stack, &mut root, p, t);
+            }
+            Entered::Abort => {
+                stats.aborted = true;
+                break 'dfs;
+            }
+            Entered::Frame(f) => stack.push(f),
+        }
+    }
+
+    stats.certified_paths = root.0;
+    stats.certified_truncated = root.1;
+    if stats.aborted {
+        // The accumulators are meaningless mid-flight; report what ran.
+        stats.certified_paths = stats.paths;
+        stats.certified_truncated = stats.truncated;
+    }
+    stats.distinct_configs = table.len() as u64;
+    Ok(stats)
 }
 
 /// A visitor built from two closures (configurations, path ends).

@@ -13,10 +13,16 @@
 //!   They snapshot `mem(C)` at the configurations their observation model
 //!   permits and feed a [`CanonicalMap`](hi_core::CanonicalMap); any state
 //!   observed with two distinct representations is a violation.
-//! * **Exhaustive exploration** ([`explore()`]): bounded DFS over *all*
-//!   schedules of a small workload, calling back at every reachable
-//!   configuration and at every maximal path — small-scope model checking
-//!   for the algorithms' trickiest interleavings.
+//! * **Exhaustive exploration** ([`explore`]): a schedule-space model
+//!   checker over *all* schedules of a small workload, with sleep-set
+//!   partial-order reduction and configuration deduplication
+//!   ([`explore::explore_with`]) that preserve exactly the properties the
+//!   oracles check — small-scope model checking for the algorithms'
+//!   trickiest interleavings. [`check_sim_object_exhaustive`] wraps the
+//!   explorer and the full oracle stack (HI audit at every reachable
+//!   permitted configuration, linearization of every distinct maximal
+//!   path, optional single-crash variants) into one registry-drivable
+//!   certification call.
 //!
 //! The [`harness`] module bundles the three into one-call checks used
 //! throughout the workspace's test suites, and the [`sim_object`] module
@@ -37,15 +43,19 @@ pub mod fault;
 pub mod harness;
 pub mod hi;
 pub mod lin;
+pub mod model_check;
 pub mod sim_object;
 
-pub use explore::{explore, ExploreStats, ExploreVisitor};
+pub use explore::{
+    explore, explore_with, ExploreConfig, ExploreError, ExploreStats, ExploreVisitor,
+};
 pub use fault::{
     check_sim_object_faults, run_fault_plan, FaultSweepConfig, FaultSweepReport, PlanOutcome,
 };
 pub use harness::{check_run, check_run_single_mutator, CheckError, CheckReport};
 pub use hi::{single_mutator_state, HiMonitor, ObservationModel};
 pub use lin::{linearize, linearize_to, LinError, LinOptions, Linearization};
+pub use model_check::{check_sim_object_exhaustive, ExhaustiveConfig, ExhaustiveReport};
 pub use sim_object::{
     check_sim_object, model_for, sim_workload, CanonicalOracle, CanonicalView,
     DirectCanonicalObserver, SimAudit, SimObject, SimObjectReport, StateOracle,

@@ -1,0 +1,173 @@
+//! Registry-wide exhaustive certification: every scenario's downsized sim
+//! instance goes through the schedule-space model checker
+//! (`hi_spec::check_sim_object_exhaustive`) — *all* schedules of a short
+//! role-mirrored workload, HI-audited at every reachable permitted
+//! configuration against one shared canonical map, linearized at every
+//! distinct maximal path, with sleep-set partial-order reduction and
+//! configuration dedup keeping the tree tractable.
+//!
+//! Each certification writes its `ExhaustiveReport` as one JSON object to
+//! `target/modelcheck/` (plus a combined `summary.json`), which CI uploads
+//! as an artifact. Failures print a `HI_CONFORMANCE_SEED`-style one-line
+//! repro, like every other seeded suite.
+
+use std::fs;
+use std::path::PathBuf;
+
+use hi_concurrent::api::{registry, repro_command, ExhaustiveConfig, ExhaustiveReport};
+
+/// Base seed of the lane. The explorer quantifies over *schedules*, so the
+/// seed only picks the workload's operation values; one seed per CI run is
+/// enough, and the conformance seed matrix can widen it.
+fn seed() -> u64 {
+    match std::env::var("HI_CONFORMANCE_SEED") {
+        Ok(raw) => raw
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("HI_CONFORMANCE_SEED={raw:?} is not a u64: {e}")),
+        Err(_) => 7,
+    }
+}
+
+/// Operations per process. Exploration is exponential in this; 2 per
+/// process already yields thousands-to-millions of schedules per scenario.
+const OPS_PER_PID: usize = 2;
+
+fn artifact_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/modelcheck");
+    fs::create_dir_all(&dir).expect("create target/modelcheck");
+    dir
+}
+
+fn certify(seed: u64) -> Vec<(&'static str, ExhaustiveReport)> {
+    let cfg = ExhaustiveConfig::new(seed, OPS_PER_PID);
+    registry()
+        .iter()
+        .map(|s| {
+            let report = s.check_exhaustive(&cfg).unwrap_or_else(|e| {
+                panic!(
+                    "exhaustive certification of {} ({}) failed: {e}\nrepro: {}",
+                    s.name,
+                    s.small_params(),
+                    repro_command("model_check", seed)
+                )
+            });
+            (s.name, report)
+        })
+        .collect()
+}
+
+/// The headline lane: all scenarios certify, with sane stats, and the
+/// per-scenario reports land in `target/modelcheck/`.
+#[test]
+fn registry_certifies_exhaustively() {
+    let seed = seed();
+    let dir = artifact_dir();
+    let mut summary = String::from("[\n");
+    for (i, (name, report)) in certify(seed).into_iter().enumerate() {
+        let s = &report.stats;
+        assert!(s.paths > 0, "{name}: no maximal path executed");
+        assert_eq!(
+            s.truncated, 0,
+            "{name}: the reduced lane has no depth bound"
+        );
+        assert!(
+            !s.aborted,
+            "{name}: exploration aborted without a violation"
+        );
+        assert!(
+            s.certified_paths >= s.paths,
+            "{name}: certified fewer schedules than it executed"
+        );
+        assert!(s.distinct_configs > 0, "{name}: dedup recorded no configs");
+        assert!(
+            report.linearized > 0 && report.linearized <= s.paths,
+            "{name}: linearized {} of {} executed paths",
+            report.linearized,
+            s.paths
+        );
+        if report.audited {
+            assert!(report.hi_points > 0, "{name}: vacuous HI audit");
+        }
+        let scenario = registry()
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("scenario exists");
+        let json = report.to_json(name, scenario.small_params());
+        let file = dir.join(format!("{}.json", name.replace('/', "_")));
+        fs::write(&file, &json).unwrap_or_else(|e| panic!("write {}: {e}", file.display()));
+        if i > 0 {
+            summary.push_str(",\n");
+        }
+        summary.push_str("  ");
+        summary.push_str(&json);
+    }
+    summary.push_str("\n]\n");
+    fs::write(dir.join("summary.json"), summary).expect("write summary.json");
+}
+
+/// The reduction must actually reduce: across the registry, the certified
+/// schedule count strictly exceeds the executed one (dedup merges real
+/// subtrees), and sleep sets skip real choices.
+#[test]
+fn reduction_certifies_more_than_it_executes() {
+    let reports = certify(seed());
+    let executed: u64 = reports.iter().map(|(_, r)| r.stats.paths).sum();
+    let certified: u64 = reports.iter().map(|(_, r)| r.stats.certified_paths).sum();
+    assert!(
+        certified > executed,
+        "dedup merged no subtree anywhere: certified {certified}, executed {executed}"
+    );
+    let sleep_skips: u64 = reports.iter().map(|(_, r)| r.stats.sleep_skips).sum();
+    assert!(sleep_skips > 0, "sleep sets never skipped a choice");
+}
+
+/// Certification is deterministic: same seed, same report, byte for byte.
+#[test]
+fn certification_is_deterministic() {
+    let cfg = ExhaustiveConfig::new(seed(), OPS_PER_PID);
+    let scenario = registry()
+        .into_iter()
+        .find(|s| s.name == "register/lockfree-hi-k5")
+        .expect("scenario exists");
+    let a = scenario
+        .check_exhaustive(&cfg)
+        .expect("first run certifies");
+    let b = scenario
+        .check_exhaustive(&cfg)
+        .expect("second run certifies");
+    assert_eq!(a, b);
+}
+
+/// The single-crash lane: wait-free scenarios also certify when every
+/// choice point of the fault-free prefix branches into a variant where one
+/// mid-operation process crashes forever (the paper's adversary). Blocking
+/// scenarios are exempt — a crash inside a critical section legitimately
+/// wedges the survivors into (pruned) cycles, but lock-free retries against
+/// a dead CAS holder still certify.
+#[test]
+fn wait_free_scenarios_certify_under_single_crash() {
+    let seed = seed();
+    let cfg = ExhaustiveConfig::new(seed, 1).with_crashes();
+    for name in [
+        "register/waitfree-hi-k5",
+        "set/hi-t6-n3",
+        "universal/counter-n3",
+    ] {
+        let scenario = registry()
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("scenario exists");
+        let report = scenario.check_exhaustive(&cfg).unwrap_or_else(|e| {
+            panic!(
+                "single-crash certification of {name} failed: {e}\nrepro: {}",
+                repro_command("model_check", seed)
+            )
+        });
+        assert!(
+            report.stats.crash_branches > 0,
+            "{name}: no crash branch taken"
+        );
+        assert!(report.stats.paths > 0);
+    }
+}
