@@ -88,6 +88,87 @@ pub struct HandleProgress {
     pub planned: usize,
 }
 
+/// Live per-handle completion counters: one planned total and one atomic
+/// applied counter per handle, shared between the workers that bump them
+/// and whoever watches from outside (the [`drive_watchdogged`] watchdog,
+/// the `hi_service` soak harness's wedge diagnostics). Reading is always
+/// safe; the numbers are a monotone under-approximation of true progress.
+#[derive(Debug)]
+pub struct ProgressCounters {
+    planned: Vec<usize>,
+    applied: Vec<AtomicUsize>,
+}
+
+impl ProgressCounters {
+    /// Counters for handles with the given planned operation totals, all
+    /// starting at zero applied.
+    pub fn new(planned: Vec<usize>) -> Self {
+        let applied = planned.iter().map(|_| AtomicUsize::new(0)).collect();
+        ProgressCounters { planned, applied }
+    }
+
+    /// The number of handles tracked.
+    pub fn num_handles(&self) -> usize {
+        self.planned.len()
+    }
+
+    /// Records one completed operation on `handle`.
+    pub fn bump(&self, handle: usize) {
+        self.applied[handle].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            handles: self
+                .applied
+                .iter()
+                .enumerate()
+                .map(|(i, done)| HandleProgress {
+                    handle: i,
+                    applied: done.load(Ordering::Relaxed),
+                    planned: self.planned[i],
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time view of a driver's per-handle progress — the one struct
+/// the watchdog, the service harness and future tools read instead of
+/// re-counting.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MetricsSnapshot {
+    /// One entry per handle, in role order.
+    pub handles: Vec<HandleProgress>,
+}
+
+impl MetricsSnapshot {
+    /// Total operations applied across all handles.
+    pub fn applied(&self) -> usize {
+        self.handles.iter().map(|h| h.applied).sum()
+    }
+
+    /// Total operations planned across all handles.
+    pub fn planned(&self) -> usize {
+        self.handles.iter().map(|h| h.planned).sum()
+    }
+
+    /// The handles that have not completed their planned operations.
+    pub fn stalled(&self) -> Vec<HandleProgress> {
+        self.handles
+            .iter()
+            .copied()
+            .filter(|hp| hp.applied < hp.planned)
+            .collect()
+    }
+
+    /// Whether every handle completed its plan.
+    pub fn is_drained(&self) -> bool {
+        self.stalled().is_empty()
+    }
+}
+
 /// Why a [`drive`] run failed.
 #[derive(Clone, Debug)]
 pub enum DriveError<S: ObjectSpec> {
@@ -245,7 +326,7 @@ where
 fn drive_core<S, O>(
     obj: &mut O,
     cfg: &DriveConfig,
-    progress: Option<&[AtomicUsize]>,
+    progress: Option<&ProgressCounters>,
 ) -> Result<DriveReport<S>, DriveError<S>>
 where
     S: EnumerableSpec,
@@ -258,7 +339,11 @@ where
     // scenario: both worlds are workload-mirrored by construction.
     let menus = menus_for(&spec, obj.roles());
     if let Some(p) = progress {
-        assert_eq!(p.len(), menus.len(), "one progress counter per handle");
+        assert_eq!(
+            p.num_handles(),
+            menus.len(),
+            "one progress counter per handle"
+        );
     }
     let audit = obj.hi_level().auditable();
     // Worker panics are caught, not propagated: a propagated panic would
@@ -303,7 +388,7 @@ where
                                 resp,
                             });
                             if let Some(p) = progress {
-                                p[i].fetch_add(1, Ordering::Relaxed);
+                                p.bump(i);
                             }
                         }
                         local
@@ -353,12 +438,10 @@ where
 /// What the watchdogged driver thread reports before driving: enough for
 /// the watchdog to diagnose a wedge from outside.
 struct Preflight {
-    /// Planned operations per handle (0 for roles with an empty menu).
-    planned: Vec<usize>,
     /// The object's memory at drive start.
     mem0: Vec<u64>,
     /// Live per-handle completion counters, shared with the workers.
-    progress: Arc<Vec<AtomicUsize>>,
+    progress: Arc<ProgressCounters>,
 }
 
 /// [`drive`], but un-hangable: the object is constructed and driven inside
@@ -401,10 +484,8 @@ where
                     .iter()
                     .map(|m| if m.is_empty() { 0 } else { cfg.ops_per_handle })
                     .collect();
-                let progress: Arc<Vec<AtomicUsize>> =
-                    Arc::new(menus.iter().map(|_| AtomicUsize::new(0)).collect());
+                let progress = Arc::new(ProgressCounters::new(planned));
                 let _ = pre_tx.send(Preflight {
-                    planned,
                     mem0: obj.mem_snapshot(),
                     progress: Arc::clone(&progress),
                 });
@@ -430,20 +511,7 @@ where
         }),
         Err(mpsc::RecvTimeoutError::Timeout) => {
             let (stalled, mem) = match pre {
-                Some(p) => {
-                    let stalled = p
-                        .progress
-                        .iter()
-                        .enumerate()
-                        .map(|(i, done)| HandleProgress {
-                            handle: i,
-                            applied: done.load(Ordering::Relaxed),
-                            planned: p.planned[i],
-                        })
-                        .filter(|hp| hp.applied < hp.planned)
-                        .collect();
-                    (stalled, p.mem0)
-                }
+                Some(p) => (p.progress.snapshot().stalled(), p.mem0),
                 None => (Vec::new(), Vec::new()),
             };
             Err(DriveError::Wedged {
@@ -494,4 +562,58 @@ where
             .sum();
     });
     total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the public metrics snapshot surface: field names, role order,
+    /// totals, stalled filtering and the drained predicate. The service
+    /// layer and future tools read this struct instead of re-counting;
+    /// changing its shape is a reviewed API break, not drift.
+    #[test]
+    fn metrics_snapshot_pins_its_fields() {
+        let counters = ProgressCounters::new(vec![10, 0, 5]);
+        assert_eq!(counters.num_handles(), 3);
+        counters.bump(0);
+        counters.bump(0);
+        counters.bump(2);
+        let snap = counters.snapshot();
+        assert_eq!(
+            snap.handles,
+            vec![
+                HandleProgress {
+                    handle: 0,
+                    applied: 2,
+                    planned: 10,
+                },
+                HandleProgress {
+                    handle: 1,
+                    applied: 0,
+                    planned: 0,
+                },
+                HandleProgress {
+                    handle: 2,
+                    applied: 1,
+                    planned: 5,
+                },
+            ]
+        );
+        assert_eq!(snap.applied(), 3);
+        assert_eq!(snap.planned(), 15);
+        assert_eq!(
+            snap.stalled().iter().map(|h| h.handle).collect::<Vec<_>>(),
+            vec![0, 2],
+            "handle 1 planned nothing, so it is never stalled"
+        );
+        assert!(!snap.is_drained());
+        for _ in 0..8 {
+            counters.bump(0);
+        }
+        for _ in 0..4 {
+            counters.bump(2);
+        }
+        assert!(counters.snapshot().is_drained());
+    }
 }

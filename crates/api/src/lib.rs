@@ -55,7 +55,7 @@ pub use adapters::{
 };
 pub use drive::{
     drive, drive_watchdogged, random_script, throughput, DriveConfig, DriveError, DriveReport,
-    HandleProgress,
+    HandleProgress, MetricsSnapshot, ProgressCounters,
 };
 pub use hi_spec::{ExhaustiveConfig, ExhaustiveReport};
 pub use object::{ConcurrentObject, HiLevel, ObjectHandle, Progress, Roles};

@@ -103,6 +103,84 @@ pub fn render(bench: &str, records: &[BenchRecord]) -> String {
     out
 }
 
+/// One soak scenario's latency digest: what one row of
+/// `BENCH_service_latency.json` records.
+#[derive(Clone, Debug)]
+pub struct LatencyRecord {
+    /// Soak scenario name (e.g. `"soak/hashtable-zipf"`).
+    pub scenario: String,
+    /// Operations applied in the measured soak.
+    pub ops: usize,
+    /// Operations rejected by backpressure (0 under the blocking policy).
+    pub rejected: usize,
+    /// State-quiescent HI audits that passed during the soak (mid-soak
+    /// drain barriers plus the final one).
+    pub audits: usize,
+    /// Wall-clock time of the soak.
+    pub elapsed: Duration,
+    /// The per-operation latency digest (submission to response,
+    /// nanoseconds), from [`crate::hist::Histogram::summary`].
+    pub latency: crate::hist::LatencySummary,
+}
+
+impl LatencyRecord {
+    /// Throughput in operations per second (elapsed clamped to 1ns).
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.max(Duration::from_nanos(1)).as_secs_f64()
+    }
+}
+
+/// Renders the latency summary document (revision-keyed like [`render`],
+/// latencies in nanoseconds).
+pub fn render_latency(bench: &str, records: &[LatencyRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", escape(bench)));
+    out.push_str(&format!(
+        "  \"revision\": \"{}\",\n",
+        escape(&git_revision())
+    ));
+    out.push_str(&format!("  \"scenarios\": {},\n", records.len()));
+    out.push_str("  \"unit\": \"ns\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let l = &r.latency;
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"ops\": {}, \"rejected\": {}, \"audits\": {}, \
+             \"elapsed_ns\": {}, \"ops_per_sec\": {:.1}, \"mean_ns\": {:.1}, \"p50_ns\": {}, \
+             \"p90_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}}}{}\n",
+            escape(&r.scenario),
+            r.ops,
+            r.rejected,
+            r.audits,
+            r.elapsed.as_nanos(),
+            r.ops_per_sec(),
+            l.mean,
+            l.p50,
+            l.p90,
+            l.p99,
+            l.p999,
+            l.max,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes `BENCH_<name>.json` (latency form) at the workspace root and
+/// returns its path.
+///
+/// # Errors
+///
+/// Any I/O error from creating or writing the file.
+pub fn write_latency_summary(bench: &str, records: &[LatencyRecord]) -> std::io::Result<PathBuf> {
+    let path = workspace_root().join(format!("BENCH_{bench}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(render_latency(bench, records).as_bytes())?;
+    Ok(path)
+}
+
 /// The workspace root (two levels above this crate's manifest).
 pub fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -151,6 +229,34 @@ mod tests {
         assert!(doc.contains("\"scenarios\": 2"));
         assert!(doc.contains("\"scenario\": \"a/b\""));
         assert!(doc.contains("c\\\"d"), "quotes are escaped");
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn render_latency_is_valid_shape() {
+        let mut h = crate::hist::Histogram::new();
+        for v in [120u64, 450, 900, 12_000, 250_000] {
+            h.record(v);
+        }
+        let records = vec![LatencyRecord {
+            scenario: "soak/x".into(),
+            ops: 5,
+            rejected: 1,
+            audits: 4,
+            elapsed: Duration::from_millis(3),
+            latency: h.summary(),
+        }];
+        let doc = render_latency("service_latency", &records);
+        assert!(doc.contains("\"bench\": \"service_latency\""));
+        assert!(doc.contains("\"revision\": \""), "keyed by git revision");
+        assert!(doc.contains("\"unit\": \"ns\""));
+        for field in ["p50_ns", "p90_ns", "p99_ns", "p999_ns", "max_ns", "audits"] {
+            assert!(
+                doc.contains(&format!("\"{field}\"")),
+                "missing {field}: {doc}"
+            );
+        }
+        assert!(doc.contains("\"max_ns\": 250000"), "{doc}");
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }
 

@@ -57,4 +57,7 @@ pub use ct::CtObject;
 pub use fingerprint::{Fingerprint, FingerprintWriter};
 pub use history::{Event, History, OpId, OpRecord, Pid, SequentialHistory};
 pub use object::{EnumerableSpec, HiLevel, ObjectSpec, Progress, Roles};
-pub use workload::{handle_seed, menus_for, random_script, SplitMix64};
+pub use workload::{
+    handle_seed, menus_for, random_script, seeded_shuffle, skewed_script, Arrival, ArrivalGen,
+    KeyDist, KeySampler, SplitMix64,
+};

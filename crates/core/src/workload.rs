@@ -35,6 +35,14 @@ impl SplitMix64 {
     }
 }
 
+impl SplitMix64 {
+    /// Uniform in `[0, 1)`: the top 53 bits of the next output, so the
+    /// conversion to `f64` is exact.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
 /// Builds a deterministic random script of `len` operations drawn from
 /// `menu`.
 pub fn random_script<Op: Clone>(menu: &[Op], len: usize, seed: u64) -> Vec<Op> {
@@ -42,6 +50,175 @@ pub fn random_script<Op: Clone>(menu: &[Op], len: usize, seed: u64) -> Vec<Op> {
     (0..len)
         .map(|_| menu[rng.below(menu.len())].clone())
         .collect()
+}
+
+/// How a workload's operation *ranks* are distributed: the shape of a
+/// service-load key popularity curve. The service harness samples a rank
+/// per submitted operation and maps it through a seeded shuffle of the
+/// operation menu, so "rank 0 is hottest" becomes "one hot (op, key) pair"
+/// without the generator knowing anything about the operation type.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KeyDist {
+    /// Every rank equally likely (the tight-loop benchmarks' shape).
+    Uniform,
+    /// Zipfian with exponent `theta`: rank `i` is drawn with probability
+    /// proportional to `1 / (i + 1)^theta`. `theta = 0` degenerates to
+    /// uniform; web/cache traces are commonly fitted near `theta ≈ 1`.
+    Zipfian {
+        /// The skew exponent (≥ 0).
+        theta: f64,
+    },
+}
+
+/// A sampler of ranks in `0..n` under a [`KeyDist`], deterministic given
+/// the caller's [`SplitMix64`] stream.
+#[derive(Clone, Debug)]
+pub struct KeySampler {
+    n: usize,
+    /// Cumulative rank probabilities (`None` for the uniform fast path).
+    cdf: Option<Vec<f64>>,
+}
+
+impl KeySampler {
+    /// Builds a sampler over `n > 0` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or a Zipfian `theta` is negative or non-finite.
+    pub fn new(dist: KeyDist, n: usize) -> Self {
+        assert!(n > 0, "a sampler needs at least one rank");
+        let cdf = match dist {
+            KeyDist::Uniform => None,
+            KeyDist::Zipfian { theta } => {
+                assert!(
+                    theta.is_finite() && theta >= 0.0,
+                    "Zipfian theta must be finite and >= 0, got {theta}"
+                );
+                let mut acc = 0.0;
+                let mut cdf: Vec<f64> = (0..n)
+                    .map(|i| {
+                        acc += 1.0 / ((i + 1) as f64).powf(theta);
+                        acc
+                    })
+                    .collect();
+                let total = acc;
+                for c in &mut cdf {
+                    *c /= total;
+                }
+                Some(cdf)
+            }
+        };
+        KeySampler { n, cdf }
+    }
+
+    /// The number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.n
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        match &self.cdf {
+            None => rng.below(self.n),
+            Some(cdf) => {
+                let u = rng.unit();
+                // First rank whose cumulative probability exceeds u; the
+                // final entry is 1.0 (up to rounding), so clamp covers the
+                // u ≈ 1 edge.
+                cdf.partition_point(|&c| c <= u).min(self.n - 1)
+            }
+        }
+    }
+}
+
+/// Domain-separation constant of [`seeded_shuffle`] (kept out of the seed
+/// the scripts draw from, so shuffling and sampling are independent).
+const SHUFFLE_SALT: u64 = 0x1b87_3c93_a2f4_55d1;
+
+/// A deterministic Fisher–Yates shuffle of `items` under `seed`: the
+/// rank-to-operation assignment of a skewed workload, so the hot rank is a
+/// seed-dependent menu entry instead of always the first.
+pub fn seeded_shuffle<T>(items: &mut [T], seed: u64) {
+    let mut rng = SplitMix64::new(seed ^ SHUFFLE_SALT);
+    for i in (1..items.len()).rev() {
+        items.swap(i, rng.below(i + 1));
+    }
+}
+
+/// Builds a deterministic script of `len` operations drawn from `menu`
+/// under a rank distribution: ranks are sampled from `dist` and mapped
+/// through a seeded shuffle of the menu. `KeyDist::Uniform` reproduces
+/// [`random_script`]'s shape (though not its exact byte stream).
+pub fn skewed_script<Op: Clone>(menu: &[Op], len: usize, seed: u64, dist: KeyDist) -> Vec<Op> {
+    let mut ranked: Vec<Op> = menu.to_vec();
+    seeded_shuffle(&mut ranked, seed);
+    let sampler = KeySampler::new(dist, ranked.len());
+    let mut rng = SplitMix64::new(seed);
+    (0..len)
+        .map(|_| ranked[sampler.sample(&mut rng)].clone())
+        .collect()
+}
+
+/// The arrival process of one logical client: when operations are
+/// *submitted*, independent of what they are.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Arrival {
+    /// Back-to-back submission (closed-loop load).
+    Steady,
+    /// On/off duty cycle: `on` operations back-to-back, then `off` idle
+    /// ticks, repeated. What a tick means (a yield, a sleep quantum) is the
+    /// harness's choice; the generator only shapes the pattern.
+    Bursty {
+        /// Operations per burst (> 0).
+        on: u32,
+        /// Idle ticks between bursts.
+        off: u32,
+    },
+}
+
+/// A deterministic arrival-gap generator: for each submitted operation,
+/// the number of idle ticks to insert *before* it. Seeding offsets the
+/// duty-cycle phase so a fleet of clients does not burst in lockstep.
+#[derive(Clone, Debug)]
+pub struct ArrivalGen {
+    arrival: Arrival,
+    /// Operations submitted in the current burst.
+    pos: u32,
+}
+
+impl ArrivalGen {
+    /// Builds the generator; under [`Arrival::Bursty`] the starting phase
+    /// is `seed % on`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bursty `on` length is zero.
+    pub fn new(arrival: Arrival, seed: u64) -> Self {
+        let pos = match arrival {
+            Arrival::Steady => 0,
+            Arrival::Bursty { on, .. } => {
+                assert!(on > 0, "a burst must contain at least one operation");
+                (seed % on as u64) as u32
+            }
+        };
+        ArrivalGen { arrival, pos }
+    }
+
+    /// Idle ticks before the next operation is submitted.
+    pub fn next_gap(&mut self) -> u32 {
+        match self.arrival {
+            Arrival::Steady => 0,
+            Arrival::Bursty { on, off } => {
+                if self.pos >= on {
+                    self.pos = 1;
+                    off
+                } else {
+                    self.pos += 1;
+                    0
+                }
+            }
+        }
+    }
 }
 
 /// The seed of role `i`'s script under a driver seed.
@@ -142,6 +319,104 @@ mod tests {
         for menu in &menus {
             assert_eq!(*menu, vec![CounterOp::Inc, CounterOp::Dec, CounterOp::Read]);
         }
+    }
+
+    #[test]
+    fn zipfian_top_rank_frequency_is_in_the_analytic_band() {
+        // n = 100, theta = 1: p(rank 0) = 1 / H_100 ≈ 0.1928. A 100k-sample
+        // run must land well inside ±0.02 of that.
+        let sampler = KeySampler::new(KeyDist::Zipfian { theta: 1.0 }, 100);
+        let mut rng = SplitMix64::new(0xd157);
+        let samples = 100_000;
+        let mut counts = [0usize; 100];
+        for _ in 0..samples {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        let top = counts[0] as f64 / samples as f64;
+        assert!(
+            (0.17..0.22).contains(&top),
+            "top-rank frequency {top} outside the Zipf(1) band around 0.193"
+        );
+        // The curve must actually be skewed: rank 0 dominates mid-ranks.
+        assert!(
+            counts[0] > counts[49] * 10,
+            "rank 0 ({}) should dwarf rank 49 ({})",
+            counts[0],
+            counts[49]
+        );
+    }
+
+    #[test]
+    fn zipfian_theta_zero_degenerates_to_uniform() {
+        let sampler = KeySampler::new(KeyDist::Zipfian { theta: 0.0 }, 50);
+        let mut rng = SplitMix64::new(7);
+        let samples = 100_000;
+        let mut counts = [0usize; 50];
+        for _ in 0..samples {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        // Expected 2000 per rank; 5σ ≈ 220.
+        for (rank, &c) in counts.iter().enumerate() {
+            assert!(
+                (1700..2300).contains(&c),
+                "rank {rank} drew {c} times, far from the uniform 2000"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_scripts_are_byte_equal_per_seed() {
+        let menu: Vec<u32> = (0..24).collect();
+        for dist in [
+            KeyDist::Uniform,
+            KeyDist::Zipfian { theta: 0.8 },
+            KeyDist::Zipfian { theta: 1.2 },
+        ] {
+            let a = skewed_script(&menu, 5_000, 0xabcd, dist);
+            let b = skewed_script(&menu, 5_000, 0xabcd, dist);
+            assert_eq!(a, b, "two runs under one seed must be identical");
+            let c = skewed_script(&menu, 5_000, 0xabce, dist);
+            assert_ne!(a, c, "a different seed must change the stream");
+            assert!(a.iter().all(|v| menu.contains(v)));
+        }
+    }
+
+    #[test]
+    fn skewed_script_hot_entry_depends_on_the_seed() {
+        // The seeded shuffle must decouple "hottest rank" from "first menu
+        // entry": across a handful of seeds the hot entry varies.
+        let menu: Vec<u32> = (0..16).collect();
+        let hot_of = |seed: u64| {
+            let script = skewed_script(&menu, 4_000, seed, KeyDist::Zipfian { theta: 1.2 });
+            let mut counts = [0usize; 16];
+            for v in script {
+                counts[v as usize] += 1;
+            }
+            (0..16).max_by_key(|&i| counts[i]).unwrap()
+        };
+        let hots: std::collections::BTreeSet<usize> = (0..6).map(|s| hot_of(s as u64)).collect();
+        assert!(
+            hots.len() > 1,
+            "hot entry {hots:?} never moved across six seeds"
+        );
+    }
+
+    #[test]
+    fn bursty_arrivals_follow_the_duty_cycle() {
+        let mut gen = ArrivalGen::new(Arrival::Bursty { on: 4, off: 3 }, 0);
+        let gaps: Vec<u32> = (0..12).map(|_| gen.next_gap()).collect();
+        assert_eq!(gaps, vec![0, 0, 0, 0, 3, 0, 0, 0, 3, 0, 0, 0]);
+        // Seeding shifts the phase but preserves the cycle structure.
+        let mut shifted = ArrivalGen::new(Arrival::Bursty { on: 4, off: 3 }, 2);
+        let shifted_gaps: Vec<u32> = (0..12).map(|_| shifted.next_gap()).collect();
+        assert_eq!(shifted_gaps, vec![0, 0, 3, 0, 0, 0, 3, 0, 0, 0, 3, 0]);
+        assert_eq!(
+            shifted_gaps.iter().filter(|&&g| g != 0).count(),
+            3,
+            "one off-phase per four submissions"
+        );
+        let mut steady = ArrivalGen::new(Arrival::Steady, 9);
+        assert!((0..100).all(|_| steady.next_gap() == 0));
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Tail latency of every soak-registry scenario under heavy service load,
+//! emitted as a machine-readable `BENCH_service_latency.json` at the
+//! workspace root (revision-keyed, like the throughput bench).
+//!
+//! Each scenario soaks its object through `HI_SOAK_OPS` operations
+//! (default one million) of sharded client traffic with mid-soak
+//! drain-barrier HI audits, and records the submission-to-response
+//! latency distribution (p50/p90/p99/p999/max) from the log-scale
+//! histogram, plus applied throughput and the audit count.
+//!
+//! ```sh
+//! cargo bench --bench service_latency                 # 1M ops/scenario
+//! HI_SOAK_OPS=40000 cargo bench --bench service_latency   # CI scale
+//! ```
+
+use std::time::Duration;
+
+use hi_bench::json::{write_latency_summary, LatencyRecord};
+use hi_service::{soak_registry, SoakConfig};
+
+const SEED: u64 = 0xbe7c;
+
+fn main() {
+    let total_ops: usize = std::env::var("HI_SOAK_OPS")
+        .ok()
+        .map(|v| v.parse().expect("HI_SOAK_OPS must be an op count"))
+        .unwrap_or(1_000_000);
+    let cfg = SoakConfig {
+        total_ops,
+        // Deadline scaled to the op count: the slowest backend (the
+        // universal construction) clears ~100k ops/sec in release mode.
+        deadline: Duration::from_secs(60 + (total_ops / 20_000) as u64),
+        seed: SEED,
+        ..SoakConfig::default()
+    };
+
+    let mut records = Vec::new();
+    println!(
+        "{:32} {:>9} {:>11} {:>9} {:>9} {:>9} {:>9}",
+        "scenario", "ops", "ops/sec", "p50", "p99", "p999", "max"
+    );
+    for scenario in soak_registry() {
+        let report = match scenario.run(&cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: soak failed: {e}", scenario.name);
+                std::process::exit(1);
+            }
+        };
+        let summary = report.latency.summary();
+        println!(
+            "{:32} {:>9} {:>11.0} {:>9} {:>9} {:>9} {:>9}",
+            scenario.name,
+            report.ops_applied,
+            report.ops_per_sec(),
+            summary.p50,
+            summary.p99,
+            summary.p999,
+            summary.max
+        );
+        records.push(LatencyRecord {
+            scenario: scenario.name.to_string(),
+            ops: report.ops_applied,
+            rejected: report.ops_rejected,
+            audits: report.audits.len(),
+            elapsed: report.elapsed,
+            latency: summary,
+        });
+    }
+    match write_latency_summary("service_latency", &records) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write JSON summary: {e}"),
+    }
+}

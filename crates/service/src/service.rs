@@ -1,0 +1,761 @@
+//! The service runner: N logical clients multiplexed over M worker
+//! threads driving one [`ConcurrentObject`], with bounded ingress queues,
+//! hash-sharded dispatch, per-operation latency recording, and periodic
+//! drain barriers at which the object is *state-quiescent by construction*
+//! so the history-independence audit can run mid-soak.
+//!
+//! # Architecture
+//!
+//! ```text
+//!   logical clients (N)        ingress (bounded mpsc)      workers (M = one per handle)
+//!   ┌──────────────┐  rank ┌──────────────────────┐  recv  ┌──────────────────┐
+//!   │ rng + KeyDist │──────▶ sync_channel(depth) ──────────▶ handle.apply(op) │
+//!   │ + ArrivalGen  │ shard └──────────────────────┘        │ latency histo    │
+//!   └──────────────┘                ...                     └──────────────────┘
+//!        (client threads round-robin their clients; an op for a given
+//!         rank always lands on the same worker — the one whose role menu
+//!         owns it, hash-picked among the eligible)
+//!
+//!   every epoch: clients exhaust their budget → senders drop → workers
+//!   drain and exit → the thread scope ends → *all handles are dropped* →
+//!   drain barrier: mem_snapshot() vs canonical(abstract_state()), then
+//!   handles are re-split and the next epoch begins.
+//! ```
+//!
+//! The drain barrier leans on the facade's contract: handles borrow the
+//! object, and [`ConcurrentObject::handles`] takes `&mut self`, so the
+//! audit — which needs `&mut`-level quiet access — *cannot compile* while
+//! any operation is in flight. "Audit observed a non-quiescent point" is a
+//! type error here, not a runtime race.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hi_api::{ConcurrentObject, MetricsSnapshot, ObjectHandle, ProgressCounters};
+use hi_bench::hist::Histogram;
+use hi_core::workload::{
+    handle_seed, seeded_shuffle, Arrival, ArrivalGen, KeyDist, KeySampler, SplitMix64,
+};
+use hi_core::{menus_for, EnumerableSpec};
+
+/// The one memory ordering of this crate: the gauges and flags here are
+/// monitoring data (queue depths, abort latches), never a publication
+/// channel for object state — the objects under test do their own
+/// synchronization.
+const GAUGE_ORD: Ordering = Ordering::Relaxed;
+
+/// What a client does when the ingress queue of the owning worker is full.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Backpressure {
+    /// Wait for space: closed-loop load, every submitted operation is
+    /// eventually applied, the queue wait shows up as latency.
+    Block,
+    /// Drop the operation and record the rejection: open-loop load
+    /// shedding, the reject count shows up in the report.
+    Reject,
+}
+
+/// Configuration of one soak run.
+#[derive(Clone, Copy, Debug)]
+pub struct SoakConfig {
+    /// Logical clients (each with its own deterministic op stream).
+    pub clients: usize,
+    /// OS threads multiplexing the clients (clamped to `clients`).
+    pub client_threads: usize,
+    /// Total operations submitted across the whole soak (split evenly
+    /// over epochs, then over clients).
+    pub total_ops: usize,
+    /// Ingress queue bound per worker.
+    pub queue_depth: usize,
+    /// Full-queue policy.
+    pub backpressure: Backpressure,
+    /// Popularity curve of the operation space.
+    pub key_dist: KeyDist,
+    /// Arrival process of each client.
+    pub arrival: Arrival,
+    /// Mid-soak drain barriers; the run has `mid_audits + 1` epochs and
+    /// audits at the end of every one (so `mid_audits + 1` audit points,
+    /// the last at full completion).
+    pub mid_audits: usize,
+    /// Workload seed: fixes every client's op stream and the rank→worker
+    /// sharding.
+    pub seed: u64,
+    /// Wall-clock budget of a [`soak_watchdogged`] run.
+    pub deadline: Duration,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            clients: 32,
+            client_threads: 4,
+            total_ops: 40_000,
+            queue_depth: 1024,
+            backpressure: Backpressure::Block,
+            key_dist: KeyDist::Uniform,
+            arrival: Arrival::Steady,
+            mid_audits: 3,
+            seed: 0x5eed,
+            deadline: Duration::from_secs(120),
+        }
+    }
+}
+
+impl SoakConfig {
+    fn validate(&self) {
+        assert!(self.clients > 0, "a soak needs at least one client");
+        assert!(self.queue_depth > 0, "a bounded queue needs capacity");
+    }
+
+    /// Operations of epoch `e` out of `epochs`.
+    fn epoch_ops(&self, e: usize, epochs: usize) -> usize {
+        self.total_ops / epochs + usize::from(e < self.total_ops % epochs)
+    }
+
+    /// Operations of client `c` within an epoch of `epoch_ops` total.
+    fn client_ops(&self, epoch_ops: usize, c: usize) -> usize {
+        epoch_ops / self.clients + usize::from(c < epoch_ops % self.clients)
+    }
+
+    /// The RNG of client `c` in epoch `e` — also what the watchdog's
+    /// dry-run uses to precompute per-worker planned totals, so the two
+    /// must never drift.
+    fn client_rng(&self, e: usize, c: usize) -> SplitMix64 {
+        // Epoch-salted so re-split epochs draw fresh streams.
+        let epoch_seed = self.seed.wrapping_add((e as u64).wrapping_mul(0x9e37_79b9));
+        SplitMix64::new(handle_seed(epoch_seed, c))
+    }
+}
+
+/// One audit point of a soak: the drain barrier at the end of an epoch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AuditRecord {
+    /// The epoch this barrier closed (0-based).
+    pub epoch: usize,
+    /// Cumulative operations applied when the barrier was reached.
+    pub applied: usize,
+    /// Whether the mem==canonical comparison ran (`false` only for
+    /// objects whose [`hi_api::HiLevel`] fixes no canonical form).
+    pub audited: bool,
+}
+
+/// What an audit observer sees at a drain barrier, while the object is
+/// state-quiescent and before the next epoch begins.
+#[derive(Debug)]
+pub struct AuditPoint<'a> {
+    /// The epoch this barrier closed (0-based).
+    pub epoch: usize,
+    /// Cumulative operations applied so far.
+    pub applied: usize,
+    /// Whether the mem==canonical comparison ran.
+    pub audited: bool,
+    /// The quiescent `mem(C)`.
+    pub mem: &'a [u64],
+}
+
+/// Per-worker counters of one soak.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WorkerStats {
+    /// The worker index (= handle index, role order).
+    pub worker: usize,
+    /// Operations this worker applied.
+    pub applied: usize,
+    /// The deepest its ingress queue ever got (sampled at dequeue).
+    pub max_queue_depth: usize,
+}
+
+/// Result of a successful soak.
+#[derive(Clone, Debug)]
+pub struct SoakReport {
+    /// Operations accepted into an ingress queue.
+    pub ops_submitted: usize,
+    /// Operations applied by workers (== submitted unless a run is cut
+    /// short).
+    pub ops_applied: usize,
+    /// Operations dropped by [`Backpressure::Reject`].
+    pub ops_rejected: usize,
+    /// Submissions that found a full queue under [`Backpressure::Block`]
+    /// (the op still went through after the wait).
+    pub sends_blocked: usize,
+    /// Every drain barrier, in order; the last entry is the final audit.
+    pub audits: Vec<AuditRecord>,
+    /// Wall-clock time of the whole soak (epochs + barriers).
+    pub elapsed: Duration,
+    /// Submission-to-response latency of every applied op, nanoseconds.
+    pub latency: Histogram,
+    /// Per-worker throughput and queue-depth gauges.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl SoakReport {
+    /// Applied throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops_applied as f64 / self.elapsed.max(Duration::from_nanos(1)).as_secs_f64()
+    }
+}
+
+/// Why a soak failed.
+#[derive(Clone, Debug)]
+pub enum SoakError {
+    /// A drain barrier found non-canonical memory: the HI guarantee broke
+    /// under service load.
+    NotCanonical {
+        /// The epoch whose barrier failed.
+        epoch: usize,
+        /// The decoded abstract state, rendered.
+        state: String,
+        /// The observed quiescent memory.
+        mem: Vec<u64>,
+        /// The expected canonical representation.
+        canonical: Vec<u64>,
+    },
+    /// A worker or client thread panicked.
+    Panicked {
+        /// The worker index, when a worker; `None` for a client thread or
+        /// the driver itself.
+        worker: Option<usize>,
+        /// The rendered panic payload.
+        message: String,
+    },
+    /// The watchdog fired: the soak did not finish within the deadline.
+    /// The wedged driver thread is abandoned; this is what CI reports
+    /// instead of a hang.
+    Wedged {
+        /// The expired deadline.
+        after: Duration,
+        /// Per-worker applied/planned progress at wedge time (the
+        /// [`MetricsSnapshot`] the metrics API exposes).
+        progress: MetricsSnapshot,
+    },
+}
+
+impl fmt::Display for SoakError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoakError::NotCanonical {
+                epoch,
+                state,
+                mem,
+                canonical,
+            } => write!(
+                f,
+                "drain barrier of epoch {epoch}: quiescent memory of state {state} is {mem:?}, \
+                 expected canonical {canonical:?}"
+            ),
+            SoakError::Panicked { worker, message } => match worker {
+                Some(w) => write!(f, "worker {w} panicked: {message}"),
+                None => write!(f, "client/driver thread panicked: {message}"),
+            },
+            SoakError::Wedged { after, progress } => {
+                write!(
+                    f,
+                    "soak wedged: not drained after {after:?}; progress {}/{} ops;",
+                    progress.applied(),
+                    progress.planned()
+                )?;
+                for hp in progress.stalled() {
+                    write!(f, " worker {} ({}/{})", hp.handle, hp.applied, hp.planned)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Error for SoakError {}
+
+/// An operation in flight from a client to its worker, stamped at
+/// submission so the recorded latency covers queue wait plus service.
+struct Envelope<Op> {
+    op: Op,
+    submitted: Instant,
+}
+
+/// The precomputed dispatch table: entry `r` is the operation of rank `r`
+/// (after a seeded shuffle of the op space) and the worker that owns it.
+/// A given operation always lands on the same worker — required for
+/// role-restricted ops, and what makes a hot rank a hot *shard* for the
+/// symmetric ones.
+fn dispatch_table<S: EnumerableSpec>(
+    spec: &S,
+    menus: &[Vec<S::Op>],
+    seed: u64,
+) -> Vec<(S::Op, usize)> {
+    let mut ops = spec.ops();
+    seeded_shuffle(&mut ops, seed);
+    ops.into_iter()
+        .enumerate()
+        .map(|(r, op)| {
+            let eligible: Vec<usize> = menus
+                .iter()
+                .enumerate()
+                .filter(|(_, menu)| menu.contains(&op))
+                .map(|(w, _)| w)
+                .collect();
+            assert!(
+                !eligible.is_empty(),
+                "no worker role owns operation {op:?}; menus_for() should cover every op"
+            );
+            let pick = SplitMix64::new(handle_seed(seed, r)).below(eligible.len());
+            (op, eligible[pick])
+        })
+        .collect()
+}
+
+/// Dry-runs every client's sampling (no object, no threads) to compute how
+/// many operations the soak will route to each worker — the `planned`
+/// side of the watchdog's [`ProgressCounters`]. Exact under
+/// [`Backpressure::Block`]; an upper bound under `Reject`.
+fn planned_per_worker<S: EnumerableSpec>(
+    table: &[(S::Op, usize)],
+    sampler: &KeySampler,
+    workers: usize,
+    cfg: &SoakConfig,
+) -> Vec<usize> {
+    let epochs = cfg.mid_audits + 1;
+    let mut planned = vec![0usize; workers];
+    for e in 0..epochs {
+        let epoch_ops = cfg.epoch_ops(e, epochs);
+        for c in 0..cfg.clients {
+            let mut rng = cfg.client_rng(e, c);
+            for _ in 0..cfg.client_ops(epoch_ops, c) {
+                planned[table[sampler.sample(&mut rng)].1] += 1;
+            }
+        }
+    }
+    planned
+}
+
+/// What one epoch hands back to the soak loop.
+struct EpochOut {
+    submitted: usize,
+    rejected: usize,
+    blocked: usize,
+    applied: usize,
+    latency: Histogram,
+    worker_applied: Vec<usize>,
+    worker_max_depth: Vec<usize>,
+}
+
+/// Per-client submission state within an epoch.
+struct ClientState {
+    rng: SplitMix64,
+    arrival: ArrivalGen,
+    left: usize,
+}
+
+/// Runs one epoch: split handles, pump `epoch_ops` operations through the
+/// sharded queues, drain, and return with every handle dropped.
+#[allow(clippy::too_many_arguments)]
+fn run_epoch<S, O>(
+    obj: &mut O,
+    menus: &[Vec<S::Op>],
+    table: &[(S::Op, usize)],
+    sampler: &KeySampler,
+    cfg: &SoakConfig,
+    epoch: usize,
+    epoch_ops: usize,
+    progress: Option<&ProgressCounters>,
+) -> Result<EpochOut, SoakError>
+where
+    S: EnumerableSpec,
+    S::Op: Send + Sync,
+    O: ConcurrentObject<S>,
+{
+    let handles = obj.handles();
+    assert_eq!(
+        handles.len(),
+        menus.len(),
+        "handles() disagrees with the declared role discipline"
+    );
+    let workers = handles.len();
+    let mut txs = Vec::with_capacity(workers);
+    let mut rxs = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (tx, rx) = mpsc::sync_channel::<Envelope<S::Op>>(cfg.queue_depth);
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let depth: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+    let abort = AtomicBool::new(false);
+
+    let mut out = EpochOut {
+        submitted: 0,
+        rejected: 0,
+        blocked: 0,
+        applied: 0,
+        latency: Histogram::new(),
+        worker_applied: vec![0; workers],
+        worker_max_depth: vec![0; workers],
+    };
+
+    let verdict: Result<(), SoakError> = std::thread::scope(|s| {
+        // --- workers: one per handle, draining their shard until every
+        // client sender is gone.
+        let mut worker_joins = Vec::with_capacity(workers);
+        for ((w, mut handle), rx) in handles.into_iter().enumerate().zip(rxs) {
+            assert!(
+                menus[w].iter().all(|op| handle.supports(op)),
+                "worker {w} does not support its role menu"
+            );
+            let depth = &depth[w];
+            worker_joins.push(s.spawn(move || {
+                let mut hist = Histogram::new();
+                let mut applied = 0usize;
+                let mut max_depth = 0usize;
+                while let Ok(env) = rx.recv() {
+                    // Gauge read at dequeue: depth including this op.
+                    max_depth = max_depth.max(depth.fetch_sub(1, GAUGE_ORD));
+                    let _resp = handle.apply(env.op);
+                    hist.record(env.submitted.elapsed().as_nanos() as u64);
+                    applied += 1;
+                    if let Some(p) = progress {
+                        p.bump(w);
+                    }
+                }
+                (hist, applied, max_depth)
+            }));
+        }
+
+        // --- client threads: each multiplexes a contiguous slice of the
+        // logical clients, round-robin, with per-client rank sampling and
+        // arrival gaps.
+        let threads = cfg.client_threads.clamp(1, cfg.clients);
+        let mut client_joins = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let txs: Vec<SyncSender<Envelope<S::Op>>> = txs.clone();
+            let depth = &depth;
+            let abort = &abort;
+            let my_clients: Vec<usize> = (0..cfg.clients).filter(|c| c % threads == t).collect();
+            client_joins.push(s.spawn(move || {
+                let mut states: Vec<ClientState> = my_clients
+                    .iter()
+                    .map(|&c| ClientState {
+                        rng: cfg.client_rng(epoch, c),
+                        arrival: ArrivalGen::new(cfg.arrival, handle_seed(cfg.seed, c)),
+                        left: cfg.client_ops(epoch_ops, c),
+                    })
+                    .collect();
+                let (mut submitted, mut rejected, mut blocked) = (0usize, 0usize, 0usize);
+                loop {
+                    let mut all_done = true;
+                    for cs in &mut states {
+                        if cs.left == 0 {
+                            continue;
+                        }
+                        if abort.load(GAUGE_ORD) {
+                            return (submitted, rejected, blocked);
+                        }
+                        all_done = false;
+                        cs.left -= 1;
+                        for _ in 0..cs.arrival.next_gap() {
+                            std::thread::yield_now();
+                        }
+                        let (op, w) = &table[sampler.sample(&mut cs.rng)];
+                        let env = Envelope {
+                            op: op.clone(),
+                            submitted: Instant::now(),
+                        };
+                        // Gauge bumped before the send so the worker's
+                        // decrement can never underflow.
+                        depth[*w].fetch_add(1, GAUGE_ORD);
+                        match txs[*w].try_send(env) {
+                            Ok(()) => submitted += 1,
+                            Err(TrySendError::Full(env)) => match cfg.backpressure {
+                                Backpressure::Block => {
+                                    blocked += 1;
+                                    if txs[*w].send(env).is_ok() {
+                                        submitted += 1;
+                                    } else {
+                                        depth[*w].fetch_sub(1, GAUGE_ORD);
+                                        abort.store(true, GAUGE_ORD);
+                                    }
+                                }
+                                Backpressure::Reject => {
+                                    depth[*w].fetch_sub(1, GAUGE_ORD);
+                                    rejected += 1;
+                                }
+                            },
+                            Err(TrySendError::Disconnected(_)) => {
+                                // The worker died (panicked); stop and let
+                                // the join below surface its payload.
+                                depth[*w].fetch_sub(1, GAUGE_ORD);
+                                abort.store(true, GAUGE_ORD);
+                            }
+                        }
+                    }
+                    if all_done {
+                        return (submitted, rejected, blocked);
+                    }
+                }
+            }));
+        }
+        // Only the clients hold senders now; when they finish, the
+        // channels disconnect and the workers drain out.
+        drop(txs);
+
+        let mut client_panic: Option<String> = None;
+        for j in client_joins {
+            match j.join() {
+                Ok((submitted, rejected, blocked)) => {
+                    out.submitted += submitted;
+                    out.rejected += rejected;
+                    out.blocked += blocked;
+                }
+                Err(payload) => {
+                    abort.store(true, GAUGE_ORD);
+                    client_panic = Some(panic_message(payload));
+                }
+            }
+        }
+        let mut worker_panic: Option<(usize, String)> = None;
+        for (w, j) in worker_joins.into_iter().enumerate() {
+            match j.join() {
+                Ok((hist, applied, max_depth)) => {
+                    out.latency.merge(&hist);
+                    out.applied += applied;
+                    out.worker_applied[w] = applied;
+                    out.worker_max_depth[w] = max_depth;
+                }
+                Err(payload) => worker_panic = Some((w, panic_message(payload))),
+            }
+        }
+        // A worker panic explains a client abort, so it wins the report.
+        if let Some((w, message)) = worker_panic {
+            return Err(SoakError::Panicked {
+                worker: Some(w),
+                message,
+            });
+        }
+        if let Some(message) = client_panic {
+            return Err(SoakError::Panicked {
+                worker: None,
+                message,
+            });
+        }
+        Ok(())
+    });
+    verdict.map(|()| out)
+}
+
+/// Renders a panic payload the way the default hook would.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`run_soak`] with an observer invoked at every drain barrier, while
+/// the object is state-quiescent (all handles dropped) and before the
+/// next epoch re-splits them. This is the hook the drain-barrier tests
+/// use to prove the audit point is quiet by construction.
+///
+/// # Errors
+///
+/// [`SoakError::NotCanonical`] if a barrier's HI audit fails,
+/// [`SoakError::Panicked`] if a worker or client thread panics.
+pub fn run_soak_with<S, O, F>(
+    obj: &mut O,
+    cfg: &SoakConfig,
+    mut observe: F,
+) -> Result<SoakReport, SoakError>
+where
+    S: EnumerableSpec,
+    S::Op: Send + Sync,
+    O: ConcurrentObject<S>,
+    F: FnMut(&AuditPoint<'_>),
+{
+    run_soak_core(obj, cfg, &mut observe, None)
+}
+
+/// Drives `obj` through a full soak: `mid_audits + 1` epochs of sharded
+/// service load with a drain-barrier HI audit after each. See the module
+/// docs for the architecture.
+///
+/// # Errors
+///
+/// As [`run_soak_with`].
+pub fn run_soak<S, O>(obj: &mut O, cfg: &SoakConfig) -> Result<SoakReport, SoakError>
+where
+    S: EnumerableSpec,
+    S::Op: Send + Sync,
+    O: ConcurrentObject<S>,
+{
+    run_soak_core(obj, cfg, &mut |_| {}, None)
+}
+
+fn run_soak_core<S, O>(
+    obj: &mut O,
+    cfg: &SoakConfig,
+    observe: &mut dyn FnMut(&AuditPoint<'_>),
+    progress: Option<&ProgressCounters>,
+) -> Result<SoakReport, SoakError>
+where
+    S: EnumerableSpec,
+    S::Op: Send + Sync,
+    O: ConcurrentObject<S>,
+{
+    cfg.validate();
+    let spec = obj.spec().clone();
+    let menus = menus_for(&spec, obj.roles());
+    let table = dispatch_table(&spec, &menus, cfg.seed);
+    let sampler = KeySampler::new(cfg.key_dist, table.len());
+    let auditable = obj.hi_level().auditable();
+    let epochs = cfg.mid_audits + 1;
+
+    let start = Instant::now();
+    let mut report = SoakReport {
+        ops_submitted: 0,
+        ops_applied: 0,
+        ops_rejected: 0,
+        sends_blocked: 0,
+        audits: Vec::with_capacity(epochs),
+        elapsed: Duration::ZERO,
+        latency: Histogram::new(),
+        workers: (0..menus.len())
+            .map(|w| WorkerStats {
+                worker: w,
+                applied: 0,
+                max_queue_depth: 0,
+            })
+            .collect(),
+    };
+
+    for epoch in 0..epochs {
+        let epoch_ops = cfg.epoch_ops(epoch, epochs);
+        let out = run_epoch(
+            obj, &menus, &table, &sampler, cfg, epoch, epoch_ops, progress,
+        )?;
+        report.ops_submitted += out.submitted;
+        report.ops_rejected += out.rejected;
+        report.sends_blocked += out.blocked;
+        report.ops_applied += out.applied;
+        report.latency.merge(&out.latency);
+        for (ws, (&applied, &depth)) in report
+            .workers
+            .iter_mut()
+            .zip(out.worker_applied.iter().zip(&out.worker_max_depth))
+        {
+            ws.applied += applied;
+            ws.max_queue_depth = ws.max_queue_depth.max(depth);
+        }
+
+        // Drain barrier: the epoch scope has ended, so every handle is
+        // dropped and the object is state-quiescent. The borrow checker
+        // enforces this — `mem_snapshot()` here cannot alias a live
+        // worker.
+        let mem = obj.mem_snapshot();
+        if auditable {
+            let state = obj.abstract_state();
+            let canonical = obj
+                .canonical(&state)
+                .expect("auditable HiLevel must fix a canonical form");
+            if mem != canonical {
+                return Err(SoakError::NotCanonical {
+                    epoch,
+                    state: format!("{state:?}"),
+                    mem,
+                    canonical,
+                });
+            }
+        }
+        observe(&AuditPoint {
+            epoch,
+            applied: report.ops_applied,
+            audited: auditable,
+            mem: &mem,
+        });
+        report.audits.push(AuditRecord {
+            epoch,
+            applied: report.ops_applied,
+            audited: auditable,
+        });
+    }
+    report.elapsed = start.elapsed();
+    Ok(report)
+}
+
+/// What the watchdogged driver thread reports before soaking: the live
+/// per-worker counters the watchdog diagnoses a wedge from.
+struct Preflight {
+    counters: Arc<ProgressCounters>,
+}
+
+/// [`run_soak`], but un-hangable: the object is constructed and soaked
+/// inside a detached driver thread and the caller waits at most
+/// `cfg.deadline` for the verdict; on expiry the wedged thread is
+/// abandoned and [`SoakError::Wedged`] carries the per-worker
+/// [`MetricsSnapshot`]. The soak-registry path runs through this, so a
+/// backend that wedges under service load fails structured in CI instead
+/// of hanging the job.
+///
+/// # Errors
+///
+/// As [`run_soak`], plus [`SoakError::Wedged`] on deadline expiry and
+/// [`SoakError::Panicked`] for a panicking constructor.
+pub fn soak_watchdogged<S, O>(
+    make: impl FnOnce() -> O + Send + 'static,
+    cfg: &SoakConfig,
+) -> Result<SoakReport, SoakError>
+where
+    S: EnumerableSpec + 'static,
+    S::Op: Send + Sync,
+    S::State: Send,
+    O: ConcurrentObject<S>,
+{
+    let (pre_tx, pre_rx) = mpsc::channel::<Preflight>();
+    let (done_tx, done_rx) = mpsc::channel::<Result<SoakReport, SoakError>>();
+    let cfg = *cfg;
+    std::thread::Builder::new()
+        .name("hi-soak-watchdogged".into())
+        .spawn(move || {
+            let verdict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut obj = make();
+                let spec = obj.spec().clone();
+                let menus = menus_for(&spec, obj.roles());
+                let table = dispatch_table(&spec, &menus, cfg.seed);
+                let sampler = KeySampler::new(cfg.key_dist, table.len());
+                let planned = planned_per_worker::<S>(&table, &sampler, menus.len(), &cfg);
+                let counters = Arc::new(ProgressCounters::new(planned));
+                let _ = pre_tx.send(Preflight {
+                    counters: Arc::clone(&counters),
+                });
+                run_soak_core(&mut obj, &cfg, &mut |_| {}, Some(&counters))
+            }));
+            let _ = done_tx.send(verdict.unwrap_or_else(|payload| {
+                Err(SoakError::Panicked {
+                    worker: None,
+                    message: panic_message(payload),
+                })
+            }));
+        })
+        .expect("spawn watchdogged soak driver thread");
+
+    let start = Instant::now();
+    let pre = pre_rx.recv_timeout(cfg.deadline).ok();
+    let remaining = cfg.deadline.saturating_sub(start.elapsed());
+    match done_rx.recv_timeout(remaining) {
+        Ok(verdict) => verdict,
+        Err(mpsc::RecvTimeoutError::Disconnected) => Err(SoakError::Panicked {
+            worker: None,
+            message: "soak driver thread died without reporting".into(),
+        }),
+        Err(mpsc::RecvTimeoutError::Timeout) => Err(SoakError::Wedged {
+            after: cfg.deadline,
+            progress: pre.map_or(
+                MetricsSnapshot {
+                    handles: Vec::new(),
+                },
+                |p| p.counters.snapshot(),
+            ),
+        }),
+    }
+}

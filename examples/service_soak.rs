@@ -1,0 +1,48 @@
+//! A tour of the service harness: every scenario in
+//! `hi_service::soak_registry()` — the HI hash table under Zipfian skew,
+//! the perfect-HI set, the positional queue and the universal construction
+//! under bursty arrivals — soaked through sharded bounded `mpsc` queues
+//! with mid-soak drain-barrier HI audits and tail-latency histograms.
+//!
+//! ```sh
+//! cargo run --release --example service_soak
+//! ```
+
+use hi_concurrent::service::{soak_registry, SoakConfig};
+
+fn main() {
+    let cfg = SoakConfig {
+        total_ops: 20_000,
+        seed: 0xda7a,
+        ..SoakConfig::default()
+    };
+    println!(
+        "{:32} {:>7} {:>7} {:>10} {:>10} {:>10}  about",
+        "scenario", "ops", "audits", "p50(ns)", "p99(ns)", "max(ns)"
+    );
+    println!("{}", "-".repeat(118));
+    for scenario in soak_registry() {
+        let report = scenario
+            .run(&cfg)
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        let s = report.latency.summary();
+        println!(
+            "{:32} {:>7} {:>7} {:>10} {:>10} {:>10}  {}",
+            scenario.name,
+            report.ops_applied,
+            report.audits.len(),
+            s.p50,
+            s.p99,
+            s.max,
+            scenario.about
+        );
+    }
+    println!(
+        "\nEach soak ran 32 logical clients over one worker per role, through\n\
+         bounded ingress queues with hash-sharded dispatch. At every epoch\n\
+         boundary the harness drained the object state-quiescent (enforced by\n\
+         the borrow checker, not timing) and verified mem(C) equals the\n\
+         canonical representation of the decoded abstract state — the paper's\n\
+         history-independence audit, running mid-soak under service load."
+    );
+}

@@ -30,6 +30,10 @@
 //!   table, the phase-concurrent table of [42], and the phase-free
 //!   concurrent table (arXiv:2503.21016 direction) with its simulator twin.
 //! * [`lowerbound`] — the executable §5.2/§5.4 impossibility adversaries.
+//! * [`service`] — the heavy-traffic service harness: sharded `mpsc`
+//!   ingress over any [`ConcurrentObject`](hi_api::ConcurrentObject),
+//!   drain-barrier mid-soak HI audits, and tail-latency histograms over
+//!   the [`soak_registry`](hi_service::soak_registry) scenarios.
 //!
 //! # Quickstart
 //!
@@ -55,6 +59,7 @@ pub use hi_lowerbound as lowerbound;
 pub use hi_queue as queue;
 pub use hi_randomized as randomized;
 pub use hi_registers as registers;
+pub use hi_service as service;
 pub use hi_sim as sim;
 pub use hi_spec as spec;
 pub use hi_universal as universal;

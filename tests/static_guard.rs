@@ -102,6 +102,11 @@ const ORDERING_ALLOWLIST: &[(&str, usize, &str)] = &[
         "ORD = SeqCst: per-backend constant, matches the simulator's sequential consistency",
     ),
     (
+        "crates/service/src/service.rs",
+        1,
+        "GAUGE_ORD = Relaxed: queue-depth gauges and abort latches only, never a publication channel",
+    ),
+    (
         "crates/universal/src/threaded.rs",
         2,
         "SeqCst swap/store on the announce slots (Algorithm 5's helping handshake)",

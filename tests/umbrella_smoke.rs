@@ -5,7 +5,8 @@
 //! test failure here rather than a downstream user's build break.
 
 use hi_concurrent::{
-    api, core, hashtable, llsc, lowerbound, queue, randomized, registers, sim, spec, universal,
+    api, core, hashtable, llsc, lowerbound, queue, randomized, registers, service, sim, spec,
+    universal,
 };
 
 #[test]
@@ -102,6 +103,30 @@ fn hashtable_reexport_inserts() {
     let mut t = hashtable::HiHashTable::new(8);
     assert!(t.insert(3));
     assert!(t.contains(3));
+}
+
+#[test]
+fn service_reexport_soaks_an_object() {
+    use api::ConcurrentObject;
+    let mut obj = api::UniversalObject::new(core::objects::CounterSpec::new(-10, 10, 0), 2);
+    let cfg = service::SoakConfig {
+        clients: 4,
+        total_ops: 400,
+        mid_audits: 1,
+        ..service::SoakConfig::default()
+    };
+    let report = service::run_soak(&mut obj, &cfg).expect("soak");
+    assert_eq!(report.ops_applied, 400);
+    assert_eq!(report.audits.len(), 2);
+    assert_eq!(
+        Some(obj.mem_snapshot()),
+        obj.canonical(&obj.abstract_state())
+    );
+    assert_eq!(
+        service::soak_registry().len(),
+        6,
+        "all soak scenarios registered"
+    );
 }
 
 #[test]
