@@ -5,7 +5,9 @@
 use hi_core::ObjectSpec;
 use hi_llsc::{LlscLayout, PackedRLlsc, RLlscOp, RLlscResp, RLlscSpec};
 
-use crate::object::{ConcurrentObject, HiLevel, ObjectHandle, Progress, Roles};
+use crate::object::{
+    ConcurrentObject, HiLevel, ObjectHandle, OnlineProbe, ProbeVerdict, Progress, Roles,
+};
 
 /// Algorithm 6 through the unified facade: one packed word, `n` symmetric
 /// handles, perfect HI (the word *is* a fixed bijection of the abstract
@@ -98,6 +100,28 @@ impl ConcurrentObject<RLlscSpec> for LlscObject {
         (0..self.spec.n())
             .map(|pid| LlscHandle { cell, pid })
             .collect()
+    }
+
+    fn handles_with_probe(&mut self) -> (Vec<LlscHandle<'_>>, Option<OnlineProbe<'_>>) {
+        let cell = &self.cell;
+        let (v, n) = (self.spec.v(), self.spec.n());
+        let handles = (0..n).map(|pid| LlscHandle { cell, pid }).collect();
+        // Perfect HI: the word is a bijection of `(value, context)`, so a
+        // sample at any configuration must be the packing of an in-domain
+        // pair — no stray bits above the fields, value inside the spec
+        // domain, context inside the process range.
+        let probe = OnlineProbe::new(move || {
+            let raw = cell.raw();
+            let layout = cell.layout();
+            let (val, ctx) = (layout.val(raw), layout.context(raw));
+            let in_domain = val < v && ctx < (1u64 << n);
+            ProbeVerdict {
+                canonical: in_domain && layout.pack(val, ctx) == raw,
+                state: format!("({val}, {ctx:#b})"),
+                mem: vec![raw],
+            }
+        });
+        (handles, Some(probe))
     }
 
     fn mem_snapshot(&self) -> Vec<u64> {

@@ -11,7 +11,9 @@ use hi_registers::threaded::{
     VidyasankarWriter, WaitFreeHiReader, WaitFreeHiWriter,
 };
 
-use crate::object::{ConcurrentObject, HiLevel, ObjectHandle, Progress, Roles};
+use crate::object::{
+    ConcurrentObject, HiLevel, ObjectHandle, OnlineProbe, ProbeVerdict, Progress, Roles,
+};
 
 /// Generates the adapter object + role-enum handle for one SWSR register
 /// backend; the `ConcurrentObject` impls differ per algorithm (snapshot
@@ -354,6 +356,24 @@ impl ConcurrentObject<SetSpec> for HiSetObject {
         (0..self.n)
             .map(|_| HiSetHandle { set: &self.set })
             .collect()
+    }
+
+    fn handles_with_probe(&mut self) -> (Vec<HiSetHandle<'_>>, Option<OnlineProbe<'_>>) {
+        let set = &self.set;
+        let handles = (0..self.n).map(|_| HiSetHandle { set }).collect();
+        // Perfect HI: every configuration's memory is the characteristic
+        // vector of *some* state, so a sample at any moment must decode
+        // and re-encode to itself — each cell is exactly 0 or 1.
+        let probe = OnlineProbe::new(move || {
+            let mem = set.snapshot();
+            let state = hi_core::cells::mask_of_bits(&mem);
+            ProbeVerdict {
+                canonical: mem == set.canonical(state),
+                state: format!("{state:#x}"),
+                mem,
+            }
+        });
+        (handles, Some(probe))
     }
 
     fn mem_snapshot(&self) -> Vec<u64> {

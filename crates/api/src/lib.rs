@@ -58,5 +58,7 @@ pub use drive::{
     HandleProgress, MetricsSnapshot, ProgressCounters,
 };
 pub use hi_spec::{ExhaustiveConfig, ExhaustiveReport};
-pub use object::{ConcurrentObject, HiLevel, ObjectHandle, Progress, Roles};
+pub use object::{
+    ConcurrentObject, HiLevel, ObjectHandle, OnlineProbe, ProbeVerdict, Progress, Roles,
+};
 pub use registry::{registry, repro_command, scenario, Scenario, ScenarioMeta, ScenarioReport};

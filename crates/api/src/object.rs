@@ -28,6 +28,59 @@ pub trait ObjectHandle<S: ObjectSpec> {
     fn supports(&self, op: &S::Op) -> bool;
 }
 
+/// What one online (non-barrier) history-independence probe observed: a
+/// point-in-time read of the object's memory, judged against the canonical
+/// form of the abstract state it decodes to.
+///
+/// Only meaningful for [`HiLevel::Perfect`] implementations — the paper's
+/// Definition 5 promises canonical memory in *every* configuration, so a
+/// memory-observing adversary (and this probe) may look mid-operation.
+/// Implementations of lower levels never hand out a probe: observing them
+/// mid-flight would report spurious violations the spec does not forbid.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProbeVerdict {
+    /// Whether the observed memory is the canonical representation of a
+    /// legal abstract state.
+    pub canonical: bool,
+    /// The observed memory, cell reads in `mem_snapshot` order.
+    pub mem: Vec<u64>,
+    /// The decoded abstract state, rendered (diagnostic).
+    pub state: String,
+}
+
+/// A sampling observer over a live [`HiLevel::Perfect`] object: reads the
+/// memory representation at an arbitrary configuration — concurrent
+/// operations in full flight — and audits it for canonicality.
+///
+/// Obtained from [`ConcurrentObject::handles_with_probe`] alongside the
+/// role handles; the probe borrows the object for the same region the
+/// handles do, so it is exactly as long-lived as the epoch it observes.
+/// Sampling is safe at any moment by the Perfect-HI contract; each
+/// implementation's closure does its own per-cell atomic reads.
+pub struct OnlineProbe<'a> {
+    sample: Box<dyn Fn() -> ProbeVerdict + Send + 'a>,
+}
+
+impl<'a> OnlineProbe<'a> {
+    /// Wraps an implementation's sampling closure.
+    pub fn new(sample: impl Fn() -> ProbeVerdict + Send + 'a) -> Self {
+        OnlineProbe {
+            sample: Box::new(sample),
+        }
+    }
+
+    /// Takes one sample: read memory now, decode, audit.
+    pub fn sample(&self) -> ProbeVerdict {
+        (self.sample)()
+    }
+}
+
+impl std::fmt::Debug for OnlineProbe<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnlineProbe").finish_non_exhaustive()
+    }
+}
+
 /// A concurrent implementation of an abstract object `(Q, q0, O, R, Δ)` on
 /// real threads, with a uniform surface for construction, operation
 /// application, and quiescent-point history-independence auditing.
@@ -90,6 +143,17 @@ pub trait ConcurrentObject<S: ObjectSpec> {
     /// sound: adapters reconstruct any mutator-local state from the
     /// (canonical) quiescent memory.
     fn handles(&mut self) -> Vec<Self::Handle<'_>>;
+
+    /// Hands out the role handles *plus* an [`OnlineProbe`] when this
+    /// implementation is [`HiLevel::Perfect`] — i.e. when its memory is
+    /// canonical in every configuration, so a non-barrier observer may
+    /// sample it while the handles are live. The default declines the
+    /// probe, which is the honest answer for every lower [`HiLevel`]:
+    /// their contract only fixes memory at (state-)quiescent points, and
+    /// a mid-flight sample would report violations the spec permits.
+    fn handles_with_probe(&mut self) -> (Vec<Self::Handle<'_>>, Option<OnlineProbe<'_>>) {
+        (self.handles(), None)
+    }
 
     /// `mem(C)`: the object's memory representation, one `u64` per base
     /// object, in a fixed per-implementation order. Cell reads are atomic

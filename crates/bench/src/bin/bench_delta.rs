@@ -1,0 +1,99 @@
+//! Cross-PR latency regression gate.
+//!
+//! ```text
+//! bench_delta <base.json> <new.json> [--threshold <fraction>] [--out <path>] [--strict]
+//! ```
+//!
+//! Parses two `BENCH_service_latency.json` documents, diffs the gated
+//! metrics per scenario ([`hi_bench::delta::GATED_METRICS`]), prints the
+//! rendered table (optionally also to `--out`), and exits:
+//!
+//! * `0` — parsed fine; no regression, or regressions in warn-only mode
+//!   (the default — bench noise on shared CI runners shouldn't fail PRs),
+//! * `1` — usage or I/O or parse error,
+//! * `2` — regressions beyond the threshold under `--strict`.
+
+use hi_bench::delta::{delta, render_table};
+
+struct Args {
+    base: String,
+    new: String,
+    threshold: f64,
+    out: Option<String>,
+    strict: bool,
+}
+
+const USAGE: &str =
+    "usage: bench_delta <base.json> <new.json> [--threshold <fraction>] [--out <path>] [--strict]";
+
+fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
+    let _ = argv.next(); // program name
+    let mut positional = Vec::new();
+    let mut threshold = 0.25;
+    let mut out = None;
+    let mut strict = false;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold = argv
+                    .next()
+                    .ok_or("--threshold needs a value")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+                if !(threshold >= 0.0 && threshold.is_finite()) {
+                    return Err("--threshold must be a finite non-negative fraction".to_string());
+                }
+            }
+            "--out" => out = Some(argv.next().ok_or("--out needs a path")?),
+            "--strict" => strict = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            _ => positional.push(arg),
+        }
+    }
+    let [base, new] = positional.try_into().map_err(|_| USAGE.to_string())?;
+    Ok(Args {
+        base,
+        new,
+        threshold,
+        out,
+        strict,
+    })
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let base = hi_bench::delta::parse_latency_doc(&read(&args.base)?)
+        .map_err(|e| format!("{}: {e}", args.base))?;
+    let new = hi_bench::delta::parse_latency_doc(&read(&args.new)?)
+        .map_err(|e| format!("{}: {e}", args.new))?;
+    let report = delta(&base, &new, args.threshold);
+    let table = render_table(&report);
+    print!("{table}");
+    if let Some(path) = &args.out {
+        std::fs::write(path, &table).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(report.has_regressions())
+}
+
+fn main() {
+    let args = match parse_args(std::env::args()) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    };
+    match run(&args) {
+        Ok(regressed) => {
+            if regressed && args.strict {
+                std::process::exit(2);
+            }
+        }
+        Err(msg) => {
+            eprintln!("bench_delta: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

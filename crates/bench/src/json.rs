@@ -116,22 +116,49 @@ pub struct LatencyRecord {
     /// State-quiescent HI audits that passed during the soak (mid-soak
     /// drain barriers plus the final one).
     pub audits: usize,
+    /// Online (non-barrier) HI probe samples taken mid-flight — nonzero
+    /// only for Perfect-HI backends, which permit observation at any
+    /// configuration.
+    pub online_probes: usize,
+    /// How many of the online samples found canonical memory (== taken in
+    /// a passing run).
+    pub online_probes_passed: usize,
     /// Wall-clock time of the soak.
     pub elapsed: Duration,
-    /// The per-operation latency digest (submission to response,
+    /// Time spent inside drain-barrier audit pauses, out of `elapsed`.
+    pub audit_pause: Duration,
+    /// The end-to-end latency digest (submission to response,
     /// nanoseconds), from [`crate::hist::Histogram::summary`].
     pub latency: crate::hist::LatencySummary,
+    /// The ingress-to-dequeue queue-wait digest (span tracing).
+    pub queue_wait: crate::hist::LatencySummary,
+    /// The dequeue-to-completion service-time digest (span tracing).
+    pub service: crate::hist::LatencySummary,
 }
 
 impl LatencyRecord {
-    /// Throughput in operations per second (elapsed clamped to 1ns).
+    /// Gross throughput in operations per second (elapsed clamped to 1ns,
+    /// audit pauses included).
     pub fn ops_per_sec(&self) -> f64 {
         self.ops as f64 / self.elapsed.max(Duration::from_nanos(1)).as_secs_f64()
+    }
+
+    /// Audit-excluded throughput: ops per second of load time only, so the
+    /// drain-barrier cost is the visible gap to
+    /// [`ops_per_sec`](LatencyRecord::ops_per_sec).
+    pub fn ops_per_sec_load(&self) -> f64 {
+        let load = self
+            .elapsed
+            .saturating_sub(self.audit_pause)
+            .max(Duration::from_nanos(1));
+        self.ops as f64 / load.as_secs_f64()
     }
 }
 
 /// Renders the latency summary document (revision-keyed like [`render`],
-/// latencies in nanoseconds).
+/// latencies in nanoseconds). Each result row carries the end-to-end
+/// quantiles plus the `queue_wait_*`/`service_*` span attribution and the
+/// online-audit counts — the fields `crate::delta` diffs across revisions.
 pub fn render_latency(bench: &str, records: &[LatencyRecord]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -145,22 +172,38 @@ pub fn render_latency(bench: &str, records: &[LatencyRecord]) -> String {
     out.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         let l = &r.latency;
+        let (q, s) = (&r.queue_wait, &r.service);
         out.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"ops\": {}, \"rejected\": {}, \"audits\": {}, \
-             \"elapsed_ns\": {}, \"ops_per_sec\": {:.1}, \"mean_ns\": {:.1}, \"p50_ns\": {}, \
-             \"p90_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}}}{}\n",
+             \"online_probes\": {}, \"online_probes_passed\": {}, \
+             \"elapsed_ns\": {}, \"audit_pause_ns\": {}, \
+             \"ops_per_sec\": {:.1}, \"ops_per_sec_load\": {:.1}, \
+             \"mean_ns\": {:.1}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \
+             \"p999_ns\": {}, \"max_ns\": {}, \
+             \"queue_wait_p50_ns\": {}, \"queue_wait_p99_ns\": {}, \"queue_wait_p999_ns\": {}, \
+             \"service_p50_ns\": {}, \"service_p99_ns\": {}, \"service_p999_ns\": {}}}{}\n",
             escape(&r.scenario),
             r.ops,
             r.rejected,
             r.audits,
+            r.online_probes,
+            r.online_probes_passed,
             r.elapsed.as_nanos(),
+            r.audit_pause.as_nanos(),
             r.ops_per_sec(),
+            r.ops_per_sec_load(),
             l.mean,
             l.p50,
             l.p90,
             l.p99,
             l.p999,
             l.max,
+            q.p50,
+            q.p99,
+            q.p999,
+            s.p50,
+            s.p99,
+            s.p999,
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
@@ -243,14 +286,36 @@ mod tests {
             ops: 5,
             rejected: 1,
             audits: 4,
+            online_probes: 9,
+            online_probes_passed: 9,
             elapsed: Duration::from_millis(3),
+            audit_pause: Duration::from_millis(1),
             latency: h.summary(),
+            queue_wait: h.summary(),
+            service: h.summary(),
         }];
         let doc = render_latency("service_latency", &records);
         assert!(doc.contains("\"bench\": \"service_latency\""));
         assert!(doc.contains("\"revision\": \""), "keyed by git revision");
         assert!(doc.contains("\"unit\": \"ns\""));
-        for field in ["p50_ns", "p90_ns", "p99_ns", "p999_ns", "max_ns", "audits"] {
+        for field in [
+            "p50_ns",
+            "p90_ns",
+            "p99_ns",
+            "p999_ns",
+            "max_ns",
+            "audits",
+            "online_probes",
+            "online_probes_passed",
+            "audit_pause_ns",
+            "ops_per_sec_load",
+            "queue_wait_p50_ns",
+            "queue_wait_p99_ns",
+            "queue_wait_p999_ns",
+            "service_p50_ns",
+            "service_p99_ns",
+            "service_p999_ns",
+        ] {
             assert!(
                 doc.contains(&format!("\"{field}\"")),
                 "missing {field}: {doc}"
@@ -258,6 +323,27 @@ mod tests {
         }
         assert!(doc.contains("\"max_ns\": 250000"), "{doc}");
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn ops_per_sec_load_excludes_audit_pause() {
+        let h = crate::hist::Histogram::new();
+        let r = LatencyRecord {
+            scenario: "soak/x".into(),
+            ops: 1000,
+            rejected: 0,
+            audits: 1,
+            online_probes: 0,
+            online_probes_passed: 0,
+            elapsed: Duration::from_secs(2),
+            audit_pause: Duration::from_secs(1),
+            latency: h.summary(),
+            queue_wait: h.summary(),
+            service: h.summary(),
+        };
+        assert!((r.ops_per_sec() - 500.0).abs() < 1e-6);
+        assert!((r.ops_per_sec_load() - 1000.0).abs() < 1e-6);
+        assert!(r.ops_per_sec_load() >= r.ops_per_sec());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! Table 1 and Figures 1–5. See `benches/` for the individual harnesses and
 //! `EXPERIMENTS.md` at the workspace root for the paper-vs-measured record.
 
+pub mod delta;
 pub mod hist;
 pub mod json;
 

@@ -6,7 +6,11 @@
 //! (default one million) of sharded client traffic with mid-soak
 //! drain-barrier HI audits, and records the submission-to-response
 //! latency distribution (p50/p90/p99/p999/max) from the log-scale
-//! histogram, plus applied throughput and the audit count.
+//! histogram, the span attribution (queue-wait and service-time
+//! quantiles), gross and audit-excluded throughput, the barrier audit
+//! count, and the online (mid-flight) HI probe counts on Perfect-HI
+//! backends. The committed JSON is the baseline the CI `bench-delta`
+//! job diffs fresh runs against (`hi_bench::delta`).
 //!
 //! ```sh
 //! cargo bench --bench service_latency                 # 1M ops/scenario
@@ -36,8 +40,17 @@ fn main() {
 
     let mut records = Vec::new();
     println!(
-        "{:32} {:>9} {:>11} {:>9} {:>9} {:>9} {:>9}",
-        "scenario", "ops", "ops/sec", "p50", "p99", "p999", "max"
+        "{:34} {:>9} {:>11} {:>11} {:>8} {:>8} {:>8} {:>9} {:>9} {:>7}",
+        "scenario",
+        "ops",
+        "ops/sec",
+        "load/sec",
+        "p50",
+        "p99",
+        "p999",
+        "wait_p99",
+        "serve_p99",
+        "probes"
     );
     for scenario in soak_registry() {
         let report = match scenario.run(&cfg) {
@@ -48,23 +61,34 @@ fn main() {
             }
         };
         let summary = report.latency.summary();
+        let queue_wait = report.queue_wait.summary();
+        let service = report.service.summary();
+        let probes = report.metrics.probes();
         println!(
-            "{:32} {:>9} {:>11.0} {:>9} {:>9} {:>9} {:>9}",
+            "{:34} {:>9} {:>11.0} {:>11.0} {:>8} {:>8} {:>8} {:>9} {:>9} {:>7}",
             scenario.name,
             report.ops_applied,
             report.ops_per_sec(),
+            report.ops_per_sec_load(),
             summary.p50,
             summary.p99,
             summary.p999,
-            summary.max
+            queue_wait.p99,
+            service.p99,
+            probes,
         );
         records.push(LatencyRecord {
             scenario: scenario.name.to_string(),
             ops: report.ops_applied,
             rejected: report.ops_rejected,
             audits: report.audits.len(),
+            online_probes: probes,
+            online_probes_passed: report.metrics.probes_passed(),
             elapsed: report.elapsed,
+            audit_pause: report.metrics.audit_pause_total(),
             latency: summary,
+            queue_wait,
+            service,
         });
     }
     match write_latency_summary("service_latency", &records) {

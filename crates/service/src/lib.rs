@@ -23,9 +23,16 @@
 //!   shapes (uniform / Zipfian / bursty), iterated by the soak suites, the
 //!   `service_latency` bench and the CI `service-soak` job.
 //!
-//! Latency is recorded per operation (submission to response, so queue
-//! wait counts) into the log-scale histogram of [`hi_bench::hist`] and
-//! surfaced as p50/p90/p99/p999/max in every [`SoakReport`].
+//! Every applied operation is traced through three spans — ingress →
+//! dequeue (`queue_wait`), dequeue → completion (`service`), and the
+//! end-to-end interval — into the log-scale histograms of
+//! [`hi_bench::hist`], merged and per worker, so a fat tail is
+//! attributable to the queue or the backend. [`SoakReport`] also carries
+//! a [`ServiceMetrics`] block (per-epoch load vs audit-pause time, the
+//! watchdog's progress snapshot, and the online-audit verdict): backends
+//! declaring [`HiLevel::Perfect`](hi_api::HiLevel) are additionally
+//! probed *mid-flight*, between barriers, via
+//! [`handles_with_probe`](hi_api::ConcurrentObject::handles_with_probe).
 //!
 //! Threads and `std::sync::mpsc` only — no async runtime, nothing
 //! vendored.
@@ -45,9 +52,11 @@
 //! assert!(report.audits.iter().all(|a| a.audited));
 //! ```
 
+pub mod metrics;
 pub mod service;
 pub mod soak;
 
+pub use metrics::{EpochMetrics, OnlineAudit, ServiceMetrics};
 pub use service::{
     run_soak, run_soak_with, soak_watchdogged, AuditPoint, AuditRecord, Backpressure, SoakConfig,
     SoakError, SoakReport, WorkerStats,

@@ -35,8 +35,10 @@ use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use hi_api::{ConcurrentObject, MetricsSnapshot, ObjectHandle, ProgressCounters};
+use hi_api::{ConcurrentObject, MetricsSnapshot, ObjectHandle, ProbeVerdict, ProgressCounters};
 use hi_bench::hist::Histogram;
+
+use crate::metrics::{EpochMetrics, OnlineAudit, ServiceMetrics};
 use hi_core::workload::{
     handle_seed, seeded_shuffle, Arrival, ArrivalGen, KeyDist, KeySampler, SplitMix64,
 };
@@ -86,6 +88,17 @@ pub struct SoakConfig {
     pub seed: u64,
     /// Wall-clock budget of a [`soak_watchdogged`] run.
     pub deadline: Duration,
+    /// Per-op span tracing: when `true` every envelope is stamped at
+    /// ingress, dequeue and completion, and the report splits end-to-end
+    /// latency into queue wait + service time (per scenario and per
+    /// worker). When `false` the workers run the untraced PR-8 path — one
+    /// end-to-end sample per op, no extra clock reads — and the span
+    /// histograms stay empty.
+    pub trace: bool,
+    /// Upper bound on online (non-barrier) HI probe samples per epoch, for
+    /// backends that hand out an [`hi_api::OnlineProbe`]
+    /// ([`hi_api::HiLevel::Perfect`] only). `0` disables probing.
+    pub online_probes: usize,
 }
 
 impl Default for SoakConfig {
@@ -101,6 +114,8 @@ impl Default for SoakConfig {
             mid_audits: 3,
             seed: 0x5eed,
             deadline: Duration::from_secs(120),
+            trace: true,
+            online_probes: 32,
         }
     }
 }
@@ -157,8 +172,8 @@ pub struct AuditPoint<'a> {
     pub mem: &'a [u64],
 }
 
-/// Per-worker counters of one soak.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+/// Per-worker counters and span histograms of one soak.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct WorkerStats {
     /// The worker index (= handle index, role order).
     pub worker: usize,
@@ -166,6 +181,14 @@ pub struct WorkerStats {
     pub applied: usize,
     /// The deepest its ingress queue ever got (sampled at dequeue).
     pub max_queue_depth: usize,
+    /// End-to-end latency of this worker's operations, nanoseconds.
+    pub latency: Histogram,
+    /// Ingress-to-dequeue wait of this worker's operations (empty when
+    /// tracing is off).
+    pub queue_wait: Histogram,
+    /// Dequeue-to-completion service time of this worker's operations
+    /// (empty when tracing is off).
+    pub service: Histogram,
 }
 
 /// Result of a successful soak.
@@ -187,14 +210,37 @@ pub struct SoakReport {
     pub elapsed: Duration,
     /// Submission-to-response latency of every applied op, nanoseconds.
     pub latency: Histogram,
-    /// Per-worker throughput and queue-depth gauges.
+    /// Ingress-to-dequeue wait of every applied op (empty when
+    /// [`SoakConfig::trace`] is off): how long ops sat in the bounded
+    /// queues before a worker picked them up.
+    pub queue_wait: Histogram,
+    /// Dequeue-to-completion service time of every applied op (empty when
+    /// tracing is off): what the object itself cost, queue wait excluded.
+    pub service: Histogram,
+    /// Per-worker throughput, queue-depth gauges and span histograms.
     pub workers: Vec<WorkerStats>,
+    /// Wall-clock attribution (load vs audit pause, per epoch), final
+    /// progress counters and the online-audit ledger.
+    pub metrics: ServiceMetrics,
 }
 
 impl SoakReport {
-    /// Applied throughput in operations per second.
+    /// Gross applied throughput in operations per second: the whole
+    /// wall-clock, drain-barrier audit pauses included.
     pub fn ops_per_sec(&self) -> f64 {
         self.ops_applied as f64 / self.elapsed.max(Duration::from_nanos(1)).as_secs_f64()
+    }
+
+    /// Audit-excluded throughput: operations per second of *load* time
+    /// only, so the cost of the drain-barrier audits is visible as the gap
+    /// to [`ops_per_sec`](SoakReport::ops_per_sec) instead of smeared into
+    /// it.
+    pub fn ops_per_sec_load(&self) -> f64 {
+        let load = self
+            .elapsed
+            .saturating_sub(self.metrics.audit_pause_total())
+            .max(Duration::from_nanos(1));
+        self.ops_applied as f64 / load.as_secs_f64()
     }
 }
 
@@ -212,6 +258,17 @@ pub enum SoakError {
         mem: Vec<u64>,
         /// The expected canonical representation.
         canonical: Vec<u64>,
+    },
+    /// An online (non-barrier) probe observed non-canonical memory on a
+    /// [`hi_api::HiLevel::Perfect`] backend: the perfect-HI guarantee —
+    /// canonical memory in *every* configuration — broke mid-flight.
+    ProbeNotCanonical {
+        /// The epoch whose load phase the probe sampled.
+        epoch: usize,
+        /// The decoded abstract state, rendered.
+        state: String,
+        /// The observed mid-flight memory.
+        mem: Vec<u64>,
     },
     /// A worker or client thread panicked.
     Panicked {
@@ -245,6 +302,11 @@ impl fmt::Display for SoakError {
                 f,
                 "drain barrier of epoch {epoch}: quiescent memory of state {state} is {mem:?}, \
                  expected canonical {canonical:?}"
+            ),
+            SoakError::ProbeNotCanonical { epoch, state, mem } => write!(
+                f,
+                "online probe in epoch {epoch}: mid-flight memory {mem:?} is not the canonical \
+                 representation of any state (decoded {state}) on a Perfect-HI backend"
             ),
             SoakError::Panicked { worker, message } => match worker {
                 Some(w) => write!(f, "worker {w} panicked: {message}"),
@@ -330,6 +392,22 @@ fn planned_per_worker<S: EnumerableSpec>(
     planned
 }
 
+/// What one worker thread hands back when its shard drains.
+struct WorkerOut {
+    latency: Histogram,
+    queue_wait: Histogram,
+    service: Histogram,
+    applied: usize,
+    max_depth: usize,
+}
+
+/// What the prober thread (online non-barrier HI audits) hands back.
+struct ProbeOut {
+    taken: usize,
+    passed: usize,
+    first_failure: Option<ProbeVerdict>,
+}
+
 /// What one epoch hands back to the soak loop.
 struct EpochOut {
     submitted: usize,
@@ -337,8 +415,10 @@ struct EpochOut {
     blocked: usize,
     applied: usize,
     latency: Histogram,
-    worker_applied: Vec<usize>,
-    worker_max_depth: Vec<usize>,
+    queue_wait: Histogram,
+    service: Histogram,
+    workers: Vec<WorkerOut>,
+    probes: ProbeOut,
 }
 
 /// Per-client submission state within an epoch.
@@ -359,14 +439,14 @@ fn run_epoch<S, O>(
     cfg: &SoakConfig,
     epoch: usize,
     epoch_ops: usize,
-    progress: Option<&ProgressCounters>,
+    progress: &ProgressCounters,
 ) -> Result<EpochOut, SoakError>
 where
     S: EnumerableSpec,
     S::Op: Send + Sync,
     O: ConcurrentObject<S>,
 {
-    let handles = obj.handles();
+    let (handles, probe) = obj.handles_with_probe();
     assert_eq!(
         handles.len(),
         menus.len(),
@@ -382,6 +462,7 @@ where
     }
     let depth: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
     let abort = AtomicBool::new(false);
+    let probing_done = AtomicBool::new(false);
 
     let mut out = EpochOut {
         submitted: 0,
@@ -389,13 +470,20 @@ where
         blocked: 0,
         applied: 0,
         latency: Histogram::new(),
-        worker_applied: vec![0; workers],
-        worker_max_depth: vec![0; workers],
+        queue_wait: Histogram::new(),
+        service: Histogram::new(),
+        workers: Vec::with_capacity(workers),
+        probes: ProbeOut {
+            taken: 0,
+            passed: 0,
+            first_failure: None,
+        },
     };
 
     let verdict: Result<(), SoakError> = std::thread::scope(|s| {
         // --- workers: one per handle, draining their shard until every
         // client sender is gone.
+        let trace = cfg.trace;
         let mut worker_joins = Vec::with_capacity(workers);
         for ((w, mut handle), rx) in handles.into_iter().enumerate().zip(rxs) {
             assert!(
@@ -404,22 +492,74 @@ where
             );
             let depth = &depth[w];
             worker_joins.push(s.spawn(move || {
-                let mut hist = Histogram::new();
-                let mut applied = 0usize;
-                let mut max_depth = 0usize;
+                let mut wo = WorkerOut {
+                    latency: Histogram::new(),
+                    queue_wait: Histogram::new(),
+                    service: Histogram::new(),
+                    applied: 0,
+                    max_depth: 0,
+                };
                 while let Ok(env) = rx.recv() {
                     // Gauge read at dequeue: depth including this op.
-                    max_depth = max_depth.max(depth.fetch_sub(1, GAUGE_ORD));
-                    let _resp = handle.apply(env.op);
-                    hist.record(env.submitted.elapsed().as_nanos() as u64);
-                    applied += 1;
-                    if let Some(p) = progress {
-                        p.bump(w);
+                    wo.max_depth = wo.max_depth.max(depth.fetch_sub(1, GAUGE_ORD));
+                    if trace {
+                        // Span stamps: ingress (on the envelope), dequeue,
+                        // complete — so the end-to-end latency splits into
+                        // queue wait + service time, per op.
+                        let dequeued = Instant::now();
+                        let _resp = handle.apply(env.op);
+                        let completed = Instant::now();
+                        let wait = dequeued.duration_since(env.submitted);
+                        let serve = completed.duration_since(dequeued);
+                        wo.queue_wait.record(wait.as_nanos() as u64);
+                        wo.service.record(serve.as_nanos() as u64);
+                        wo.latency
+                            .record(completed.duration_since(env.submitted).as_nanos() as u64);
+                    } else {
+                        // The untraced path: identical op application, one
+                        // clock read per op, end-to-end only.
+                        let _resp = handle.apply(env.op);
+                        wo.latency.record(env.submitted.elapsed().as_nanos() as u64);
                     }
+                    wo.applied += 1;
+                    progress.bump(w);
                 }
-                (hist, applied, max_depth)
+                wo
             }));
         }
+
+        // --- online prober: for Perfect-HI backends only, sample the
+        // memory representation at seeded non-barrier points while the
+        // workers are mid-flight, and audit each sample for canonicality.
+        // The first sample is immediate (every epoch gets at least one);
+        // later samples sit behind seeded yield backoffs so they land at
+        // arbitrary interleaving points rather than a fixed cadence.
+        let prober_join = probe.filter(|_| cfg.online_probes > 0).map(|p| {
+            let probing_done = &probing_done;
+            let mut rng = SplitMix64::new(handle_seed(cfg.seed ^ 0x0b5e_9ed5, epoch));
+            s.spawn(move || {
+                let mut po = ProbeOut {
+                    taken: 0,
+                    passed: 0,
+                    first_failure: None,
+                };
+                loop {
+                    let verdict = p.sample();
+                    po.taken += 1;
+                    if verdict.canonical {
+                        po.passed += 1;
+                    } else if po.first_failure.is_none() {
+                        po.first_failure = Some(verdict);
+                    }
+                    if po.taken >= cfg.online_probes || probing_done.load(GAUGE_ORD) {
+                        return po;
+                    }
+                    for _ in 0..rng.below(4096) {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        });
 
         // --- client threads: each multiplexes a contiguous slice of the
         // logical clients, round-robin, with per-client rank sampling and
@@ -515,13 +655,39 @@ where
         let mut worker_panic: Option<(usize, String)> = None;
         for (w, j) in worker_joins.into_iter().enumerate() {
             match j.join() {
-                Ok((hist, applied, max_depth)) => {
-                    out.latency.merge(&hist);
-                    out.applied += applied;
-                    out.worker_applied[w] = applied;
-                    out.worker_max_depth[w] = max_depth;
+                Ok(wo) => {
+                    out.latency.merge(&wo.latency);
+                    out.queue_wait.merge(&wo.queue_wait);
+                    out.service.merge(&wo.service);
+                    out.applied += wo.applied;
+                    out.workers.push(wo);
                 }
-                Err(payload) => worker_panic = Some((w, panic_message(payload))),
+                Err(payload) => {
+                    out.workers.push(WorkerOut {
+                        latency: Histogram::new(),
+                        queue_wait: Histogram::new(),
+                        service: Histogram::new(),
+                        applied: 0,
+                        max_depth: 0,
+                    });
+                    worker_panic = Some((w, panic_message(payload)));
+                }
+            }
+        }
+        // The epoch is drained; release the prober (it may also have
+        // stopped on its own after exhausting its sample budget).
+        probing_done.store(true, GAUGE_ORD);
+        if let Some(j) = prober_join {
+            match j.join() {
+                Ok(po) => out.probes = po,
+                Err(payload) => {
+                    if worker_panic.is_none() {
+                        return Err(SoakError::Panicked {
+                            worker: None,
+                            message: panic_message(payload),
+                        });
+                    }
+                }
             }
         }
         // A worker panic explains a client abort, so it wins the report.
@@ -611,6 +777,19 @@ where
     let auditable = obj.hi_level().auditable();
     let epochs = cfg.mid_audits + 1;
 
+    // Progress counters always exist so the report's metrics carry the
+    // final per-worker applied/planned snapshot; the watchdogged path
+    // passes its own (shared with the watchdog) instead.
+    let owned_counters;
+    let counters = match progress {
+        Some(p) => p,
+        None => {
+            owned_counters =
+                ProgressCounters::new(planned_per_worker::<S>(&table, &sampler, menus.len(), cfg));
+            &owned_counters
+        }
+    };
+
     let start = Instant::now();
     let mut report = SoakReport {
         ops_submitted: 0,
@@ -620,38 +799,71 @@ where
         audits: Vec::with_capacity(epochs),
         elapsed: Duration::ZERO,
         latency: Histogram::new(),
+        queue_wait: Histogram::new(),
+        service: Histogram::new(),
         workers: (0..menus.len())
             .map(|w| WorkerStats {
                 worker: w,
                 applied: 0,
                 max_queue_depth: 0,
+                latency: Histogram::new(),
+                queue_wait: Histogram::new(),
+                service: Histogram::new(),
             })
             .collect(),
+        metrics: ServiceMetrics {
+            progress: counters.snapshot(),
+            epochs: Vec::with_capacity(epochs),
+            online: if cfg.online_probes == 0 {
+                OnlineAudit::Disabled
+            } else {
+                // Refined to Sampled below, the first time an epoch
+                // actually hands back probe samples.
+                OnlineAudit::Unsupported
+            },
+        },
     };
 
     for epoch in 0..epochs {
         let epoch_ops = cfg.epoch_ops(epoch, epochs);
+        let load_start = Instant::now();
         let out = run_epoch(
-            obj, &menus, &table, &sampler, cfg, epoch, epoch_ops, progress,
+            obj, &menus, &table, &sampler, cfg, epoch, epoch_ops, counters,
         )?;
+        let load = load_start.elapsed();
         report.ops_submitted += out.submitted;
         report.ops_rejected += out.rejected;
         report.sends_blocked += out.blocked;
         report.ops_applied += out.applied;
         report.latency.merge(&out.latency);
-        for (ws, (&applied, &depth)) in report
-            .workers
-            .iter_mut()
-            .zip(out.worker_applied.iter().zip(&out.worker_max_depth))
-        {
-            ws.applied += applied;
-            ws.max_queue_depth = ws.max_queue_depth.max(depth);
+        report.queue_wait.merge(&out.queue_wait);
+        report.service.merge(&out.service);
+        for (ws, wo) in report.workers.iter_mut().zip(&out.workers) {
+            ws.applied += wo.applied;
+            ws.max_queue_depth = ws.max_queue_depth.max(wo.max_depth);
+            ws.latency.merge(&wo.latency);
+            ws.queue_wait.merge(&wo.queue_wait);
+            ws.service.merge(&wo.service);
+        }
+
+        // Online probe verdicts: a failed sample on a Perfect backend is a
+        // mid-flight HI violation, reported like a failed barrier audit.
+        if let Some(v) = out.probes.first_failure {
+            return Err(SoakError::ProbeNotCanonical {
+                epoch,
+                state: v.state,
+                mem: v.mem,
+            });
+        }
+        if out.probes.taken > 0 {
+            report.metrics.online = OnlineAudit::Sampled;
         }
 
         // Drain barrier: the epoch scope has ended, so every handle is
         // dropped and the object is state-quiescent. The borrow checker
         // enforces this — `mem_snapshot()` here cannot alias a live
         // worker.
+        let pause_start = Instant::now();
         let mem = obj.mem_snapshot();
         if auditable {
             let state = obj.abstract_state();
@@ -678,8 +890,17 @@ where
             applied: report.ops_applied,
             audited: auditable,
         });
+        report.metrics.epochs.push(EpochMetrics {
+            epoch,
+            ops_applied: out.applied,
+            load,
+            audit_pause: pause_start.elapsed(),
+            probes: out.probes.taken,
+            probes_passed: out.probes.passed,
+        });
     }
     report.elapsed = start.elapsed();
+    report.metrics.progress = counters.snapshot();
     Ok(report)
 }
 

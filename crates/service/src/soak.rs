@@ -4,12 +4,13 @@
 //! through the watchdogged soak driver — so the service-layer suites, the
 //! `service_latency` bench and the CI soak job all iterate one list.
 
-use hi_api::adapters::{HashTableObject, HiSetObject, QueueObject, UniversalObject};
+use hi_api::adapters::{HashTableObject, HiSetObject, LlscObject, QueueObject, UniversalObject};
 use hi_api::ConcurrentObject;
 use hi_core::objects::{BoundedQueueSpec, CounterSpec, HashSetSpec, MultiRegisterSpec, SetSpec};
 use hi_core::{Arrival, EnumerableSpec, KeyDist};
+use hi_llsc::RLlscSpec;
 
-use crate::service::{soak_watchdogged, SoakConfig, SoakError, SoakReport};
+use crate::service::{soak_watchdogged, Backpressure, SoakConfig, SoakError, SoakReport};
 
 /// The monomorphic soak runner of one scenario (captures only the entry's
 /// constructor, a fn pointer).
@@ -29,6 +30,14 @@ pub struct SoakScenario {
     pub key_dist: KeyDist,
     /// The arrival process of every client.
     pub arrival: Arrival,
+    /// Scenario-fixed full-queue policy; `None` defers to the caller's
+    /// config. Set (via [`SoakScenario::shedding`]) for scenarios whose
+    /// identity *is* the load-shedding path.
+    pub backpressure: Option<Backpressure>,
+    /// Scenario-fixed ingress queue bound; `None` defers to the caller's
+    /// config. Paired with [`Backpressure::Reject`] to guarantee real
+    /// queue pressure at any op count.
+    pub queue_depth: Option<usize>,
     run: SoakRunner,
 }
 
@@ -56,26 +65,42 @@ impl SoakScenario {
             about,
             key_dist,
             arrival,
-            run: Box::new(move |cfg| {
-                let cfg = SoakConfig {
-                    key_dist,
-                    arrival,
-                    ..*cfg
-                };
-                soak_watchdogged(threaded, &cfg)
-            }),
+            backpressure: None,
+            queue_depth: None,
+            run: Box::new(move |cfg| soak_watchdogged(threaded, cfg)),
         }
     }
 
+    /// Fixes the scenario to open-loop load shedding: [`Backpressure::
+    /// Reject`] behind a queue of the given depth, regardless of the
+    /// caller's config. A shallow depth in front of a slow object makes
+    /// rejection a certainty under load, so the reject path is exercised
+    /// (and its accounting auditable) in every run, not just unlucky ones.
+    #[must_use]
+    pub fn shedding(mut self, queue_depth: usize) -> SoakScenario {
+        self.backpressure = Some(Backpressure::Reject);
+        self.queue_depth = Some(queue_depth);
+        self
+    }
+
     /// Soaks the scenario's object under its load shape, taking op counts,
-    /// queue depth, backpressure, audit cadence, seed and deadline from
-    /// `cfg` (its `key_dist`/`arrival` are overridden by the scenario's).
+    /// audit cadence, seed and deadline from `cfg`. The scenario's own
+    /// `key_dist`/`arrival` — and, when fixed, `backpressure`/`queue_depth`
+    /// — override the caller's: the load shape is part of the scenario's
+    /// identity.
     ///
     /// # Errors
     ///
     /// Any [`SoakError`] from the underlying [`soak_watchdogged`] run.
     pub fn run(&self, cfg: &SoakConfig) -> Result<SoakReport, SoakError> {
-        (self.run)(cfg)
+        let cfg = SoakConfig {
+            key_dist: self.key_dist,
+            arrival: self.arrival,
+            backpressure: self.backpressure.unwrap_or(cfg.backpressure),
+            queue_depth: self.queue_depth.unwrap_or(cfg.queue_depth),
+            ..*cfg
+        };
+        (self.run)(&cfg)
     }
 }
 
@@ -95,6 +120,12 @@ const SOAK_QUEUE_CAP: usize = 6;
 const SOAK_UCOUNTER_N: usize = 3;
 const SOAK_UREG_K: u64 = 8;
 const SOAK_UREG_N: usize = 2;
+const SOAK_LLSC_V: u64 = 16;
+const SOAK_LLSC_N: usize = 4;
+/// Queue bound of the load-shedding scenario: shallow enough that the slow
+/// universal counter's ingress overflows under any client count, so the
+/// reject path sees real traffic in every run.
+const SOAK_REJECT_DEPTH: usize = 4;
 
 /// All registered soak scenarios: every object family the acceptance bar
 /// names (the HI hash table under Zipfian skew, the universal
@@ -143,6 +174,23 @@ pub fn soak_registry() -> Vec<SoakScenario> {
             KeyDist::Zipfian { theta: 1.0 },
             Arrival::Steady,
             || UniversalObject::new(MultiRegisterSpec::new(SOAK_UREG_K, 1), SOAK_UREG_N),
+        ),
+        SoakScenario::of(
+            "soak/universal-counter-reject",
+            "the universal counter behind a shallow shedding queue: the reject path under \
+             guaranteed pressure",
+            KeyDist::Uniform,
+            Arrival::Steady,
+            || UniversalObject::new(CounterSpec::new(-300, 300, 0), SOAK_UCOUNTER_N),
+        )
+        .shedding(SOAK_REJECT_DEPTH),
+        SoakScenario::of(
+            "soak/llsc-zipf",
+            "Algorithm 6's packed releasable LL/SC word under Zipfian op skew — the second \
+             perfect-HI backend, so online probes sample it mid-flight",
+            KeyDist::Zipfian { theta: 1.0 },
+            Arrival::Steady,
+            || LlscObject::new(RLlscSpec::new(SOAK_LLSC_V, 0, SOAK_LLSC_N)),
         ),
     ]
 }

@@ -32,8 +32,12 @@
 //! * [`lowerbound`] — the executable §5.2/§5.4 impossibility adversaries.
 //! * [`service`] — the heavy-traffic service harness: sharded `mpsc`
 //!   ingress over any [`ConcurrentObject`](hi_api::ConcurrentObject),
-//!   drain-barrier mid-soak HI audits, and tail-latency histograms over
-//!   the [`soak_registry`](hi_service::soak_registry) scenarios.
+//!   drain-barrier mid-soak HI audits, online (mid-flight) HI probes on
+//!   perfect-HI backends, and per-span tail-latency histograms over the
+//!   [`soak_registry`](hi_service::soak_registry) scenarios.
+//! * [`bench`] — the log-scale latency histogram, the revision-keyed
+//!   `BENCH_*.json` writers, and the cross-PR latency
+//!   [`delta`](hi_bench::delta) gate behind the `bench_delta` CLI.
 //!
 //! # Quickstart
 //!
@@ -52,6 +56,7 @@
 //! ```
 
 pub use hi_api as api;
+pub use hi_bench as bench;
 pub use hi_core as core;
 pub use hi_hashtable as hashtable;
 pub use hi_llsc as llsc;

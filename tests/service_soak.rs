@@ -8,7 +8,10 @@
 
 use std::time::Duration;
 
-use hi_concurrent::service::{soak_registry, soak_scenario, Backpressure, SoakConfig, SoakError};
+use hi_concurrent::bench::hist::Histogram;
+use hi_concurrent::service::{
+    soak_registry, soak_scenario, Backpressure, OnlineAudit, SoakConfig, SoakError, WorkerStats,
+};
 
 /// Base seeds per scenario, extended by `HI_CONFORMANCE_SEED` if set.
 fn seeds() -> Vec<u64> {
@@ -51,20 +54,109 @@ fn every_soak_scenario_survives_with_mid_soak_audits() {
                 .run(&cfg)
                 .unwrap_or_else(|e| panic!("{} (seed {seed}): {e}", scenario.name));
 
-            // Closed-loop (Block) accounting: everything submitted is
-            // applied, nothing is shed, every latency sample is an op.
-            assert_eq!(report.ops_applied, cfg.total_ops, "{}", scenario.name);
-            assert_eq!(report.ops_submitted, cfg.total_ops, "{}", scenario.name);
-            assert_eq!(report.ops_rejected, 0, "{}", scenario.name);
+            if scenario.backpressure == Some(Backpressure::Reject) {
+                // Open-loop shedding scenario: every op is accepted or
+                // rejected (never lost), accepted ops are all applied, and
+                // the shallow scenario queue guarantees real rejections.
+                assert_eq!(
+                    report.ops_submitted + report.ops_rejected,
+                    cfg.total_ops,
+                    "{}: an op was neither accepted nor rejected",
+                    scenario.name
+                );
+                assert_eq!(
+                    report.ops_applied, report.ops_submitted,
+                    "{}",
+                    scenario.name
+                );
+                assert!(
+                    report.ops_rejected > 0,
+                    "{}: depth-{:?} shedding queue rejected nothing",
+                    scenario.name,
+                    scenario.queue_depth
+                );
+                assert_eq!(
+                    report.sends_blocked, 0,
+                    "{}: Reject mode never blocks",
+                    scenario.name
+                );
+            } else {
+                // Closed-loop (Block) accounting: everything submitted is
+                // applied, nothing is shed.
+                assert_eq!(report.ops_applied, cfg.total_ops, "{}", scenario.name);
+                assert_eq!(report.ops_submitted, cfg.total_ops, "{}", scenario.name);
+                assert_eq!(report.ops_rejected, 0, "{}", scenario.name);
+            }
+            // Every applied op is one latency sample, and — since tracing
+            // is on by default — one queue-wait and one service-time span.
             assert_eq!(
                 report.latency.count(),
-                cfg.total_ops as u64,
+                report.ops_applied as u64,
+                "{}",
+                scenario.name
+            );
+            assert_eq!(
+                report.queue_wait.count(),
+                report.ops_applied as u64,
+                "{}",
+                scenario.name
+            );
+            assert_eq!(
+                report.service.count(),
+                report.ops_applied as u64,
                 "{}",
                 scenario.name
             );
             assert_eq!(
                 report.workers.iter().map(|w| w.applied).sum::<usize>(),
-                cfg.total_ops,
+                report.ops_applied,
+                "{}",
+                scenario.name
+            );
+            // Per-worker span attribution is a partition of the merged
+            // histograms: worker counts sum to the report's.
+            let worker_sum = |pick: fn(&WorkerStats) -> &Histogram| {
+                report.workers.iter().map(|w| pick(w).count()).sum::<u64>()
+            };
+            assert_eq!(
+                worker_sum(|w| &w.latency),
+                report.latency.count(),
+                "{}",
+                scenario.name
+            );
+            assert_eq!(
+                worker_sum(|w| &w.queue_wait),
+                report.queue_wait.count(),
+                "{}",
+                scenario.name
+            );
+            assert_eq!(
+                worker_sum(|w| &w.service),
+                report.service.count(),
+                "{}",
+                scenario.name
+            );
+            // Audit-excluded throughput can only exceed the gross figure.
+            assert!(
+                report.ops_per_sec_load() >= report.ops_per_sec(),
+                "{}",
+                scenario.name
+            );
+            // Per-epoch metrics cover every drain barrier.
+            assert_eq!(
+                report.metrics.epochs.len(),
+                cfg.mid_audits + 1,
+                "{}",
+                scenario.name
+            );
+            assert_eq!(
+                report
+                    .metrics
+                    .epochs
+                    .iter()
+                    .map(|e| e.ops_applied)
+                    .sum::<usize>(),
+                report.ops_applied,
                 "{}",
                 scenario.name
             );
@@ -89,7 +181,7 @@ fn every_soak_scenario_survives_with_mid_soak_audits() {
             );
             assert_eq!(
                 report.audits.last().expect("at least one audit").applied,
-                cfg.total_ops,
+                report.ops_applied,
                 "{}",
                 scenario.name
             );
@@ -100,7 +192,7 @@ fn every_soak_scenario_survives_with_mid_soak_audits() {
 #[test]
 fn soak_registry_names_are_unique_and_resolvable() {
     let registry = soak_registry();
-    assert!(registry.len() >= 6, "soak registry shrank");
+    assert!(registry.len() >= 8, "soak registry shrank");
     let mut names: Vec<_> = registry.iter().map(|s| s.name).collect();
     names.sort_unstable();
     names.dedup();
@@ -118,6 +210,12 @@ fn soak_registry_names_are_unique_and_resolvable() {
     assert!(soak_scenario("soak/hashtable-zipf").is_some());
     assert!(soak_scenario("soak/universal-counter-bursty").is_some());
     assert!(soak_scenario("soak/nonexistent").is_none());
+    // The observability additions: a scenario whose identity is the reject
+    // path, and the second perfect-HI backend for online probing.
+    let reject = soak_scenario("soak/universal-counter-reject").expect("registered");
+    assert_eq!(reject.backpressure, Some(Backpressure::Reject));
+    assert!(reject.queue_depth.is_some());
+    assert!(soak_scenario("soak/llsc-zipf").is_some());
 }
 
 #[test]
@@ -184,6 +282,62 @@ fn reject_backpressure_accounts_for_every_submission() {
 }
 
 #[test]
+fn online_probes_sample_perfect_hi_backends_mid_flight() {
+    // The two perfect-HI backends (the §5.1 set and the Algorithm 6 LL/SC
+    // word) admit the canonical-memory audit at *any* configuration, so the
+    // soak samples them online, mid-epoch, without a drain barrier. Every
+    // sample that found non-canonical memory would have failed the run, so
+    // a passing report's probes all passed — and the prober takes its first
+    // sample immediately, so every epoch contributes at least one.
+    for name in ["soak/set-zipf", "soak/llsc-zipf"] {
+        let report = soak_scenario(name)
+            .expect("registered")
+            .run(&ci_cfg(17))
+            .expect("soak");
+        assert_eq!(report.metrics.online, OnlineAudit::Sampled, "{name}");
+        assert!(
+            report.metrics.probes() >= report.metrics.epochs.len(),
+            "{name}: {} probes over {} epochs",
+            report.metrics.probes(),
+            report.metrics.epochs.len()
+        );
+        assert_eq!(
+            report.metrics.probes_passed(),
+            report.metrics.probes(),
+            "{name}: a passing soak cannot have failed probes"
+        );
+    }
+}
+
+#[test]
+fn online_probes_are_honestly_unsupported_on_state_quiescent_backends() {
+    // State-quiescent HI only promises canonical memory in *quiescent*
+    // configurations — a mid-flight snapshot may legitimately differ, so
+    // probing one would be unsound. The report says Unsupported rather
+    // than silently claiming coverage.
+    let report = soak_scenario("soak/hashtable-zipf")
+        .expect("registered")
+        .run(&ci_cfg(17))
+        .expect("soak");
+    assert_eq!(report.metrics.online, OnlineAudit::Unsupported);
+    assert_eq!(report.metrics.probes(), 0);
+}
+
+#[test]
+fn online_probes_can_be_disabled() {
+    let cfg = SoakConfig {
+        online_probes: 0,
+        ..ci_cfg(17)
+    };
+    let report = soak_scenario("soak/set-zipf")
+        .expect("registered")
+        .run(&cfg)
+        .expect("soak");
+    assert_eq!(report.metrics.online, OnlineAudit::Disabled);
+    assert_eq!(report.metrics.probes(), 0);
+}
+
+#[test]
 fn soak_errors_render_their_diagnosis() {
     // The Wedged arm is exercised end-to-end in `service_drain`; here pin
     // the Display surface the CI log shows.
@@ -196,4 +350,16 @@ fn soak_errors_render_their_diagnosis() {
     let msg = e.to_string();
     assert!(msg.contains("epoch 2"), "{msg}");
     assert!(msg.contains("[1, 2]") && msg.contains("[1, 3]"), "{msg}");
+
+    let e = SoakError::ProbeNotCanonical {
+        epoch: 1,
+        state: "0x3".into(),
+        mem: vec![9],
+    };
+    let msg = e.to_string();
+    assert!(
+        msg.contains("online probe") && msg.contains("epoch 1"),
+        "{msg}"
+    );
+    assert!(msg.contains("[9]") && msg.contains("0x3"), "{msg}");
 }

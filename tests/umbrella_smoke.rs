@@ -124,7 +124,7 @@ fn service_reexport_soaks_an_object() {
     );
     assert_eq!(
         service::soak_registry().len(),
-        6,
+        8,
         "all soak scenarios registered"
     );
 }
