@@ -12,11 +12,13 @@
 //! | [`MaxRegisterObject`] | `AtomicMaxRegister` | §5.1 | SWSR | state-quiescent |
 //! | [`HiSetObject`] | `AtomicHiSet` | §5.1 | `n` symmetric | perfect |
 //! | [`HashTableObject`] | `AtomicHiHashTable` | follow-up (2503.21016) | `n` symmetric | state-quiescent |
+//! | [`ShardedTableObject`] | `ShardedHiHashTable` | scale-out (online resize) | `n` symmetric | state-quiescent |
 
 pub mod hashtable;
 pub mod llsc;
 pub mod queue;
 pub mod registers;
+pub mod sharded;
 pub mod universal;
 
 pub use hashtable::{HashTableHandle, HashTableObject};
@@ -26,4 +28,5 @@ pub use registers::{
     HiSetHandle, HiSetObject, LockFreeHiHandle, LockFreeHiObject, MaxRegisterHandle,
     MaxRegisterObject, VidyasankarHandle, VidyasankarObject, WaitFreeHiHandle, WaitFreeHiObject,
 };
+pub use sharded::{ShardedTableHandle, ShardedTableObject, SAMPLED_AUDIT_DOMAIN};
 pub use universal::{UniversalObject, UniversalObjectHandle};

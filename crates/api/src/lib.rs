@@ -51,7 +51,7 @@ pub mod registry;
 
 pub use adapters::{
     HashTableObject, HiSetObject, LlscObject, LockFreeHiObject, MaxRegisterObject, QueueObject,
-    UniversalObject, VidyasankarObject, WaitFreeHiObject,
+    ShardedTableObject, UniversalObject, VidyasankarObject, WaitFreeHiObject,
 };
 pub use drive::{
     drive, drive_watchdogged, random_script, throughput, DriveConfig, DriveError, DriveReport,
@@ -59,6 +59,7 @@ pub use drive::{
 };
 pub use hi_spec::{ExhaustiveConfig, ExhaustiveReport};
 pub use object::{
-    ConcurrentObject, HiLevel, ObjectHandle, OnlineProbe, ProbeVerdict, Progress, Roles,
+    ConcurrentObject, HiLevel, MaintenanceSnapshot, ObjectHandle, OnlineProbe, ProbeVerdict,
+    Progress, Roles, SampledAudit,
 };
 pub use registry::{registry, repro_command, scenario, Scenario, ScenarioMeta, ScenarioReport};

@@ -81,6 +81,52 @@ impl std::fmt::Debug for OnlineProbe<'_> {
     }
 }
 
+/// The result of one **sampled** big-domain HI audit: `k` randomly chosen
+/// segments of the memory representation checked exhaustively against
+/// their canonical images, the rest spot-checked for the cheap structural
+/// invariants (capacity words, routing, displacement sanity) without
+/// recomputing canonical layouts.
+///
+/// Offered by implementations whose full canonical comparison stops being
+/// a sensible drain-barrier check at scale (see
+/// [`ConcurrentObject::sampled_audit`]); the soak harness prefers it over
+/// the full-image audit exactly when the implementation offers it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SampledAudit {
+    /// How many independently auditable segments (shards) the memory
+    /// representation decomposes into.
+    pub shards_total: usize,
+    /// How many of them were compared exhaustively against their canonical
+    /// image this sample.
+    pub shards_exhaustive: usize,
+    /// Memory cells covered by the structural spot checks in the remaining
+    /// segments.
+    pub cells_spot_checked: usize,
+    /// The first violation found, rendered — `None` when the sample passed.
+    pub failure: Option<String>,
+}
+
+impl SampledAudit {
+    /// Whether the sample found no violation.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Cumulative background-maintenance counters of an implementation that
+/// reorganizes its own memory (e.g. online capacity migrations): how often
+/// it happened and how long operations stalled inside it. Totals since
+/// construction; callers diff snapshots to attribute maintenance cost to
+/// an epoch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MaintenanceSnapshot {
+    /// Completed reorganizations (for the sharded table: capacity
+    /// migrations, grows and shrinks alike).
+    pub resizes: u64,
+    /// Total wall time operations spent performing reorganizations.
+    pub resize_pause: std::time::Duration,
+}
+
 /// A concurrent implementation of an abstract object `(Q, q0, O, R, Δ)` on
 /// real threads, with a uniform surface for construction, operation
 /// application, and quiescent-point history-independence auditing.
@@ -171,4 +217,27 @@ pub trait ConcurrentObject<S: ObjectSpec> {
     /// meaningful at quiescent points (the `&self` receiver cannot enforce
     /// this; callers of a live object must pause their handles first).
     fn abstract_state(&self) -> S::State;
+
+    /// A **sampled** audit for big-domain implementations: `Some` when the
+    /// implementation's memory decomposes into independently auditable
+    /// segments *and* its domain is large enough that the full
+    /// `mem_snapshot` vs [`canonical`](ConcurrentObject::canonical)
+    /// comparison stops being the sensible barrier check. Like
+    /// [`abstract_state`](ConcurrentObject::abstract_state), only
+    /// meaningful at (state-)quiescent points. `seed` drives the segment
+    /// selection, so repeated barriers sample different segments.
+    ///
+    /// The default declines — the honest answer for every implementation
+    /// whose full canonical image is small enough to compare outright.
+    fn sampled_audit(&self, _seed: u64) -> Option<SampledAudit> {
+        None
+    }
+
+    /// Cumulative background-maintenance counters, `Some` only for
+    /// implementations that reorganize their own memory (e.g. online
+    /// resize). The soak harness diffs snapshots across epochs to
+    /// attribute maintenance pauses in its metrics.
+    fn maintenance(&self) -> Option<MaintenanceSnapshot> {
+        None
+    }
 }

@@ -22,6 +22,7 @@ use hi_queue::PositionalQueue;
 use hi_registers::{
     HiSet, LockFreeHiRegister, MaxRegister, VidyasankarRegister, WaitFreeHiRegister,
 };
+use hi_shard::SimShardedTable;
 use hi_sim::{render_lanes, run_workload, Executor, Seeded};
 use hi_spec::{
     check_sim_object, check_sim_object_exhaustive, check_sim_object_faults, sim_workload,
@@ -32,7 +33,7 @@ use hi_universal::SimUniversal;
 
 use crate::adapters::{
     HashTableObject, HiSetObject, LlscObject, LockFreeHiObject, MaxRegisterObject, QueueObject,
-    UniversalObject, VidyasankarObject, WaitFreeHiObject,
+    ShardedTableObject, UniversalObject, VidyasankarObject, WaitFreeHiObject,
 };
 use crate::drive::{drive_watchdogged, throughput, DriveConfig, DriveError};
 use crate::object::ConcurrentObject;
@@ -355,6 +356,10 @@ const HT_N: usize = 3;
 const HT_DENSE_T: u32 = 6;
 const HT_DENSE_CAP: usize = 8;
 const HT_DENSE_N: usize = 2;
+const SHARD_T: u32 = 8;
+const SHARD_S: usize = 4;
+const SHARD_BASE: usize = 2;
+const SHARD_N: usize = 3;
 
 // Downsized parameters of the exhaustive (model-checked) instances: value
 // domains of 2–3 and at most two processes keep every scenario's full
@@ -376,6 +381,12 @@ const SMALL_HT_CAP: usize = 5;
 const SMALL_HT_N: usize = 2;
 const SMALL_HT_DENSE_T: u32 = 3;
 const SMALL_HT_DENSE_CAP: usize = 4;
+// base = 1 forces the very first insert into a shard across a capacity
+// boundary, so even the model checker's two-op workloads certify a resize.
+const SMALL_SHARD_T: u32 = 3;
+const SMALL_SHARD_S: usize = 2;
+const SMALL_SHARD_BASE: usize = 1;
+const SMALL_SHARD_N: usize = 2;
 
 fn reg_spec() -> MultiRegisterSpec {
     MultiRegisterSpec::new(REG_K, 1)
@@ -462,6 +473,20 @@ pub fn registry() -> Vec<Scenario> {
             || HashTableObject::new(HashSetSpec::new(HT_DENSE_T), HT_DENSE_CAP, HT_DENSE_N),
             || SimHiHashTable::new(HT_DENSE_T, HT_DENSE_CAP, HT_DENSE_N),
             || SimHiHashTable::new(SMALL_HT_DENSE_T, SMALL_HT_DENSE_CAP, SMALL_HT_N),
+        ),
+        Scenario::of(
+            "hashtable/sharded-s4-t8",
+            "scale-out: sharded table-of-tables with online capacity-changing resize",
+            || ShardedTableObject::new(HashSetSpec::new(SHARD_T), SHARD_S, SHARD_BASE, SHARD_N),
+            || SimShardedTable::new(SHARD_T, SHARD_S, SHARD_BASE, SHARD_N),
+            || {
+                SimShardedTable::new(
+                    SMALL_SHARD_T,
+                    SMALL_SHARD_S,
+                    SMALL_SHARD_BASE,
+                    SMALL_SHARD_N,
+                )
+            },
         ),
         Scenario::of(
             "llsc/packed-v8-n3",

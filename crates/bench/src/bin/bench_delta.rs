@@ -1,35 +1,44 @@
 //! Cross-PR latency regression gate.
 //!
 //! ```text
-//! bench_delta <base.json> <new.json> [--threshold <fraction>] [--out <path>] [--strict]
+//! bench_delta <base.json> <new.json> [--threshold <fraction>]
+//!             [--thresholds <thresholds.json>] [--out <path>] [--strict]
 //! ```
 //!
 //! Parses two `BENCH_service_latency.json` documents, diffs the gated
 //! metrics per scenario ([`hi_bench::delta::GATED_METRICS`]), prints the
 //! rendered table (optionally also to `--out`), and exits:
 //!
-//! * `0` — parsed fine; no regression, or regressions in warn-only mode
-//!   (the default — bench noise on shared CI runners shouldn't fail PRs),
+//! * `0` — parsed fine; no gating regression: clean, warn-only-mode
+//!   regressions (no `--strict`), or regressions confined to scenarios the
+//!   thresholds file lists as warn-only (new/noisy — no calibrated noise
+//!   level to gate at yet),
 //! * `1` — usage or I/O or parse error,
-//! * `2` — regressions beyond the threshold under `--strict`.
+//! * `2` — gating regressions under `--strict`.
+//!
+//! `--thresholds` points at a committed per-scenario noise calibration
+//! ([`hi_bench::delta::Thresholds`]); without it every scenario gates at
+//! the uniform `--threshold` fraction.
 
-use hi_bench::delta::{delta, render_table};
+use hi_bench::delta::{delta_with, parse_thresholds, render_table, Thresholds};
 
 struct Args {
     base: String,
     new: String,
     threshold: f64,
+    thresholds: Option<String>,
     out: Option<String>,
     strict: bool,
 }
 
-const USAGE: &str =
-    "usage: bench_delta <base.json> <new.json> [--threshold <fraction>] [--out <path>] [--strict]";
+const USAGE: &str = "usage: bench_delta <base.json> <new.json> [--threshold <fraction>] \
+     [--thresholds <thresholds.json>] [--out <path>] [--strict]";
 
 fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
     let _ = argv.next(); // program name
     let mut positional = Vec::new();
     let mut threshold = 0.25;
+    let mut thresholds = None;
     let mut out = None;
     let mut strict = false;
     while let Some(arg) = argv.next() {
@@ -44,6 +53,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
                     return Err("--threshold must be a finite non-negative fraction".to_string());
                 }
             }
+            "--thresholds" => thresholds = Some(argv.next().ok_or("--thresholds needs a path")?),
             "--out" => out = Some(argv.next().ok_or("--out needs a path")?),
             "--strict" => strict = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -56,6 +66,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
         base,
         new,
         threshold,
+        thresholds,
         out,
         strict,
     })
@@ -68,13 +79,17 @@ fn run(args: &Args) -> Result<bool, String> {
         .map_err(|e| format!("{}: {e}", args.base))?;
     let new = hi_bench::delta::parse_latency_doc(&read(&args.new)?)
         .map_err(|e| format!("{}: {e}", args.new))?;
-    let report = delta(&base, &new, args.threshold);
+    let thresholds = match &args.thresholds {
+        Some(path) => parse_thresholds(&read(path)?).map_err(|e| format!("{path}: {e}"))?,
+        None => Thresholds::uniform(args.threshold),
+    };
+    let report = delta_with(&base, &new, &thresholds);
     let table = render_table(&report);
     print!("{table}");
     if let Some(path) = &args.out {
         std::fs::write(path, &table).map_err(|e| format!("cannot write {path}: {e}"))?;
     }
-    Ok(report.has_regressions())
+    Ok(report.has_gating_regressions())
 }
 
 fn main() {

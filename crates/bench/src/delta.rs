@@ -6,9 +6,14 @@
 //!
 //! The comparison is deliberately noise-aware: a delta only counts as a
 //! regression when it moves in the *worse* direction (latency up,
-//! throughput down) by more than a caller-chosen relative threshold.
-//! Scenarios present on only one side are reported as added/removed, never
-//! as regressions — a new scenario has no baseline to regress against.
+//! throughput down) by more than a relative threshold. Thresholds are
+//! per-scenario ([`Thresholds`], parsed from a committed
+//! `thresholds.json`): established scenarios gate at their calibrated
+//! noise level, while scenarios listed warn-only — new ones still
+//! accumulating a baseline, or known-noisy ones — report regressions
+//! without failing a `--strict` run. Scenarios present on only one side
+//! are reported as added/removed, never as regressions — a new scenario
+//! has no baseline to regress against.
 //!
 //! No serde: the parser below is a self-contained recursive-descent JSON
 //! reader, sized for the flat documents [`crate::json::render_latency`]
@@ -334,6 +339,120 @@ pub fn parse_latency_doc(text: &str) -> Result<LatencyDoc, String> {
 }
 
 // ---------------------------------------------------------------------------
+// Per-scenario thresholds.
+// ---------------------------------------------------------------------------
+
+/// Per-scenario noise thresholds, the parsed form of the committed
+/// `thresholds.json`:
+///
+/// ```json
+/// {
+///   "default": 0.25,
+///   "scenarios": {"soak/universal-counter-reject": 0.6},
+///   "warn_only": ["soak/sharded-zipf-1m"]
+/// }
+/// ```
+///
+/// Every scenario gates at `scenarios[name]` when present, `default`
+/// otherwise. Scenarios named in `warn_only` still report regressions but
+/// never fail a strict run — the parking place for scenarios that are new
+/// (no calibrated noise level yet) or structurally noisy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Thresholds {
+    /// Fallback relative threshold for scenarios without an override.
+    pub default: f64,
+    /// Per-scenario overrides, by scenario name.
+    pub overrides: BTreeMap<String, f64>,
+    /// Scenarios whose regressions warn but never gate.
+    pub warn_only: Vec<String>,
+}
+
+impl Thresholds {
+    /// A single threshold for every scenario, nothing warn-only — the
+    /// shape the bare `--threshold` flag produces.
+    pub fn uniform(threshold: f64) -> Thresholds {
+        Thresholds {
+            default: threshold,
+            overrides: BTreeMap::new(),
+            warn_only: Vec::new(),
+        }
+    }
+
+    /// The threshold gating `scenario`.
+    pub fn for_scenario(&self, scenario: &str) -> f64 {
+        self.overrides
+            .get(scenario)
+            .copied()
+            .unwrap_or(self.default)
+    }
+
+    /// Whether `scenario`'s regressions are warn-only.
+    pub fn is_warn_only(&self, scenario: &str) -> bool {
+        self.warn_only.iter().any(|s| s == scenario)
+    }
+}
+
+/// Parses a `thresholds.json` document (see [`Thresholds`]). All three
+/// fields are optional; `default` defaults to `0.25`.
+///
+/// # Errors
+///
+/// A human-readable message when the text is not well-formed JSON, the
+/// top level is not an object, or a field has the wrong shape.
+pub fn parse_thresholds(text: &str) -> Result<Thresholds, String> {
+    let mut p = Parser::new(text);
+    let doc = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after document"));
+    }
+    if !matches!(doc, Json::Obj(_)) {
+        return Err("thresholds document must be an object".to_string());
+    }
+    let default = match doc.get("default") {
+        None => 0.25,
+        Some(v) => v.as_num().ok_or("\"default\" must be a number")?,
+    };
+    let mut overrides = BTreeMap::new();
+    match doc.get("scenarios") {
+        None => {}
+        Some(Json::Obj(fields)) => {
+            for (name, v) in fields {
+                let t = v
+                    .as_num()
+                    .ok_or_else(|| format!("scenarios[\"{name}\"] must be a number"))?;
+                overrides.insert(name.clone(), t);
+            }
+        }
+        Some(_) => return Err("\"scenarios\" must be an object".to_string()),
+    }
+    let mut warn_only = Vec::new();
+    match doc.get("warn_only") {
+        None => {}
+        Some(Json::Arr(items)) => {
+            for (i, v) in items.iter().enumerate() {
+                warn_only.push(
+                    v.as_str()
+                        .ok_or_else(|| format!("warn_only[{i}] must be a string"))?
+                        .to_string(),
+                );
+            }
+        }
+        Some(_) => return Err("\"warn_only\" must be an array".to_string()),
+    }
+    for t in overrides.values().copied().chain([default]) {
+        if !(t >= 0.0 && t.is_finite()) {
+            return Err("thresholds must be finite non-negative fractions".to_string());
+        }
+    }
+    Ok(Thresholds {
+        default,
+        overrides,
+        warn_only,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Delta computation.
 // ---------------------------------------------------------------------------
 
@@ -376,6 +495,11 @@ pub struct MetricDelta {
 pub struct ScenarioDelta {
     /// The scenario name.
     pub scenario: String,
+    /// The relative threshold this scenario's metrics were gated at.
+    pub threshold: f64,
+    /// Whether this scenario's regressions warn without gating a strict
+    /// run ([`Thresholds::warn_only`]).
+    pub warn_only: bool,
     /// Per-metric movement, in [`GATED_METRICS`] order (metrics absent
     /// from either side are skipped, tolerating older baselines).
     pub metrics: Vec<MetricDelta>,
@@ -388,8 +512,9 @@ pub struct DeltaReport {
     pub base_revision: String,
     /// New revision key.
     pub new_revision: String,
-    /// The relative noise threshold a worse-direction move must exceed to
-    /// count as a regression (e.g. `0.25` = 25%).
+    /// The default relative noise threshold a worse-direction move must
+    /// exceed to count as a regression (e.g. `0.25` = 25%); individual
+    /// scenarios may carry overrides (see [`ScenarioDelta::threshold`]).
     pub threshold: f64,
     /// Scenarios present in both documents, in the new document's order.
     pub scenarios: Vec<ScenarioDelta>,
@@ -420,6 +545,29 @@ impl DeltaReport {
             .iter()
             .any(|s| s.metrics.iter().any(|m| m.regressed))
     }
+
+    /// The regressions that gate a strict run: [`regressions`]
+    /// (DeltaReport::regressions) minus the warn-only scenarios.
+    pub fn gating_regressions(&self) -> Vec<(&str, &MetricDelta)> {
+        self.scenarios
+            .iter()
+            .filter(|s| !s.warn_only)
+            .flat_map(|s| {
+                s.metrics
+                    .iter()
+                    .filter(|m| m.regressed)
+                    .map(move |m| (s.scenario.as_str(), m))
+            })
+            .collect()
+    }
+
+    /// Whether a regression outside the warn-only set exists — the
+    /// `--strict` failure condition.
+    pub fn has_gating_regressions(&self) -> bool {
+        self.scenarios
+            .iter()
+            .any(|s| !s.warn_only && s.metrics.iter().any(|m| m.regressed))
+    }
 }
 
 fn signed_rel(base: f64, new: f64) -> f64 {
@@ -434,14 +582,22 @@ fn signed_rel(base: f64, new: f64) -> f64 {
     }
 }
 
+/// Compares a freshly measured latency document against a baseline with a
+/// single uniform threshold; see [`delta_with`] for the per-scenario form.
+pub fn delta(base: &LatencyDoc, new: &LatencyDoc, threshold: f64) -> DeltaReport {
+    delta_with(base, new, &Thresholds::uniform(threshold))
+}
+
 /// Compares a freshly measured latency document against a baseline.
 ///
 /// For each scenario present in both documents, each of [`GATED_METRICS`]
 /// is compared; a move in the metric's worse direction whose magnitude
-/// exceeds `threshold` (relative to the baseline) is flagged as a
-/// regression. Moves in the better direction, and moves within the noise
-/// threshold, never flag.
-pub fn delta(base: &LatencyDoc, new: &LatencyDoc, threshold: f64) -> DeltaReport {
+/// exceeds the scenario's threshold ([`Thresholds::for_scenario`],
+/// relative to the baseline) is flagged as a regression. Moves in the
+/// better direction, and moves within the noise threshold, never flag.
+/// Scenarios in the warn-only set still flag, but are excluded from
+/// [`DeltaReport::gating_regressions`].
+pub fn delta_with(base: &LatencyDoc, new: &LatencyDoc, thresholds: &Thresholds) -> DeltaReport {
     let mut scenarios = Vec::new();
     let mut added = Vec::new();
     for row in &new.rows {
@@ -449,6 +605,7 @@ pub fn delta(base: &LatencyDoc, new: &LatencyDoc, threshold: f64) -> DeltaReport
             added.push(row.scenario.clone());
             continue;
         };
+        let threshold = thresholds.for_scenario(&row.scenario);
         let mut metrics = Vec::new();
         for (name, worse) in GATED_METRICS {
             let (Some(b), Some(n)) = (base_row.metric(name), row.metric(name)) else {
@@ -469,6 +626,8 @@ pub fn delta(base: &LatencyDoc, new: &LatencyDoc, threshold: f64) -> DeltaReport
         }
         scenarios.push(ScenarioDelta {
             scenario: row.scenario.clone(),
+            threshold,
+            warn_only: thresholds.is_warn_only(&row.scenario),
             metrics,
         });
     }
@@ -481,7 +640,7 @@ pub fn delta(base: &LatencyDoc, new: &LatencyDoc, threshold: f64) -> DeltaReport
     DeltaReport {
         base_revision: base.revision.clone(),
         new_revision: new.revision.clone(),
-        threshold,
+        threshold: thresholds.default,
         scenarios,
         added,
         removed,
@@ -534,7 +693,11 @@ pub fn render_table(report: &DeltaReport) -> String {
                 fmt_value(m.base),
                 fmt_value(m.new),
                 fmt_rel(m.rel),
-                if m.regressed { "REGRESSED" } else { "ok" }
+                match (m.regressed, s.warn_only) {
+                    (true, true) => "REGRESSED (warn-only)",
+                    (true, false) => "REGRESSED",
+                    (false, _) => "ok",
+                }
             );
         }
     }
@@ -548,10 +711,13 @@ pub fn render_table(report: &DeltaReport) -> String {
     if regs.is_empty() {
         let _ = writeln!(out, "verdict: no regressions beyond the noise threshold");
     } else {
+        let gating = report.gating_regressions().len();
         let _ = writeln!(
             out,
-            "verdict: {} metric(s) regressed beyond the noise threshold",
-            regs.len()
+            "verdict: {} metric(s) regressed beyond the noise threshold \
+             ({gating} gating, {} warn-only)",
+            regs.len(),
+            regs.len() - gating
         );
     }
     out
@@ -578,6 +744,8 @@ mod tests {
             online_probes_passed: 12,
             elapsed: Duration::from_millis(20 * scale as u32 as u64),
             audit_pause: Duration::from_millis(2),
+            resizes: scale,
+            resize_pause: Duration::from_micros(100 * scale),
             latency: h.summary(),
             queue_wait: h.summary(),
             service: h.summary(),
@@ -731,6 +899,78 @@ mod tests {
         assert!(table.contains("soak/a"), "{table}");
         assert!(table.contains("p99_ns"), "{table}");
         assert!(table.contains("verdict:"), "{table}");
+    }
+
+    #[test]
+    fn per_scenario_thresholds_gate_independently() {
+        let base = parse_latency_doc(&render_latency(
+            "service_latency",
+            &[sample_record("soak/a", 1), sample_record("soak/b", 1)],
+        ))
+        .unwrap();
+        let new = parse_latency_doc(&render_latency(
+            "service_latency",
+            &[sample_record("soak/a", 2), sample_record("soak/b", 2)],
+        ))
+        .unwrap();
+        // 2x latency: flags at the 25% default, absorbed by a 3x override.
+        let mut thresholds = Thresholds::uniform(0.25);
+        thresholds.overrides.insert("soak/b".to_string(), 2.0);
+        let report = delta_with(&base, &new, &thresholds);
+        let regs = report.regressions();
+        assert!(regs.iter().any(|(s, _)| *s == "soak/a"));
+        assert!(
+            regs.iter()
+                .all(|(s, m)| *s != "soak/b" || m.metric == "ops_per_sec"),
+            "3x latency headroom must absorb soak/b's 2x: {regs:?}"
+        );
+        assert_eq!(report.scenarios[0].threshold, 0.25);
+        assert_eq!(report.scenarios[1].threshold, 2.0);
+    }
+
+    #[test]
+    fn warn_only_scenarios_report_but_do_not_gate() {
+        let base = parse_latency_doc(&render_latency(
+            "service_latency",
+            &[sample_record("soak/a", 1), sample_record("soak/b", 1)],
+        ))
+        .unwrap();
+        let new = parse_latency_doc(&render_latency(
+            "service_latency",
+            &[sample_record("soak/a", 1), sample_record("soak/b", 4)],
+        ))
+        .unwrap();
+        let mut thresholds = Thresholds::uniform(0.25);
+        thresholds.warn_only.push("soak/b".to_string());
+        let report = delta_with(&base, &new, &thresholds);
+        assert!(report.has_regressions(), "warn-only still reports");
+        assert!(!report.has_gating_regressions(), "but never gates");
+        assert!(report.gating_regressions().is_empty());
+        let table = render_table(&report);
+        assert!(table.contains("REGRESSED (warn-only)"), "{table}");
+        assert!(table.contains("0 gating"), "{table}");
+    }
+
+    #[test]
+    fn thresholds_parse_and_reject() {
+        let t = parse_thresholds(
+            "{\"default\": 0.3, \
+             \"scenarios\": {\"soak/a\": 0.5}, \
+             \"warn_only\": [\"soak/new\"]}",
+        )
+        .unwrap();
+        assert_eq!(t.for_scenario("soak/a"), 0.5);
+        assert_eq!(t.for_scenario("soak/other"), 0.3);
+        assert!(t.is_warn_only("soak/new"));
+        assert!(!t.is_warn_only("soak/a"));
+        // Empty object: all defaults.
+        assert_eq!(parse_thresholds("{}").unwrap(), Thresholds::uniform(0.25));
+        assert!(parse_thresholds("[]").is_err());
+        assert!(parse_thresholds("{\"default\": \"x\"}").is_err());
+        assert!(parse_thresholds("{\"scenarios\": [1]}").is_err());
+        assert!(parse_thresholds("{\"warn_only\": [1]}").is_err());
+        assert!(parse_thresholds("{\"default\": -0.5}").is_err());
+        assert!(parse_thresholds("{} extra").is_err());
     }
 
     #[test]

@@ -127,6 +127,12 @@ pub struct LatencyRecord {
     pub elapsed: Duration,
     /// Time spent inside drain-barrier audit pauses, out of `elapsed`.
     pub audit_pause: Duration,
+    /// Online capacity migrations the backend performed during the soak
+    /// (zero for backends without maintenance).
+    pub resizes: u64,
+    /// Wall time operations spent inside those migrations — the resize
+    /// pauses a scale-out backend's tail latency is paying for.
+    pub resize_pause: Duration,
     /// The end-to-end latency digest (submission to response,
     /// nanoseconds), from [`crate::hist::Histogram::summary`].
     pub latency: crate::hist::LatencySummary,
@@ -177,6 +183,7 @@ pub fn render_latency(bench: &str, records: &[LatencyRecord]) -> String {
             "    {{\"scenario\": \"{}\", \"ops\": {}, \"rejected\": {}, \"audits\": {}, \
              \"online_probes\": {}, \"online_probes_passed\": {}, \
              \"elapsed_ns\": {}, \"audit_pause_ns\": {}, \
+             \"resizes\": {}, \"resize_pause_ns\": {}, \
              \"ops_per_sec\": {:.1}, \"ops_per_sec_load\": {:.1}, \
              \"mean_ns\": {:.1}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \
              \"p999_ns\": {}, \"max_ns\": {}, \
@@ -190,6 +197,8 @@ pub fn render_latency(bench: &str, records: &[LatencyRecord]) -> String {
             r.online_probes_passed,
             r.elapsed.as_nanos(),
             r.audit_pause.as_nanos(),
+            r.resizes,
+            r.resize_pause.as_nanos(),
             r.ops_per_sec(),
             r.ops_per_sec_load(),
             l.mean,
@@ -290,6 +299,8 @@ mod tests {
             online_probes_passed: 9,
             elapsed: Duration::from_millis(3),
             audit_pause: Duration::from_millis(1),
+            resizes: 6,
+            resize_pause: Duration::from_micros(250),
             latency: h.summary(),
             queue_wait: h.summary(),
             service: h.summary(),
@@ -308,6 +319,8 @@ mod tests {
             "online_probes",
             "online_probes_passed",
             "audit_pause_ns",
+            "resizes",
+            "resize_pause_ns",
             "ops_per_sec_load",
             "queue_wait_p50_ns",
             "queue_wait_p99_ns",
@@ -337,6 +350,8 @@ mod tests {
             online_probes_passed: 0,
             elapsed: Duration::from_secs(2),
             audit_pause: Duration::from_secs(1),
+            resizes: 0,
+            resize_pause: Duration::ZERO,
             latency: h.summary(),
             queue_wait: h.summary(),
             service: h.summary(),

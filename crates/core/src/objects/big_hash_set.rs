@@ -1,0 +1,288 @@
+//! The big-domain reporting hash set: [`HashSetSpec`]'s interface over
+//! domains far beyond the 63-element bitmask, for the sharded scale-out
+//! backends (`hi_shard`).
+//!
+//! Two pieces:
+//!
+//! * [`KeySetSpec`] — the trait both set specifications share: any
+//!   [`EnumerableSpec`] speaking [`HashSetOp`]/[`HashSetResp`] whose state
+//!   is (isomorphic to) a key set. Adapters generic over `KeySetSpec` can
+//!   serve the 63-element bitmask spec and the million-key spec with one
+//!   code path, converting states to and from explicit key lists.
+//! * [`BigHashSetSpec`] — the same sequential object as [`HashSetSpec`]
+//!   but with `State = Vec<u32>` (sorted keys), so the domain bound is
+//!   memory, not a machine word. Its state space is only *enumerable* for
+//!   small `t`; beyond that [`EnumerableSpec::states`] panics loudly, and
+//!   drivers that enumerate states (the model checker, `check_closed`)
+//!   must be given a small instance — exactly the downsizing discipline
+//!   the scenario registry already applies.
+
+use crate::object::{EnumerableSpec, ObjectSpec};
+use crate::objects::hash_set::{HashSetOp, HashSetResp, HashSetSpec};
+
+/// A reporting set specification whose abstract state is a key set over
+/// `{1..=domain()}`. The common face of [`HashSetSpec`] (bitmask state,
+/// `domain <= 63`) and [`BigHashSetSpec`] (sorted-vector state, any
+/// domain), letting one generic adapter translate between abstract states
+/// and the explicit key lists the sharded backends canonicalize.
+pub trait KeySetSpec: EnumerableSpec<Op = HashSetOp, Resp = HashSetResp> {
+    /// The domain size `t`: elements range over `1..=t`.
+    fn domain(&self) -> u32;
+
+    /// The abstract state holding exactly `keys` (each in `1..=domain()`,
+    /// duplicates ignored).
+    fn state_from_keys(&self, keys: &[u32]) -> Self::State;
+
+    /// The key set of `state`, sorted ascending.
+    fn keys_of_state(&self, state: &Self::State) -> Vec<u32>;
+}
+
+impl KeySetSpec for HashSetSpec {
+    fn domain(&self) -> u32 {
+        self.t()
+    }
+
+    fn state_from_keys(&self, keys: &[u32]) -> u64 {
+        keys.iter().fold(0u64, |mask, &k| {
+            assert!(
+                (1..=self.t()).contains(&k),
+                "element {k} out of domain in key list"
+            );
+            mask | (1 << k)
+        })
+    }
+
+    fn keys_of_state(&self, state: &u64) -> Vec<u32> {
+        (1..=self.t()).filter(|e| state & (1 << e) != 0).collect()
+    }
+}
+
+/// The largest domain whose `2^t` states [`BigHashSetSpec::states`] will
+/// enumerate before panicking. Big enough for every downsized model-check
+/// instance, small enough that nothing enumerates a million-key state
+/// space by accident.
+pub const BIG_SET_ENUMERABLE_T: u32 = 16;
+
+/// A reporting set over `{1..=t}` for arbitrary `t`, with sorted-key-vector
+/// state. Sequentially indistinguishable from [`HashSetSpec`] on shared
+/// domains (`state_is_mask_equivalent` below pins this), but free of the
+/// 63-element bitmask ceiling — the specification the sharded table's
+/// soak scenarios run at a million keys.
+///
+/// # Example
+///
+/// ```
+/// use hi_core::ObjectSpec;
+/// use hi_core::objects::{BigHashSetSpec, HashSetOp, HashSetResp};
+///
+/// let s = BigHashSetSpec::new(1 << 20);
+/// let (q, r) = s.apply(&s.initial_state(), &HashSetOp::Insert(999_983));
+/// assert_eq!(r, HashSetResp::Bool(true), "newly added");
+/// assert_eq!(s.apply(&q, &HashSetOp::Contains(999_983)).1, HashSetResp::Bool(true));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BigHashSetSpec {
+    t: u32,
+}
+
+impl BigHashSetSpec {
+    /// Creates a reporting set over `{1..=t}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0` (key 0 is reserved by every backend for empty
+    /// slots).
+    pub fn new(t: u32) -> Self {
+        assert!(t >= 1, "domain size must be at least 1");
+        BigHashSetSpec { t }
+    }
+
+    /// The domain size `t`.
+    pub fn t(&self) -> u32 {
+        self.t
+    }
+
+    fn check_elem(&self, e: u32) {
+        assert!((1..=self.t).contains(&e), "element {e} out of domain");
+    }
+}
+
+impl ObjectSpec for BigHashSetSpec {
+    /// The member keys, sorted ascending (so `Eq`/`Hash` see one
+    /// representation per abstract set — the spec itself is canonical).
+    type State = Vec<u32>;
+    type Op = HashSetOp;
+    type Resp = HashSetResp;
+
+    fn initial_state(&self) -> Vec<u32> {
+        Vec::new()
+    }
+
+    fn apply(&self, state: &Vec<u32>, op: &HashSetOp) -> (Vec<u32>, HashSetResp) {
+        match op {
+            HashSetOp::Insert(e) => {
+                self.check_elem(*e);
+                match state.binary_search(e) {
+                    Ok(_) => (state.clone(), HashSetResp::Bool(false)),
+                    Err(at) => {
+                        let mut next = state.clone();
+                        next.insert(at, *e);
+                        (next, HashSetResp::Bool(true))
+                    }
+                }
+            }
+            HashSetOp::Remove(e) => {
+                self.check_elem(*e);
+                match state.binary_search(e) {
+                    Ok(at) => {
+                        let mut next = state.clone();
+                        next.remove(at);
+                        (next, HashSetResp::Bool(true))
+                    }
+                    Err(_) => (state.clone(), HashSetResp::Bool(false)),
+                }
+            }
+            HashSetOp::Contains(e) => {
+                self.check_elem(*e);
+                (
+                    state.clone(),
+                    HashSetResp::Bool(state.binary_search(e).is_ok()),
+                )
+            }
+        }
+    }
+
+    fn is_read_only(&self, op: &HashSetOp) -> bool {
+        matches!(op, HashSetOp::Contains(_))
+    }
+}
+
+impl EnumerableSpec for BigHashSetSpec {
+    /// All `2^t` subsets — **only** for `t <= BIG_SET_ENUMERABLE_T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for larger domains: a big-domain instance must never be
+    /// handed to a state-enumerating driver; downsize it first (as the
+    /// scenario registry's 5th-argument small instances do).
+    fn states(&self) -> Vec<Vec<u32>> {
+        assert!(
+            self.t <= BIG_SET_ENUMERABLE_T,
+            "BigHashSetSpec::states() over t = {} would enumerate 2^{} states; \
+             use a downsized instance (t <= {BIG_SET_ENUMERABLE_T}) for \
+             state-enumerating drivers",
+            self.t,
+            self.t
+        );
+        (0..(1u64 << self.t))
+            .map(|mask| {
+                (1..=self.t)
+                    .filter(|e| mask & (1 << (e - 1)) != 0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn ops(&self) -> Vec<HashSetOp> {
+        let mut ops = Vec::with_capacity(3 * self.t as usize);
+        for e in 1..=self.t {
+            ops.push(HashSetOp::Insert(e));
+            ops.push(HashSetOp::Remove(e));
+            ops.push(HashSetOp::Contains(e));
+        }
+        ops
+    }
+
+    fn responses(&self) -> Vec<HashSetResp> {
+        vec![HashSetResp::Bool(false), HashSetResp::Bool(true)]
+    }
+}
+
+impl KeySetSpec for BigHashSetSpec {
+    fn domain(&self) -> u32 {
+        self.t
+    }
+
+    fn state_from_keys(&self, keys: &[u32]) -> Vec<u32> {
+        let mut sorted: Vec<u32> = keys.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for &k in &sorted {
+            self.check_elem(k);
+        }
+        sorted
+    }
+
+    fn keys_of_state(&self, state: &Vec<u32>) -> Vec<u32> {
+        state.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_is_closed_small() {
+        BigHashSetSpec::new(3).check_closed();
+    }
+
+    #[test]
+    #[should_panic(expected = "would enumerate")]
+    fn states_refuses_big_domains() {
+        let _ = BigHashSetSpec::new(BIG_SET_ENUMERABLE_T + 1).states();
+    }
+
+    #[test]
+    fn state_is_mask_equivalent() {
+        // On a shared domain, BigHashSetSpec and HashSetSpec are the same
+        // sequential object: identical responses, key-set-isomorphic states,
+        // under an arbitrary op script.
+        let t = 6;
+        let big = BigHashSetSpec::new(t);
+        let small = HashSetSpec::new(t);
+        let script = [
+            HashSetOp::Insert(3),
+            HashSetOp::Insert(5),
+            HashSetOp::Insert(3),
+            HashSetOp::Contains(5),
+            HashSetOp::Remove(3),
+            HashSetOp::Remove(3),
+            HashSetOp::Contains(3),
+            HashSetOp::Insert(1),
+            HashSetOp::Remove(5),
+        ];
+        let mut qb = big.initial_state();
+        let mut qs = small.initial_state();
+        for op in script {
+            let (nb, rb) = big.apply(&qb, &op);
+            let (ns, rs) = small.apply(&qs, &op);
+            assert_eq!(rb, rs, "responses diverged at {op:?}");
+            qb = nb;
+            qs = ns;
+            assert_eq!(qb, small.keys_of_state(&qs), "states diverged at {op:?}");
+        }
+    }
+
+    #[test]
+    fn key_set_roundtrips_through_both_specs() {
+        let keys = [2u32, 9, 4];
+        let big = BigHashSetSpec::new(10);
+        let small = HashSetSpec::new(10);
+        assert_eq!(big.state_from_keys(&keys), vec![2, 4, 9]);
+        assert_eq!(
+            big.keys_of_state(&big.state_from_keys(&keys)),
+            small.keys_of_state(&small.state_from_keys(&keys)),
+        );
+        assert_eq!(big.domain(), 10);
+        assert_eq!(small.domain(), 10);
+    }
+
+    #[test]
+    fn contains_is_the_only_read_only_op() {
+        let s = BigHashSetSpec::new(3);
+        assert!(s.is_read_only(&HashSetOp::Contains(1)));
+        assert!(!s.is_read_only(&HashSetOp::Insert(1)));
+        assert!(!s.is_read_only(&HashSetOp::Remove(1)));
+    }
+}

@@ -14,10 +14,14 @@
 //! * [`HashSetSpec`] — the *reporting* set over `{1..t}` (updates return
 //!   whether they changed membership): the abstract object of the
 //!   `hi_hashtable` Robin Hood tables.
+//! * [`BigHashSetSpec`] — the same reporting set with sorted-key-vector
+//!   state, for domains beyond the 63-bit mask (the `hi_shard` scale-out
+//!   workloads); [`KeySetSpec`] is the trait the two set specs share.
 //! * [`BoundedQueueSpec`] — the queue with `Peek` of §5.4.
 //! * [`CounterSpec`], [`StackSpec`], [`MapSpec`] — additional objects
 //!   exercised by the universal construction (§6).
 
+mod big_hash_set;
 mod cas;
 mod counter;
 mod hash_set;
@@ -30,6 +34,7 @@ mod set;
 mod snapshot;
 mod stack;
 
+pub use big_hash_set::{BigHashSetSpec, KeySetSpec, BIG_SET_ENUMERABLE_T};
 pub use cas::{CasOp, CasResp, CasSpec};
 pub use counter::{CounterOp, CounterResp, CounterSpec};
 pub use hash_set::{HashSetOp, HashSetResp, HashSetSpec};

@@ -15,12 +15,13 @@
 //! ```sh
 //! cargo bench --bench service_latency                 # 1M ops/scenario
 //! HI_SOAK_OPS=40000 cargo bench --bench service_latency   # CI scale
+//! HI_SOAK_PROFILE=long cargo bench --bench service_latency # 50x soak
 //! ```
 
 use std::time::Duration;
 
 use hi_bench::json::{write_latency_summary, LatencyRecord};
-use hi_service::{soak_registry, SoakConfig};
+use hi_service::{soak_registry, SoakConfig, SoakProfile};
 
 const SEED: u64 = 0xbe7c;
 
@@ -37,10 +38,13 @@ fn main() {
         seed: SEED,
         ..SoakConfig::default()
     };
+    // The long profile multiplies on top of HI_SOAK_OPS (and stretches the
+    // deadline with it), so both knobs compose.
+    let cfg = SoakProfile::from_env().apply(&cfg);
 
     let mut records = Vec::new();
     println!(
-        "{:34} {:>9} {:>11} {:>11} {:>8} {:>8} {:>8} {:>9} {:>9} {:>7}",
+        "{:34} {:>9} {:>11} {:>11} {:>8} {:>8} {:>8} {:>9} {:>9} {:>7} {:>8}",
         "scenario",
         "ops",
         "ops/sec",
@@ -50,7 +54,8 @@ fn main() {
         "p999",
         "wait_p99",
         "serve_p99",
-        "probes"
+        "probes",
+        "resizes"
     );
     for scenario in soak_registry() {
         let report = match scenario.run(&cfg) {
@@ -64,8 +69,9 @@ fn main() {
         let queue_wait = report.queue_wait.summary();
         let service = report.service.summary();
         let probes = report.metrics.probes();
+        let resizes = report.metrics.resizes();
         println!(
-            "{:34} {:>9} {:>11.0} {:>11.0} {:>8} {:>8} {:>8} {:>9} {:>9} {:>7}",
+            "{:34} {:>9} {:>11.0} {:>11.0} {:>8} {:>8} {:>8} {:>9} {:>9} {:>7} {:>8}",
             scenario.name,
             report.ops_applied,
             report.ops_per_sec(),
@@ -76,6 +82,7 @@ fn main() {
             queue_wait.p99,
             service.p99,
             probes,
+            resizes,
         );
         records.push(LatencyRecord {
             scenario: scenario.name.to_string(),
@@ -86,6 +93,8 @@ fn main() {
             online_probes_passed: report.metrics.probes_passed(),
             elapsed: report.elapsed,
             audit_pause: report.metrics.audit_pause_total(),
+            resizes,
+            resize_pause: report.metrics.resize_pause_total(),
             latency: summary,
             queue_wait,
             service,

@@ -44,6 +44,12 @@ pub struct EpochMetrics {
     pub probes: usize,
     /// How many of them found canonical memory.
     pub probes_passed: usize,
+    /// Online capacity migrations the backend performed during this
+    /// epoch's load phase (zero for backends without maintenance).
+    pub resizes: u64,
+    /// Wall time operations spent inside those migrations — maintenance
+    /// cost attributed to this epoch, not smeared into tail latency.
+    pub resize_pause: Duration,
 }
 
 /// The structured metrics snapshot of a finished soak: the per-worker
@@ -82,6 +88,16 @@ impl ServiceMetrics {
     pub fn probes_passed(&self) -> usize {
         self.epochs.iter().map(|e| e.probes_passed).sum()
     }
+
+    /// Online capacity migrations across all epochs.
+    pub fn resizes(&self) -> u64 {
+        self.epochs.iter().map(|e| e.resizes).sum()
+    }
+
+    /// Total time operations spent inside migrations across all epochs.
+    pub fn resize_pause_total(&self) -> Duration {
+        self.epochs.iter().map(|e| e.resize_pause).sum()
+    }
 }
 
 #[cfg(test)]
@@ -101,6 +117,8 @@ mod tests {
                     audit_pause: Duration::from_micros(30),
                     probes: 3,
                     probes_passed: 3,
+                    resizes: 2,
+                    resize_pause: Duration::from_micros(15),
                 },
                 EpochMetrics {
                     epoch: 1,
@@ -109,6 +127,8 @@ mod tests {
                     audit_pause: Duration::from_micros(70),
                     probes: 2,
                     probes_passed: 1,
+                    resizes: 1,
+                    resize_pause: Duration::from_micros(5),
                 },
             ],
             online: OnlineAudit::Sampled,
@@ -122,6 +142,8 @@ mod tests {
         assert_eq!(m.load_total(), Duration::from_millis(10));
         assert_eq!(m.probes(), 5);
         assert_eq!(m.probes_passed(), 4);
+        assert_eq!(m.resizes(), 3);
+        assert_eq!(m.resize_pause_total(), Duration::from_micros(20));
     }
 
     #[test]
@@ -135,5 +157,7 @@ mod tests {
         };
         assert_eq!(m.audit_pause_total(), Duration::ZERO);
         assert_eq!(m.probes(), 0);
+        assert_eq!(m.resizes(), 0);
+        assert_eq!(m.resize_pause_total(), Duration::ZERO);
     }
 }

@@ -35,7 +35,9 @@ use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use hi_api::{ConcurrentObject, MetricsSnapshot, ObjectHandle, ProbeVerdict, ProgressCounters};
+use hi_api::{
+    ConcurrentObject, MetricsSnapshot, ObjectHandle, ProbeVerdict, ProgressCounters, SampledAudit,
+};
 use hi_bench::hist::Histogram;
 
 use crate::metrics::{EpochMetrics, OnlineAudit, ServiceMetrics};
@@ -43,6 +45,10 @@ use hi_core::workload::{
     handle_seed, seeded_shuffle, Arrival, ArrivalGen, KeyDist, KeySampler, SplitMix64,
 };
 use hi_core::{menus_for, EnumerableSpec};
+
+/// Decorrelates the drain barrier's sampled-audit shard selection from the
+/// workload seed's other derivations.
+const SAMPLED_AUDIT_SALT: u64 = 0x5a3d_a0d1_7b65_93c5;
 
 /// The one memory ordering of this crate: the gauges and flags here are
 /// monitoring data (queue depths, abort latches), never a publication
@@ -219,6 +225,11 @@ pub struct SoakReport {
     pub service: Histogram,
     /// Per-worker throughput, queue-depth gauges and span histograms.
     pub workers: Vec<WorkerStats>,
+    /// One entry per drain barrier at which the backend offered a
+    /// **sampled** big-domain audit instead of the full-image comparison
+    /// (see [`hi_api::ConcurrentObject::sampled_audit`]); empty for
+    /// backends whose full canonical image is compared outright.
+    pub sampled_audits: Vec<SampledAudit>,
     /// Wall-clock attribution (load vs audit pause, per epoch), final
     /// progress counters and the online-audit ledger.
     pub metrics: ServiceMetrics,
@@ -258,6 +269,16 @@ pub enum SoakError {
         mem: Vec<u64>,
         /// The expected canonical representation.
         canonical: Vec<u64>,
+    },
+    /// A drain barrier's **sampled** big-domain audit found a violation:
+    /// an exhaustively-checked shard off its canonical image, or a
+    /// spot-checked structural invariant (capacity word, routing,
+    /// displacement) broken.
+    SampledNotCanonical {
+        /// The epoch whose barrier failed.
+        epoch: usize,
+        /// The first violation, rendered by the backend.
+        detail: String,
     },
     /// An online (non-barrier) probe observed non-canonical memory on a
     /// [`hi_api::HiLevel::Perfect`] backend: the perfect-HI guarantee —
@@ -302,6 +323,10 @@ impl fmt::Display for SoakError {
                 f,
                 "drain barrier of epoch {epoch}: quiescent memory of state {state} is {mem:?}, \
                  expected canonical {canonical:?}"
+            ),
+            SoakError::SampledNotCanonical { epoch, detail } => write!(
+                f,
+                "sampled audit at the drain barrier of epoch {epoch}: {detail}"
             ),
             SoakError::ProbeNotCanonical { epoch, state, mem } => write!(
                 f,
@@ -349,21 +374,32 @@ fn dispatch_table<S: EnumerableSpec>(
 ) -> Vec<(S::Op, usize)> {
     let mut ops = spec.ops();
     seeded_shuffle(&mut ops, seed);
+    // Fully-symmetric fast path: when every role's menu spans the whole op
+    // space, the eligibility filter below always yields `0..workers` in
+    // order, so `eligible[pick] == pick` — same table, without the
+    // O(|ops|² · workers) membership scan, which the big-domain sharded
+    // scenarios (millions of ops) cannot afford.
+    let symmetric = menus.iter().all(|menu| menu.len() == ops.len());
     ops.into_iter()
         .enumerate()
         .map(|(r, op)| {
-            let eligible: Vec<usize> = menus
-                .iter()
-                .enumerate()
-                .filter(|(_, menu)| menu.contains(&op))
-                .map(|(w, _)| w)
-                .collect();
-            assert!(
-                !eligible.is_empty(),
-                "no worker role owns operation {op:?}; menus_for() should cover every op"
-            );
-            let pick = SplitMix64::new(handle_seed(seed, r)).below(eligible.len());
-            (op, eligible[pick])
+            let w = if symmetric {
+                SplitMix64::new(handle_seed(seed, r)).below(menus.len())
+            } else {
+                let eligible: Vec<usize> = menus
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, menu)| menu.contains(&op))
+                    .map(|(w, _)| w)
+                    .collect();
+                assert!(
+                    !eligible.is_empty(),
+                    "no worker role owns operation {op:?}; menus_for() should cover every op"
+                );
+                let pick = SplitMix64::new(handle_seed(seed, r)).below(eligible.len());
+                eligible[pick]
+            };
+            (op, w)
         })
         .collect()
 }
@@ -811,6 +847,7 @@ where
                 service: Histogram::new(),
             })
             .collect(),
+        sampled_audits: Vec::new(),
         metrics: ServiceMetrics {
             progress: counters.snapshot(),
             epochs: Vec::with_capacity(epochs),
@@ -823,6 +860,10 @@ where
             },
         },
     };
+
+    // Maintenance (online resize) totals at the last barrier, so each
+    // epoch's metrics carry the delta — what *this* epoch's load paid.
+    let mut maint_prev = obj.maintenance().unwrap_or_default();
 
     for epoch in 0..epochs {
         let epoch_ops = cfg.epoch_ops(epoch, epochs);
@@ -866,17 +907,29 @@ where
         let pause_start = Instant::now();
         let mem = obj.mem_snapshot();
         if auditable {
-            let state = obj.abstract_state();
-            let canonical = obj
-                .canonical(&state)
-                .expect("auditable HiLevel must fix a canonical form");
-            if mem != canonical {
-                return Err(SoakError::NotCanonical {
-                    epoch,
-                    state: format!("{state:?}"),
-                    mem,
-                    canonical,
-                });
+            // Big-domain backends offer a sampled composed audit; prefer
+            // it exactly when offered — the full-image comparison stays
+            // the barrier check everywhere else.
+            if let Some(sample) =
+                obj.sampled_audit(handle_seed(cfg.seed ^ SAMPLED_AUDIT_SALT, epoch))
+            {
+                if let Some(detail) = sample.failure.clone() {
+                    return Err(SoakError::SampledNotCanonical { epoch, detail });
+                }
+                report.sampled_audits.push(sample);
+            } else {
+                let state = obj.abstract_state();
+                let canonical = obj
+                    .canonical(&state)
+                    .expect("auditable HiLevel must fix a canonical form");
+                if mem != canonical {
+                    return Err(SoakError::NotCanonical {
+                        epoch,
+                        state: format!("{state:?}"),
+                        mem,
+                        canonical,
+                    });
+                }
             }
         }
         observe(&AuditPoint {
@@ -890,6 +943,7 @@ where
             applied: report.ops_applied,
             audited: auditable,
         });
+        let maint_now = obj.maintenance().unwrap_or_default();
         report.metrics.epochs.push(EpochMetrics {
             epoch,
             ops_applied: out.applied,
@@ -897,7 +951,12 @@ where
             audit_pause: pause_start.elapsed(),
             probes: out.probes.taken,
             probes_passed: out.probes.passed,
+            resizes: maint_now.resizes - maint_prev.resizes,
+            resize_pause: maint_now
+                .resize_pause
+                .saturating_sub(maint_prev.resize_pause),
         });
+        maint_prev = maint_now;
     }
     report.elapsed = start.elapsed();
     report.metrics.progress = counters.snapshot();

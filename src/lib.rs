@@ -29,6 +29,10 @@
 //! * [`hashtable`] — HI hash tables: the sequential canonical Robin Hood
 //!   table, the phase-concurrent table of [42], and the phase-free
 //!   concurrent table (arXiv:2503.21016 direction) with its simulator twin.
+//! * [`shard`] — scale-out: the sharded table-of-tables with per-shard
+//!   seqlocks and **online resize** (capacity as part of the canonical
+//!   representation, never-absent in-place migration), plus its simulator
+//!   twin with a composed per-shard `DirectCanonical` audit.
 //! * [`lowerbound`] — the executable §5.2/§5.4 impossibility adversaries.
 //! * [`service`] — the heavy-traffic service harness: sharded `mpsc`
 //!   ingress over any [`ConcurrentObject`](hi_api::ConcurrentObject),
@@ -65,6 +69,7 @@ pub use hi_queue as queue;
 pub use hi_randomized as randomized;
 pub use hi_registers as registers;
 pub use hi_service as service;
+pub use hi_shard as shard;
 pub use hi_sim as sim;
 pub use hi_spec as spec;
 pub use hi_universal as universal;

@@ -141,6 +141,7 @@ fn every_exported_adapter_appears_in_the_registry() {
         "MaxRegisterObject",
         "HiSetObject",
         "HashTableObject",
+        "ShardedTableObject",
         "LlscObject",
         "UniversalObject",
     ] {
@@ -158,6 +159,7 @@ fn every_exported_adapter_appears_in_the_registry() {
         "MaxRegister",
         "HiSet",
         "SimHiHashTable",
+        "SimShardedTable",
         "SimRLlsc",
         "SimUniversal",
     ] {

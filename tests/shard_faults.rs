@@ -1,0 +1,286 @@
+//! Dedicated crash sweep for the sharded table-of-tables: the updater is
+//! crashed at **every** transition of an update that is *guaranteed* to
+//! migrate its home shard across a capacity boundary (base 1: the second
+//! insert grows 2 -> 4, removing back down shrinks 4 -> 2), while witness
+//! keys live in **both** shards. The `rewrite_plan` write order must keep
+//! every surviving key somewhere in its home shard's arena at every
+//! intermediate configuration — the paper's memory-observing adversary,
+//! pointed at the one backend whose updates rewrite a whole shard.
+//!
+//! Two views are checked at every crash point:
+//!
+//! * **raw memory** (the adversary's view): each witness key appears in
+//!   its home shard's arena at every transition of the faulty run — the
+//!   never-absent migration invariant. Checked against the snapshot, not
+//!   via `Contains`: mid-migration a present key can sit beyond the stale
+//!   capacity word's prefix, where a reader's absent-validation would
+//!   block on the wedged seqlock (the Blocking class's price), so only
+//!   the *healthy* shard's witnesses are also drained through queries.
+//! * **per-shard canonicity** (the composed audit): every shard whose
+//!   seqlock the crash left even must show `cap_for` of its key count,
+//!   the canonical Robin Hood layout on the live prefix, and a zeroed
+//!   dead tail — independently of the wedged shard. That independence is
+//!   exactly what makes the big-domain sampled audit composable.
+
+use hi_concurrent::hashtable::canonical_layout;
+use hi_concurrent::shard::{cap_for, shard_of, SimShardedTable};
+use hi_concurrent::sim::{
+    run_workload_with_faults, Executor, FaultPlan, Faulty, Pid, Scripted, Workload,
+};
+use hi_concurrent::spec::{linearize, run_fault_plan, FaultSweepConfig, LinOptions};
+use hi_core::objects::{HashSetOp, HashSetResp, HashSetSpec};
+
+const T: u32 = 6;
+const SHARDS: usize = 2;
+const BASE: usize = 1;
+/// Upper bound on the updater's transition count through one migrating
+/// update (acquire 2, cap read 1, arena scan 4, plan writes + capacity
+/// word up to 5, release 1); sweeping past it also covers "crash after
+/// completion".
+const SWEEP: u64 = 16;
+
+const UPDATER: Pid = Pid(0);
+
+/// Keys of the migrating shard (shard 0) and the healthy shard (shard 1),
+/// under the fixed shard map at `SHARDS = 2`.
+const MIGRATING: [u32; 2] = [1, 2];
+const HEALTHY: [u32; 2] = [3, 4];
+
+fn table() -> SimShardedTable {
+    // The routing structure the whole file depends on; if the shard map
+    // ever changes, fail here with a clear message rather than in a sweep.
+    for k in MIGRATING {
+        assert_eq!(shard_of(k, SHARDS), 0, "key {k} must route to shard 0");
+    }
+    for k in HEALTHY {
+        assert_eq!(shard_of(k, SHARDS), 1, "key {k} must route to shard 1");
+    }
+    SimShardedTable::new(T, SHARDS, BASE, 2)
+}
+
+/// Physical arena length of each shard: `cap_for` of its worst-case
+/// domain slice, mirroring the constructor's provisioning.
+fn arena_lens() -> Vec<usize> {
+    let mut counts = vec![0usize; SHARDS];
+    for key in 1..=T {
+        counts[shard_of(key, SHARDS)] += 1;
+    }
+    counts.into_iter().map(|c| cap_for(c, BASE)).collect()
+}
+
+/// The arena slice of shard `s` within a full memory snapshot
+/// (`[seq, cap, arena...]` per shard, in shard order).
+fn arena_of(snap: &[u64], s: usize) -> &[u64] {
+    let lens = arena_lens();
+    let off: usize = lens[..s].iter().map(|l| 2 + l).sum();
+    &snap[off + 2..off + 2 + lens[s]]
+}
+
+/// Seeds the table with `keys` via solo (quiescent) operations.
+fn seed_table(exec: &mut Executor<HashSetSpec, SimShardedTable>, keys: &[u32]) {
+    for &k in keys {
+        let resp = exec
+            .run_op_solo(UPDATER, HashSetOp::Insert(k), 10_000)
+            .expect("quiescent insert");
+        assert_eq!(resp, HashSetResp::Bool(true));
+    }
+}
+
+/// Crashes the updater at transition `crash_after` of `update`, then
+/// drains the reader's `Contains` queries over the healthy shard. Returns
+/// the final snapshot.
+///
+/// Asserts, at **every** transition of the faulty run, that each key of
+/// `witnesses` appears somewhere in its home shard's arena — the
+/// never-absent migration invariant, checked against raw memory exactly
+/// as the crash adversary would.
+fn crash_migration(
+    imp: &SimShardedTable,
+    setup: &[u32],
+    update: HashSetOp,
+    witnesses: &[u32],
+    crash_after: u64,
+) -> Vec<u64> {
+    let mut exec = Executor::new(imp.clone());
+    seed_table(&mut exec, setup);
+    let queries: Vec<HashSetOp> = HEALTHY.iter().map(|&k| HashSetOp::Contains(k)).collect();
+    let workload: Workload<_> = Workload::from_vecs(vec![vec![update], queries]);
+    // The updater runs first so the crash point lands inside its
+    // migration; the reader drains afterwards against the frozen memory.
+    let mut faulty = Faulty::new(
+        Scripted::runs(&[(0, 32)]),
+        FaultPlan::crash(UPDATER, crash_after),
+        2,
+    );
+    let mut absent = None;
+    run_workload_with_faults(
+        &mut exec,
+        workload,
+        &mut faulty,
+        |e, _f| {
+            let snap = e.snapshot();
+            for &k in witnesses {
+                if !arena_of(&snap, shard_of(k, SHARDS)).contains(&u64::from(k)) {
+                    absent = Some((k, snap.clone()));
+                }
+            }
+        },
+        20_000,
+    )
+    .unwrap_or_else(|e| panic!("crash at {crash_after}: reader failed to drain: {e}"));
+    if let Some((k, snap)) = absent {
+        panic!(
+            "crash at {crash_after}: present key {k} vanished from shard {} \
+             mid-migration (never-absent violated): snapshot {snap:?}",
+            shard_of(k, SHARDS)
+        );
+    }
+    // The healthy shard's queries always complete, and every one of them
+    // must have sighted its (present) key.
+    for rec in exec.history().records() {
+        if let HashSetOp::Contains(k) = rec.op {
+            assert_eq!(
+                rec.resp,
+                Some(HashSetResp::Bool(true)),
+                "crash at {crash_after}: Contains({k}) did not sight a surviving key"
+            );
+        }
+    }
+    linearize(exec.spec(), exec.history(), &LinOptions::default())
+        .unwrap_or_else(|e| panic!("crash at {crash_after}: truncated history: {e}"));
+    exec.snapshot()
+}
+
+/// Audits each shard independently at the crash's final configuration:
+/// a shard whose seqlock is even is state-quiescent and must be canonical
+/// on its own — capacity word `cap_for` of its key count, live prefix the
+/// canonical layout, dead tail zeroed. Returns
+/// `(quiescent_shards, wedged_shards)`.
+fn audit_shards(snap: &[u64], crash_after: u64) -> (usize, usize) {
+    let lens = arena_lens();
+    let (mut quiescent, mut wedged) = (0, 0);
+    let mut off = 0;
+    for (s, &len) in lens.iter().enumerate() {
+        let seq = snap[off];
+        let cap = snap[off + 1] as usize;
+        let arena = &snap[off + 2..off + 2 + len];
+        off += 2 + len;
+        if seq % 2 != 0 {
+            wedged += 1;
+            continue;
+        }
+        let keys: Vec<u32> = arena
+            .iter()
+            .filter(|&&v| v != 0)
+            .map(|&v| v as u32)
+            .collect();
+        assert_eq!(
+            cap,
+            cap_for(keys.len(), BASE),
+            "crash at {crash_after}: shard {s}'s capacity word leaks history for {keys:?}"
+        );
+        let canonical: Vec<u64> = canonical_layout(cap, keys.iter().copied())
+            .into_iter()
+            .map(u64::from)
+            .collect();
+        assert_eq!(
+            &arena[..cap],
+            canonical.as_slice(),
+            "crash at {crash_after}: shard {s}'s live prefix is not canonical for {keys:?}"
+        );
+        assert!(
+            arena[cap..].iter().all(|&v| v == 0),
+            "crash at {crash_after}: shard {s}'s dead tail is not zeroed"
+        );
+        quiescent += 1;
+    }
+    assert_eq!(off, snap.len(), "snapshot layout drifted from the model");
+    (quiescent, wedged)
+}
+
+#[test]
+fn grow_migration_crashed_at_every_step_never_hides_a_surviving_key() {
+    let imp = table();
+    // Shard 0 holds {1} at capacity 2; inserting 2 forces the 2 -> 4 grow.
+    // Witness 1 rides the migration; 3 and 4 sit in the untouched shard.
+    let setup = [1, 3, 4];
+    let witnesses = [1, 3, 4];
+    let (mut all_quiescent, mut wedged_points) = (0, 0);
+    for crash_after in 0..=SWEEP {
+        let snap = crash_migration(&imp, &setup, HashSetOp::Insert(2), &witnesses, crash_after);
+        let (quiescent, wedged) = audit_shards(&snap, crash_after);
+        assert!(
+            quiescent >= SHARDS - 1,
+            "crash at {crash_after}: only the updated shard may wedge"
+        );
+        if wedged == 0 {
+            all_quiescent += 1;
+        } else {
+            wedged_points += 1;
+        }
+    }
+    assert!(
+        all_quiescent > 0,
+        "some crash points must land outside the critical section"
+    );
+    assert!(
+        wedged_points > 0,
+        "some crash points must land mid-migration — otherwise the sweep proves nothing"
+    );
+}
+
+#[test]
+fn shrink_migration_crashed_at_every_step_never_hides_a_surviving_key() {
+    let imp = table();
+    // Shard 0 holds {1, 2} at capacity 4; removing 2 forces the 4 -> 2
+    // shrink, with 1 surviving the rewrite into the smaller prefix.
+    let setup = [1, 2, 3, 4];
+    let witnesses = [1, 3, 4];
+    let (mut all_quiescent, mut wedged_points) = (0, 0);
+    for crash_after in 0..=SWEEP {
+        let snap = crash_migration(&imp, &setup, HashSetOp::Remove(2), &witnesses, crash_after);
+        let (quiescent, wedged) = audit_shards(&snap, crash_after);
+        assert!(quiescent >= SHARDS - 1);
+        if wedged == 0 {
+            all_quiescent += 1;
+        } else {
+            wedged_points += 1;
+        }
+    }
+    assert!(all_quiescent > 0);
+    assert!(
+        wedged_points > 0,
+        "the shrink rewrite must expose mid-critical-section crash points"
+    );
+}
+
+/// The generic single-plan checker on the same table: a crash
+/// mid-migration may wedge the shard's survivors (`Progress::Blocking`
+/// tolerates `completed: false`), but the truncated history must still
+/// linearize and the composed HI audit must hold at whatever observation
+/// points remain.
+#[test]
+fn generic_fault_plans_tolerate_blocking_wedges_only() {
+    let imp = table();
+    let cfg = FaultSweepConfig::new(21, 5, 200_000);
+    let mut wedged = 0;
+    let mut drained = 0;
+    for crash_after in 0..=SWEEP {
+        let plan = FaultPlan::crash(UPDATER, crash_after);
+        let outcome = run_fault_plan(&imp, &plan, &cfg, 50_000)
+            .unwrap_or_else(|e| panic!("crash at {crash_after}: {e}"));
+        if outcome.completed {
+            drained += 1;
+        } else {
+            wedged += 1;
+        }
+    }
+    assert!(
+        drained > 0,
+        "crashes outside the critical section must let survivors drain"
+    );
+    assert!(
+        wedged > 0,
+        "a mid-migration crash must wedge the shard's seqlock — the Blocking class's price"
+    );
+}

@@ -1,0 +1,177 @@
+//! Scale-out soak conformance: the big-domain sharded scenarios
+//! (`soak/sharded-*`, key domains 2^20 and 2^16) run through the
+//! watchdogged service harness with mid-soak drain barriers, and must
+//!
+//! * perform at least one **online resize mid-epoch** (capacity
+//!   migrations happen under load, between barriers — the barrier itself
+//!   applies no operations), with the pause time attributed per epoch,
+//! * certify every drain barrier through the **composed sampled audit**
+//!   (k seed-chosen shards exhaustively canonical, the rest spot-checked)
+//!   rather than the full-image comparison — the audit mode the 2^20
+//!   domain exists to exercise,
+//! * and write the per-barrier sampled-audit ledger to `target/soak/`,
+//!   which CI uploads as an artifact.
+//!
+//! The `HI_SOAK_PROFILE=long` knob multiplies soak volume ~50x for
+//! nightly-style runs; its scaling is pinned here on a deliberately tiny
+//! base config so the default CI lane stays fast.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use hi_concurrent::api::SampledAudit;
+use hi_concurrent::service::{soak_scenario, SoakConfig, SoakProfile, SoakReport};
+
+/// The sharded soak entries and the shard count their backends declare.
+const SHARDED: [(&str, usize); 2] = [("soak/sharded-zipf-1m", 8), ("soak/sharded-uniform", 4)];
+
+/// CI-scale soak: enough distinct keys to force capacity migrations in
+/// every shard, small enough for the debug-mode test lane.
+fn ci_cfg(seed: u64) -> SoakConfig {
+    SoakConfig {
+        clients: 8,
+        client_threads: 4,
+        total_ops: 20_000,
+        queue_depth: 64,
+        mid_audits: 3,
+        seed,
+        deadline: Duration::from_secs(120),
+        ..SoakConfig::default()
+    }
+}
+
+fn artifact_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/soak");
+    fs::create_dir_all(&dir).expect("create target/soak");
+    dir
+}
+
+/// Renders the sampled-audit ledger of one soak as the JSON artifact CI
+/// uploads: one row per drain barrier, plus the maintenance totals.
+fn render_ledger(name: &str, seed: u64, report: &SoakReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"scenario\": \"{name}\",\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"ops\": {},\n", report.ops_applied));
+    out.push_str(&format!("  \"resizes\": {},\n", report.metrics.resizes()));
+    out.push_str(&format!(
+        "  \"resize_pause_ns\": {},\n",
+        report.metrics.resize_pause_total().as_nanos()
+    ));
+    out.push_str("  \"barriers\": [\n");
+    for (i, audit) in report.sampled_audits.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"epoch\": {i}, \"shards_total\": {}, \"shards_exhaustive\": {}, \
+             \"cells_spot_checked\": {}, \"passed\": {}}}{}\n",
+            audit.shards_total,
+            audit.shards_exhaustive,
+            audit.cells_spot_checked,
+            audit.passed(),
+            if i + 1 < report.sampled_audits.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn run(name: &str, cfg: &SoakConfig) -> SoakReport {
+    soak_scenario(name)
+        .unwrap_or_else(|| panic!("{name} not in the soak registry"))
+        .run(cfg)
+        .unwrap_or_else(|e| panic!("{name} (seed {}): {e}", cfg.seed))
+}
+
+#[test]
+fn sharded_soaks_resize_online_and_pass_sampled_audits() {
+    let dir = artifact_dir();
+    for (name, shards) in SHARDED {
+        let cfg = ci_cfg(11);
+        let report = run(name, &cfg);
+        assert_eq!(report.ops_applied, cfg.total_ops, "{name}");
+
+        // Online resize happened, and happened *mid-epoch*: the per-epoch
+        // maintenance deltas are measured across the load phase, so a
+        // nonzero count in an epoch that applied operations is a capacity
+        // migration under live traffic, not at a barrier.
+        assert!(
+            report.metrics.resizes() > 0,
+            "{name}: a 20k-op churn over base-2 shards must migrate"
+        );
+        assert!(
+            report
+                .metrics
+                .epochs
+                .iter()
+                .any(|e| e.resizes > 0 && e.ops_applied > 0),
+            "{name}: no epoch resized while applying load: {:?}",
+            report.metrics.epochs
+        );
+        assert!(
+            report.metrics.resize_pause_total() > Duration::ZERO,
+            "{name}: migrations take nonzero time"
+        );
+
+        // Every drain barrier (mid-soak and final) audited through the
+        // composed per-shard sample — the run would have failed otherwise,
+        // so presence of the ledger entries is what certifies the mode.
+        assert_eq!(
+            report.sampled_audits.len(),
+            cfg.mid_audits + 1,
+            "{name}: big domains must take the sampled-audit path at every barrier"
+        );
+        for audit in &report.sampled_audits {
+            assert!(audit.passed(), "{name}: {:?}", audit.failure);
+            assert_eq!(audit.shards_total, shards, "{name}");
+            assert!(
+                audit.shards_exhaustive >= 1 && audit.shards_exhaustive < shards,
+                "{name}: the sample must check some but not all shards exhaustively"
+            );
+            assert!(
+                audit.cells_spot_checked > 0,
+                "{name}: unsampled shards must still be spot-checked"
+            );
+        }
+
+        let path = dir.join(format!("{}-sampled.json", name.replace('/', "_")));
+        fs::write(&path, render_ledger(name, cfg.seed, &report))
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    }
+}
+
+#[test]
+fn sampled_audit_seeds_rotate_the_exhaustive_shards() {
+    // Two soaks under different seeds both pass; the barrier audit derives
+    // its shard choice from the soak seed and the epoch, so coverage
+    // rotates across runs. (Which shards were chosen is internal; what is
+    // pinned is that the choice is seed-dependent yet always passing.)
+    for seed in [11, 0x50a6] {
+        let report = run("soak/sharded-uniform", &ci_cfg(seed));
+        assert!(report.sampled_audits.iter().all(SampledAudit::passed));
+    }
+}
+
+#[test]
+fn long_profile_scales_a_sharded_soak() {
+    // `HI_SOAK_PROFILE=long` multiplies total_ops 50x (and the deadline
+    // with it); pinned here on a tiny base so CI pays 400 ops, not 50M.
+    // The profile is applied explicitly — tests never mutate the
+    // environment.
+    let base = SoakConfig {
+        clients: 4,
+        total_ops: 8,
+        mid_audits: 1,
+        seed: 5,
+        ..SoakConfig::default()
+    };
+    let long = SoakProfile::Long.apply(&base);
+    assert_eq!(long.total_ops, 400);
+    let report = run("soak/sharded-uniform", &long);
+    assert_eq!(report.ops_applied, 400);
+    assert_eq!(report.sampled_audits.len(), long.mid_audits + 1);
+}

@@ -5,8 +5,8 @@
 //! test failure here rather than a downstream user's build break.
 
 use hi_concurrent::{
-    api, core, hashtable, llsc, lowerbound, queue, randomized, registers, service, sim, spec,
-    universal,
+    api, core, hashtable, llsc, lowerbound, queue, randomized, registers, service, shard, sim,
+    spec, universal,
 };
 
 #[test]
@@ -25,7 +25,7 @@ fn api_reexport_drives_an_object() {
         );
     }
     assert_eq!(Some(reg.mem_snapshot()), reg.canonical(&2));
-    assert_eq!(api::registry().len(), 13, "all backends registered");
+    assert_eq!(api::registry().len(), 14, "all backends registered");
 }
 
 #[test]
@@ -124,9 +124,18 @@ fn service_reexport_soaks_an_object() {
     );
     assert_eq!(
         service::soak_registry().len(),
-        8,
+        10,
         "all soak scenarios registered"
     );
+}
+
+#[test]
+fn shard_reexport_routes_and_sizes() {
+    let t = shard::ShardedHiHashTable::new(16, 4, 2);
+    assert!(t.insert(3));
+    assert!(t.contains(3));
+    assert_eq!(shard::cap_for(0, 2), 2);
+    assert!(shard::shard_of(3, 4) < 4);
 }
 
 #[test]
